@@ -1,0 +1,209 @@
+//! Gate delay: SPICE-measured FO1 inverter delay and the analytic
+//! effective-current estimate (paper Eq. 4/Eq. 5).
+
+use subvt_spice::measure::{propagation_delay, Edge};
+use subvt_spice::mna::SpiceError;
+use subvt_spice::netlist::{Netlist, Waveform};
+use subvt_spice::transient::{transient, Integrator, TransientSpec};
+use subvt_units::{Seconds, Volts};
+
+use crate::inverter::{CmosPair, Inverter};
+
+/// Analytic FO1 propagation delay — paper Eq. 4 with `k_d = ln 2` and the
+/// effective drive current evaluated at the half-swing point:
+/// `t_p = ln2 · C_L·V_dd / I_d(V_gs = V_dd, V_ds = V_dd/2)`.
+///
+/// Valid across the full supply range because the all-region I–V is used;
+/// in subthreshold it reduces to the paper's Eq. 5 exponential form.
+pub fn analytic_fo1_delay(pair: &CmosPair, v_dd: Volts) -> Seconds {
+    let pair = pair.at_supply(v_dd);
+    let c_l = pair.input_capacitance() + pair.output_capacitance();
+    let n_model = pair.nfet.mos_model();
+    let p_model = pair.pfet.mos_model();
+    let i_n = n_model
+        .drain_current(v_dd, Volts::new(v_dd.as_volts() / 2.0))
+        .get()
+        * pair.wn_um;
+    let i_p = p_model
+        .drain_current(v_dd, Volts::new(v_dd.as_volts() / 2.0))
+        .get()
+        * pair.wp_um;
+    // Pull-down and pull-up delays averaged.
+    let tp_hl = c_l * v_dd.as_volts() / i_n;
+    let tp_lh = c_l * v_dd.as_volts() / i_p;
+    Seconds::new(core::f64::consts::LN_2 * 0.5 * (tp_hl + tp_lh))
+}
+
+/// Result of a SPICE FO1 delay measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fo1Delay {
+    /// High-to-low propagation delay of the measured stage.
+    pub tp_hl: Seconds,
+    /// Low-to-high propagation delay of the measured stage.
+    pub tp_lh: Seconds,
+}
+
+impl Fo1Delay {
+    /// Average propagation delay `(t_pHL + t_pLH)/2`.
+    pub fn average(&self) -> Seconds {
+        Seconds::new(0.5 * (self.tp_hl.get() + self.tp_lh.get()))
+    }
+}
+
+/// Measures FO1 inverter delay by transient simulation of a three-stage
+/// chain (shaping stage → device under test → load stage), reading the
+/// 50 % crossings around the middle stage.
+///
+/// `steps` controls the transient resolution (≥500 recommended; tests use
+/// less for speed).
+///
+/// # Errors
+///
+/// Returns [`SpiceError`] if the solver fails, or
+/// [`SpiceError::NoConvergence`] if crossings cannot be found (window
+/// heuristics derive the time scale from the analytic delay, so this is
+/// rare).
+pub fn spice_fo1_delay(
+    pair: &CmosPair,
+    v_dd: Volts,
+    steps: usize,
+) -> Result<Fo1Delay, SpiceError> {
+    let pair = pair.at_supply(v_dd);
+    let inv = Inverter::new(pair);
+    let tp0 = analytic_fo1_delay(&pair, v_dd).get().max(1e-15);
+    let vdd = v_dd.as_volts();
+
+    let mut net = Netlist::new();
+    let vdd_node = net.node("vdd");
+    let a = net.node("a");
+    let b = net.node("b");
+    let c = net.node("c");
+    let d = net.node("d");
+    net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
+    // One full pulse: rising edge then falling edge, both measured.
+    let period = f64::INFINITY;
+    net.vsource(
+        "VIN",
+        a,
+        Netlist::GROUND,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: vdd,
+            delay: 4.0 * tp0,
+            rise: tp0,
+            fall: tp0,
+            width: 16.0 * tp0,
+            period,
+        },
+    );
+    inv.wire(&mut net, "X1", a, b, vdd_node);
+    inv.wire(&mut net, "X2", b, c, vdd_node);
+    inv.wire(&mut net, "X3", c, d, vdd_node);
+    // FO1 termination: the last stage sees one inverter input of load.
+    net.capacitor("CL", d, Netlist::GROUND, pair.input_capacitance());
+
+    let t_stop = 40.0 * tp0;
+    let spec = TransientSpec::with_steps(t_stop, steps.max(200), Integrator::Trapezoidal);
+    let res = transient(&net, spec)?;
+
+    // Stage X2 (input b, output c): input falls first (a rises → b
+    // falls), so the first measured edge at c is rising (t_pLH), then the
+    // reverse.
+    let tp_lh = propagation_delay(&res, b, c, vdd, Edge::Falling);
+    let tp_hl = propagation_delay_second(&res, b, c, vdd);
+    match (tp_lh, tp_hl) {
+        (Some(lh), Some(hl)) => Ok(Fo1Delay {
+            tp_hl: Seconds::new(hl),
+            tp_lh: Seconds::new(lh),
+        }),
+        _ => Err(SpiceError::NoConvergence { iterations: 0, residual: f64::NAN }),
+    }
+}
+
+/// Delay from the *second* input edge (rising at the measured stage's
+/// input) to the following output crossing.
+fn propagation_delay_second(
+    res: &subvt_spice::transient::TransientResult,
+    input: usize,
+    output: usize,
+    swing: f64,
+) -> Option<f64> {
+    use subvt_spice::measure::crossing_time;
+    let level = swing / 2.0;
+    let t_in = crossing_time(res, input, level, Edge::Rising, 0)?;
+    let mut nth = 0;
+    loop {
+        let t_out = crossing_time(res, output, level, Edge::Any, nth)?;
+        if t_out > t_in {
+            return Some(t_out - t_in);
+        }
+        nth += 1;
+        if nth > 64 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_physics::device::DeviceParams;
+
+    fn pair() -> CmosPair {
+        CmosPair::balanced(DeviceParams::reference_90nm_nfet())
+    }
+
+    #[test]
+    fn analytic_delay_subthreshold_scale() {
+        // At 250 mV, drive ≈ tens of nA/µm and C_L ≈ a few fF:
+        // delay in the 10 ns – 10 µs window.
+        let tp = analytic_fo1_delay(&pair(), Volts::new(0.25));
+        assert!(
+            tp.get() > 1.0e-8 && tp.get() < 1.0e-5,
+            "tp = {} s",
+            tp.get()
+        );
+    }
+
+    #[test]
+    fn analytic_delay_nominal_scale() {
+        // At 1.2 V the FO1 delay should be picoseconds.
+        let tp = analytic_fo1_delay(&pair(), Volts::new(1.2));
+        assert!(
+            tp.as_picoseconds() > 0.5 && tp.as_picoseconds() < 100.0,
+            "tp = {} ps",
+            tp.as_picoseconds()
+        );
+    }
+
+    #[test]
+    fn delay_explodes_exponentially_below_threshold() {
+        // Eq. 5: each S_S of supply reduction costs ~10× delay deep in
+        // subthreshold.
+        let p = pair();
+        let t1 = analytic_fo1_delay(&p, Volts::new(0.30)).get();
+        let t2 = analytic_fo1_delay(&p, Volts::new(0.20)).get();
+        assert!(t2 / t1 > 5.0, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn spice_delay_matches_analytic_within_factor_three() {
+        let p = pair();
+        let v = Volts::new(0.25);
+        let spice = spice_fo1_delay(&p, v, 600).unwrap();
+        let analytic = analytic_fo1_delay(&p, v);
+        let ratio = spice.average().get() / analytic.get();
+        assert!(
+            (0.33..3.0).contains(&ratio),
+            "spice {:.3e} vs analytic {:.3e} (ratio {ratio})",
+            spice.average().get(),
+            analytic.get()
+        );
+    }
+
+    #[test]
+    fn spice_delay_edges_both_positive() {
+        let d = spice_fo1_delay(&pair(), Volts::new(0.25), 600).unwrap();
+        assert!(d.tp_hl.get() > 0.0 && d.tp_lh.get() > 0.0);
+    }
+}

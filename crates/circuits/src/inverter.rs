@@ -1,0 +1,352 @@
+//! CMOS inverter construction and voltage-transfer characteristics.
+//!
+//! Two VTC engines are provided:
+//!
+//! * [`Inverter::vtc`] — the SPICE engine: a DC sweep of the full MNA
+//!   system with the all-region device model (works at any supply).
+//! * [`analytic_vtc`] — the paper's Eq. 3(b): the closed-form
+//!   weak-inversion VTC obtained by equating NFET and PFET Eq. 1
+//!   currents (valid for sub-V_th supplies), used to cross-check the
+//!   simulator.
+
+use subvt_physics::device::{DeviceKind, DeviceParams};
+use subvt_physics::math::{bisect, linspace};
+use subvt_spice::mna::{dc_sweep, SpiceError};
+use subvt_spice::netlist::{Netlist, NodeId, Waveform};
+use subvt_units::Volts;
+
+/// A complementary device pair with widths — the unit cell every analysis
+/// in this crate is built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosPair {
+    /// The n-channel device.
+    pub nfet: DeviceParams,
+    /// The p-channel device.
+    pub pfet: DeviceParams,
+    /// NFET width in microns.
+    pub wn_um: f64,
+    /// PFET width in microns.
+    pub wp_um: f64,
+}
+
+impl CmosPair {
+    /// Builds a pair from an NFET description, deriving the PFET by
+    /// polarity flip and sizing it so the subthreshold drive strengths
+    /// balance (`W_p·I₀_p ≈ W_n·I₀_n`) — the symmetric-VTC condition the
+    /// paper assumes in Eq. 3(c).
+    pub fn balanced(nfet: DeviceParams) -> Self {
+        assert!(matches!(nfet.kind, DeviceKind::Nfet), "expected an NFET description");
+        let pfet = DeviceParams { kind: DeviceKind::Pfet, ..nfet };
+        let i0_n = nfet.characterize().i0.get();
+        let i0_p = pfet.characterize().i0.get();
+        let wn_um = 1.0;
+        let wp_um = (i0_n / i0_p).clamp(1.0, 4.0);
+        Self { nfet, pfet, wn_um, wp_um }
+    }
+
+    /// The supply voltage both devices were described at.
+    pub fn v_dd(&self) -> Volts {
+        self.nfet.v_dd
+    }
+
+    /// Returns a copy of the pair re-characterized at a different supply.
+    pub fn at_supply(&self, v_dd: Volts) -> Self {
+        let mut out = *self;
+        out.nfet.v_dd = v_dd;
+        out.pfet.v_dd = v_dd;
+        out
+    }
+
+    /// Total switched capacitance of one inverter input (gate caps of
+    /// both devices), farads.
+    pub fn input_capacitance(&self) -> f64 {
+        let cn = self.nfet.characterize().c_g.get() * self.wn_um;
+        let cp = self.pfet.characterize().c_g.get() * self.wp_um;
+        cn + cp
+    }
+
+    /// Drain parasitic capacitance at the shared output node, farads.
+    pub fn output_capacitance(&self) -> f64 {
+        let cn = self.nfet.characterize().c_drain.get() * self.wn_um;
+        let cp = self.pfet.characterize().c_drain.get() * self.wp_um;
+        cn + cp
+    }
+
+    /// Average off-state leakage of the inverter (mean of the two input
+    /// states), amps.
+    pub fn leakage_current(&self) -> f64 {
+        let i_n = self.nfet.characterize().i_off.get() * self.wn_um;
+        let i_p = self.pfet.characterize().i_off.get() * self.wp_um;
+        0.5 * (i_n + i_p)
+    }
+}
+
+/// A single CMOS inverter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inverter {
+    /// Device pair the inverter instantiates.
+    pub pair: CmosPair,
+}
+
+/// One sampled voltage-transfer characteristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vtc {
+    /// Input voltages, ascending.
+    pub v_in: Vec<f64>,
+    /// Corresponding output voltages.
+    pub v_out: Vec<f64>,
+    /// Supply the curve was traced at.
+    pub v_dd: f64,
+}
+
+impl Vtc {
+    /// Numerical gain `dV_out/dV_in` at each interior sample (central
+    /// differences; endpoints copy their neighbours).
+    pub fn gain(&self) -> Vec<f64> {
+        let n = self.v_in.len();
+        let mut g = vec![0.0; n];
+        for (i, slot) in g.iter_mut().enumerate().take(n - 1).skip(1) {
+            *slot = (self.v_out[i + 1] - self.v_out[i - 1])
+                / (self.v_in[i + 1] - self.v_in[i - 1]);
+        }
+        if n >= 2 {
+            g[0] = g[1];
+            g[n - 1] = g[n - 2];
+        }
+        g
+    }
+
+    /// Switching threshold: input where `v_out` crosses `v_dd/2`.
+    pub fn switching_threshold(&self) -> Option<f64> {
+        let half = self.v_dd / 2.0;
+        for i in 1..self.v_in.len() {
+            let (a, b) = (self.v_out[i - 1], self.v_out[i]);
+            if (a - half) * (b - half) <= 0.0 && a != b {
+                let f = (half - a) / (b - a);
+                return Some(self.v_in[i - 1] + f * (self.v_in[i] - self.v_in[i - 1]));
+            }
+        }
+        None
+    }
+}
+
+impl Inverter {
+    /// Creates an inverter from a device pair.
+    pub fn new(pair: CmosPair) -> Self {
+        Self { pair }
+    }
+
+    /// Wires this inverter into a netlist.
+    ///
+    /// The compact [`subvt_physics::MosModel`] is resistive, so the
+    /// devices' gate and drain capacitances are added as explicit
+    /// grounded capacitors at the input and output nodes (the Miller
+    /// gate-drain split is lumped to ground — adequate for delay and
+    /// energy at the fan-out-of-one granularity this crate measures).
+    pub fn wire(
+        &self,
+        net: &mut Netlist,
+        name: &str,
+        input: NodeId,
+        output: NodeId,
+        vdd_node: NodeId,
+    ) {
+        net.mosfet(
+            &format!("{name}.MP"),
+            self.pair.pfet.mos_model(),
+            self.pair.wp_um,
+            output,
+            input,
+            vdd_node,
+        );
+        net.mosfet(
+            &format!("{name}.MN"),
+            self.pair.nfet.mos_model(),
+            self.pair.wn_um,
+            output,
+            input,
+            Netlist::GROUND,
+        );
+        net.capacitor(
+            &format!("{name}.Cin"),
+            input,
+            Netlist::GROUND,
+            self.pair.input_capacitance(),
+        );
+        net.capacitor(
+            &format!("{name}.Cout"),
+            output,
+            Netlist::GROUND,
+            self.pair.output_capacitance(),
+        );
+    }
+
+    /// Traces the VTC by a SPICE DC sweep with `points` samples at supply
+    /// `v_dd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpiceError`] from the solver.
+    pub fn vtc(&self, v_dd: Volts, points: usize) -> Result<Vtc, SpiceError> {
+        let pair = self.pair.at_supply(v_dd);
+        let inv = Inverter::new(pair);
+        let mut net = Netlist::new();
+        let vdd_node = net.node("vdd");
+        let vin = net.node("in");
+        let vout = net.node("out");
+        net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(v_dd.as_volts()));
+        net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0));
+        inv.wire(&mut net, "X1", vin, vout, vdd_node);
+
+        let sweep = linspace(0.0, v_dd.as_volts(), points.max(2));
+        let sols = dc_sweep(&net, "VIN", &sweep)?;
+        Ok(Vtc {
+            v_in: sweep,
+            v_out: sols.iter().map(|s| s.node_voltages[vout]).collect(),
+            v_dd: v_dd.as_volts(),
+        })
+    }
+}
+
+/// The paper's Eq. 3(b): closed-form weak-inversion VTC. Solves the
+/// current balance for `v_out` at each `v_in` by bisection of the
+/// monotone balance residual (robust against the near-vertical transition
+/// region). Device asymmetry enters through `I₀` ratios and slope
+/// factors.
+pub fn analytic_vtc(pair: &CmosPair, v_dd: Volts, points: usize) -> Vtc {
+    let n = pair.nfet.characterize();
+    let p = pair.pfet.characterize();
+    let vt = pair.nfet.temperature.thermal_voltage().as_volts();
+    let vdd = v_dd.as_volts();
+    let io_n = n.i0.get() * pair.wn_um;
+    let io_p = p.i0.get() * pair.wp_um;
+    let (m_n, m_p) = (n.m, p.m);
+    let (vth_n, vth_p) = (n.v_th_sat.as_volts(), p.v_th_sat.as_volts());
+
+    // Eq. 3(a) balance: I_N(v_in, v_out) = I_P(v_dd − v_in, v_dd − v_out).
+    let residual = |v_in: f64, v_out: f64| {
+        let i_n = io_n
+            * ((v_in - vth_n) / (m_n * vt)).exp()
+            * (1.0 - (-v_out / vt).exp());
+        let i_p = io_p
+            * ((vdd - v_in - vth_p) / (m_p * vt)).exp()
+            * (1.0 - (-(vdd - v_out) / vt).exp());
+        i_n - i_p
+    };
+
+    let v_in = linspace(0.0, vdd, points.max(2));
+    let v_out = v_in
+        .iter()
+        .map(|&vi| {
+            let eps = 1e-9;
+            match bisect(|vo| residual(vi, vo), eps, vdd - eps, 1e-12, 200) {
+                Ok(root) => root.x,
+                // Balance pinned at a rail (very skewed corner).
+                Err(_) => {
+                    if residual(vi, vdd / 2.0) > 0.0 {
+                        0.0
+                    } else {
+                        vdd
+                    }
+                }
+            }
+        })
+        .collect();
+    Vtc { v_in, v_out, v_dd: vdd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> CmosPair {
+        CmosPair::balanced(DeviceParams::reference_90nm_nfet())
+    }
+
+    #[test]
+    fn balanced_pair_upsizes_pfet() {
+        let p = pair();
+        assert!(p.wp_um > p.wn_um);
+    }
+
+    #[test]
+    fn vtc_swings_rail_to_rail_subthreshold() {
+        let inv = Inverter::new(pair());
+        let vtc = inv.vtc(Volts::new(0.25), 41).unwrap();
+        assert!(vtc.v_out[0] > 0.24, "low in → high out: {}", vtc.v_out[0]);
+        assert!(vtc.v_out[40] < 0.01, "high in → low out: {}", vtc.v_out[40]);
+    }
+
+    #[test]
+    fn vtc_is_monotone_decreasing() {
+        let inv = Inverter::new(pair());
+        let vtc = inv.vtc(Volts::new(0.25), 61).unwrap();
+        for w in vtc.v_out.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "VTC must fall monotonically");
+        }
+    }
+
+    #[test]
+    fn switching_threshold_near_midrail() {
+        let inv = Inverter::new(pair());
+        let vtc = inv.vtc(Volts::new(0.25), 101).unwrap();
+        let vm = vtc.switching_threshold().unwrap();
+        assert!(
+            (vm - 0.125).abs() < 0.05,
+            "V_M = {vm} should be near V_dd/2 for a balanced pair"
+        );
+    }
+
+    #[test]
+    fn peak_gain_exceeds_unity() {
+        let inv = Inverter::new(pair());
+        let vtc = inv.vtc(Volts::new(0.25), 201).unwrap();
+        let min_gain = vtc.gain().iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min_gain < -1.5, "peak |gain| = {}", -min_gain);
+    }
+
+    #[test]
+    fn analytic_vtc_matches_spice_in_subthreshold() {
+        let p = pair().at_supply(Volts::new(0.25));
+        let spice = Inverter::new(p).vtc(Volts::new(0.25), 41).unwrap();
+        let analytic = analytic_vtc(&p, Volts::new(0.25), 41);
+        // Pointwise agreement within 50 mV (the steep transition
+        // amplifies any threshold-model difference vertically)…
+        for i in 0..spice.v_in.len() {
+            assert!(
+                (spice.v_out[i] - analytic.v_out[i]).abs() < 0.05,
+                "v_in = {}: spice {} vs analytic {}",
+                spice.v_in[i],
+                spice.v_out[i],
+                analytic.v_out[i]
+            );
+        }
+        // …and the switching thresholds within 10 mV horizontally.
+        let vm_s = spice.switching_threshold().unwrap();
+        let vm_a = analytic.switching_threshold().unwrap();
+        assert!((vm_s - vm_a).abs() < 0.010, "V_M: {vm_s} vs {vm_a}");
+    }
+
+    #[test]
+    fn analytic_vtc_symmetric_for_matched_devices() {
+        // With I₀, m and V_th matched, Eq. 3(c) predicts a VTC symmetric
+        // about (V_dd/2, V_dd/2).
+        let mut p = pair();
+        // Force exact symmetry: same device both sides.
+        p.pfet = DeviceParams { kind: DeviceKind::Pfet, ..p.nfet };
+        let i0n = p.nfet.characterize().i0.get();
+        let i0p = p.pfet.characterize().i0.get();
+        p.wp_um = p.wn_um * i0n / i0p;
+        let vtc = analytic_vtc(&p, Volts::new(0.25), 81);
+        let n = vtc.v_in.len();
+        for i in 0..n {
+            let j = n - 1 - i;
+            let sym = 0.25 - vtc.v_out[j];
+            assert!(
+                (vtc.v_out[i] - sym).abs() < 1e-3,
+                "symmetry violated at {}",
+                vtc.v_in[i]
+            );
+        }
+    }
+}

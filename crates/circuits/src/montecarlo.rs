@@ -1,0 +1,264 @@
+//! Monte-Carlo threshold-voltage variability (extension).
+//!
+//! The paper's introduction motivates sub-V_th caution with the dramatic
+//! growth of timing variability at low supplies. This module quantifies
+//! that: Pelgrom-law random dopant fluctuation `σ_VT = A_VT/√(W·L)`
+//! applied to the compact model, propagated to gate delay through the
+//! exponential subthreshold I–V.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use subvt_units::{Seconds, Volts};
+
+use crate::inverter::CmosPair;
+
+/// Pelgrom mismatch coefficient, volts·µm (≈3.5 mV·µm for 90 nm-class
+/// oxides; scales roughly with `T_ox`).
+pub fn pelgrom_coefficient(t_ox_nm: f64) -> f64 {
+    1.7e-3 * t_ox_nm
+}
+
+/// Per-device `σ_VT` for a given gate area.
+pub fn sigma_vth(t_ox_nm: f64, w_um: f64, l_um: f64) -> Volts {
+    assert!(w_um > 0.0 && l_um > 0.0, "device area must be positive");
+    Volts::new(pelgrom_coefficient(t_ox_nm) / (w_um * l_um).sqrt())
+}
+
+/// Summary statistics of a Monte-Carlo delay population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayStatistics {
+    /// Mean delay.
+    pub mean: Seconds,
+    /// Standard deviation of delay.
+    pub std_dev: Seconds,
+    /// `σ/µ` — the paper-motivating variability metric.
+    pub sigma_over_mu: f64,
+    /// All sampled delays (for downstream percentile analysis).
+    pub samples: Vec<f64>,
+}
+
+/// Runs a Monte-Carlo sweep of FO1 delay under `V_th` mismatch at supply
+/// `v_dd`. Deterministic for a given `seed`.
+///
+/// Each sample perturbs the NFET and PFET thresholds independently and
+/// recomputes the analytic effective-current delay.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn delay_variability(
+    pair: &CmosPair,
+    v_dd: Volts,
+    samples: usize,
+    seed: u64,
+) -> DelayStatistics {
+    assert!(samples > 0, "need at least one sample");
+    let pair = pair.at_supply(v_dd);
+    let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
+    let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
+    let sig_p = sigma_vth(pair.pfet.geometry.t_ox.get(), pair.wp_um, l_um).as_volts();
+
+    let c_l = pair.input_capacitance() + pair.output_capacitance();
+    let base_n = pair.nfet.mos_model();
+    let base_p = pair.pfet.mos_model();
+    let vdd = v_dd.as_volts();
+    let half = Volts::new(vdd / 2.0);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Gaussian;
+    let mut delays = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let dn = normal.sample(&mut rng) * sig_n;
+        let dp = normal.sample(&mut rng) * sig_p;
+        let mut mn = base_n;
+        mn.v_th_lin = Volts::new(mn.v_th_lin.as_volts() + dn);
+        let mut mp = base_p;
+        mp.v_th_lin = Volts::new(mp.v_th_lin.as_volts() + dp);
+        let i_n = mn.drain_current(v_dd, half).get() * pair.wn_um;
+        let i_p = mp.drain_current(v_dd, half).get() * pair.wp_um;
+        let tp = core::f64::consts::LN_2 * 0.5 * (c_l * vdd / i_n + c_l * vdd / i_p);
+        delays.push(tp);
+    }
+
+    let n = delays.len() as f64;
+    let mean = delays.iter().sum::<f64>() / n;
+    let var = delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+    let std_dev = var.sqrt();
+    DelayStatistics {
+        mean: Seconds::new(mean),
+        std_dev: Seconds::new(std_dev),
+        sigma_over_mu: std_dev / mean,
+        samples: delays,
+    }
+}
+
+/// Summary statistics of a Monte-Carlo SNM population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnmStatistics {
+    /// Mean SNM, volts.
+    pub mean: Volts,
+    /// Standard deviation, volts.
+    pub std_dev: Volts,
+    /// Fraction of samples with no restoring margin at all (SNM ≤ 0 or
+    /// the VTC never reaches unity gain) — functional-yield proxy.
+    pub failure_fraction: f64,
+    /// All finite sampled SNM values, volts.
+    pub samples: Vec<f64>,
+}
+
+/// Monte-Carlo inverter SNM under `V_th` mismatch, using the analytic
+/// Eq. 3 VTC (fast enough for thousands of samples). Deterministic for a
+/// given `seed`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn snm_variability(
+    pair: &CmosPair,
+    v_dd: Volts,
+    samples: usize,
+    seed: u64,
+) -> SnmStatistics {
+    use crate::inverter::Vtc;
+    use subvt_physics::math::linspace;
+
+    assert!(samples > 0, "need at least one sample");
+    let pair = pair.at_supply(v_dd);
+    let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
+    let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
+    let sig_p = sigma_vth(pair.pfet.geometry.t_ox.get(), pair.wp_um, l_um).as_volts();
+
+    let n = pair.nfet.characterize();
+    let p = pair.pfet.characterize();
+    let vt = pair.nfet.temperature.thermal_voltage().as_volts();
+    let vdd = v_dd.as_volts();
+    let io_n = n.i0.get() * pair.wn_um;
+    let io_p = p.i0.get() * pair.wp_um;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Gaussian;
+    let mut vals = Vec::with_capacity(samples);
+    let mut failures = 0usize;
+    let v_in_grid = linspace(0.0, vdd, 101);
+
+    for _ in 0..samples {
+        let vth_n = n.v_th_sat.as_volts() + normal.sample(&mut rng) * sig_n;
+        let vth_p = p.v_th_sat.as_volts() + normal.sample(&mut rng) * sig_p;
+        // Eq. 3(a) current balance with mismatched thresholds.
+        let residual = |v_in: f64, v_out: f64| {
+            let i_n = io_n * ((v_in - vth_n) / (n.m * vt)).exp()
+                * (1.0 - (-v_out / vt).exp());
+            let i_p = io_p * ((vdd - v_in - vth_p) / (p.m * vt)).exp()
+                * (1.0 - (-(vdd - v_out) / vt).exp());
+            i_n - i_p
+        };
+        let v_out: Vec<f64> = v_in_grid
+            .iter()
+            .map(|&vi| {
+                subvt_physics::math::bisect(|vo| residual(vi, vo), 1e-9, vdd - 1e-9, 1e-10, 120)
+                    .map(|r| r.x)
+                    .unwrap_or(if residual(vi, vdd / 2.0) > 0.0 { 0.0 } else { vdd })
+            })
+            .collect();
+        let vtc = Vtc { v_in: v_in_grid.clone(), v_out, v_dd: vdd };
+        match crate::snm::noise_margins(&vtc) {
+            Some(nm) if nm.snm() > 0.0 => vals.push(nm.snm()),
+            _ => failures += 1,
+        }
+    }
+
+    let count = vals.len().max(1) as f64;
+    let mean = vals.iter().sum::<f64>() / count;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count;
+    SnmStatistics {
+        mean: Volts::new(mean),
+        std_dev: Volts::new(var.sqrt()),
+        failure_fraction: failures as f64 / samples as f64,
+        samples: vals,
+    }
+}
+
+/// Standard-normal sampler via Box–Muller (keeps the dependency surface
+/// to `rand`'s core RNG only).
+struct Gaussian;
+
+impl Distribution<f64> for Gaussian {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_physics::device::DeviceParams;
+
+    fn pair() -> CmosPair {
+        CmosPair::balanced(DeviceParams::reference_90nm_nfet())
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = delay_variability(&pair(), Volts::new(0.25), 100, 42);
+        let b = delay_variability(&pair(), Volts::new(0.25), 100, 42);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn subthreshold_variability_much_larger_than_nominal() {
+        // The paper's core variability argument: σ/µ explodes at low V_dd
+        // because delay depends exponentially on V_th.
+        let p = pair();
+        let sub = delay_variability(&p, Volts::new(0.25), 400, 7);
+        let nom = delay_variability(&p, Volts::new(1.2), 400, 7);
+        assert!(
+            sub.sigma_over_mu > 3.0 * nom.sigma_over_mu,
+            "sub {} vs nominal {}",
+            sub.sigma_over_mu,
+            nom.sigma_over_mu
+        );
+    }
+
+    #[test]
+    fn sigma_vth_shrinks_with_area() {
+        let small = sigma_vth(2.1, 0.5, 0.065);
+        let large = sigma_vth(2.1, 2.0, 0.065);
+        assert!(large.as_volts() < small.as_volts());
+        assert!((small.as_volts() / large.as_volts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snm_variability_is_deterministic_and_positive() {
+        let stats = snm_variability(&pair(), Volts::new(0.25), 60, 3);
+        let again = snm_variability(&pair(), Volts::new(0.25), 60, 3);
+        assert_eq!(stats.samples, again.samples);
+        assert!(stats.mean.as_volts() > 0.03 && stats.mean.as_volts() < 0.12);
+        assert!(stats.std_dev.as_volts() > 0.0);
+    }
+
+    #[test]
+    fn snm_spread_grows_at_lower_supply_relative_to_mean() {
+        let p = pair();
+        let lo = snm_variability(&p, Volts::new(0.20), 120, 9);
+        let hi = snm_variability(&p, Volts::new(0.35), 120, 9);
+        let rel_lo = lo.std_dev.as_volts() / lo.mean.as_volts();
+        let rel_hi = hi.std_dev.as_volts() / hi.mean.as_volts();
+        assert!(
+            rel_lo > rel_hi,
+            "relative SNM spread must grow at low V_dd: {rel_lo} vs {rel_hi}"
+        );
+    }
+
+    #[test]
+    fn mean_close_to_nominal_delay() {
+        let p = pair();
+        let stats = delay_variability(&p, Volts::new(0.3), 800, 11);
+        let nominal = crate::delay::analytic_fo1_delay(&p, Volts::new(0.3)).get();
+        // Lognormal-ish skew pushes the mean above nominal, but within 2x.
+        let ratio = stats.mean.get() / nominal;
+        assert!((0.8..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Ring-oscillator analysis (extension beyond the paper's figures, used
+//! as an independent delay cross-check: `f_osc = 1/(2·N·t_p)`).
+
+use subvt_spice::measure::{crossing_time, Edge};
+use subvt_spice::mna::SpiceError;
+use subvt_spice::netlist::{Netlist, Waveform};
+use subvt_spice::transient::{transient_from, Integrator, TransientSpec};
+use subvt_units::{Seconds, Volts};
+
+use crate::delay::analytic_fo1_delay;
+use crate::inverter::{CmosPair, Inverter};
+
+/// Measured ring-oscillator behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingOscillation {
+    /// Oscillation period.
+    pub period: Seconds,
+    /// Implied per-stage delay `T/(2·N)`.
+    pub stage_delay: Seconds,
+}
+
+/// Simulates an `N`-stage ring oscillator (N must be odd) and measures
+/// its steady-state period from successive rising crossings on one node.
+///
+/// # Errors
+///
+/// Returns [`SpiceError`] if the solver fails or no oscillation is
+/// detected within the simulation window.
+///
+/// # Panics
+///
+/// Panics if `stages` is even or less than 3.
+pub fn ring_oscillator(
+    pair: &CmosPair,
+    v_dd: Volts,
+    stages: usize,
+    steps: usize,
+) -> Result<RingOscillation, SpiceError> {
+    assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+    let pair = pair.at_supply(v_dd);
+    let inv = Inverter::new(pair);
+    let tp0 = analytic_fo1_delay(&pair, v_dd).get();
+    let vdd = v_dd.as_volts();
+
+    let mut net = Netlist::new();
+    let vdd_node = net.node("vdd");
+    net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
+    let nodes: Vec<_> = (0..stages).map(|i| net.node(&format!("n{i}"))).collect();
+    for i in 0..stages {
+        let input = nodes[i];
+        let output = nodes[(i + 1) % stages];
+        inv.wire(&mut net, &format!("X{i}"), input, output, vdd_node);
+        // Explicit wiring capacitance keeps every node dynamic.
+        net.capacitor(&format!("Cw{i}"), output, Netlist::GROUND, 0.1e-15);
+    }
+
+    // A DC operating point would settle at the metastable midpoint, so
+    // start from an asymmetric initial condition instead: alternate rails
+    // around the loop (any non-equilibrium start converges to the limit
+    // cycle).
+    let dim_nodes = net.node_count();
+    let mut x0 = subvt_spice::mna::DcSolution {
+        node_voltages: vec![0.0; dim_nodes],
+        branch_currents: vec![0.0; 1],
+        iterations: 0,
+    };
+    x0.node_voltages[vdd_node] = vdd;
+    for (i, &n) in nodes.iter().enumerate() {
+        x0.node_voltages[n] = if i % 2 == 0 { vdd } else { 0.0 };
+    }
+
+    let t_stop = 8.0 * stages as f64 * tp0;
+    let spec = TransientSpec::with_steps(t_stop, steps.max(500), Integrator::Trapezoidal);
+    let res = transient_from(&net, spec, &x0)?;
+
+    // Period: spacing between late rising crossings (skip the start-up
+    // transient by taking crossings near the end of the run).
+    let mut crossings = Vec::new();
+    let mut nth = 0;
+    while let Some(t) = crossing_time(&res, nodes[0], vdd / 2.0, Edge::Rising, nth) {
+        crossings.push(t);
+        nth += 1;
+        if nth > 256 {
+            break;
+        }
+    }
+    if crossings.len() < 3 {
+        return Err(SpiceError::NoConvergence { iterations: 0, residual: f64::NAN });
+    }
+    let k = crossings.len();
+    let period = crossings[k - 1] - crossings[k - 2];
+    Ok(RingOscillation {
+        period: Seconds::new(period),
+        stage_delay: Seconds::new(period / (2.0 * stages as f64)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_physics::device::DeviceParams;
+
+    #[test]
+    fn ring_oscillates_in_subthreshold() {
+        let pair = CmosPair::balanced(DeviceParams::reference_90nm_nfet());
+        let osc = ring_oscillator(&pair, Volts::new(0.25), 5, 1500).unwrap();
+        assert!(osc.period.get() > 0.0);
+        // Stage delay within ~4x of the analytic FO1 delay (the ring
+        // stage is lighter loaded than true FO1 plus wiring cap).
+        let tp = analytic_fo1_delay(&pair, Volts::new(0.25)).get();
+        let ratio = osc.stage_delay.get() / tp;
+        assert!((0.2..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn rejects_even_rings() {
+        let pair = CmosPair::balanced(DeviceParams::reference_90nm_nfet());
+        let _ = ring_oscillator(&pair, Volts::new(0.25), 4, 100);
+    }
+}

@@ -1,0 +1,47 @@
+//! Device-scaling strategies for subthreshold circuits.
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! *"Nanometer Device Scaling in Subthreshold Circuits"* (Hanson, Seok,
+//! Sylvester, Blaauw — DAC 2007):
+//!
+//! * [`roadmap`] — the stated scaling inputs (L_poly −30 %/gen,
+//!   T_ox −10 %/gen, V_dd and leakage-budget schedules).
+//! * [`generalized`] — classical generalized scaling theory (Table 1).
+//! * [`supervth`] — the performance-driven flow of Fig. 1(c): halo
+//!   doping solved for V_th flatness, substrate doping solved to the
+//!   leakage budget (reproduces Table 2).
+//! * [`subvth`] — the paper's proposed flow: constant I_off with
+//!   (L_poly, doping) co-optimized for the energy factor C_L·S_S²
+//!   (reproduces Table 3).
+//! * [`metrics`] — the closed-form sub-V_th delay (Eq. 6) and energy
+//!   (Eq. 8) factors.
+//!
+//! # Example: design both strategies at 32 nm
+//!
+//! ```no_run
+//! use subvt_core::strategy::ScalingStrategy;
+//! use subvt_core::roadmap::TechNode;
+//! use subvt_core::supervth::SuperVthStrategy;
+//! use subvt_core::subvth::SubVthStrategy;
+//!
+//! let conventional = SuperVthStrategy::default().design_node(TechNode::N32)?;
+//! let proposed = SubVthStrategy::default().design_node(TechNode::N32)?;
+//! // The proposed strategy holds the subthreshold swing near 80 mV/dec.
+//! assert!(proposed.nfet_chars.s_s.get() < conventional.nfet_chars.s_s.get());
+//! # Ok::<(), subvt_core::strategy::DesignError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generalized;
+pub mod metrics;
+pub mod roadmap;
+pub mod strategy;
+pub mod subvth;
+pub mod supervth;
+
+pub use roadmap::TechNode;
+pub use strategy::{DesignError, NodeDesign, ScalingStrategy};
+pub use subvth::SubVthStrategy;
+pub use supervth::SuperVthStrategy;

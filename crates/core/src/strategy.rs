@@ -1,0 +1,91 @@
+//! The scaling-strategy abstraction: both of the paper's flows produce a
+//! [`NodeDesign`] per technology node, and everything downstream
+//! (figures, benches, examples) consumes designs through the
+//! [`ScalingStrategy`] trait.
+
+use subvt_circuits::inverter::CmosPair;
+use subvt_physics::device::{DeviceCharacteristics, DeviceParams};
+
+use crate::roadmap::TechNode;
+
+/// Errors from a device-design flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignError {
+    /// A doping search could not bracket its target.
+    DopingSearch {
+        /// Node being designed.
+        node: TechNode,
+        /// What the search was solving for.
+        target: &'static str,
+    },
+}
+
+impl core::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DesignError::DopingSearch { node, target } => {
+                write!(f, "doping search for {target} failed to bracket at {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A complete complementary device design at one technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeDesign {
+    /// Technology node.
+    pub node: TechNode,
+    /// NFET parameter set.
+    pub nfet: DeviceParams,
+    /// PFET parameter set.
+    pub pfet: DeviceParams,
+    /// NFET characterization.
+    pub nfet_chars: DeviceCharacteristics,
+    /// PFET characterization.
+    pub pfet_chars: DeviceCharacteristics,
+}
+
+impl NodeDesign {
+    /// Builds the circuit-level device pair, balancing widths for a
+    /// symmetric subthreshold VTC. Gate widths scale with the node's
+    /// 30 %-per-generation dimension factor (a minimum-width inverter
+    /// shrinks along with every other layout dimension), which is what
+    /// makes scaled nodes cheaper in absolute energy.
+    pub fn cmos_pair(&self) -> CmosPair {
+        let i0_n = self.nfet_chars.i0.get();
+        let i0_p = self.pfet_chars.i0.get();
+        let wn_um = self.node.dimension_scale();
+        CmosPair {
+            nfet: self.nfet,
+            pfet: self.pfet,
+            wn_um,
+            wp_um: wn_um * (i0_n / i0_p).clamp(1.0, 4.0),
+        }
+    }
+}
+
+/// A device-scaling strategy: a rule for producing one [`NodeDesign`]
+/// per technology node.
+pub trait ScalingStrategy {
+    /// Short name used in tables and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Designs the devices for one node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] when the underlying doping searches cannot
+    /// meet the flow's constraints.
+    fn design_node(&self, node: TechNode) -> Result<NodeDesign, DesignError>;
+
+    /// Designs every node from 90 nm to 32 nm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DesignError`] encountered.
+    fn design_all(&self) -> Result<Vec<NodeDesign>, DesignError> {
+        TechNode::ALL.iter().map(|&n| self.design_node(n)).collect()
+    }
+}

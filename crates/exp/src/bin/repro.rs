@@ -1,0 +1,71 @@
+//! Command-line driver for the paper-reproduction experiments.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all                 # run everything in paper order
+//! repro table2 fig2 fig12   # run a subset
+//! repro --csv fig6          # CSV output instead of aligned text
+//! repro --list              # list experiment ids
+//! ```
+
+use std::process::ExitCode;
+
+use subvt_exp::{run, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--list" => {
+                for id in ALL_EXPERIMENTS.iter().chain(&EXTENSION_EXPERIMENTS) {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            "ext" => ids.extend(EXTENSION_EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            "everything" => {
+                ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()));
+                ids.extend(EXTENSION_EXPERIMENTS.iter().map(|s| (*s).to_owned()));
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        print_help();
+        return ExitCode::FAILURE;
+    }
+
+    for id in &ids {
+        match run(id) {
+            Some(table) => {
+                if csv {
+                    print!("{}", table.to_csv());
+                } else {
+                    println!("{}", table.to_text());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    eprintln!("usage: repro [--csv] <experiment...|all|ext|everything>");
+    eprintln!("       repro --list");
+    eprintln!();
+    eprintln!("Reproduces the tables and figures of 'Nanometer Device Scaling");
+    eprintln!("in Subthreshold Circuits' (DAC 2007) from the subvt stack.");
+}

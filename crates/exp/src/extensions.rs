@@ -1,0 +1,242 @@
+//! Extension studies beyond the paper's figures — the "future work"
+//! directions its text motivates: temperature sensitivity, the
+//! oxide-scaling ablation behind its central claim, SRAM bit-line limits
+//! (its §2.3.2 / ref \[16\]), V_th-mismatch variability (its §1), and
+//! stacked-gate noise margins.
+
+use subvt_circuits::chain::InverterChain;
+use subvt_circuits::gates::Gate2;
+use subvt_circuits::montecarlo::{delay_variability, snm_variability};
+use subvt_circuits::sram::SramCell;
+use subvt_core::{SuperVthStrategy, TechNode};
+use subvt_physics::device::{DeviceKind, DeviceParams};
+use subvt_units::{Temperature, Volts};
+
+use crate::context::{StudyContext, V_SUBVT};
+use crate::table::{fmt, Table};
+
+/// Extension A — temperature: subthreshold swing, leakage and the
+/// minimum-energy point of the reference device from −25 °C to 100 °C.
+///
+/// Expected physics: `S_S ∝ T`, `I_off` exponential in `T`, and `V_min`
+/// rising with temperature (leakage energy grows).
+pub fn ext_temperature() -> Table {
+    let mut t = Table::new(
+        "Ext A: temperature dependence, 90 nm reference device",
+        &[
+            "T (degC)",
+            "S_S (mV/dec)",
+            "I_off (pA/um)",
+            "V_min (mV)",
+            "E@Vmin (fJ)",
+        ],
+    );
+    for celsius in [-25.0, 0.0, 25.0, 50.0, 75.0, 100.0] {
+        let mut dev = DeviceParams::reference_90nm_nfet();
+        dev.temperature = Temperature::from_celsius(celsius);
+        let ch = dev.characterize();
+        let pair = subvt_circuits::CmosPair::balanced(dev);
+        let mep = InverterChain::paper_chain(pair).minimum_energy_point();
+        t.push_row(vec![
+            fmt(celsius, 0),
+            fmt(ch.s_s.get(), 1),
+            fmt(ch.i_off.as_picoamps(), 1),
+            fmt(mep.v_min.as_millivolts(), 0),
+            fmt(mep.energy.as_femtojoules(), 3),
+        ]);
+    }
+    t
+}
+
+/// Extension B — the oxide-scaling ablation: re-run the super-V_th flow
+/// with `T_ox` hypothetically scaling at the full 30 %/generation and
+/// compare `S_S` against the paper's observed 10 %/generation.
+///
+/// This isolates the paper's root cause: if the oxide had kept pace,
+/// performance-driven scaling would NOT wreck the subthreshold swing.
+pub fn ext_oxide_scaling() -> Table {
+    let paper = SuperVthStrategy::default();
+    let ideal = SuperVthStrategy::with_ideal_oxide_scaling();
+    let mut t = Table::new(
+        "Ext B: oxide-scaling ablation under super-Vth scaling (S_S, mV/dec)",
+        &[
+            "Node",
+            "T_ox -10%/gen (paper)",
+            "T_ox -30%/gen (ideal)",
+            "S_S paper-rate",
+            "S_S ideal-rate",
+        ],
+    );
+    for node in TechNode::ALL {
+        let d_paper = paper
+            .design_device(node, DeviceKind::Nfet)
+            .expect("paper-rate design");
+        let d_ideal = ideal
+            .design_device(node, DeviceKind::Nfet)
+            .expect("ideal-rate design");
+        t.push_row(vec![
+            node.name().to_owned(),
+            fmt(d_paper.geometry.t_ox.get(), 2),
+            fmt(d_ideal.geometry.t_ox.get(), 2),
+            fmt(d_paper.characterize().s_s.get(), 1),
+            fmt(d_ideal.characterize().s_s.get(), 1),
+        ]);
+    }
+    t
+}
+
+/// Extension C — SRAM under scaling: 6T hold/read butterfly SNM and
+/// maximum bits per bit-line at 250 mV, both strategies at each node
+/// (the paper's §2.3.2 bit-line argument, quantified).
+pub fn ext_sram(ctx: &StudyContext) -> Table {
+    let v = Volts::new(V_SUBVT);
+    let mut t = Table::new(
+        "Ext C: 6T SRAM at 250 mV under both scaling strategies",
+        &[
+            "Node",
+            "hold SNM super (mV)",
+            "read SNM super (mV)",
+            "bits/line super",
+            "bits/line sub",
+        ],
+    );
+    for (sup, sub) in ctx.supervth.iter().zip(&ctx.subvth) {
+        let cell_sup = SramCell::subthreshold_cell(sup.cmos_pair());
+        let cell_sub = SramCell::subthreshold_cell(sub.cmos_pair());
+        let hold = cell_sup.hold_snm(v, 121).map(|s| s * 1e3).unwrap_or(f64::NAN);
+        let read = cell_sup.read_snm(v, 121).map(|s| s * 1e3).unwrap_or(f64::NAN);
+        t.push_row(vec![
+            sup.node.name().to_owned(),
+            fmt(hold, 1),
+            fmt(read, 1),
+            cell_sup.max_bits_per_bitline(v, 10.0).to_string(),
+            cell_sub.max_bits_per_bitline(v, 10.0).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Extension D — variability: Pelgrom V_th-mismatch Monte Carlo on FO1
+/// delay (σ/µ) and inverter SNM for the 90 nm and 32 nm super-V_th
+/// devices across supplies — quantifying the §1 claim that "timing
+/// variability grows dramatically as V_dd reduces".
+pub fn ext_variability(ctx: &StudyContext) -> Table {
+    let mut t = Table::new(
+        "Ext D: V_th-mismatch Monte Carlo (400 samples, seed 2007)",
+        &[
+            "V_dd (mV)",
+            "delay sigma/mu 90nm (%)",
+            "delay sigma/mu 32nm (%)",
+            "SNM sigma 32nm (mV)",
+            "SNM fail 32nm (%)",
+        ],
+    );
+    let p90 = ctx.supervth[0].cmos_pair();
+    let p32 = ctx.supervth[3].cmos_pair();
+    for mv in [200.0, 250.0, 300.0, 400.0, 1200.0] {
+        let v = Volts::from_millivolts(mv);
+        let d90 = delay_variability(&p90, v, 400, 2007);
+        let d32 = delay_variability(&p32, v, 400, 2007);
+        let s32 = snm_variability(&p32, v, 200, 2007);
+        t.push_row(vec![
+            fmt(mv, 0),
+            fmt(d90.sigma_over_mu * 100.0, 1),
+            fmt(d32.sigma_over_mu * 100.0, 1),
+            fmt(s32.std_dev.as_millivolts(), 1),
+            fmt(s32.failure_fraction * 100.0, 1),
+        ]);
+    }
+    t
+}
+
+/// Extension E — stacked gates: worst-case NAND2/NOR2 noise margins at
+/// 250 mV across the super-V_th nodes, alongside the inverter (Fig. 4's
+/// story extended to real logic).
+pub fn ext_gates(ctx: &StudyContext) -> Table {
+    let v = Volts::new(V_SUBVT);
+    let mut t = Table::new(
+        "Ext E: worst-case gate SNM at 250 mV (super-Vth scaling)",
+        &[
+            "Node",
+            "inverter SNM (mV)",
+            "NAND2 SNM (mV)",
+            "NOR2 SNM (mV)",
+        ],
+    );
+    for d in &ctx.supervth {
+        let pair = d.cmos_pair();
+        let inv = crate::figs_circuit::snm_at(d, v) * 1e3;
+        let nand = Gate2::nand2(pair)
+            .worst_case_snm(v, 121)
+            .map(|s| s * 1e3)
+            .unwrap_or(f64::NAN);
+        let nor = Gate2::nor2(pair)
+            .worst_case_snm(v, 121)
+            .map(|s| s * 1e3)
+            .unwrap_or(f64::NAN);
+        t.push_row(vec![
+            d.node.name().to_owned(),
+            fmt(inv, 1),
+            fmt(nand, 1),
+            fmt(nor, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_trends() {
+        let t = ext_temperature();
+        let ss: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let ioff: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(ss.windows(2).all(|w| w[1] > w[0]), "S_S rises with T: {ss:?}");
+        assert!(
+            ioff.windows(2).all(|w| w[1] > w[0]),
+            "I_off rises with T: {ioff:?}"
+        );
+        // Leakage grows orders of magnitude over 125 °C.
+        assert!(ioff[5] > 50.0 * ioff[0]);
+    }
+
+    #[test]
+    fn oxide_ablation_confirms_papers_root_cause() {
+        let t = ext_oxide_scaling();
+        // At 32 nm the ideal-oxide flow must show materially better S_S
+        // than the paper-rate flow.
+        let paper_32: f64 = t.rows[3][3].parse().unwrap();
+        let ideal_32: f64 = t.rows[3][4].parse().unwrap();
+        assert!(
+            ideal_32 < paper_32 - 3.0,
+            "ideal oxide scaling must rescue S_S: {ideal_32} vs {paper_32}"
+        );
+    }
+
+    #[test]
+    fn sram_bits_per_line_shrink_under_supervth() {
+        let t = ext_sram(StudyContext::cached());
+        let first: f64 = t.rows[0][3].parse().unwrap();
+        let last: f64 = t.rows[3][3].parse().unwrap();
+        assert!(
+            last < first,
+            "bits/line must shrink with super-Vth scaling: {first} -> {last}"
+        );
+        // The sub-Vth strategy holds more bits per line at 32 nm.
+        let sub_last: f64 = t.rows[3][4].parse().unwrap();
+        assert!(sub_last > last, "sub-Vth {sub_last} vs super {last}");
+    }
+
+    #[test]
+    fn variability_explodes_at_low_supply() {
+        let t = ext_variability(StudyContext::cached());
+        let lowest: f64 = t.rows[0][2].parse().unwrap(); // 200 mV, 32 nm
+        let nominal: f64 = t.rows[4][2].parse().unwrap(); // 1.2 V, 32 nm
+        assert!(
+            lowest > 3.0 * nominal,
+            "sigma/mu at 200 mV ({lowest} %) must dwarf nominal ({nominal} %)"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Experiment registry and dispatch for the `repro` binary.
+
+use crate::context::StudyContext;
+use crate::table::Table;
+use crate::{extensions, figs_circuit, figs_compare, figs_device, tables};
+
+/// All experiment identifiers in paper order.
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12",
+];
+
+/// Extension studies beyond the paper's artefacts (run with `repro ext`
+/// or by id).
+pub const EXTENSION_EXPERIMENTS: [&str; 5] =
+    ["ext-temperature", "ext-oxide", "ext-sram", "ext-variability", "ext-gates"];
+
+/// Runs one experiment by id. Returns `None` for an unknown id.
+///
+/// Experiments that need device designs pull them from the process-wide
+/// [`StudyContext::cached`].
+pub fn run(id: &str) -> Option<Table> {
+    let ctx = || StudyContext::cached();
+    Some(match id {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(ctx()),
+        "table3" => tables::table3(ctx()),
+        "fig2" => figs_device::fig2(ctx()),
+        "fig3" => figs_device::fig3(ctx()),
+        "fig4" => figs_circuit::fig4(ctx()),
+        "fig5" => figs_circuit::fig5(ctx()),
+        "fig6" => figs_circuit::fig6(ctx()),
+        "fig7" => figs_device::fig7(),
+        "fig8" => figs_device::fig8(),
+        "fig9" => figs_device::fig9(ctx()),
+        "fig10" => figs_compare::fig10(ctx()),
+        "fig11" => figs_compare::fig11(ctx()),
+        "fig12" => figs_compare::fig12(ctx()),
+        "ext-temperature" => extensions::ext_temperature(),
+        "ext-oxide" => extensions::ext_oxide_scaling(),
+        "ext-sram" => extensions::ext_sram(ctx()),
+        "ext-variability" => extensions::ext_variability(ctx()),
+        "ext-gates" => extensions::ext_gates(ctx()),
+        _ => return None,
+    })
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all() -> Vec<Table> {
+    ALL_EXPERIMENTS
+        .iter()
+        .map(|id| run(id).expect("registered experiment"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_rejects_unknown() {
+        assert!(run("fig99").is_none());
+    }
+
+    #[test]
+    fn cheap_experiments_run() {
+        // table1 needs no designs; smoke-test the dispatch path.
+        let t = run("table1").unwrap();
+        assert_eq!(t.rows.len(), 6);
+    }
+
+    #[test]
+    fn extension_registry_dispatches() {
+        for id in EXTENSION_EXPERIMENTS {
+            // Only check the cheap ones here (context-heavy extensions are
+            // exercised by the extensions module's own tests).
+            if id == "ext-temperature" {
+                assert!(run(id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(ALL_EXPERIMENTS.len(), 14);
+        // 3 tables + 11 figures (Fig. 2 through Fig. 12).
+        assert_eq!(
+            ALL_EXPERIMENTS.iter().filter(|s| s.starts_with("table")).count(),
+            3
+        );
+        assert_eq!(
+            ALL_EXPERIMENTS.iter().filter(|s| s.starts_with("fig")).count(),
+            11
+        );
+    }
+}

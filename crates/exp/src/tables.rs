@@ -1,0 +1,146 @@
+//! Reproductions of the paper's Tables 1–3.
+
+use subvt_core::generalized::{table1 as gen_table1, GeneralizedScaling};
+use subvt_core::metrics::{
+    delay_factor_fixed_ioff, energy_factor, normalize_to_first,
+};
+use subvt_core::strategy::NodeDesign;
+
+use crate::context::StudyContext;
+use crate::table::{fmt, fmt_e, Table};
+
+/// Table 1: generalized scaling factors at the classic cadence
+/// (`α = 1/0.7`) with mild field growth (`ε = 1.1`).
+pub fn table1() -> Table {
+    let rules = GeneralizedScaling::classic(1.1);
+    let mut t = Table::new(
+        "Table 1: Generalized scaling (alpha = 1/0.7, eps = 1.1)",
+        &["Parameter", "Scaling factor", "Value/generation"],
+    );
+    for row in gen_table1(&rules) {
+        t.push_row(vec![row.parameter.to_owned(), row.symbol.to_owned(), fmt(row.value, 3)]);
+    }
+    t
+}
+
+/// One row of the Table 2 / Table 3 device summaries.
+fn device_row(d: &NodeDesign) -> Vec<String> {
+    let c = &d.nfet_chars;
+    vec![
+        d.node.name().to_owned(),
+        fmt(d.nfet.geometry.l_poly.get(), 0),
+        fmt(d.nfet.geometry.t_ox.get(), 2),
+        fmt_e(d.nfet.n_sub.get()),
+        fmt_e(d.nfet.n_sub.get() + d.nfet.n_p_halo.get()),
+        fmt(d.nfet.v_dd.as_volts(), 1),
+        fmt(c.v_th_sat.as_millivolts(), 0),
+        fmt(c.i_off.as_picoamps(), 0),
+        fmt(c.tau.as_picoseconds(), 2),
+    ]
+}
+
+/// Table 2: NFET parameters under the super-V_th scaling strategy.
+///
+/// Paper values for comparison — L_poly 65/46/32/22 nm,
+/// N_sub 1.52/1.97/2.52/3.31e18, N_halo 3.63/5.17/7.83/12.0e18,
+/// V_th,sat 403/420/438/461 mV, I_off 100/125/156/195 pA/µm,
+/// τ 1.3/0.97/0.75/0.62 ps.
+pub fn table2(ctx: &StudyContext) -> Table {
+    let mut t = Table::new(
+        "Table 2: NFET parameters under super-Vth scaling",
+        &[
+            "Node",
+            "L_poly (nm)",
+            "T_ox (nm)",
+            "N_sub (cm^-3)",
+            "N_halo (cm^-3)",
+            "V_dd (V)",
+            "V_th,sat (mV)",
+            "I_off (pA/um)",
+            "C_g*V_dd/I_on (ps)",
+        ],
+    );
+    for d in &ctx.supervth {
+        t.push_row(device_row(d));
+    }
+    t
+}
+
+/// Table 3: NFET parameters under the sub-V_th scaling strategy, with the
+/// normalized energy (`C_L·S_S²`) and delay (`C_L·S_S`) factors.
+///
+/// Paper values — L_poly 95/75/60/45 nm, C_L·S_S² 1/0.80/0.65/0.51,
+/// C_L·S_S 1/0.80/0.65/0.50.
+pub fn table3(ctx: &StudyContext) -> Table {
+    let ef: Vec<f64> = ctx.subvth.iter().map(|d| energy_factor(&d.nfet_chars)).collect();
+    let df: Vec<f64> = ctx
+        .subvth
+        .iter()
+        .map(|d| delay_factor_fixed_ioff(&d.nfet_chars))
+        .collect();
+    let efn = normalize_to_first(&ef);
+    let dfn = normalize_to_first(&df);
+
+    let mut t = Table::new(
+        "Table 3: NFET parameters under sub-Vth scaling",
+        &[
+            "Node",
+            "L_poly (nm)",
+            "T_ox (nm)",
+            "N_sub (cm^-3)",
+            "N_halo (cm^-3)",
+            "S_S (mV/dec)",
+            "C_L*S_S^2 (norm)",
+            "C_L*S_S (norm)",
+        ],
+    );
+    for (i, d) in ctx.subvth.iter().enumerate() {
+        t.push_row(vec![
+            d.node.name().to_owned(),
+            fmt(d.nfet.geometry.l_poly.get(), 0),
+            fmt(d.nfet.geometry.t_ox.get(), 2),
+            fmt_e(d.nfet.n_sub.get()),
+            fmt_e(d.nfet.n_sub.get() + d.nfet.n_p_halo.get()),
+            fmt(d.nfet_chars.s_s.get(), 1),
+            fmt(efn[i], 2),
+            fmt(dfn[i], 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.headers.len(), 3);
+    }
+
+    #[test]
+    fn table2_tracks_leakage_budget_column() {
+        let t = table2(StudyContext::cached());
+        assert_eq!(t.rows.len(), 4);
+        let ioff: Vec<f64> = t.rows.iter().map(|r| r[7].parse().unwrap()).collect();
+        let want = [100.0, 125.0, 156.0, 195.0];
+        for (got, want) in ioff.iter().zip(want) {
+            assert!((got - want).abs() < 3.0, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn table3_factors_normalized_and_falling() {
+        let t = table3(StudyContext::cached());
+        let ef: Vec<f64> = t.rows.iter().map(|r| r[6].parse().unwrap()).collect();
+        assert!((ef[0] - 1.0).abs() < 1e-9);
+        for w in ef.windows(2) {
+            assert!(w[1] < w[0] + 1e-9, "energy factor must fall: {ef:?}");
+        }
+        // Shape target: a substantial cumulative reduction by 32 nm
+        // (paper reaches 0.51; our substrate lands in 0.6-0.85).
+        assert!(ef[3] < 0.85, "32 nm energy factor = {}", ef[3]);
+    }
+}

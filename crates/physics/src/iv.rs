@@ -1,0 +1,248 @@
+//! All-region compact I–V model for circuit simulation.
+//!
+//! EKV-style interpolation `I = I_spec·[F(u_f) − F(u_r)]` with
+//! `F(v) = ln²(1+e^{v/2})`, anchored so the weak-inversion limit is
+//! *exactly* the paper's Eq. 1 (the anchor shift `δ` absorbs the
+//! prefactor mismatch between the EKV specific current and Eq. 1's
+//! `μ·C_d·v_T²` form). Strong inversion adds vertical-field mobility
+//! degradation and a velocity-saturation factor.
+//!
+//! The model is source-referenced and polarity-free: callers pass
+//! *magnitude-frame* `v_gs`/`v_ds` (the circuit layer maps PFET node
+//! voltages into this frame). Currents are per micron of width.
+
+use subvt_units::{AmpsPerMicron, Nanometers, Volts};
+
+use crate::device::{DeviceCharacteristics, DeviceKind, DeviceParams};
+use crate::math::ekv_f;
+use crate::mobility::{effective_mobility, saturation_velocity};
+
+/// All-region MOSFET I–V model, width-normalized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosModel {
+    /// Polarity this model was built for (affects mobility and v_sat).
+    pub kind: DeviceKind,
+    /// Linear-region threshold voltage (`V_ds = 50 mV` reference).
+    pub v_th_lin: Volts,
+    /// DIBL coefficient, V/V.
+    pub dibl: f64,
+    /// Subthreshold slope factor.
+    pub m: f64,
+    /// Eq. 1 prefactor `I₀` (weak-inversion anchor).
+    pub i0: AmpsPerMicron,
+    /// Low-field mobility, cm²/Vs.
+    pub mu0: f64,
+    /// Oxide capacitance, F/cm².
+    pub c_ox_f_per_cm2: f64,
+    /// Effective channel length.
+    pub l_eff: Nanometers,
+    /// Oxide thickness (for the mobility-degradation coefficient).
+    pub t_ox: Nanometers,
+    /// Thermal voltage, V.
+    pub v_t: f64,
+    /// Reference `V_ds` at which `v_th_lin` is defined.
+    pub v_ds_ref: Volts,
+}
+
+impl MosModel {
+    /// Builds the model from a parameter set and its characterization.
+    pub fn from_device(params: &DeviceParams, chars: &DeviceCharacteristics) -> Self {
+        Self {
+            kind: params.kind,
+            v_th_lin: chars.v_th_lin,
+            dibl: chars.dibl,
+            m: chars.m,
+            i0: chars.i0,
+            mu0: chars.mu0,
+            c_ox_f_per_cm2: chars.c_ox.get(),
+            l_eff: chars.l_eff,
+            t_ox: params.geometry.t_ox,
+            v_t: params.temperature.thermal_voltage().as_volts(),
+            v_ds_ref: Volts::new(0.05),
+        }
+    }
+
+    /// Bias-dependent threshold including DIBL:
+    /// `V_th(V_ds) = V_th,lin − DIBL·(V_ds − V_ds,ref)`.
+    pub fn v_th(&self, v_ds: Volts) -> Volts {
+        Volts::new(
+            self.v_th_lin.as_volts()
+                - self.dibl * (v_ds.as_volts() - self.v_ds_ref.as_volts()).max(0.0),
+        )
+    }
+
+    /// EKV specific current `I_spec = 2·m·μ·C_ox·v_T²·(W/L_eff)` per µm
+    /// of width, at low-field mobility.
+    pub fn i_spec(&self) -> f64 {
+        let w_over_l = 1.0e-4 / self.l_eff.as_cm();
+        2.0 * self.m * self.mu0 * self.c_ox_f_per_cm2 * self.v_t * self.v_t * w_over_l
+    }
+
+    /// The weak-inversion anchor shift `δ = m·v_T·ln(I_spec/I₀)`, which
+    /// makes the EKV weak-inversion limit coincide with Eq. 1.
+    pub fn anchor_shift(&self) -> f64 {
+        self.m * self.v_t * (self.i_spec() / self.i0.get()).ln()
+    }
+
+    /// Drain current at magnitude-frame biases (`v_gs`, `v_ds ≥ 0`).
+    ///
+    /// Smooth and monotone in both arguments; negative `v_ds` is handled
+    /// by channel symmetry (returns negative current).
+    pub fn drain_current(&self, v_gs: Volts, v_ds: Volts) -> AmpsPerMicron {
+        if v_ds.as_volts() < 0.0 {
+            // Source/drain symmetry: swap terminals.
+            let swapped = self.drain_current(
+                Volts::new(v_gs.as_volts() - v_ds.as_volts()),
+                Volts::new(-v_ds.as_volts()),
+            );
+            return AmpsPerMicron::new(-swapped.get());
+        }
+        let v_th = self.v_th(v_ds).as_volts();
+        let delta = self.anchor_shift();
+        let mvt = self.m * self.v_t;
+        let u_f = (v_gs.as_volts() - v_th - delta) / mvt;
+        let u_r = u_f - v_ds.as_volts() / self.v_t;
+        let overdrive = (v_gs.as_volts() - v_th).max(0.0);
+        let mu_eff = effective_mobility(self.mu0, Volts::new(overdrive), self.t_ox);
+        let i_spec_eff = self.i_spec() * mu_eff / self.mu0;
+        let i_dd = i_spec_eff * (ekv_f(u_f) - ekv_f(u_r));
+
+        // Velocity saturation: critical field E_c = 2·v_sat/μ_eff. The
+        // degradation freezes at V_dsat = V_ov/(1 + V_ov/E_c·L) — below
+        // the triode-peak voltage — which keeps I(V_ds) monotone while
+        // leaving subthreshold operation (V_ov ≤ 0) untouched.
+        let v_sat = saturation_velocity(self.kind);
+        let e_c_l = 2.0 * v_sat / mu_eff * self.l_eff.as_cm();
+        let v_dsat = overdrive / (1.0 + overdrive / e_c_l);
+        let v_ds_eff = v_ds.as_volts().min(v_dsat);
+        let f_sat = 1.0 / (1.0 + (v_ds_eff / e_c_l).max(0.0));
+        AmpsPerMicron::new(i_dd * f_sat)
+    }
+
+    /// Transconductance `∂I_d/∂V_gs` by central difference, A/(µm·V).
+    pub fn gm(&self, v_gs: Volts, v_ds: Volts) -> f64 {
+        let h = 1.0e-5;
+        let hi = self.drain_current(Volts::new(v_gs.as_volts() + h), v_ds);
+        let lo = self.drain_current(Volts::new(v_gs.as_volts() - h), v_ds);
+        (hi.get() - lo.get()) / (2.0 * h)
+    }
+
+    /// Output conductance `∂I_d/∂V_ds` by central difference, A/(µm·V).
+    pub fn gds(&self, v_gs: Volts, v_ds: Volts) -> f64 {
+        let h = 1.0e-5;
+        let hi = self.drain_current(v_gs, Volts::new(v_ds.as_volts() + h));
+        let lo = self.drain_current(v_gs, Volts::new(v_ds.as_volts() - h));
+        (hi.get() - lo.get()) / (2.0 * h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subthreshold::subthreshold_current;
+    use proptest::prelude::*;
+    use subvt_units::Temperature;
+
+    fn model() -> MosModel {
+        let p = DeviceParams::reference_90nm_nfet();
+        MosModel::from_device(&p, &p.characterize())
+    }
+
+    #[test]
+    fn weak_inversion_matches_eq1() {
+        // Deep in subthreshold the EKV interpolation must reproduce the
+        // paper's Eq. 1 within a fraction of a percent.
+        let m = model();
+        let t = Temperature::room();
+        let p = DeviceParams::reference_90nm_nfet();
+        let ch = p.characterize();
+        for (vgs, vds) in [(0.0, 0.25), (0.1, 0.25), (0.2, 0.1), (0.15, 0.05)] {
+            let v_th = m.v_th(Volts::new(vds));
+            let eq1 = subthreshold_current(
+                ch.i0, Volts::new(vgs), Volts::new(vds), v_th, ch.m, t);
+            let ekv = m.drain_current(Volts::new(vgs), Volts::new(vds));
+            assert!(
+                (ekv.get() / eq1.get() - 1.0).abs() < 0.02,
+                "vgs={vgs} vds={vds}: ekv {:.3e} vs eq1 {:.3e}",
+                ekv.get(),
+                eq1.get()
+            );
+        }
+    }
+
+    #[test]
+    fn strong_inversion_current_is_hundreds_of_microamps() {
+        let m = model();
+        let ion = m.drain_current(Volts::new(1.2), Volts::new(1.2));
+        assert!(
+            ion.as_microamps() > 100.0 && ion.as_microamps() < 1500.0,
+            "got {} µA/µm",
+            ion.as_microamps()
+        );
+    }
+
+    #[test]
+    fn current_is_antisymmetric_in_vds() {
+        let m = model();
+        // Swapping source and drain with the gate bias adjusted must
+        // mirror the current (channel symmetry in weak inversion, where
+        // the model is exactly symmetric).
+        let i_fwd = m.drain_current(Volts::new(0.2), Volts::new(0.15));
+        let i_rev = m.drain_current(Volts::new(0.05), Volts::new(-0.15));
+        assert!(i_rev.get() < 0.0);
+        assert!((i_fwd.get() + i_rev.get()).abs() < 0.05 * i_fwd.get().abs());
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let m = model();
+        let i = m.drain_current(Volts::new(0.5), Volts::new(0.0));
+        assert!(i.get().abs() < 1e-15);
+    }
+
+    #[test]
+    fn gm_positive_and_peaks_above_threshold() {
+        let m = model();
+        let sub = m.gm(Volts::new(0.2), Volts::new(1.0));
+        let strong = m.gm(Volts::new(1.0), Volts::new(1.0));
+        assert!(sub > 0.0 && strong > sub);
+    }
+
+    #[test]
+    fn saturation_flattens_output_curve() {
+        let m = model();
+        let g_lin = m.gds(Volts::new(1.2), Volts::new(0.05));
+        let g_sat = m.gds(Volts::new(1.2), Volts::new(1.0));
+        assert!(g_sat < 0.3 * g_lin);
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_in_vgs(vgs in 0.0f64..1.2, dv in 1e-3f64..0.2) {
+            let m = model();
+            let vds = Volts::new(0.6);
+            let a = m.drain_current(Volts::new(vgs), vds);
+            let b = m.drain_current(Volts::new(vgs + dv), vds);
+            prop_assert!(b.get() > a.get());
+        }
+
+        #[test]
+        fn monotone_in_vds(vds in 0.0f64..1.2, dv in 1e-3f64..0.2) {
+            let m = model();
+            let vgs = Volts::new(0.8);
+            let a = m.drain_current(vgs, Volts::new(vds));
+            let b = m.drain_current(vgs, Volts::new(vds + dv));
+            prop_assert!(b.get() >= a.get() * (1.0 - 1e-9));
+        }
+
+        #[test]
+        fn current_finite_over_operating_box(
+            vgs in -0.3f64..1.4,
+            vds in -1.4f64..1.4,
+        ) {
+            let m = model();
+            let i = m.drain_current(Volts::new(vgs), Volts::new(vds));
+            prop_assert!(i.get().is_finite());
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Small numerical toolbox: special functions, root finding, minimization
+//! and grid helpers shared across the workspace.
+//!
+//! Nothing here is device-specific; it exists because the workspace takes
+//! no numerical dependencies (there is no established Rust TCAD/SPICE
+//! ecosystem to lean on).
+
+/// Error function `erf(x)`, via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (|error| ≤ 1.5e-7), extended to negative arguments by
+/// odd symmetry.
+///
+/// # Examples
+///
+/// ```
+/// use subvt_physics::math::erf;
+/// assert!((erf(0.0)).abs() < 1e-6);
+/// assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+/// assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Numerically safe `ln(1 + e^x)` (softplus), avoiding overflow for large
+/// `x` and underflow for very negative `x`.
+pub fn softplus(x: f64) -> f64 {
+    if x > 35.0 {
+        x
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// The EKV interpolation function `F(v) = ln²(1 + e^{v/2})`, which tends to
+/// `e^v` in weak inversion (`v ≪ 0`) and `(v/2)²` in strong inversion.
+pub fn ekv_f(v: f64) -> f64 {
+    let s = softplus(v / 2.0);
+    s * s
+}
+
+/// Result of a bracketing root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Residual `f(x)` at the returned abscissa.
+    pub residual: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Error raised when a bracketing solver is given a bad bracket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BracketError;
+
+impl core::fmt::Display for BracketError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "function does not change sign over the given bracket")
+    }
+}
+
+impl std::error::Error for BracketError {}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Robust (always converges for a valid bracket) and accurate to `tol` in
+/// `x`. Used where the target function is cheap, monotone, and possibly
+/// non-smooth (e.g. table-driven interpolants).
+///
+/// # Errors
+///
+/// Returns [`BracketError`] if `f(a)` and `f(b)` have the same sign.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, BracketError> {
+    let (mut lo, mut hi) = (a.min(b), a.max(b));
+    let (mut flo, fhi) = (f(lo), f(hi));
+    if flo == 0.0 {
+        return Ok(Root { x: lo, residual: 0.0, iterations: 0 });
+    }
+    if fhi == 0.0 {
+        return Ok(Root { x: hi, residual: 0.0, iterations: 0 });
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(BracketError);
+    }
+    let mut iterations = 0;
+    while hi - lo > tol && iterations < max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        iterations += 1;
+        if fmid == 0.0 {
+            return Ok(Root { x: mid, residual: 0.0, iterations });
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    Ok(Root { x, residual: f(x), iterations })
+}
+
+/// Finds a root of `f` in `[a, b]` by Brent's method (inverse quadratic
+/// interpolation with bisection fallback). Converges superlinearly on
+/// smooth functions; used for threshold-voltage and bias solves.
+///
+/// # Errors
+///
+/// Returns [`BracketError`] if `f(a)` and `f(b)` have the same sign.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, BracketError> {
+    let (mut a, mut b) = (a, b);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(Root { x: a, residual: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, residual: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(BracketError);
+    }
+    if fa.abs() < fb.abs() {
+        core::mem::swap(&mut a, &mut b);
+        core::mem::swap(&mut fa, &mut fb);
+    }
+    let (mut c, mut fc) = (a, fa);
+    let mut d = b - a;
+    let mut mflag = true;
+    let mut iterations = 0;
+
+    while iterations < max_iter && fb != 0.0 && (b - a).abs() > tol {
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo..=b).contains(&s) || (b..=lo).contains(&s))
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            || (mflag && (b - c).abs() < tol)
+            || (!mflag && (c - d).abs() < tol);
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        iterations += 1;
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            core::mem::swap(&mut a, &mut b);
+            core::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Ok(Root { x: b, residual: fb, iterations })
+}
+
+/// Result of a 1-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Abscissa of the minimum.
+    pub x: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// Used by the sub-V_th flow to locate the energy-optimal `L_poly`
+/// (paper Fig. 8). Tolerant of flat minima: returns the midpoint of the
+/// final bracket.
+pub fn golden_section<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Minimum {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (a.min(b), a.max(b));
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    let mut iterations = 0;
+    while (b - a).abs() > tol && iterations < max_iter {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+        iterations += 1;
+    }
+    let x = 0.5 * (a + b);
+    Minimum { x, value: f(x), iterations }
+}
+
+/// `n` evenly spaced samples covering `[start, stop]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (stop - start) / (n - 1) as f64;
+    (0..n).map(|i| start + step * i as f64).collect()
+}
+
+/// `n` logarithmically spaced samples covering `[start, stop]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either bound is non-positive.
+pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > 0.0, "logspace needs positive bounds");
+    linspace(start.ln(), stop.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// Trapezoidal integration of samples `y` over abscissae `x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn trapz(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "trapz needs matching slices");
+    assert!(x.len() >= 2, "trapz needs at least two samples");
+    x.windows(2)
+        .zip(y.windows(2))
+        .map(|(xs, ys)| 0.5 * (ys[0] + ys[1]) * (xs[1] - xs[0]))
+        .sum()
+}
+
+/// Linear interpolation of `(xs, ys)` at `x`, clamping outside the range.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or `xs` is not sorted
+/// ascending (debug builds only for the sortedness check).
+pub fn interp1(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "interp1 needs matching slices");
+    assert!(!xs.is_empty(), "interp1 needs at least one sample");
+    debug_assert!(xs.windows(2).all(|w| w[0] <= w[1]), "xs must be sorted");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let idx = xs.partition_point(|&v| v < x);
+    let (x0, x1) = (xs[idx - 1], xs[idx]);
+    let (y0, y1) = (ys[idx - 1], ys[idx]);
+    if x1 == x0 {
+        y0
+    } else {
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun table values.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (3.0, 0.9999779),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-6, "erf({x})");
+            assert!((erf(-x) + want).abs() < 2e-6, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(100.0) - 100.0).abs() < 1e-9);
+        assert!(softplus(-100.0) < 1e-40);
+        assert!((softplus(0.0) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ekv_f_asymptotes() {
+        // Weak inversion: F(v) → e^v.
+        let v = -12.0;
+        assert!((ekv_f(v) / v.exp() - 1.0).abs() < 5e-3);
+        // Strong inversion: F(v) → (v/2)².
+        let v = 40.0;
+        assert!((ekv_f(v) / (v / 2.0_f64).powi(2) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((root.x - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_cos_root() {
+        let root = brent(|x| x.cos(), 1.0, 2.0, 1e-14, 100).unwrap();
+        assert!((root.x - core::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert_eq!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100), Err(BracketError));
+    }
+
+    #[test]
+    fn golden_section_quadratic() {
+        let min = golden_section(|x| (x - 1.3).powi(2) + 0.5, -4.0, 6.0, 1e-10, 300);
+        assert!((min.x - 1.3).abs() < 1e-7);
+        assert!((min.value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let xs = linspace(0.0, 1.0, 5);
+        assert_eq!(xs, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let xs = logspace(1.0, 100.0, 3);
+        assert!((xs[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trapz_linear_exact() {
+        let x = linspace(0.0, 2.0, 9);
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v).collect();
+        assert!((trapz(&x, &y) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interp1_clamps_and_interpolates() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 40.0];
+        assert_eq!(interp1(&xs, &ys, -1.0), 0.0);
+        assert_eq!(interp1(&xs, &ys, 3.0), 40.0);
+        assert!((interp1(&xs, &ys, 0.5) - 5.0).abs() < 1e-12);
+        assert!((interp1(&xs, &ys, 1.5) - 25.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+            prop_assert!(erf(x).abs() <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn erf_is_monotone(a in -4.0f64..4.0, d in 1e-3f64..1.0) {
+            prop_assert!(erf(a + d) >= erf(a));
+        }
+
+        #[test]
+        fn brent_matches_bisect(c in -0.9f64..0.9) {
+            let f = |x: f64| x * x * x - c;
+            let rb = brent(f, -2.0, 2.0, 1e-13, 200).unwrap();
+            let ri = bisect(f, -2.0, 2.0, 1e-13, 200).unwrap();
+            prop_assert!((rb.x - ri.x).abs() < 1e-9);
+        }
+
+        #[test]
+        fn golden_section_brackets_parabola(center in -5.0f64..5.0) {
+            let min = golden_section(|x| (x - center).powi(2), -10.0, 10.0, 1e-9, 400);
+            prop_assert!((min.x - center).abs() < 1e-6);
+        }
+
+        #[test]
+        fn interp1_within_hull(x in 0.0f64..2.0) {
+            let xs = [0.0, 1.0, 2.0];
+            let ys = [1.0, -1.0, 5.0];
+            let v = interp1(&xs, &ys, x);
+            prop_assert!((-1.0..=5.0).contains(&v));
+        }
+    }
+}

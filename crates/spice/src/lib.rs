@@ -1,0 +1,45 @@
+//! A small MNA circuit simulator for subthreshold CMOS studies.
+//!
+//! `subvt-spice` provides the circuit-simulation substrate of the `subvt`
+//! workspace: netlist construction, DC operating points and sweeps
+//! (Newton–Raphson with source stepping), fixed-step transient analysis
+//! (backward Euler / trapezoidal), and waveform measurements. MOSFETs use
+//! the compact all-region model from [`subvt_physics`].
+//!
+//! # Example: inverter VTC point
+//!
+//! ```
+//! use subvt_physics::{DeviceKind, DeviceParams};
+//! use subvt_spice::netlist::{Netlist, Waveform};
+//! use subvt_spice::mna::dc_operating_point;
+//!
+//! let nfet = DeviceParams::reference_90nm_nfet();
+//! let pfet = DeviceParams { kind: DeviceKind::Pfet, ..nfet };
+//!
+//! let mut net = Netlist::new();
+//! let vdd = net.node("vdd");
+//! let vin = net.node("in");
+//! let out = net.node("out");
+//! net.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(0.25));
+//! net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0));
+//! net.mosfet("MP", pfet.mos_model(), 2.0, out, vin, vdd);
+//! net.mosfet("MN", nfet.mos_model(), 1.0, out, vin, Netlist::GROUND);
+//!
+//! let sol = dc_operating_point(&net)?;
+//! assert!(sol.node_voltages[out] > 0.2); // input low -> output high
+//! # Ok::<(), subvt_spice::mna::SpiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+pub mod measure;
+pub mod mna;
+pub mod netlist;
+pub mod parser;
+pub mod transient;
+
+pub use mna::{dc_operating_point, dc_sweep, DcSolution, SpiceError};
+pub use netlist::{Netlist, Waveform};
+pub use transient::{transient, Integrator, TransientResult, TransientSpec};

@@ -1,0 +1,241 @@
+//! Dense linear algebra for the MNA solver.
+//!
+//! Circuit matrices in this workspace are small (tens of unknowns), so a
+//! dense LU with partial pivoting is both the simplest and the fastest
+//! appropriate choice. The sparse machinery for large PDE systems lives in
+//! `subvt-tcad`, not here.
+
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the textbook algorithms
+
+/// A dense, row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is 0×0 (paired with [`DenseMatrix::len`] per
+    /// the usual container contract).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Reads entry `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+
+    /// Writes entry `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds into entry `(row, col)` — the natural MNA "stamp" operation.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+/// Error from a singular (or numerically singular) system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Elimination column at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl core::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "matrix is singular at elimination column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// Solves `A·x = b` in place by LU decomposition with partial pivoting.
+/// `a` and `b` are consumed (overwritten with factorization scratch).
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when a pivot below `1e-300` is
+/// encountered.
+///
+/// # Panics
+///
+/// Panics if `b.len()` differs from the matrix dimension.
+pub fn solve_in_place(
+    a: &mut DenseMatrix,
+    b: &mut [f64],
+) -> Result<Vec<f64>, SingularMatrixError> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut best = col;
+        let mut best_val = a.get(perm[col], col).abs();
+        for (r, &p) in perm.iter().enumerate().skip(col + 1) {
+            let v = a.get(p, col).abs();
+            if v > best_val {
+                best = r;
+                best_val = v;
+            }
+        }
+        if best_val < 1e-300 {
+            return Err(SingularMatrixError { column: col });
+        }
+        perm.swap(col, best);
+        let prow = perm[col];
+        let pivot = a.get(prow, col);
+        for &row in perm.iter().skip(col + 1) {
+            let factor = a.get(row, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            a.set(row, col, 0.0);
+            for k in (col + 1)..n {
+                let v = a.get(row, k) - factor * a.get(prow, k);
+                a.set(row, k, v);
+            }
+            b[row] -= factor * b[prow];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let row = perm[col];
+        let mut sum = b[row];
+        for k in (col + 1)..n {
+            sum -= a.get(row, k) * x[k];
+        }
+        x[col] = sum / a.get(row, col);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn from_rows(rows: &[&[f64]]) -> DenseMatrix {
+        let n = rows.len();
+        let mut m = DenseMatrix::zeros(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n);
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut a = from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mut b = vec![3.0, -4.0];
+        let x = solve_in_place(&mut a, &mut b).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_2x2_requiring_pivot() {
+        // First pivot is zero; partial pivoting must handle it.
+        let mut a = from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+        let mut b = vec![4.0, 3.0];
+        let x = solve_in_place(&mut a, &mut b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3_hand_case() {
+        let mut a = from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ]);
+        let mut b = vec![8.0, -11.0, -3.0];
+        let x = solve_in_place(&mut a, &mut b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let mut a = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_in_place(&mut a, &mut b).is_err());
+    }
+
+    #[test]
+    fn len_and_is_empty_agree() {
+        assert!(DenseMatrix::zeros(0).is_empty());
+        let m = DenseMatrix::zeros(3);
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 3.5);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn residual_small_for_diagonally_dominant(
+            seed in proptest::collection::vec(-1.0f64..1.0, 25),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 5),
+        ) {
+            let n = 5;
+            let mut a = DenseMatrix::zeros(n);
+            for i in 0..n {
+                let mut diag = 1.0;
+                for j in 0..n {
+                    if i != j {
+                        let v = seed[i * n + j];
+                        a.set(i, j, v);
+                        diag += v.abs();
+                    }
+                }
+                a.set(i, i, diag);
+            }
+            let a_copy = a.clone();
+            let mut b = rhs.clone();
+            let x = solve_in_place(&mut a, &mut b).unwrap();
+            for i in 0..n {
+                let mut ax = 0.0;
+                for j in 0..n {
+                    ax += a_copy.get(i, j) * x[j];
+                }
+                prop_assert!((ax - rhs[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Modified nodal analysis: residual assembly, Newton–Raphson DC solve
+//! with source stepping, and DC sweeps.
+//!
+//! Unknown vector layout: `x = [v_1 … v_{N−1}, i_1 … i_M]` — node voltages
+//! (ground excluded) followed by one branch current per voltage source.
+//! Branch current sign convention: positive current flows from the `pos`
+//! terminal *through the source* to `neg` (passive convention), so a
+//! supply delivering power has a negative branch current.
+
+use subvt_physics::MosModel;
+use subvt_units::Volts;
+
+use crate::linalg::{solve_in_place, DenseMatrix};
+use crate::netlist::{Element, MosInstance, Netlist};
+
+/// Minimum conductance from every node to ground, for convergence aid.
+const GMIN: f64 = 1.0e-12;
+/// Maximum Newton voltage update per iteration (damping).
+const MAX_DV: f64 = 0.3;
+/// Newton voltage-update convergence tolerance.
+const VTOL: f64 = 1.0e-10;
+/// Newton residual (KCL) convergence tolerance, amps.
+const ITOL: f64 = 1.0e-13;
+/// Maximum Newton iterations per solve.
+const MAX_NEWTON: usize = 200;
+
+/// Errors from circuit analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The MNA Jacobian was singular — usually a floating node or a
+    /// voltage-source loop.
+    SingularMatrix {
+        /// Elimination column where the failure occurred.
+        column: usize,
+    },
+    /// Newton failed to converge even with source stepping.
+    NoConvergence {
+        /// Iterations consumed.
+        iterations: usize,
+        /// Final residual infinity-norm (amps).
+        residual: f64,
+    },
+    /// A named source was not found in the netlist.
+    UnknownSource(String),
+}
+
+impl core::fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { column } => {
+                write!(f, "singular MNA matrix at column {column} (floating node?)")
+            }
+            SpiceError::NoConvergence { iterations, residual } => {
+                write!(f, "newton failed after {iterations} iterations (residual {residual:e} A)")
+            }
+            SpiceError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+/// How capacitors are treated during assembly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CapMode<'a> {
+    /// DC: capacitors are open circuits.
+    Open,
+    /// Companion model: conductance `factor·C` with a history current.
+    /// `v_prev` holds the previous-step node voltages and `i_prev` the
+    /// previous-step capacitor currents (trapezoidal only; zeros for BE).
+    Companion {
+        /// Conductance multiplier (`1/h` for BE, `2/h` for trapezoidal).
+        factor: f64,
+        /// Node voltages at the previous accepted time point.
+        v_prev: &'a [f64],
+        /// Capacitor branch currents at the previous time point.
+        i_prev: &'a [f64],
+    },
+}
+
+/// A converged operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// Node voltages, indexed by [`crate::netlist::NodeId`] (entry 0 is
+    /// ground and always 0).
+    pub node_voltages: Vec<f64>,
+    /// Branch currents of voltage sources, in netlist order.
+    pub branch_currents: Vec<f64>,
+    /// Newton iterations consumed.
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage at a node.
+    pub fn voltage(&self, node: usize) -> Volts {
+        Volts::new(self.node_voltages[node])
+    }
+}
+
+/// Internal solver state shared by DC and transient analyses.
+pub(crate) struct Solver<'a> {
+    net: &'a Netlist,
+    n_nodes: usize,
+    vsrc_rows: Vec<usize>,
+    /// Scale factor applied to all independent sources (source stepping).
+    pub(crate) source_scale: f64,
+    /// Evaluation time for waveforms.
+    pub(crate) time: f64,
+    jac: DenseMatrix,
+}
+
+impl<'a> Solver<'a> {
+    pub(crate) fn new(net: &'a Netlist) -> Self {
+        let n_nodes = net.node_count();
+        let vsrc_rows = net.vsource_indices();
+        let dim = n_nodes - 1 + vsrc_rows.len();
+        Self {
+            net,
+            n_nodes,
+            vsrc_rows,
+            source_scale: 1.0,
+            time: 0.0,
+            jac: DenseMatrix::zeros(dim),
+        }
+    }
+
+    pub(crate) fn dim(&self) -> usize {
+        self.n_nodes - 1 + self.vsrc_rows.len()
+    }
+
+    /// Number of capacitors (for transient history state).
+    pub(crate) fn cap_count(&self) -> usize {
+        self.net
+            .elements()
+            .iter()
+            .filter(|e| matches!(e.element, Element::Capacitor { .. }))
+            .count()
+    }
+
+    #[inline]
+    fn vix(node: usize) -> Option<usize> {
+        (node > 0).then(|| node - 1)
+    }
+
+    /// Node voltage from the unknown vector (ground = 0).
+    #[inline]
+    fn v(x: &[f64], node: usize) -> f64 {
+        if node == 0 {
+            0.0
+        } else {
+            x[node - 1]
+        }
+    }
+
+    /// MOSFET drain current (into the drain terminal) in the device's
+    /// magnitude frame, amps.
+    fn mos_current(inst: &MosInstance, vd: f64, vg: f64, vs: f64) -> f64 {
+        let model: &MosModel = &inst.model;
+        let (vgs, vds, sign) = match model.kind {
+            subvt_physics::DeviceKind::Nfet => (vg - vs, vd - vs, 1.0),
+            subvt_physics::DeviceKind::Pfet => (vs - vg, vs - vd, -1.0),
+        };
+        sign * inst.width_um
+            * model.drain_current(Volts::new(vgs), Volts::new(vds)).get()
+    }
+
+    /// Assembles the Newton residual `f` and Jacobian at state `x`.
+    /// Returns the residual; the Jacobian is left in `self.jac`.
+    pub(crate) fn assemble(&mut self, x: &[f64], caps: CapMode<'_>) -> Vec<f64> {
+        let dim = self.dim();
+        let mut f = vec![0.0; dim];
+        self.jac.clear();
+        let jac = &mut self.jac;
+
+        // g_min to ground on every node.
+        for n in 1..self.n_nodes {
+            let i = n - 1;
+            f[i] += GMIN * x[i];
+            jac.add(i, i, GMIN);
+        }
+
+        let mut branch = 0usize;
+        let mut cap_idx = 0usize;
+        for named in self.net.elements() {
+            match &named.element {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    let i = g * (Self::v(x, *a) - Self::v(x, *b));
+                    if let Some(ia) = Self::vix(*a) {
+                        f[ia] += i;
+                        jac.add(ia, ia, g);
+                        if let Some(ib) = Self::vix(*b) {
+                            jac.add(ia, ib, -g);
+                        }
+                    }
+                    if let Some(ib) = Self::vix(*b) {
+                        f[ib] -= i;
+                        jac.add(ib, ib, g);
+                        if let Some(ia) = Self::vix(*a) {
+                            jac.add(ib, ia, -g);
+                        }
+                    }
+                }
+                Element::Capacitor { a, b, farads } => {
+                    if let CapMode::Companion { factor, v_prev, i_prev } = caps {
+                        let g = factor * farads;
+                        let v_now = Self::v(x, *a) - Self::v(x, *b);
+                        let vp = {
+                            let va = if *a == 0 { 0.0 } else { v_prev[*a - 1] };
+                            let vb = if *b == 0 { 0.0 } else { v_prev[*b - 1] };
+                            va - vb
+                        };
+                        // BE: i = (C/h)(v − v_prev); trapezoidal adds the
+                        // previous current: i = (2C/h)(v − v_prev) − i_prev.
+                        let i = g * (v_now - vp) - i_prev[cap_idx];
+                        if let Some(ia) = Self::vix(*a) {
+                            f[ia] += i;
+                            jac.add(ia, ia, g);
+                            if let Some(ib) = Self::vix(*b) {
+                                jac.add(ia, ib, -g);
+                            }
+                        }
+                        if let Some(ib) = Self::vix(*b) {
+                            f[ib] -= i;
+                            jac.add(ib, ib, g);
+                            if let Some(ia) = Self::vix(*a) {
+                                jac.add(ib, ia, -g);
+                            }
+                        }
+                    }
+                    cap_idx += 1;
+                }
+                Element::VSource { pos, neg, waveform } => {
+                    let row = self.n_nodes - 1 + branch;
+                    let value = self.source_scale * waveform.value_at(self.time);
+                    let i_br = x[row];
+                    if let Some(ip) = Self::vix(*pos) {
+                        f[ip] += i_br;
+                        jac.add(ip, row, 1.0);
+                    }
+                    if let Some(in_) = Self::vix(*neg) {
+                        f[in_] -= i_br;
+                        jac.add(in_, row, -1.0);
+                    }
+                    f[row] = Self::v(x, *pos) - Self::v(x, *neg) - value;
+                    if let Some(ip) = Self::vix(*pos) {
+                        jac.add(row, ip, 1.0);
+                    }
+                    if let Some(in_) = Self::vix(*neg) {
+                        jac.add(row, in_, -1.0);
+                    }
+                    branch += 1;
+                }
+                Element::ISource { pos, neg, waveform } => {
+                    let value = self.source_scale * waveform.value_at(self.time);
+                    // Current flows pos → neg through the source.
+                    if let Some(ip) = Self::vix(*pos) {
+                        f[ip] += value;
+                    }
+                    if let Some(in_) = Self::vix(*neg) {
+                        f[in_] -= value;
+                    }
+                }
+                Element::Mosfet(inst) => {
+                    let (vd, vg, vs) = (
+                        Self::v(x, inst.drain),
+                        Self::v(x, inst.gate),
+                        Self::v(x, inst.source),
+                    );
+                    let id = Self::mos_current(inst, vd, vg, vs);
+                    const H: f64 = 1.0e-6;
+                    let g_d = (Self::mos_current(inst, vd + H, vg, vs) - id) / H;
+                    let g_g = (Self::mos_current(inst, vd, vg + H, vs) - id) / H;
+                    let g_s = (Self::mos_current(inst, vd, vg, vs + H) - id) / H;
+                    // Current into drain leaves the drain node; the same
+                    // current enters the source node.
+                    if let Some(idr) = Self::vix(inst.drain) {
+                        f[idr] += id;
+                        if let Some(j) = Self::vix(inst.drain) {
+                            jac.add(idr, j, g_d);
+                        }
+                        if let Some(j) = Self::vix(inst.gate) {
+                            jac.add(idr, j, g_g);
+                        }
+                        if let Some(j) = Self::vix(inst.source) {
+                            jac.add(idr, j, g_s);
+                        }
+                    }
+                    if let Some(isr) = Self::vix(inst.source) {
+                        f[isr] -= id;
+                        if let Some(j) = Self::vix(inst.drain) {
+                            jac.add(isr, j, -g_d);
+                        }
+                        if let Some(j) = Self::vix(inst.gate) {
+                            jac.add(isr, j, -g_g);
+                        }
+                        if let Some(j) = Self::vix(inst.source) {
+                            jac.add(isr, j, -g_s);
+                        }
+                    }
+                }
+            }
+        }
+        f
+    }
+
+    /// Runs Newton from `x0`, returning the converged unknown vector.
+    pub(crate) fn newton(
+        &mut self,
+        mut x: Vec<f64>,
+        caps: CapMode<'_>,
+    ) -> Result<(Vec<f64>, usize), SpiceError> {
+        for iter in 1..=MAX_NEWTON {
+            let f = self.assemble(&x, caps);
+            let mut rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+            let mut jac = self.jac.clone();
+            let dx = solve_in_place(&mut jac, &mut rhs)
+                .map_err(|e| SpiceError::SingularMatrix { column: e.column })?;
+
+            // Damped update: clamp voltage steps.
+            let n_v = self.n_nodes - 1;
+            let mut max_dv: f64 = 0.0;
+            for (i, d) in dx.iter().enumerate() {
+                let step = if i < n_v { d.clamp(-MAX_DV, MAX_DV) } else { *d };
+                x[i] += step;
+                if i < n_v {
+                    max_dv = max_dv.max(step.abs());
+                }
+            }
+
+            if max_dv < VTOL {
+                // Verify the KCL residual at the accepted point.
+                let f = self.assemble(&x, caps);
+                let res = f
+                    .iter()
+                    .take(n_v)
+                    .fold(0.0f64, |acc, v| acc.max(v.abs()));
+                if res < ITOL.max(1e-9 * max_abs(&f)) {
+                    return Ok((x, iter));
+                }
+            }
+        }
+        let f = self.assemble(&x, caps);
+        Err(SpiceError::NoConvergence {
+            iterations: MAX_NEWTON,
+            residual: max_abs(&f),
+        })
+    }
+
+    /// Splits a converged unknown vector into a [`DcSolution`].
+    pub(crate) fn to_solution(&self, x: &[f64], iterations: usize) -> DcSolution {
+        let n_v = self.n_nodes - 1;
+        let mut node_voltages = Vec::with_capacity(self.n_nodes);
+        node_voltages.push(0.0);
+        node_voltages.extend_from_slice(&x[..n_v]);
+        DcSolution {
+            node_voltages,
+            branch_currents: x[n_v..].to_vec(),
+            iterations,
+        }
+    }
+}
+
+fn max_abs(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |acc, x| acc.max(x.abs()))
+}
+
+/// Solves the DC operating point (capacitors open, waveforms at `t = 0`),
+/// with automatic source stepping if plain Newton fails.
+///
+/// # Errors
+///
+/// Returns [`SpiceError`] if the system is singular or Newton cannot
+/// converge even with stepping.
+pub fn dc_operating_point(net: &Netlist) -> Result<DcSolution, SpiceError> {
+    let mut solver = Solver::new(net);
+    let x0 = vec![0.0; solver.dim()];
+    match solver.newton(x0.clone(), CapMode::Open) {
+        Ok((x, iters)) => Ok(solver.to_solution(&x, iters)),
+        Err(_) => {
+            // Source stepping: ramp all sources from 10 % to 100 %.
+            let mut x = x0;
+            let mut total_iters = 0;
+            for step in 1..=10 {
+                solver.source_scale = step as f64 / 10.0;
+                let (xs, it) = solver.newton(x, CapMode::Open)?;
+                x = xs;
+                total_iters += it;
+            }
+            solver.source_scale = 1.0;
+            Ok(solver.to_solution(&x, total_iters))
+        }
+    }
+}
+
+/// Solves a DC operating point starting from a previous solution
+/// (continuation) — used by sweeps and the transient initial condition.
+pub fn dc_operating_point_from(
+    net: &Netlist,
+    initial: &DcSolution,
+) -> Result<DcSolution, SpiceError> {
+    let mut solver = Solver::new(net);
+    let n_v = net.node_count() - 1;
+    let mut x0 = vec![0.0; solver.dim()];
+    x0[..n_v].copy_from_slice(&initial.node_voltages[1..]);
+    for (i, &b) in initial.branch_currents.iter().enumerate() {
+        if n_v + i < x0.len() {
+            x0[n_v + i] = b;
+        }
+    }
+    let (x, iters) = solver.newton(x0, CapMode::Open)?;
+    Ok(solver.to_solution(&x, iters))
+}
+
+/// Sweeps the DC value of the named voltage source over `values`,
+/// re-solving with continuation from the previous point.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::UnknownSource`] if no voltage source has the
+/// given name, or any solver error.
+pub fn dc_sweep(
+    net: &Netlist,
+    source_name: &str,
+    values: &[f64],
+) -> Result<Vec<DcSolution>, SpiceError> {
+    let mut work = net.clone();
+    let idx = work
+        .elements()
+        .iter()
+        .position(|e| {
+            e.name == source_name && matches!(e.element, Element::VSource { .. })
+        })
+        .ok_or_else(|| SpiceError::UnknownSource(source_name.to_owned()))?;
+
+    let mut results = Vec::with_capacity(values.len());
+    let mut prev: Option<DcSolution> = None;
+    for &value in values {
+        set_vsource_dc(&mut work, idx, value);
+        let sol = match &prev {
+            Some(p) => dc_operating_point_from(&work, p)
+                .or_else(|_| dc_operating_point(&work))?,
+            None => dc_operating_point(&work)?,
+        };
+        prev = Some(sol.clone());
+        results.push(sol);
+    }
+    Ok(results)
+}
+
+pub(crate) fn set_vsource_dc(net: &mut Netlist, element_index: usize, value: f64) {
+    if let Element::VSource { waveform, .. } =
+        &mut net.elements_mut()[element_index].element
+    {
+        *waveform = crate::netlist::Waveform::Dc(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn voltage_divider() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(3.0));
+        net.resistor("R1", a, b, 1_000.0);
+        net.resistor("R2", b, Netlist::GROUND, 2_000.0);
+        let sol = dc_operating_point(&net).unwrap();
+        assert!((sol.node_voltages[a] - 3.0).abs() < 1e-9);
+        assert!((sol.node_voltages[b] - 2.0).abs() < 1e-6);
+        // Branch current: 3 V across 3 kΩ = 1 mA flowing through the
+        // source from + to − is negative (delivering power).
+        assert!((sol.branch_currents[0] + 1.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        // 1 mA flowing ground → a through the source injects into `a`.
+        net.isource("I1", Netlist::GROUND, a, Waveform::Dc(1.0e-3));
+        net.resistor("R1", a, Netlist::GROUND, 1_000.0);
+        let sol = dc_operating_point(&net).unwrap();
+        assert!((sol.node_voltages[a] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_is_singular_or_grounded_by_gmin() {
+        // A node connected only through a capacitor is held by g_min.
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0));
+        net.capacitor("C1", a, b, 1.0e-15);
+        let sol = dc_operating_point(&net).unwrap();
+        assert!(sol.node_voltages[b].abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_sources_kirchhoff_loop() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(5.0));
+        net.vsource("V2", b, Netlist::GROUND, Waveform::Dc(2.0));
+        net.resistor("R", a, b, 1_000.0);
+        let sol = dc_operating_point(&net).unwrap();
+        // 3 V across 1 kΩ → 3 mA from a to b.
+        assert!((sol.branch_currents[0] + 3.0e-3).abs() < 1e-8);
+        assert!((sol.branch_currents[1] - 3.0e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dc_sweep_tracks_source() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.vsource("Vin", a, Netlist::GROUND, Waveform::Dc(0.0));
+        net.resistor("R1", a, b, 1_000.0);
+        net.resistor("R2", b, Netlist::GROUND, 1_000.0);
+        let sols = dc_sweep(&net, "Vin", &[0.0, 1.0, 2.0]).unwrap();
+        let got: Vec<f64> = sols.iter().map(|s| s.node_voltages[b]).collect();
+        assert!((got[0] - 0.0).abs() < 1e-9);
+        assert!((got[1] - 0.5).abs() < 1e-6);
+        assert!((got[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_unknown_source_errors() {
+        let net = Netlist::new();
+        assert!(matches!(
+            dc_sweep(&net, "nope", &[0.0]),
+            Err(SpiceError::UnknownSource(_))
+        ));
+    }
+
+    #[test]
+    fn nfet_inverter_dc_rails() {
+        use subvt_physics::{DeviceKind, DeviceParams};
+        let nfet = DeviceParams::reference_90nm_nfet();
+        let pfet = DeviceParams { kind: DeviceKind::Pfet, ..nfet };
+        let nmod = nfet.mos_model();
+        let pmod = pfet.mos_model();
+
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let vin = net.node("in");
+        let vout = net.node("out");
+        net.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2));
+        net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0));
+        net.mosfet("MP", pmod, 2.0, vout, vin, vdd);
+        net.mosfet("MN", nmod, 1.0, vout, vin, Netlist::GROUND);
+
+        // Input low → output high.
+        let sol = dc_operating_point(&net).unwrap();
+        assert!(
+            (sol.node_voltages[vout] - 1.2).abs() < 0.01,
+            "out = {}",
+            sol.node_voltages[vout]
+        );
+
+        // Input high → output low.
+        let mut net_hi = net.clone();
+        set_vsource_dc(&mut net_hi, 1, 1.2);
+        let sol = dc_operating_point(&net_hi).unwrap();
+        assert!(sol.node_voltages[vout].abs() < 0.01, "out = {}", sol.node_voltages[vout]);
+    }
+}

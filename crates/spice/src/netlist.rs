@@ -1,0 +1,383 @@
+//! Netlist representation: nodes, waveforms, elements and a builder API.
+//!
+//! Node 0 is always ground. Nodes are created by name through
+//! [`Netlist::node`], so circuit-construction code reads like a SPICE deck:
+//!
+//! ```
+//! use subvt_spice::netlist::{Netlist, Waveform};
+//!
+//! let mut net = Netlist::new();
+//! let vdd = net.node("vdd");
+//! let out = net.node("out");
+//! net.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2));
+//! net.resistor("R1", vdd, out, 10_000.0);
+//! net.capacitor("C1", out, Netlist::GROUND, 1.0e-15);
+//! assert_eq!(net.node_count(), 3); // ground + vdd + out
+//! ```
+
+use std::collections::HashMap;
+
+use subvt_physics::MosModel;
+
+/// Index of a circuit node. `0` is ground.
+pub type NodeId = usize;
+
+/// A time-dependent source value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width (time at `v1`), seconds.
+        width: f64,
+        /// Repetition period; `f64::INFINITY` for a single pulse.
+        period: f64,
+    },
+    /// Piece-wise linear `(time, value)` points, sorted by time; clamps
+    /// outside the covered interval.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    let f = if *rise > 0.0 { tau / rise } else { 1.0 };
+                    v0 + (v1 - v0) * f
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    let f = if *fall > 0.0 { (tau - rise - width) / fall } else { 1.0 };
+                    v1 + (v0 - v1) * f
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                let last = points[points.len() - 1];
+                if t >= last.0 {
+                    return last.1;
+                }
+                let idx = points.partition_point(|&(pt, _)| pt < t);
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                if t1 == t0 {
+                    v1
+                } else {
+                    v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+                }
+            }
+        }
+    }
+}
+
+/// A MOSFET instance: a compact model plus width and terminal wiring.
+/// The body terminal is implicit (tied to the source rail); the compact
+/// [`MosModel`] carries no body-bias dependence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosInstance {
+    /// The compact I–V model (carries the polarity).
+    pub model: MosModel,
+    /// Gate width in microns (scales the width-normalized model).
+    pub width_um: f64,
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+}
+
+/// A circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor between two nodes.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Independent voltage source (adds an MNA branch unknown).
+    VSource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// Independent current source, flowing from `pos` through the source
+    /// to `neg` (i.e. it injects current into `neg`… SPICE convention:
+    /// positive current flows from `pos` terminal through the source).
+    ISource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// MOSFET instance.
+    Mosfet(MosInstance),
+}
+
+/// A named element with its definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedElement {
+    /// Instance name (for diagnostics and measurements).
+    pub name: String,
+    /// The element definition.
+    pub element: Element,
+}
+
+/// A flat circuit netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: HashMap<String, NodeId>,
+    node_count: usize,
+    elements: Vec<NamedElement>,
+}
+
+impl Netlist {
+    /// The ground node, always index 0.
+    pub const GROUND: NodeId = 0;
+
+    /// Creates an empty netlist containing only ground.
+    pub fn new() -> Self {
+        let mut names = HashMap::new();
+        names.insert("0".to_owned(), 0);
+        names.insert("gnd".to_owned(), 0);
+        Self { names, node_count: 1, elements: Vec::new() }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = self.node_count;
+        self.node_count += 1;
+        self.names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[NamedElement] {
+        &self.elements
+    }
+
+    /// Mutable access for crate-internal patching (DC sweeps).
+    pub(crate) fn elements_mut(&mut self) -> &mut Vec<NamedElement> {
+        &mut self.elements
+    }
+
+    /// Index of the `idx`-th voltage source among the elements (the MNA
+    /// branch ordering).
+    pub(crate) fn vsource_indices(&self) -> Vec<usize> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e.element, Element::VSource { .. }).then_some(i))
+            .collect()
+    }
+
+    fn push(&mut self, name: &str, element: Element) {
+        self.elements.push(NamedElement { name: name.to_owned(), element });
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive and finite.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
+        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        self.push(name, Element::Resistor { a, b, ohms });
+        self
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative or not finite.
+    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
+        assert!(farads.is_finite() && farads >= 0.0, "capacitance must be non-negative");
+        self.push(name, Element::Capacitor { a, b, farads });
+        self
+    }
+
+    /// Adds an independent voltage source.
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        waveform: Waveform,
+    ) -> &mut Self {
+        self.push(name, Element::VSource { pos, neg, waveform });
+        self
+    }
+
+    /// Adds an independent current source.
+    pub fn isource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        waveform: Waveform,
+    ) -> &mut Self {
+        self.push(name, Element::ISource { pos, neg, waveform });
+        self
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_um` is not positive and finite.
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        model: MosModel,
+        width_um: f64,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+    ) -> &mut Self {
+        assert!(width_um.is_finite() && width_um > 0.0, "width must be positive");
+        self.push(
+            name,
+            Element::Mosfet(MosInstance { model, width_um, drain, gate, source }),
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_names_are_stable() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        assert_ne!(a, b);
+        assert_eq!(n.node("a"), a);
+        assert_eq!(n.find_node("b"), Some(b));
+        assert_eq!(n.find_node("zz"), None);
+        assert_eq!(n.node("gnd"), Netlist::GROUND);
+    }
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(0.99), 0.0);
+        assert!((w.value_at(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(3.0), 1.0);
+        assert!((w.value_at(4.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn periodic_pulse_repeats() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.4,
+            period: 1.0,
+        };
+        assert!((w.value_at(0.3) - w.value_at(1.3)).abs() < 1e-12);
+        assert!((w.value_at(0.7) - w.value_at(5.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)]);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert!((w.value_at(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(w.value_at(2.0), 2.0);
+        assert_eq!(w.value_at(9.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_zero_resistor() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor("R", a, Netlist::GROUND, 0.0);
+    }
+
+    #[test]
+    fn vsource_indices_in_order() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0));
+        n.resistor("R", a, b, 100.0);
+        n.vsource("V2", b, Netlist::GROUND, Waveform::Dc(2.0));
+        assert_eq!(n.vsource_indices(), vec![0, 2]);
+    }
+}

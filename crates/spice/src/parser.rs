@@ -1,0 +1,319 @@
+//! A SPICE-deck text parser: builds a [`Netlist`] from the classic
+//! card format, so circuits can be described as data instead of code.
+//!
+//! Supported cards (case-insensitive, `*` comments, blank lines ignored):
+//!
+//! ```text
+//! * element cards
+//! R<name> <n+> <n-> <value>                 resistor, ohms
+//! C<name> <n+> <n-> <value>                 capacitor, farads
+//! V<name> <n+> <n-> <value>                 DC voltage source, volts
+//! V<name> <n+> <n-> PULSE(v0 v1 td tr tf pw per)
+//! I<name> <n+> <n-> <value>                 DC current source, amps
+//! M<name> <d> <g> <s> <model> W=<microns>   MOSFET (model by name)
+//! ```
+//!
+//! Values accept engineering suffixes (`f p n u m k meg g`, e.g. `1.5k`,
+//! `10n`, `2u`). MOSFET model names are resolved from a caller-provided
+//! library of compact models — the deck stays device-technology agnostic.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use subvt_spice::parser::parse_deck;
+//!
+//! let deck = "\
+//! * rc divider
+//! V1 in 0 3.0
+//! R1 in out 1k
+//! R2 out 0 2k
+//! ";
+//! let net = parse_deck(deck, &HashMap::new())?;
+//! let sol = subvt_spice::dc_operating_point(&net).unwrap();
+//! let out = net.find_node("out").unwrap();
+//! assert!((sol.node_voltages[out] - 2.0).abs() < 1e-6);
+//! # Ok::<(), subvt_spice::parser::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use subvt_physics::MosModel;
+
+use crate::netlist::{Netlist, Waveform};
+
+/// A deck-parsing failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending card.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an engineering-notation value (`2.2k`, `10n`, `3meg`, `1.5e-12`).
+///
+/// # Errors
+///
+/// Returns the unparsable token back as the error payload.
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let t = token.trim().to_ascii_lowercase();
+    let (mult, stripped) = if let Some(s) = t.strip_suffix("meg") {
+        (1.0e6, s)
+    } else if let Some(s) = t.strip_suffix('f') {
+        (1.0e-15, s)
+    } else if let Some(s) = t.strip_suffix('p') {
+        (1.0e-12, s)
+    } else if let Some(s) = t.strip_suffix('n') {
+        (1.0e-9, s)
+    } else if let Some(s) = t.strip_suffix('u') {
+        (1.0e-6, s)
+    } else if let Some(s) = t.strip_suffix('m') {
+        (1.0e-3, s)
+    } else if let Some(s) = t.strip_suffix('k') {
+        (1.0e3, s)
+    } else if let Some(s) = t.strip_suffix('g') {
+        (1.0e9, s)
+    } else {
+        (1.0, t.as_str())
+    };
+    stripped
+        .parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("cannot parse value `{token}`"))
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a `PULSE(v0 v1 td tr tf pw per)` source specification from the
+/// already-joined argument string.
+fn parse_pulse(line: usize, args: &str) -> Result<Waveform, ParseError> {
+    let inner = args
+        .trim()
+        .strip_prefix("pulse(")
+        .or_else(|| args.trim().strip_prefix("PULSE("))
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err(line, "malformed PULSE(...) specification"))?;
+    let vals: Vec<f64> = inner
+        .split_whitespace()
+        .map(|t| parse_value(t).map_err(|m| err(line, m)))
+        .collect::<Result<_, _>>()?;
+    if vals.len() != 7 {
+        return Err(err(line, format!("PULSE needs 7 values, got {}", vals.len())));
+    }
+    Ok(Waveform::Pulse {
+        v0: vals[0],
+        v1: vals[1],
+        delay: vals[2],
+        rise: vals[3],
+        fall: vals[4],
+        width: vals[5],
+        period: if vals[6] > 0.0 { vals[6] } else { f64::INFINITY },
+    })
+}
+
+/// Parses a deck into a netlist. `models` maps MOSFET model names (as
+/// used on `M` cards) to compact models.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line on any malformed card,
+/// unknown element letter, or unresolved model name.
+pub fn parse_deck(
+    deck: &str,
+    models: &HashMap<String, MosModel>,
+) -> Result<Netlist, ParseError> {
+    let mut net = Netlist::new();
+    for (i, raw) in deck.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') || line.starts_with(".end") {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let name = tokens[0];
+        let kind = name
+            .chars()
+            .next()
+            .expect("non-empty token")
+            .to_ascii_uppercase();
+        match kind {
+            'R' | 'C' => {
+                if tokens.len() != 4 {
+                    return Err(err(line_no, format!("{name}: need `<n+> <n-> <value>`")));
+                }
+                let a = net.node(tokens[1]);
+                let b = net.node(tokens[2]);
+                let value = parse_value(tokens[3]).map_err(|m| err(line_no, m))?;
+                if kind == 'R' {
+                    if value <= 0.0 {
+                        return Err(err(line_no, "resistance must be positive"));
+                    }
+                    net.resistor(name, a, b, value);
+                } else {
+                    if value < 0.0 {
+                        return Err(err(line_no, "capacitance must be non-negative"));
+                    }
+                    net.capacitor(name, a, b, value);
+                }
+            }
+            'V' | 'I' => {
+                if tokens.len() < 4 {
+                    return Err(err(line_no, format!("{name}: need `<n+> <n-> <value>`")));
+                }
+                let pos = net.node(tokens[1]);
+                let neg = net.node(tokens[2]);
+                let rest = tokens[3..].join(" ");
+                let waveform = if rest.to_ascii_lowercase().starts_with("pulse(") {
+                    parse_pulse(line_no, &rest)?
+                } else if tokens.len() == 4 {
+                    Waveform::Dc(parse_value(tokens[3]).map_err(|m| err(line_no, m))?)
+                } else {
+                    return Err(err(line_no, format!("{name}: unrecognized source spec")));
+                };
+                if kind == 'V' {
+                    net.vsource(name, pos, neg, waveform);
+                } else {
+                    net.isource(name, pos, neg, waveform);
+                }
+            }
+            'M' => {
+                if tokens.len() != 6 {
+                    return Err(err(
+                        line_no,
+                        format!("{name}: need `<d> <g> <s> <model> W=<um>`"),
+                    ));
+                }
+                let d = net.node(tokens[1]);
+                let g = net.node(tokens[2]);
+                let s = net.node(tokens[3]);
+                let model = models.get(tokens[4]).ok_or_else(|| {
+                    err(line_no, format!("unknown MOSFET model `{}`", tokens[4]))
+                })?;
+                let w_spec = tokens[5];
+                let w_um = w_spec
+                    .strip_prefix("W=")
+                    .or_else(|| w_spec.strip_prefix("w="))
+                    .ok_or_else(|| err(line_no, "MOSFET width must be given as W=<um>"))
+                    .and_then(|v| {
+                        parse_value(v).map_err(|m| err(line_no, m)).map(|x| {
+                            // Widths on decks are in microns by convention
+                            // here; a bare number or `u` suffix both work.
+                            if v.to_ascii_lowercase().ends_with('u') {
+                                x * 1.0e6
+                            } else {
+                                x
+                            }
+                        })
+                    })?;
+                if w_um <= 0.0 {
+                    return Err(err(line_no, "MOSFET width must be positive"));
+                }
+                net.mosfet(name, *model, w_um, d, g, s);
+            }
+            other => {
+                return Err(err(line_no, format!("unknown element letter `{other}`")));
+            }
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mna::dc_operating_point;
+    use subvt_physics::{DeviceKind, DeviceParams};
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("1k").unwrap(), 1.0e3);
+        assert_eq!(parse_value("2.2u").unwrap(), 2.2e-6);
+        assert_eq!(parse_value("10n").unwrap(), 1.0e-8);
+        assert_eq!(parse_value("3meg").unwrap(), 3.0e6);
+        assert_eq!(parse_value("100f").unwrap(), 1.0e-13);
+        assert_eq!(parse_value("5").unwrap(), 5.0);
+        assert_eq!(parse_value("1.5e-12").unwrap(), 1.5e-12);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_and_solves_divider() {
+        let deck = "V1 in 0 3.0\nR1 in out 1k\nR2 out 0 2k\n";
+        let net = parse_deck(deck, &HashMap::new()).unwrap();
+        let sol = dc_operating_point(&net).unwrap();
+        let out = net.find_node("out").unwrap();
+        assert!((sol.node_voltages[out] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let deck = "* a comment\n\nV1 a 0 1.0\n* another\nR1 a 0 1k\n.end\n";
+        let net = parse_deck(deck, &HashMap::new()).unwrap();
+        assert_eq!(net.elements().len(), 2);
+    }
+
+    #[test]
+    fn pulse_source_parses() {
+        let deck = "V1 in 0 PULSE(0 1.2 1n 0.1n 0.1n 5n 10n)\nR1 in 0 1k\n";
+        let net = parse_deck(deck, &HashMap::new()).unwrap();
+        match &net.elements()[0].element {
+            crate::netlist::Element::VSource { waveform, .. } => {
+                assert!((waveform.value_at(3.0e-9) - 1.2).abs() < 1e-12);
+                assert!(waveform.value_at(0.5e-9) < 1e-12);
+            }
+            other => panic!("expected a VSource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mosfet_inverter_deck() {
+        let nfet = DeviceParams::reference_90nm_nfet();
+        let pfet = DeviceParams { kind: DeviceKind::Pfet, ..nfet };
+        let mut models = HashMap::new();
+        models.insert("nch".to_owned(), nfet.mos_model());
+        models.insert("pch".to_owned(), pfet.mos_model());
+        let deck = "\
+VDD vdd 0 1.2
+VIN in 0 0.0
+MP1 out in vdd pch W=2u
+MN1 out in 0 nch W=1u
+";
+        let net = parse_deck(deck, &models).unwrap();
+        let sol = dc_operating_point(&net).unwrap();
+        let out = net.find_node("out").unwrap();
+        assert!((sol.node_voltages[out] - 1.2).abs() < 0.01, "inverter output high");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let deck = "V1 a 0 1.0\nR1 a 0 zzz\n";
+        let e = parse_deck(deck, &HashMap::new()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("zzz"));
+
+        let e = parse_deck("Q1 a b c\n", &HashMap::new()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown element"));
+
+        let e = parse_deck("M1 d g s nomodel W=1u\n", &HashMap::new()).unwrap_err();
+        assert!(e.message.contains("nomodel"));
+    }
+
+    #[test]
+    fn rejects_bad_cards() {
+        assert!(parse_deck("R1 a 0\n", &HashMap::new()).is_err());
+        assert!(parse_deck("R1 a 0 -5\n", &HashMap::new()).is_err());
+        assert!(parse_deck("V1 a 0 PULSE(1 2)\n", &HashMap::new()).is_err());
+    }
+}

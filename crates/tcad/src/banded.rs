@@ -1,0 +1,283 @@
+//! Banded LU solver (no pivoting) for the continuity systems.
+//!
+//! Grid-ordered finite-volume matrices have half-bandwidth `nx`; the
+//! drift-diffusion continuity matrix is an irreducibly diagonally
+//! dominant M-matrix, so elimination without pivoting is stable. A
+//! direct solve also side-steps the enormous dynamic range of carrier
+//! densities (1e2…1e20 cm⁻³) that makes iterative residual tests
+//! unreliable for this system.
+
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the textbook algorithms
+
+/// A square banded matrix with half-bandwidth `bw` (entries `(i, j)` with
+/// `|i − j| ≤ bw`), stored row-major as `n × (2·bw + 1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedMatrix {
+    n: usize,
+    bw: usize,
+    data: Vec<f64>,
+}
+
+/// Error from a zero (or denormal) pivot during factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroPivotError {
+    /// Row at which elimination failed.
+    pub row: usize,
+}
+
+impl core::fmt::Display for ZeroPivotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "zero pivot at row {}", self.row)
+    }
+}
+
+impl std::error::Error for ZeroPivotError {}
+
+impl BandedMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(n: usize, bw: usize) -> Self {
+        Self { n, bw, data: vec![0.0; n * (2 * bw + 1)] }
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is 0×0.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, col: usize) -> Option<usize> {
+        let (lo, hi) = (row.saturating_sub(self.bw), (row + self.bw).min(self.n - 1));
+        if col < lo || col > hi {
+            return None;
+        }
+        Some(row * (2 * self.bw + 1) + (col + self.bw - row))
+    }
+
+    /// Reads entry `(row, col)` (zero outside the band).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.slot(row, col).map_or(0.0, |s| self.data[s])
+    }
+
+    /// Writes entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry lies outside the band.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let s = self.slot(row, col).expect("entry outside band");
+        self.data[s] = value;
+    }
+
+    /// Adds to entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry lies outside the band.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        let s = self.slot(row, col).expect("entry outside band");
+        self.data[s] += value;
+    }
+
+    /// Zeros an entire row (used to impose Dirichlet rows).
+    pub fn clear_row(&mut self, row: usize) {
+        let start = row * (2 * self.bw + 1);
+        self.data[start..start + 2 * self.bw + 1].fill(0.0);
+    }
+
+    /// `y = A·x`.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        for row in 0..self.n {
+            let lo = row.saturating_sub(self.bw);
+            let hi = (row + self.bw).min(self.n - 1);
+            let mut acc = 0.0;
+            for col in lo..=hi {
+                acc += self.get(row, col) * x[col];
+            }
+            y[row] = acc;
+        }
+    }
+
+    /// Solves `A·x = b` in place by banded LU without pivoting,
+    /// destroying the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroPivotError`] if a pivot magnitude falls below
+    /// 1e-300.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_in_place(mut self, b: &mut [f64]) -> Result<Vec<f64>, ZeroPivotError> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let bw = self.bw;
+        for k in 0..n {
+            let pivot = self.get(k, k);
+            if pivot.abs() < 1e-300 {
+                return Err(ZeroPivotError { row: k });
+            }
+            let hi = (k + bw).min(n - 1);
+            for row in (k + 1)..=hi {
+                let factor = self.get(row, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for col in (k + 1)..=(k + bw).min(n - 1) {
+                    let v = self.get(row, col) - factor * self.get(k, col);
+                    if let Some(s) = self.slot(row, col) {
+                        self.data[s] = v;
+                    }
+                }
+                b[row] -= factor * b[k];
+                if let Some(s) = self.slot(row, k) {
+                    self.data[s] = 0.0;
+                }
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut acc = b[k];
+            let hi = (k + bw).min(n - 1);
+            for col in (k + 1)..=hi {
+                acc -= self.get(k, col) * x[col];
+            }
+            x[k] = acc / self.get(k, k);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tridiagonal_poisson() {
+        // -u'' = 1 on 5 interior points, h = 1: u = x(6-x)/2 at x=1..5.
+        let n = 5;
+        let mut m = BandedMatrix::zeros(n, 1);
+        for i in 0..n {
+            m.set(i, i, 2.0);
+            if i > 0 {
+                m.set(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                m.set(i, i + 1, -1.0);
+            }
+        }
+        let mut b = vec![1.0; n];
+        let x = m.solve_in_place(&mut b).unwrap();
+        let want = [2.5, 4.0, 4.5, 4.0, 2.5];
+        for (got, w) in x.iter().zip(want) {
+            assert!((got - w).abs() < 1e-10, "{got} vs {w}");
+        }
+    }
+
+    #[test]
+    fn wide_band_matches_grid_laplacian() {
+        // 3x3 grid Laplacian (bw = 3) with Dirichlet boundary folded in:
+        // solve and verify A·x = b.
+        let n = 9;
+        let bw = 3;
+        let mut m = BandedMatrix::zeros(n, bw);
+        for i in 0..n {
+            m.set(i, i, 4.0);
+            if i % 3 != 0 {
+                m.set(i, i - 1, -1.0);
+            }
+            if i % 3 != 2 {
+                m.set(i, i + 1, -1.0);
+            }
+            if i >= 3 {
+                m.set(i, i - 3, -1.0);
+            }
+            if i + 3 < n {
+                m.set(i, i + 3, -1.0);
+            }
+        }
+        let m_copy = m.clone();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut rhs = b.clone();
+        let x = m.solve_in_place(&mut rhs).unwrap();
+        let mut check = vec![0.0; n];
+        m_copy.mul_vec(&x, &mut check);
+        for (c, w) in check.iter().zip(&b) {
+            assert!((c - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dirichlet_row_pins_value() {
+        let n = 4;
+        let mut m = BandedMatrix::zeros(n, 1);
+        for i in 0..n {
+            m.set(i, i, 2.0);
+            if i > 0 {
+                m.set(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                m.set(i, i + 1, -1.0);
+            }
+        }
+        m.clear_row(0);
+        m.set(0, 0, 1.0);
+        let mut b = vec![7.0, 0.0, 0.0, 0.0];
+        let x = m.solve_in_place(&mut b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        let m = BandedMatrix::zeros(3, 1);
+        let mut b = vec![1.0; 3];
+        assert!(m.solve_in_place(&mut b).is_err());
+    }
+
+    #[test]
+    fn out_of_band_reads_zero() {
+        let m = BandedMatrix::zeros(5, 1);
+        assert_eq!(m.get(0, 4), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn solves_random_dominant_banded(
+            offd in proptest::collection::vec(-1.0f64..1.0, 40),
+            rhs in proptest::collection::vec(-3.0f64..3.0, 10),
+        ) {
+            let n = 10;
+            let bw = 2;
+            let mut m = BandedMatrix::zeros(n, bw);
+            let mut k = 0;
+            for i in 0..n {
+                let mut diag = 1.0;
+                for j in i.saturating_sub(bw)..=(i + bw).min(n - 1) {
+                    if i != j {
+                        let v = offd[k % offd.len()];
+                        k += 1;
+                        m.set(i, j, v);
+                        diag += v.abs();
+                    }
+                }
+                m.set(i, i, diag);
+            }
+            let m_copy = m.clone();
+            let mut b = rhs.clone();
+            let x = m.solve_in_place(&mut b).unwrap();
+            let mut check = vec![0.0; n];
+            m_copy.mul_vec(&x, &mut check);
+            for (c, w) in check.iter().zip(&rhs) {
+                prop_assert!((c - w).abs() < 1e-8);
+            }
+        }
+    }
+}

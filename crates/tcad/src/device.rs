@@ -1,0 +1,296 @@
+//! Builds the 2-D MOSFET cross-section the paper describes (its Fig. 1a)
+//! from the same [`DeviceParams`] the compact model uses: uniform
+//! substrate, lateral-Gaussian n⁺ source/drain, 2-D Gaussian halo
+//! pockets, gate oxide and four contacts.
+
+use subvt_physics::device::{DeviceKind, DeviceParams};
+use subvt_physics::mobility::low_field_mobility;
+use subvt_units::PerCubicCentimeter;
+
+use crate::doping::{DopingSpec, Profile};
+use crate::mesh::{graded_axis, Boundary, Material, Mesh};
+
+/// Poly-gate doping assumed for the gate work function (n⁺ for NFET).
+pub const N_POLY: f64 = 1.0e20;
+
+/// A meshed 2-D MOSFET ready for simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet2d {
+    /// The mesh.
+    pub mesh: Mesh,
+    /// Net signed doping per node (donors positive), cm⁻³. Zero in the
+    /// oxide.
+    pub doping: Vec<f64>,
+    /// Low-field electron mobility per node, cm²/Vs (zero in the oxide).
+    pub mobility: Vec<f64>,
+    /// The originating compact description.
+    pub params: DeviceParams,
+    /// Index of the first silicon row (`ys[j_si0] == 0`).
+    pub j_si0: usize,
+    /// x-range (cm) covered by the gate contact.
+    pub gate_span: (f64, f64),
+}
+
+/// Mesh-resolution preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshDensity {
+    /// Coarse mesh for fast tests (~1.5k nodes).
+    Coarse,
+    /// Standard mesh for characterization (~4k nodes).
+    Standard,
+}
+
+impl Mosfet2d {
+    /// Builds the cross-section from compact-model parameters.
+    ///
+    /// Only NFETs are supported: the workspace treats the PFET as the
+    /// NFET's magnitude-frame mirror (identical electrostatics, hole
+    /// mobility), so a separate 2-D polarity adds no information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.kind` is not [`DeviceKind::Nfet`].
+    pub fn build(params: &DeviceParams, density: MeshDensity) -> Self {
+        assert!(
+            matches!(params.kind, DeviceKind::Nfet),
+            "2-D solver models the NFET; the PFET is its magnitude-frame mirror"
+        );
+        let g = &params.geometry;
+        let l_eff = g.l_eff().as_cm();
+        let l_ov = g.l_overlap.as_cm();
+        let t_ox = g.t_ox.as_cm();
+        let x_j = g.x_j.as_cm();
+        let sigma = g.halo_sigma.as_cm();
+
+        // Lateral layout: [0, l_sd] source, [l_sd, l_sd+l_eff] channel,
+        // [l_sd+l_eff, total] drain.
+        let l_sd = (1.2 * (l_eff + 2.0 * l_ov)).max(30.0e-7);
+        let x_js = l_sd; // source junction
+        let x_jd = l_sd + l_eff; // drain junction
+        let total_x = 2.0 * l_sd + l_eff;
+        let gate_lo = x_js - l_ov;
+        let gate_hi = x_jd + l_ov;
+
+        // Vertical layout: oxide [-t_ox, 0), silicon [0, depth].
+        let depth = (3.0 * x_j).max(80.0e-7);
+
+        let (hx, hy, n_ox): (f64, f64, usize) = match density {
+            MeshDensity::Coarse => (l_eff / 14.0, 2.0e-7, 3),
+            MeshDensity::Standard => (l_eff / 26.0, 1.2e-7, 4),
+        };
+
+        // x axis: fine across the gated region (with margins into S/D).
+        let fine_lo = (gate_lo - 4.0e-7).max(0.0);
+        let fine_hi = (gate_hi + 4.0e-7).min(total_x);
+        let xs = graded_axis(0.0, total_x, fine_lo, fine_hi, hx);
+
+        // y axis: uniform oxide layers, fine silicon surface, coarsened
+        // bulk.
+        let mut ys: Vec<f64> = (0..=n_ox)
+            .map(|k| -t_ox + t_ox * k as f64 / n_ox as f64)
+            .collect();
+        ys.pop(); // y = 0 comes from the silicon axis
+        let si = graded_axis(0.0, depth, 0.0, (4.0 * hy).min(depth / 2.0), hy);
+        ys.extend(si);
+        let j_si0 = n_ox;
+        debug_assert!(ys[j_si0].abs() < 1e-15);
+
+        let nx = xs.len();
+        let ny = ys.len();
+
+        // Doping spec (NFET frame: donors positive, acceptors negative).
+        let mut spec = DopingSpec::new();
+        spec.push(Profile::Uniform { concentration: -params.n_sub.get() });
+        let straggle = (0.15 * x_j).max(1.5e-7);
+        // Pull the flat S/D regions back so the Gaussian tail crosses the
+        // substrate level exactly at the nominal junction positions —
+        // otherwise the tails encroach ~3σ into the channel and collapse
+        // the barrier.
+        let encroach =
+            straggle * (2.0 * (params.n_sd.get() / params.n_sub.get()).ln()).sqrt();
+        spec.push(Profile::SdBox {
+            peak: params.n_sd.get(),
+            x_lo: 0.0,
+            x_hi: (x_js - encroach).max(1.0e-7),
+            depth: (x_j - encroach).max(2.0e-7),
+            sigma_x: straggle,
+            sigma_y: straggle,
+        });
+        spec.push(Profile::SdBox {
+            peak: params.n_sd.get(),
+            x_lo: (x_jd + encroach).min(total_x - 1.0e-7),
+            x_hi: total_x,
+            depth: (x_j - encroach).max(2.0e-7),
+            sigma_x: straggle,
+            sigma_y: straggle,
+        });
+        // Halo pockets: acceptor Gaussians hugging each junction edge
+        // from the surface down the sidewall (paper Fig. 1(b)) — placed
+        // where the drain field penetrates, which is what lets the halo
+        // fight V_th roll-off. The lateral footprint carries a 1.6×
+        // calibration relative to the compact model's nominal σ: angled
+        // halo implants straggle beyond their nominal profile, and this
+        // matches the 2-D swing to the paper's halo effectiveness.
+        for x0 in [x_js, x_jd] {
+            spec.push(Profile::Gaussian {
+                peak: -params.n_p_halo.get(),
+                x0,
+                y0: 0.0,
+                sigma_x: 1.6 * sigma,
+                sigma_y: 0.6 * x_j,
+            });
+        }
+
+        let mut material = vec![Material::Silicon; nx * ny];
+        let mut boundary = vec![Boundary::Interior; nx * ny];
+        let mut doping = vec![0.0; nx * ny];
+        let mut mobility = vec![0.0; nx * ny];
+
+        for (j, &y) in ys.iter().enumerate() {
+            for (i, &x) in xs.iter().enumerate() {
+                let idx = j * nx + i;
+                if y < -1e-15 {
+                    material[idx] = Material::Oxide;
+                    if j == 0 && x >= gate_lo - 1e-12 && x <= gate_hi + 1e-12 {
+                        boundary[idx] = Boundary::Gate;
+                    }
+                    continue;
+                }
+                let net = spec.net(x, y);
+                doping[idx] = net;
+                mobility[idx] = low_field_mobility(
+                    DeviceKind::Nfet,
+                    PerCubicCentimeter::new(net.abs().max(1.0e14)),
+                );
+                // Contacts.
+                if j == ny - 1 {
+                    boundary[idx] = Boundary::Substrate;
+                } else if j == j_si0 && x < gate_lo - 2.0e-7 {
+                    boundary[idx] = Boundary::Source;
+                } else if j == j_si0 && x > gate_hi + 2.0e-7 {
+                    boundary[idx] = Boundary::Drain;
+                }
+            }
+        }
+
+        let mesh = Mesh { xs, ys, material, boundary };
+        Self {
+            mesh,
+            doping,
+            mobility,
+            params: *params,
+            j_si0,
+            gate_span: (gate_lo, gate_hi),
+        }
+    }
+
+    /// Number of mesh nodes.
+    pub fn len(&self) -> usize {
+        self.mesh.len()
+    }
+
+    /// Whether the device mesh is empty (never true for a built device).
+    pub fn is_empty(&self) -> bool {
+        self.mesh.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Mosfet2d {
+        Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse)
+    }
+
+    #[test]
+    fn mesh_has_all_contact_types() {
+        let d = device();
+        let count = |b: Boundary| d.mesh.boundary.iter().filter(|&&x| x == b).count();
+        assert!(count(Boundary::Gate) > 3);
+        assert!(count(Boundary::Source) > 1);
+        assert!(count(Boundary::Drain) > 1);
+        assert!(count(Boundary::Substrate) == d.mesh.nx());
+    }
+
+    #[test]
+    fn oxide_sits_above_silicon() {
+        let d = device();
+        for j in 0..d.mesh.ny() {
+            for i in 0..d.mesh.nx() {
+                let m = d.mesh.material[d.mesh.idx(i, j)];
+                if j < d.j_si0 {
+                    assert_eq!(m, Material::Oxide);
+                } else {
+                    assert_eq!(m, Material::Silicon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn doping_polarity_by_region() {
+        let d = device();
+        let nx = d.mesh.nx();
+        // Surface source end: n+ (positive).
+        let idx_src = d.mesh.idx(0, d.j_si0);
+        assert!(d.doping[idx_src] > 1.0e19);
+        // Mid-channel surface: p (negative).
+        let mid_x = 0.5 * (d.gate_span.0 + d.gate_span.1);
+        let i_mid = (0..nx)
+            .min_by(|&a, &b| {
+                (d.mesh.xs[a] - mid_x)
+                    .abs()
+                    .partial_cmp(&(d.mesh.xs[b] - mid_x).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        let idx_ch = d.mesh.idx(i_mid, d.j_si0);
+        assert!(d.doping[idx_ch] < 0.0, "channel must be p-type");
+        // Deep bulk: substrate doping.
+        let idx_bulk = d.mesh.idx(i_mid, d.mesh.ny() - 1);
+        assert!(
+            (d.doping[idx_bulk] + d.params.n_sub.get()).abs() < 0.05 * d.params.n_sub.get()
+        );
+    }
+
+    #[test]
+    fn halo_increases_channel_edge_doping() {
+        let base = DeviceParams::reference_90nm_nfet();
+        let mut no_halo = base;
+        no_halo.n_p_halo = PerCubicCentimeter::new(1.0e10);
+        let with = Mosfet2d::build(&base, MeshDensity::Coarse);
+        let without = Mosfet2d::build(&no_halo, MeshDensity::Coarse);
+        // Acceptor concentration near the source junction edge must be
+        // higher with halo (more negative net doping).
+        let x_edge = with.gate_span.0 + with.params.geometry.l_overlap.as_cm();
+        let i_edge = (0..with.mesh.nx())
+            .min_by(|&a, &b| {
+                (with.mesh.xs[a] - x_edge)
+                    .abs()
+                    .partial_cmp(&(with.mesh.xs[b] - x_edge).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        let j_probe = with.j_si0 + 2;
+        let idx = with.mesh.idx(i_edge, j_probe);
+        assert!(with.doping[idx] < without.doping[idx]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NFET")]
+    fn rejects_pfet() {
+        let mut p = DeviceParams::reference_90nm_nfet();
+        p.kind = DeviceKind::Pfet;
+        let _ = Mosfet2d::build(&p, MeshDensity::Coarse);
+    }
+
+    #[test]
+    fn coarse_mesh_is_smaller_than_standard() {
+        let p = DeviceParams::reference_90nm_nfet();
+        let coarse = Mosfet2d::build(&p, MeshDensity::Coarse).len();
+        let standard = Mosfet2d::build(&p, MeshDensity::Standard).len();
+        assert!(coarse < standard);
+        assert!(coarse > 300, "coarse mesh has {coarse} nodes");
+    }
+}

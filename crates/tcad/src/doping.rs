@@ -1,0 +1,164 @@
+//! Doping profiles evaluated on the mesh.
+//!
+//! Net doping is signed: donors (n-type) positive, acceptors (p-type)
+//! negative — the same convention as the Poisson charge term. The MOSFET
+//! builder composes exactly the paper's §2.2 construction: a uniform
+//! p-substrate, lateral-Gaussian n⁺ source/drain diffusions, and a pair
+//! of 2-D Gaussian p-halo pockets at the junction edges.
+
+/// A single additive doping contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Profile {
+    /// Spatially uniform doping (signed, cm⁻³).
+    Uniform {
+        /// Signed concentration (donors > 0).
+        concentration: f64,
+    },
+    /// A 2-D Gaussian pocket (signed peak, cm⁻³) centred at
+    /// `(x0, y0)` cm with standard deviations `(sigma_x, sigma_y)` cm.
+    Gaussian {
+        /// Signed peak concentration.
+        peak: f64,
+        /// Centre x, cm.
+        x0: f64,
+        /// Centre y, cm.
+        y0: f64,
+        /// Lateral standard deviation, cm.
+        sigma_x: f64,
+        /// Vertical standard deviation, cm.
+        sigma_y: f64,
+    },
+    /// A source/drain-style box that is flat inside `[x_lo, x_hi]` for
+    /// `y ≤ depth` and rolls off with Gaussian tails (lateral straggle
+    /// `sigma_x`, vertical `sigma_y`) outside — the standard model of an
+    /// implanted and annealed junction.
+    SdBox {
+        /// Signed peak concentration.
+        peak: f64,
+        /// Flat-region lower x bound, cm.
+        x_lo: f64,
+        /// Flat-region upper x bound, cm.
+        x_hi: f64,
+        /// Junction depth of the flat region, cm.
+        depth: f64,
+        /// Lateral Gaussian straggle, cm.
+        sigma_x: f64,
+        /// Vertical Gaussian straggle, cm.
+        sigma_y: f64,
+    },
+}
+
+impl Profile {
+    /// Evaluates the signed contribution at `(x, y)` cm (silicon only;
+    /// `y ≥ 0`).
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        match *self {
+            Profile::Uniform { concentration } => concentration,
+            Profile::Gaussian { peak, x0, y0, sigma_x, sigma_y } => {
+                let dx = (x - x0) / sigma_x;
+                let dy = (y - y0) / sigma_y;
+                peak * (-0.5 * (dx * dx + dy * dy)).exp()
+            }
+            Profile::SdBox { peak, x_lo, x_hi, depth, sigma_x, sigma_y } => {
+                let fx = if x < x_lo {
+                    let d = (x_lo - x) / sigma_x;
+                    (-0.5 * d * d).exp()
+                } else if x > x_hi {
+                    let d = (x - x_hi) / sigma_x;
+                    (-0.5 * d * d).exp()
+                } else {
+                    1.0
+                };
+                let fy = if y > depth {
+                    let d = (y - depth) / sigma_y;
+                    (-0.5 * d * d).exp()
+                } else {
+                    1.0
+                };
+                peak * fx * fy
+            }
+        }
+    }
+}
+
+/// A composite doping description (sum of profiles).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DopingSpec {
+    profiles: Vec<Profile>,
+}
+
+impl DopingSpec {
+    /// Creates an empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a profile.
+    pub fn push(&mut self, profile: Profile) -> &mut Self {
+        self.profiles.push(profile);
+        self
+    }
+
+    /// Net signed doping at a point.
+    pub fn net(&self, x: f64, y: f64) -> f64 {
+        self.profiles.iter().map(|p| p.eval(x, y)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_everywhere() {
+        let p = Profile::Uniform { concentration: -1.5e18 };
+        assert_eq!(p.eval(0.0, 0.0), -1.5e18);
+        assert_eq!(p.eval(1e-4, 5e-6), -1.5e18);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_centre() {
+        let p = Profile::Gaussian {
+            peak: 2.0e18,
+            x0: 1.0e-6,
+            y0: 0.0,
+            sigma_x: 1.0e-7,
+            sigma_y: 2.0e-7,
+        };
+        assert_eq!(p.eval(1.0e-6, 0.0), 2.0e18);
+        let off = p.eval(1.0e-6 + 1.0e-7, 0.0);
+        assert!((off / 2.0e18 - (-0.5f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sd_box_flat_inside_tails_outside() {
+        let p = Profile::SdBox {
+            peak: 1.0e20,
+            x_lo: 0.0,
+            x_hi: 5.0e-6,
+            depth: 3.0e-6,
+            sigma_x: 5.0e-7,
+            sigma_y: 5.0e-7,
+        };
+        assert_eq!(p.eval(2.0e-6, 1.0e-6), 1.0e20);
+        assert!(p.eval(6.0e-6, 1.0e-6) < 1.0e20);
+        assert!(p.eval(2.0e-6, 4.0e-6) < 1.0e20);
+        // Monotone decay with distance.
+        assert!(p.eval(6.0e-6, 0.0) > p.eval(7.0e-6, 0.0));
+    }
+
+    #[test]
+    fn spec_sums_contributions() {
+        let mut s = DopingSpec::new();
+        s.push(Profile::Uniform { concentration: -1.0e18 });
+        s.push(Profile::Gaussian {
+            peak: 3.0e18,
+            x0: 0.0,
+            y0: 0.0,
+            sigma_x: 1e-7,
+            sigma_y: 1e-7,
+        });
+        assert!((s.net(0.0, 0.0) - 2.0e18).abs() < 1e9);
+        assert!((s.net(1.0, 1.0) + 1.0e18).abs() < 1e9);
+    }
+}

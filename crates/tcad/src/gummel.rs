@@ -1,0 +1,222 @@
+//! Gummel (decoupled) iteration: alternating nonlinear-Poisson and
+//! electron-continuity solves with bias ramping — the outer loop that
+//! turns the PDE modules into a biased device simulator.
+
+use crate::continuity::{drain_current, solve_electrons};
+use crate::device::Mosfet2d;
+use crate::poisson::{initial_guess, solve, thermals, Bias};
+
+/// Outer-loop convergence tolerance on the potential update, volts.
+const GUMMEL_TOL: f64 = 1.0e-6;
+/// Maximum Gummel iterations per bias point.
+const MAX_GUMMEL: usize = 80;
+/// Maximum bias step when ramping, volts.
+const RAMP_STEP: f64 = 0.1;
+
+/// Errors from the device simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TcadError {
+    /// The inner Poisson Newton failed to converge.
+    PoissonDiverged {
+        /// Bias point at which the failure occurred.
+        bias: Bias,
+    },
+    /// The outer Gummel loop stalled.
+    GummelStalled {
+        /// Bias point at which the failure occurred.
+        bias: Bias,
+        /// Final potential update, volts.
+        residual: f64,
+    },
+}
+
+impl core::fmt::Display for TcadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TcadError::PoissonDiverged { bias } => {
+                write!(f, "poisson newton diverged at Vg={}, Vd={}", bias.v_gate, bias.v_drain)
+            }
+            TcadError::GummelStalled { bias, residual } => write!(
+                f,
+                "gummel stalled at Vg={}, Vd={} (residual {residual:e} V)",
+                bias.v_gate, bias.v_drain
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TcadError {}
+
+/// A biased, converged device state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSimulator {
+    device: Mosfet2d,
+    bias: Bias,
+    psi: Vec<f64>,
+    n: Vec<f64>,
+    phi_n: Vec<f64>,
+}
+
+impl DeviceSimulator {
+    /// Builds the simulator and solves the zero-bias equilibrium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcadError`] if equilibrium cannot be established (would
+    /// indicate a malformed mesh).
+    pub fn new(device: Mosfet2d) -> Result<Self, TcadError> {
+        let bias = Bias::default();
+        let mut psi = initial_guess(&device, &bias);
+        let zeros = vec![0.0; device.len()];
+        let out = solve(&device, &mut psi, &zeros, &zeros, &bias);
+        if !out.converged {
+            return Err(TcadError::PoissonDiverged { bias });
+        }
+        let n = solve_electrons(&device, &psi, &bias);
+        let phi_n = zeros;
+        Ok(Self { device, bias, psi, n, phi_n })
+    }
+
+    /// The current bias point.
+    pub fn bias(&self) -> Bias {
+        self.bias
+    }
+
+    /// Read access to the underlying device.
+    pub fn device(&self) -> &Mosfet2d {
+        &self.device
+    }
+
+    /// Read access to the converged potential field, volts per node.
+    pub fn potential(&self) -> &[f64] {
+        &self.psi
+    }
+
+    /// Read access to the electron density field, cm⁻³ per node.
+    pub fn electron_density(&self) -> &[f64] {
+        &self.n
+    }
+
+    /// Moves to a new `(V_g, V_d)` bias, ramping in steps of at most
+    /// 100 mV from the current point and running the Gummel loop at each
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcadError`] if any intermediate point fails.
+    pub fn set_bias(&mut self, v_gate: f64, v_drain: f64) -> Result<(), TcadError> {
+        let steps_g = ((v_gate - self.bias.v_gate).abs() / RAMP_STEP).ceil() as usize;
+        let steps_d = ((v_drain - self.bias.v_drain).abs() / RAMP_STEP).ceil() as usize;
+        let steps = steps_g.max(steps_d).max(1);
+        let (g0, d0) = (self.bias.v_gate, self.bias.v_drain);
+        for k in 1..=steps {
+            let f = k as f64 / steps as f64;
+            let bias = Bias {
+                v_gate: g0 + f * (v_gate - g0),
+                v_drain: d0 + f * (v_drain - d0),
+                ..self.bias
+            };
+            self.gummel_at(bias)?;
+        }
+        Ok(())
+    }
+
+    fn gummel_at(&mut self, bias: Bias) -> Result<(), TcadError> {
+        let (vt, ni) = thermals(&self.device);
+        let zeros = vec![0.0; self.device.len()];
+        let mut last_residual = f64::INFINITY;
+        for _ in 0..MAX_GUMMEL {
+            let psi_before = self.psi.clone();
+            let out = solve(&self.device, &mut self.psi, &self.phi_n, &zeros, &bias);
+            if !out.converged {
+                return Err(TcadError::PoissonDiverged { bias });
+            }
+            self.n = solve_electrons(&self.device, &self.psi, &bias);
+            // Update the electron quasi-Fermi potential for the next
+            // Poisson linearization.
+            for idx in 0..self.device.len() {
+                if self.n[idx] > 0.0 {
+                    self.phi_n[idx] = self.psi[idx] - vt * (self.n[idx] / ni).ln();
+                }
+            }
+            let residual = self
+                .psi
+                .iter()
+                .zip(&psi_before)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            last_residual = residual;
+            if residual < GUMMEL_TOL {
+                self.bias = bias;
+                return Ok(());
+            }
+        }
+        Err(TcadError::GummelStalled { bias, residual: last_residual })
+    }
+
+    /// Drain terminal current at the present bias, A/µm of gate width.
+    pub fn drain_current(&self) -> f64 {
+        drain_current(&self.device, &self.psi, &self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{MeshDensity, Mosfet2d};
+    use subvt_physics::device::DeviceParams;
+
+    fn simulator() -> DeviceSimulator {
+        let dev =
+            Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
+        DeviceSimulator::new(dev).expect("equilibrium")
+    }
+
+    #[test]
+    fn off_state_leakage_is_small() {
+        let mut sim = simulator();
+        sim.set_bias(0.0, 1.2).unwrap();
+        let id = sim.drain_current();
+        // Off-current decades below the on-current (the 2-D structure
+        // leaks more than the compact calibration; see EXPERIMENTS.md).
+        assert!(id > 1.0e-15 && id < 5.0e-8, "I_off = {id} A/µm");
+    }
+
+    #[test]
+    fn gate_bias_turns_the_channel_on() {
+        let mut sim = simulator();
+        sim.set_bias(0.0, 0.6).unwrap();
+        let i_off = sim.drain_current();
+        sim.set_bias(1.2, 0.6).unwrap();
+        let i_on = sim.drain_current();
+        assert!(
+            i_on > 1.0e4 * i_off,
+            "on/off = {} ({i_on} vs {i_off})",
+            i_on / i_off
+        );
+        // On-current of a 90 nm-class NFET: tens of µA to ~1 mA per µm.
+        assert!(i_on > 1.0e-5 && i_on < 3.0e-3, "I_on = {i_on} A/µm");
+    }
+
+    #[test]
+    fn subthreshold_current_is_exponential_in_vg() {
+        let mut sim = simulator();
+        sim.set_bias(0.05, 0.6).unwrap();
+        let i1 = sim.drain_current();
+        sim.set_bias(0.15, 0.6).unwrap();
+        let i2 = sim.drain_current();
+        // 100 mV of gate bias at S_S ≈ 80–110 mV/dec: ×8–×20.
+        let ratio = i2 / i1;
+        assert!(ratio > 5.0 && ratio < 40.0, "decade ratio {ratio}");
+    }
+
+    #[test]
+    fn dibl_raises_off_current() {
+        let mut sim = simulator();
+        sim.set_bias(0.0, 0.1).unwrap();
+        let low = sim.drain_current();
+        sim.set_bias(0.0, 1.2).unwrap();
+        let high = sim.drain_current();
+        assert!(high > low, "DIBL must raise leakage: {high} vs {low}");
+    }
+}

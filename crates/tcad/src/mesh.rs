@@ -1,0 +1,198 @@
+//! Tensor-product rectangular mesh for the 2-D device cross-section.
+//!
+//! Coordinates follow the device convention: `x` runs laterally from the
+//! source contact to the drain contact; `y` runs vertically, negative
+//! into the gate oxide and positive into the silicon bulk (`y = 0` is the
+//! Si/SiO₂ interface).
+
+/// Material occupying a mesh node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Material {
+    /// Crystalline silicon (carries dopants and carriers).
+    Silicon,
+    /// Gate oxide (charge-free dielectric).
+    Oxide,
+}
+
+/// Electrical boundary condition attached to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// Interior or Neumann (reflecting) node.
+    Interior,
+    /// Ohmic source contact.
+    Source,
+    /// Ohmic drain contact.
+    Drain,
+    /// Gate contact (on top of the oxide).
+    Gate,
+    /// Substrate (bulk) contact at the bottom.
+    Substrate,
+}
+
+/// A rectangular tensor-product mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    /// x-coordinates of the grid lines, cm, ascending.
+    pub xs: Vec<f64>,
+    /// y-coordinates of the grid lines, cm, ascending (negative = oxide).
+    pub ys: Vec<f64>,
+    /// Node material, row-major (`idx = j*nx + i`).
+    pub material: Vec<Material>,
+    /// Node boundary condition, row-major.
+    pub boundary: Vec<Boundary>,
+}
+
+impl Mesh {
+    /// Number of grid lines in x.
+    pub fn nx(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Number of grid lines in y.
+    pub fn ny(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nx() * self.ny()
+    }
+
+    /// Whether the mesh has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty() || self.ys.is_empty()
+    }
+
+    /// Flat index of node `(i, j)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nx() && j < self.ny());
+        j * self.nx() + i
+    }
+
+    /// Coordinates of node `(i, j)` in cm.
+    #[inline]
+    pub fn coords(&self, i: usize, j: usize) -> (f64, f64) {
+        (self.xs[i], self.ys[j])
+    }
+
+    /// Control-volume half-widths around grid line `k` of `axis`:
+    /// `0.5·(h_left + h_right)` with one-sided widths at the ends.
+    pub fn dual_width(axis: &[f64], k: usize) -> f64 {
+        let n = axis.len();
+        let left = if k > 0 { axis[k] - axis[k - 1] } else { 0.0 };
+        let right = if k + 1 < n { axis[k + 1] - axis[k] } else { 0.0 };
+        0.5 * (left + right)
+    }
+}
+
+/// Builds a 1-D axis that is uniformly fine inside `[fine_lo, fine_hi]`
+/// (spacing `h_fine`) and geometrically coarsened toward `lo`/`hi`
+/// outside it. Returns ascending, de-duplicated coordinates.
+///
+/// # Panics
+///
+/// Panics unless `lo ≤ fine_lo < fine_hi ≤ hi` and `h_fine > 0`.
+pub fn graded_axis(lo: f64, hi: f64, fine_lo: f64, fine_hi: f64, h_fine: f64) -> Vec<f64> {
+    assert!(lo <= fine_lo && fine_lo < fine_hi && fine_hi <= hi);
+    assert!(h_fine > 0.0);
+    let mut pts = Vec::new();
+
+    // Coarsening region [lo, fine_lo): march from fine_lo toward lo with
+    // geometric growth, then reverse.
+    let grow = 1.35;
+    let mut left = Vec::new();
+    let mut pos = fine_lo;
+    let mut h = h_fine;
+    while pos > lo + 1e-12 {
+        h *= grow;
+        pos = (pos - h).max(lo);
+        left.push(pos);
+    }
+    left.reverse();
+    pts.extend(left);
+
+    // Fine region [fine_lo, fine_hi].
+    let n_fine = ((fine_hi - fine_lo) / h_fine).round().max(1.0) as usize;
+    for k in 0..=n_fine {
+        pts.push(fine_lo + (fine_hi - fine_lo) * k as f64 / n_fine as f64);
+    }
+
+    // Coarsening region (fine_hi, hi].
+    let mut pos = fine_hi;
+    let mut h = h_fine;
+    while pos < hi - 1e-12 {
+        h *= grow;
+        pos = (pos + h).min(hi);
+        pts.push(pos);
+    }
+
+    // De-duplicate near-coincident points.
+    pts.dedup_by(|a, b| (*a - *b).abs() < 1e-13);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn graded_axis_covers_interval() {
+        let axis = graded_axis(0.0, 10.0, 4.0, 6.0, 0.25);
+        assert!((axis[0] - 0.0).abs() < 1e-12);
+        assert!((axis[axis.len() - 1] - 10.0).abs() < 1e-12);
+        for w in axis.windows(2) {
+            assert!(w[1] > w[0], "axis must ascend");
+        }
+    }
+
+    #[test]
+    fn graded_axis_fine_region_uniform() {
+        let axis = graded_axis(0.0, 10.0, 4.0, 6.0, 0.25);
+        let fine: Vec<f64> = axis
+            .iter()
+            .cloned()
+            .filter(|&x| (4.0..=6.0).contains(&x))
+            .collect();
+        assert_eq!(fine.len(), 9);
+        for w in fine.windows(2) {
+            assert!((w[1] - w[0] - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dual_widths_sum_to_span() {
+        let axis = graded_axis(0.0, 5.0, 2.0, 3.0, 0.1);
+        let total: f64 = (0..axis.len()).map(|k| Mesh::dual_width(&axis, k)).sum();
+        assert!((total - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idx_round_trip() {
+        let mesh = Mesh {
+            xs: vec![0.0, 1.0, 2.0],
+            ys: vec![0.0, 1.0],
+            material: vec![Material::Silicon; 6],
+            boundary: vec![Boundary::Interior; 6],
+        };
+        assert_eq!(mesh.idx(2, 1), 5);
+        assert_eq!(mesh.len(), 6);
+        assert_eq!(mesh.coords(1, 1), (1.0, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn graded_axis_always_sorted(
+            span in 1.0f64..100.0,
+            frac_lo in 0.1f64..0.4,
+            frac_hi in 0.5f64..0.9,
+        ) {
+            let fine_lo = span * frac_lo;
+            let fine_hi = span * frac_hi;
+            let axis = graded_axis(0.0, span, fine_lo, fine_hi, span / 100.0);
+            prop_assert!(axis.windows(2).all(|w| w[1] > w[0]));
+            prop_assert!(axis.len() >= 3);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Nonlinear Poisson solve: finite-volume discretization with Boltzmann
+//! carriers and damped Newton iteration.
+//!
+//! Unknowns are node potentials `ψ` referenced to the intrinsic Fermi
+//! level. Silicon nodes carry the charge
+//! `ρ = q·(p − n + N_net)` with `n = n_i·e^{(ψ−φ_n)/v_T}`,
+//! `p = n_i·e^{(φ_p−ψ)/v_T}`; oxide nodes are charge-free. Contacts are
+//! Dirichlet; every other boundary is a natural Neumann (reflecting)
+//! boundary of the finite-volume scheme.
+
+use subvt_units::consts::{EPS_OX, EPS_SI, Q};
+
+use crate::device::{Mosfet2d, N_POLY};
+use crate::mesh::{Boundary, Material, Mesh};
+use crate::sparse::{bicgstab, TripletBuilder};
+
+/// Applied contact voltages.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Bias {
+    /// Gate voltage, V.
+    pub v_gate: f64,
+    /// Drain voltage, V.
+    pub v_drain: f64,
+    /// Source voltage, V.
+    pub v_source: f64,
+    /// Substrate voltage, V.
+    pub v_substrate: f64,
+}
+
+/// Result of one Poisson Newton solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonSolve {
+    /// Newton iterations consumed.
+    pub iterations: usize,
+    /// Final update infinity-norm, volts.
+    pub max_update: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Newton update clamp, volts.
+const MAX_DPSI: f64 = 0.25;
+/// Convergence tolerance on the update infinity-norm, volts.
+const PSI_TOL: f64 = 1.0e-9;
+/// Maximum Newton iterations.
+const MAX_NEWTON: usize = 120;
+
+/// Thermal voltage and intrinsic density of the device's temperature.
+pub(crate) fn thermals(device: &Mosfet2d) -> (f64, f64) {
+    let vt = device.params.temperature.thermal_voltage().as_volts();
+    let ni = subvt_physics::silicon::intrinsic_density(device.params.temperature).get();
+    (vt, ni)
+}
+
+/// Built-in (charge-neutral) potential of a silicon node with net signed
+/// doping `n_net`: `ψ = v_T·asinh(N/(2·n_i))`.
+pub fn neutral_potential(n_net: f64, vt: f64, ni: f64) -> f64 {
+    vt * (n_net / (2.0 * ni)).asinh()
+}
+
+/// Dirichlet potential of a contact node under `bias`.
+pub fn contact_potential(device: &Mosfet2d, idx: usize, bias: &Bias) -> Option<f64> {
+    let (vt, ni) = thermals(device);
+    match device.mesh.boundary[idx] {
+        Boundary::Gate => Some(bias.v_gate + vt * (N_POLY / ni).ln()),
+        Boundary::Source => {
+            Some(bias.v_source + neutral_potential(device.doping[idx], vt, ni))
+        }
+        Boundary::Drain => {
+            Some(bias.v_drain + neutral_potential(device.doping[idx], vt, ni))
+        }
+        Boundary::Substrate => {
+            Some(bias.v_substrate + neutral_potential(device.doping[idx], vt, ni))
+        }
+        Boundary::Interior => None,
+    }
+}
+
+/// Charge-neutral initial guess for the potential field.
+pub fn initial_guess(device: &Mosfet2d, bias: &Bias) -> Vec<f64> {
+    let (vt, ni) = thermals(device);
+    let mesh = &device.mesh;
+    let mut psi = vec![0.0; mesh.len()];
+    for j in 0..mesh.ny() {
+        for i in 0..mesh.nx() {
+            let idx = mesh.idx(i, j);
+            psi[idx] = match contact_potential(device, idx, bias) {
+                Some(v) => v,
+                None => match mesh.material[idx] {
+                    Material::Silicon => neutral_potential(device.doping[idx], vt, ni),
+                    // Oxide: seed with the gate Dirichlet level.
+                    Material::Oxide => bias.v_gate + vt * (N_POLY / ni).ln(),
+                },
+            };
+        }
+    }
+    psi
+}
+
+fn eps_of(material: Material) -> f64 {
+    match material {
+        Material::Silicon => EPS_SI,
+        Material::Oxide => EPS_OX,
+    }
+}
+
+/// Face coupling `ε_face·A/d` between two neighbouring nodes; `a` is the
+/// cross-sectional dual width transverse to the face.
+fn coupling(mat: &[Material], ia: usize, ib: usize, d: f64, a: f64) -> f64 {
+    let ea = eps_of(mat[ia]);
+    let eb = eps_of(mat[ib]);
+    // Harmonic mean handles the Si/SiO2 interface.
+    let eps = 2.0 * ea * eb / (ea + eb);
+    eps * a / d
+}
+
+/// Solves the nonlinear Poisson equation in place. `phi_n`/`phi_p` are
+/// per-node quasi-Fermi potentials (ignored in the oxide).
+///
+/// Returns the solve telemetry; `psi` holds the solution.
+pub fn solve(
+    device: &Mosfet2d,
+    psi: &mut [f64],
+    phi_n: &[f64],
+    phi_p: &[f64],
+    bias: &Bias,
+) -> PoissonSolve {
+    let mesh = &device.mesh;
+    let (vt, ni) = thermals(device);
+    let n_nodes = mesh.len();
+    let nx = mesh.nx();
+    let ny = mesh.ny();
+
+    let mut last_update = f64::INFINITY;
+    for iter in 1..=MAX_NEWTON {
+        let mut jac = TripletBuilder::new(n_nodes);
+        let mut rhs = vec![0.0; n_nodes];
+
+        for j in 0..ny {
+            for i in 0..nx {
+                let idx = mesh.idx(i, j);
+                if let Some(bc) = contact_potential(device, idx, bias) {
+                    // Dirichlet row: δψ = bc − ψ.
+                    jac.add(idx, idx, 1.0);
+                    rhs[idx] = bc - psi[idx];
+                    continue;
+                }
+                let wx = Mesh::dual_width(&mesh.xs, i);
+                let wy = Mesh::dual_width(&mesh.ys, j);
+                let mut f = 0.0;
+                let mut diag = 0.0;
+
+                let mut face = |nb_idx: usize, d: f64, a: f64, jac: &mut TripletBuilder| {
+                    let c = coupling(&mesh.material, idx, nb_idx, d, a);
+                    f += c * (psi[nb_idx] - psi[idx]);
+                    diag -= c;
+                    jac.add(idx, nb_idx, c);
+                };
+                if i > 0 {
+                    face(mesh.idx(i - 1, j), mesh.xs[i] - mesh.xs[i - 1], wy, &mut jac);
+                }
+                if i + 1 < nx {
+                    face(mesh.idx(i + 1, j), mesh.xs[i + 1] - mesh.xs[i], wy, &mut jac);
+                }
+                if j > 0 {
+                    face(mesh.idx(i, j - 1), mesh.ys[j] - mesh.ys[j - 1], wx, &mut jac);
+                }
+                if j + 1 < ny {
+                    face(mesh.idx(i, j + 1), mesh.ys[j + 1] - mesh.ys[j], wx, &mut jac);
+                }
+
+                if mesh.material[idx] == Material::Silicon {
+                    let vol = wx * wy;
+                    let n = ni * ((psi[idx] - phi_n[idx]) / vt).min(60.0).exp();
+                    let p = ni * ((phi_p[idx] - psi[idx]) / vt).min(60.0).exp();
+                    f += Q * vol * (device.doping[idx] + p - n);
+                    diag -= Q * vol * (n + p) / vt;
+                }
+
+                jac.add(idx, idx, diag);
+                rhs[idx] = -f;
+            }
+        }
+
+        let a = jac.build();
+        let Some(ilu) = a.ilu0() else {
+            return PoissonSolve { iterations: iter, max_update: last_update, converged: false };
+        };
+        let mut delta = vec![0.0; n_nodes];
+        let lin = bicgstab(&a, &rhs, &mut delta, &ilu, 1e-10, 2000);
+        if !lin.converged {
+            return PoissonSolve { iterations: iter, max_update: last_update, converged: false };
+        }
+
+        let mut max_update = 0.0f64;
+        for (p, d) in psi.iter_mut().zip(&delta) {
+            let step = d.clamp(-MAX_DPSI, MAX_DPSI);
+            *p += step;
+            max_update = max_update.max(step.abs());
+        }
+        last_update = max_update;
+        if max_update < PSI_TOL {
+            return PoissonSolve { iterations: iter, max_update, converged: true };
+        }
+    }
+    PoissonSolve { iterations: MAX_NEWTON, max_update: last_update, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MeshDensity;
+    use subvt_physics::device::DeviceParams;
+
+    fn solved_equilibrium() -> (Mosfet2d, Vec<f64>) {
+        let dev = Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
+        let bias = Bias::default();
+        let mut psi = initial_guess(&dev, &bias);
+        let phi = vec![0.0; dev.len()];
+        let out = solve(&dev, &mut psi, &phi, &phi, &bias);
+        assert!(out.converged, "equilibrium Poisson must converge: {out:?}");
+        (dev, psi)
+    }
+
+    #[test]
+    fn equilibrium_converges() {
+        let _ = solved_equilibrium();
+    }
+
+    #[test]
+    fn equilibrium_potential_landmarks() {
+        let (dev, psi) = solved_equilibrium();
+        let (vt, ni) = thermals(&dev);
+        // n+ source region: ψ ≈ +v_T·ln(1e20/n_i) ≈ 0.595 V.
+        let idx_src = dev.mesh.idx(0, dev.j_si0);
+        assert!((psi[idx_src] - vt * (1.0e20 / ni).ln()).abs() < 0.02, "src {}", psi[idx_src]);
+        // Deep p-substrate: ψ ≈ −v_T·ln(N_sub/n_i) < −0.4 V.
+        let idx_sub = dev.mesh.idx(dev.mesh.nx() / 2, dev.mesh.ny() - 1);
+        assert!(psi[idx_sub] < -0.40, "substrate {}", psi[idx_sub]);
+    }
+
+    #[test]
+    fn equilibrium_charge_neutral_in_bulk() {
+        let (dev, psi) = solved_equilibrium();
+        let (vt, ni) = thermals(&dev);
+        // A deep bulk node away from junctions should satisfy p ≈ N_a.
+        let idx = dev.mesh.idx(dev.mesh.nx() / 2, dev.mesh.ny() - 2);
+        let p = ni * (-psi[idx] / vt).exp();
+        let na = -dev.doping[idx];
+        assert!(na > 0.0);
+        assert!((p / na - 1.0).abs() < 0.05, "p = {p:e}, N_a = {na:e}");
+    }
+
+    #[test]
+    fn gate_bias_bends_surface_potential() {
+        let (dev, psi0) = solved_equilibrium();
+        let bias = Bias { v_gate: 0.6, ..Bias::default() };
+        let mut psi = psi0.clone();
+        let phi = vec![0.0; dev.len()];
+        let out = solve(&dev, &mut psi, &phi, &phi, &bias);
+        assert!(out.converged);
+        // Mid-channel surface potential rises with gate bias.
+        let mid_x = 0.5 * (dev.gate_span.0 + dev.gate_span.1);
+        let i_mid = (0..dev.mesh.nx())
+            .min_by(|&a, &b| {
+                (dev.mesh.xs[a] - mid_x)
+                    .abs()
+                    .partial_cmp(&(dev.mesh.xs[b] - mid_x).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        let idx = dev.mesh.idx(i_mid, dev.j_si0);
+        assert!(
+            psi[idx] > psi0[idx] + 0.2,
+            "surface potential must follow the gate: {} vs {}",
+            psi[idx],
+            psi0[idx]
+        );
+    }
+
+    #[test]
+    fn neutral_potential_signs() {
+        let (vt, ni) = (0.02585, 1.0e10);
+        assert!(neutral_potential(1.0e20, vt, ni) > 0.55);
+        assert!(neutral_potential(-1.0e18, vt, ni) < -0.4);
+        assert_eq!(neutral_potential(0.0, vt, ni), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Field inspection: extract 1-D cuts of the solved potential and
+//! carrier fields for plotting and physical sanity checks (the 2-D
+//! equivalents of MEDICI's contour exports behind the paper's Fig. 1(b)).
+
+use crate::gummel::DeviceSimulator;
+use crate::poisson::thermals;
+
+/// One sampled field cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldCut {
+    /// Position along the cut, cm.
+    pub position: Vec<f64>,
+    /// Electrostatic potential, volts.
+    pub potential: Vec<f64>,
+    /// Electron density, cm⁻³.
+    pub electrons: Vec<f64>,
+    /// Net signed doping, cm⁻³.
+    pub doping: Vec<f64>,
+}
+
+impl FieldCut {
+    /// Index and value of the potential minimum along the cut — in a
+    /// channel cut this is the source-drain barrier top that controls
+    /// the subthreshold current.
+    pub fn barrier(&self) -> (usize, f64) {
+        self.potential
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite potentials"))
+            .map(|(i, &v)| (i, v))
+            .expect("non-empty cut")
+    }
+}
+
+/// Lateral cut along the silicon surface (`y = 0⁺`), source to drain.
+pub fn surface_cut(sim: &DeviceSimulator) -> FieldCut {
+    let dev = sim.device();
+    let j = dev.j_si0;
+    let nx = dev.mesh.nx();
+    let mut cut = FieldCut {
+        position: Vec::with_capacity(nx),
+        potential: Vec::with_capacity(nx),
+        electrons: Vec::with_capacity(nx),
+        doping: Vec::with_capacity(nx),
+    };
+    for i in 0..nx {
+        let idx = dev.mesh.idx(i, j);
+        cut.position.push(dev.mesh.xs[i]);
+        cut.potential.push(sim.potential()[idx]);
+        cut.electrons.push(sim.electron_density()[idx]);
+        cut.doping.push(dev.doping[idx]);
+    }
+    cut
+}
+
+/// Vertical cut through the middle of the channel, surface to substrate.
+pub fn channel_depth_cut(sim: &DeviceSimulator) -> FieldCut {
+    let dev = sim.device();
+    let mid_x = 0.5 * (dev.gate_span.0 + dev.gate_span.1);
+    let i = (0..dev.mesh.nx())
+        .min_by(|&a, &b| {
+            (dev.mesh.xs[a] - mid_x)
+                .abs()
+                .partial_cmp(&(dev.mesh.xs[b] - mid_x).abs())
+                .expect("finite coordinates")
+        })
+        .expect("non-empty axis");
+    let ny = dev.mesh.ny();
+    let mut cut = FieldCut {
+        position: Vec::new(),
+        potential: Vec::new(),
+        electrons: Vec::new(),
+        doping: Vec::new(),
+    };
+    for j in dev.j_si0..ny {
+        let idx = dev.mesh.idx(i, j);
+        cut.position.push(dev.mesh.ys[j]);
+        cut.potential.push(sim.potential()[idx]);
+        cut.electrons.push(sim.electron_density()[idx]);
+        cut.doping.push(dev.doping[idx]);
+    }
+    cut
+}
+
+/// Sheet density of channel electrons (cm⁻²): the depth integral of the
+/// electron density through the mid-channel cut — the inversion charge
+/// the gate controls.
+pub fn channel_sheet_density(sim: &DeviceSimulator) -> f64 {
+    let cut = channel_depth_cut(sim);
+    let mut total = 0.0;
+    for k in 1..cut.position.len() {
+        let dy = cut.position[k] - cut.position[k - 1];
+        total += 0.5 * (cut.electrons[k] + cut.electrons[k - 1]) * dy;
+    }
+    total
+}
+
+/// Subthreshold-barrier summary at the present bias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarrierReport {
+    /// Barrier-top potential along the surface channel, volts.
+    pub barrier_potential: f64,
+    /// Lateral position of the barrier top, cm.
+    pub barrier_position: f64,
+    /// Channel electron sheet density, cm⁻².
+    pub sheet_density: f64,
+    /// Thermal voltage used, volts.
+    pub v_t: f64,
+}
+
+/// Builds the barrier report for the current bias point.
+pub fn barrier_report(sim: &DeviceSimulator) -> BarrierReport {
+    let cut = surface_cut(sim);
+    let (k, v) = cut.barrier();
+    let (vt, _) = thermals(sim.device());
+    BarrierReport {
+        barrier_potential: v,
+        barrier_position: cut.position[k],
+        sheet_density: channel_sheet_density(sim),
+        v_t: vt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{MeshDensity, Mosfet2d};
+    use subvt_physics::device::DeviceParams;
+
+    fn sim() -> DeviceSimulator {
+        let dev =
+            Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
+        DeviceSimulator::new(dev).expect("equilibrium")
+    }
+
+    #[test]
+    fn surface_cut_shows_source_barrier_drain_shape() {
+        let s = sim();
+        let cut = surface_cut(&s);
+        // n+ ends high, channel dips: the minimum sits strictly inside.
+        let (k, v) = cut.barrier();
+        assert!(k > 0 && k < cut.position.len() - 1, "interior barrier");
+        assert!(v < cut.potential[0] - 0.05, "barrier below the source");
+        assert!(v < cut.potential[cut.potential.len() - 1] - 0.05);
+    }
+
+    #[test]
+    fn gate_bias_lowers_the_barrier_and_floods_the_channel() {
+        let mut s = sim();
+        let before = barrier_report(&s);
+        s.set_bias(0.6, 0.05).expect("bias");
+        let after = barrier_report(&s);
+        assert!(
+            after.barrier_potential > before.barrier_potential + 0.2,
+            "gate must lift the channel potential: {} -> {}",
+            before.barrier_potential,
+            after.barrier_potential
+        );
+        assert!(
+            after.sheet_density > 100.0 * before.sheet_density,
+            "inversion charge must flood in: {:e} -> {:e}",
+            before.sheet_density,
+            after.sheet_density
+        );
+    }
+
+    #[test]
+    fn depth_cut_reaches_the_neutral_substrate() {
+        let s = sim();
+        let cut = channel_depth_cut(&s);
+        let (vt, ni) = thermals(s.device());
+        // The deepest point should sit at the substrate's neutral level.
+        let deep = *cut.potential.last().unwrap();
+        let want = vt * ((cut.doping.last().unwrap() / (2.0 * ni)).asinh());
+        assert!((deep - want).abs() < 0.02, "deep {deep} vs neutral {want}");
+    }
+
+    #[test]
+    fn drain_bias_moves_barrier_toward_source() {
+        // DIBL in space: raising V_d drags the barrier top toward the
+        // source end of the channel.
+        let mut s = sim();
+        s.set_bias(0.0, 0.05).expect("low drain");
+        let low = barrier_report(&s).barrier_position;
+        s.set_bias(0.0, 1.2).expect("high drain");
+        let high = barrier_report(&s).barrier_position;
+        assert!(
+            high <= low + 1e-9,
+            "barrier must not move toward the drain: {low:e} -> {high:e}"
+        );
+    }
+}

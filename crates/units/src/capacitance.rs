@@ -1,0 +1,65 @@
+//! Capacitance units: per-area (F/cm²) for oxide stacks and
+//! width-normalized (F/µm) for gate loads.
+
+use crate::impl_unit;
+
+impl_unit! {
+    /// An areal capacitance in F/cm² (e.g. the oxide capacitance
+    /// `C_ox = ε_ox / T_ox`).
+    FaradsPerCm2, "F/cm^2"
+}
+
+impl_unit! {
+    /// A width-normalized capacitance in F/µm — gate and load capacitances
+    /// quoted per micron of transistor width, matching [`AmpsPerMicron`]
+    /// so that `C·V/I` delays come out in seconds.
+    ///
+    /// [`AmpsPerMicron`]: crate::AmpsPerMicron
+    FaradsPerMicron, "F/um"
+}
+
+impl FaradsPerCm2 {
+    /// Multiplies by a gate length to get a width-normalized capacitance.
+    ///
+    /// `C_g/W = C_ox · L`, with `L` in cm and the result per µm of width
+    /// (1 µm = 1e-4 cm of width).
+    #[inline]
+    pub fn times_length_cm(self, length_cm: f64) -> FaradsPerMicron {
+        FaradsPerMicron::new(self.get() * length_cm * 1.0e-4)
+    }
+}
+
+impl FaradsPerMicron {
+    /// Returns the capacitance in fF/µm, the customary display unit.
+    #[inline]
+    pub const fn as_femtofarads(self) -> f64 {
+        self.0 * 1.0e15
+    }
+
+    /// Builds from fF/µm.
+    #[inline]
+    pub const fn from_femtofarads(ff: f64) -> Self {
+        Self::new(ff * 1.0e-15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oxide_cap_to_gate_cap() {
+        // C_ox = 1.64e-6 F/cm², L = 65 nm = 65e-7 cm.
+        // C_g/W = 1.64e-6 * 65e-7 * 1e-4 = 1.066e-15 F/µm ≈ 1.07 fF/µm.
+        let cox = FaradsPerCm2::new(1.64e-6);
+        let cg = cox.times_length_cm(65.0e-7);
+        assert!((cg.as_femtofarads() - 1.066).abs() < 0.01);
+    }
+
+    #[test]
+    fn femtofarad_round_trip() {
+        let c = FaradsPerMicron::from_femtofarads(1.5);
+        assert!((c.as_femtofarads() - 1.5).abs() < 1e-12);
+        assert!((c.get() - 1.5e-15).abs() < 1e-27);
+    }
+}

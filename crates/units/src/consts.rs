@@ -1,0 +1,66 @@
+//! Physical constants in device-physics units (cm, V, F/cm, C).
+//!
+//! Values follow Taur & Ning, *Fundamentals of Modern VLSI Devices* —
+//! the same reference (\[19\]) the paper uses for its device expressions.
+
+/// Elementary charge `q` in Coulombs.
+pub const Q: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant `k` in J/K.
+pub const K_B: f64 = 1.380_649e-23;
+
+/// Vacuum permittivity `ε₀` in F/cm.
+pub const EPS_0: f64 = 8.854_187_8e-14;
+
+/// Relative permittivity of silicon.
+pub const EPS_SI_REL: f64 = 11.7;
+
+/// Relative permittivity of SiO₂.
+pub const EPS_OX_REL: f64 = 3.9;
+
+/// Permittivity of silicon in F/cm.
+pub const EPS_SI: f64 = EPS_SI_REL * EPS_0;
+
+/// Permittivity of SiO₂ in F/cm.
+pub const EPS_OX: f64 = EPS_OX_REL * EPS_0;
+
+/// Silicon band gap at 300 K in eV.
+pub const E_G_300K: f64 = 1.12;
+
+/// Intrinsic carrier density of silicon at 300 K in cm⁻³.
+///
+/// Taur & Ning's tabulated value; the paper's expressions (its Eq. 1 and
+/// Eq. 2) are taken from the same text.
+pub const N_I_300K: f64 = 1.0e10;
+
+/// Effective density of states in the conduction band at 300 K, cm⁻³.
+pub const N_C_300K: f64 = 2.8e19;
+
+/// Effective density of states in the valence band at 300 K, cm⁻³.
+pub const N_V_300K: f64 = 1.04e19;
+
+/// Electron saturation velocity in silicon, cm/s.
+pub const V_SAT_N: f64 = 8.0e6;
+
+/// Hole saturation velocity in silicon, cm/s.
+pub const V_SAT_P: f64 = 6.0e6;
+
+/// `ln(10)`, the natural log of ten — converts neper slopes to decades.
+pub const LN_10: f64 = core::f64::consts::LN_10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permittivities_are_consistent() {
+        assert!((EPS_SI / EPS_OX - 3.0).abs() < 1e-9);
+        assert!((EPS_SI - 1.0359e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn thermal_voltage_from_constants() {
+        let vt = K_B * 300.0 / Q;
+        assert!((vt - 0.025852).abs() < 1e-5);
+    }
+}

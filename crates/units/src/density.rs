@@ -1,0 +1,53 @@
+//! Volumetric density (doping, carrier concentrations) in cm⁻³.
+
+use crate::impl_unit;
+
+impl_unit! {
+    /// A volumetric density in cm⁻³ — doping concentrations
+    /// (`N_sub`, `N_p,halo`) and carrier densities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subvt_units::PerCubicCentimeter;
+    /// let n_sub = PerCubicCentimeter::new(1.52e18);
+    /// assert_eq!(format!("{n_sub:.2e}"), "1.52e18 cm^-3");
+    /// ```
+    PerCubicCentimeter, "cm^-3"
+}
+
+impl PerCubicCentimeter {
+    /// Natural log of the ratio to another density — the form that appears
+    /// in Fermi potentials (`φ_F = v_T·ln(N_a/n_i)`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both densities are positive.
+    #[inline]
+    pub fn ln_ratio(self, reference: Self) -> f64 {
+        debug_assert!(self.get() > 0.0 && reference.get() > 0.0);
+        (self.get() / reference.get()).ln()
+    }
+}
+
+impl core::fmt::LowerExp for PerCubicCentimeter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*e} cm^-3", prec, self.get())
+        } else {
+            write!(f, "{:e} cm^-3", self.get())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_ratio_matches_f64() {
+        let n = PerCubicCentimeter::new(1.0e18);
+        let ni = PerCubicCentimeter::new(1.0e10);
+        assert!((n.ln_ratio(ni) - (1.0e8f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Energy units: absolute Joules and width-normalized J/µm.
+
+use crate::impl_unit;
+
+impl_unit! {
+    /// An energy in Joules. Circuit energies in this workspace are tiny —
+    /// femtojoules per cycle — so [`Joules::as_femtojoules`] is the usual
+    /// display path.
+    Joules, "J"
+}
+
+impl_unit! {
+    /// A width-normalized energy in J/µm, used when gate capacitances are
+    /// carried per micron of width.
+    JoulesPerMicron, "J/um"
+}
+
+impl Joules {
+    /// Returns the energy in femtojoules.
+    #[inline]
+    pub const fn as_femtojoules(self) -> f64 {
+        self.0 * 1.0e15
+    }
+
+    /// Builds from femtojoules.
+    #[inline]
+    pub const fn from_femtojoules(fj: f64) -> Self {
+        Self::new(fj * 1.0e-15)
+    }
+
+    /// Returns the energy in attojoules.
+    #[inline]
+    pub const fn as_attojoules(self) -> f64 {
+        self.0 * 1.0e18
+    }
+}
+
+impl JoulesPerMicron {
+    /// Scales by a width in microns to recover an absolute energy.
+    #[inline]
+    pub fn times_width_um(self, width_um: f64) -> Joules {
+        Joules::new(self.get() * width_um)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn femto_and_atto_scales() {
+        let e = Joules::from_femtojoules(2.6);
+        assert!((e.as_femtojoules() - 2.6).abs() < 1e-12);
+        assert!((e.as_attojoules() - 2600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width_scaling() {
+        let e = JoulesPerMicron::new(1.0e-15).times_width_um(3.0);
+        assert!((e.as_femtojoules() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Length units: nanometers for geometry, centimeters for physics formulas.
+
+use crate::impl_unit;
+
+impl_unit! {
+    /// A length in nanometers — the natural unit for device geometry
+    /// (`L_poly`, `T_ox`, junction depths).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subvt_units::Nanometers;
+    /// let l_poly = Nanometers::new(65.0);
+    /// assert_eq!(l_poly.as_cm(), 65.0e-7);
+    /// ```
+    Nanometers, "nm"
+}
+
+impl_unit! {
+    /// A length in centimeters — the unit device-physics formulas use
+    /// (doping in cm⁻³, capacitance in F/cm², mobility in cm²/Vs).
+    Centimeters, "cm"
+}
+
+impl Nanometers {
+    /// Converts to centimeters (1 nm = 1e-7 cm).
+    #[inline]
+    pub const fn as_cm(self) -> f64 {
+        self.0 * 1.0e-7
+    }
+
+    /// Converts to the [`Centimeters`] newtype.
+    #[inline]
+    pub const fn to_centimeters(self) -> Centimeters {
+        Centimeters::new(self.as_cm())
+    }
+}
+
+impl Centimeters {
+    /// Converts to nanometers (1 cm = 1e7 nm).
+    #[inline]
+    pub const fn as_nm(self) -> f64 {
+        self.0 * 1.0e7
+    }
+
+    /// Converts to the [`Nanometers`] newtype.
+    #[inline]
+    pub const fn to_nanometers(self) -> Nanometers {
+        Nanometers::new(self.as_nm())
+    }
+}
+
+impl From<Nanometers> for Centimeters {
+    fn from(value: Nanometers) -> Self {
+        value.to_centimeters()
+    }
+}
+
+impl From<Centimeters> for Nanometers {
+    fn from(value: Centimeters) -> Self {
+        value.to_nanometers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nm_cm_round_trip_exact_cases() {
+        assert!((Nanometers::new(100.0).as_cm() - 1.0e-5).abs() < 1e-18);
+        assert!((Centimeters::new(1.0e-7).as_nm() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn nm_cm_round_trip(value in 0.01f64..1.0e6) {
+            let nm = Nanometers::new(value);
+            let back = nm.to_centimeters().to_nanometers();
+            prop_assert!((back.get() - value).abs() <= value * 1e-12);
+        }
+
+        #[test]
+        fn conversion_preserves_order(a in 0.01f64..1.0e6, b in 0.01f64..1.0e6) {
+            let (na, nb) = (Nanometers::new(a), Nanometers::new(b));
+            prop_assert_eq!(na < nb, na.to_centimeters() < nb.to_centimeters());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Time in seconds, with picosecond helpers for gate delays.
+
+use crate::impl_unit;
+
+impl_unit! {
+    /// A time in seconds. Gate delays span picoseconds (super-threshold)
+    /// to microseconds (deep subthreshold), so the raw unit stays SI and
+    /// helpers convert for display.
+    Seconds, "s"
+}
+
+impl Seconds {
+    /// Returns the time in picoseconds.
+    #[inline]
+    pub const fn as_picoseconds(self) -> f64 {
+        self.0 * 1.0e12
+    }
+
+    /// Builds from picoseconds.
+    #[inline]
+    pub const fn from_picoseconds(ps: f64) -> Self {
+        Self::new(ps * 1.0e-12)
+    }
+
+    /// Returns the time in nanoseconds.
+    #[inline]
+    pub const fn as_nanoseconds(self) -> f64 {
+        self.0 * 1.0e9
+    }
+
+    /// Builds from nanoseconds.
+    #[inline]
+    pub const fn from_nanoseconds(ns: f64) -> Self {
+        Self::new(ns * 1.0e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picosecond_round_trip() {
+        let t = Seconds::from_picoseconds(1.3);
+        assert!((t.as_picoseconds() - 1.3).abs() < 1e-12);
+        assert!((t.get() - 1.3e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn nanosecond_round_trip() {
+        let t = Seconds::from_nanoseconds(2.5);
+        assert!((t.as_nanoseconds() - 2.5).abs() < 1e-12);
+        assert!((t.as_picoseconds() - 2500.0).abs() < 1e-9);
+    }
+}

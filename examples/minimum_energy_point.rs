@@ -1,0 +1,56 @@
+//! The minimum-energy point in detail: sweep the supply for the paper's
+//! 30-inverter chain (α = 0.1), print the dynamic/leakage breakdown, the
+//! energy-optimal V_min, and the V_min = K_Vmin·S_S relation (paper
+//! §2.3.3–2.3.4, Fig. 6).
+//!
+//! ```text
+//! cargo run --release -p subvt-exp --example minimum_energy_point
+//! ```
+
+use subvt_circuits::chain::InverterChain;
+use subvt_circuits::inverter::CmosPair;
+use subvt_physics::DeviceParams;
+use subvt_units::Volts;
+
+fn main() {
+    let pair = CmosPair::balanced(DeviceParams::reference_90nm_nfet());
+    let chain = InverterChain::paper_chain(pair);
+
+    println!("V_dd sweep for a 30-inverter chain, alpha = 0.1 (90 nm device):\n");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "V_dd (mV)", "E_dyn (fJ)", "E_leak (fJ)", "E_tot (fJ)", "T_cycle"
+    );
+    println!("{}", "-".repeat(66));
+    for mv in (140..=500).step_by(30) {
+        let p = chain.energy_at(Volts::from_millivolts(mv as f64));
+        println!(
+            "{:>10}  {:>12.4}  {:>12.4}  {:>12.4}  {:>9.2} us",
+            mv,
+            p.dynamic.as_femtojoules(),
+            p.leakage.as_femtojoules(),
+            p.total().as_femtojoules(),
+            p.t_cycle.get() * 1e6,
+        );
+    }
+
+    let mep = chain.minimum_energy_point();
+    println!(
+        "\nV_min = {:.0} mV, E_min = {:.3} fJ/cycle",
+        mep.v_min.as_millivolts(),
+        mep.energy.as_femtojoules()
+    );
+    println!("K_Vmin = V_min/S_S = {:.2} decades", chain.k_vmin());
+
+    // Activity dependence: busier circuits prefer lower V_min.
+    println!("\nActivity dependence of V_min:");
+    for alpha in [0.02, 0.05, 0.1, 0.2, 0.5] {
+        let c = InverterChain::new(pair, 30, alpha);
+        let m = c.minimum_energy_point();
+        println!(
+            "  alpha = {alpha:<5}  V_min = {:>4.0} mV   E = {:.3} fJ",
+            m.v_min.as_millivolts(),
+            m.energy.as_femtojoules()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end checks on the experiment harness: every table and figure
+//! runs, renders, and reproduces the paper's headline shapes.
+
+use subvt_exp::{run, run_all, StudyContext, ALL_EXPERIMENTS};
+
+#[test]
+fn every_registered_experiment_renders() {
+    // Warm the shared design cache once, then run everything.
+    let _ = StudyContext::cached();
+    let tables = run_all();
+    assert_eq!(tables.len(), ALL_EXPERIMENTS.len());
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{} has no rows", t.title);
+        let text = t.to_text();
+        assert!(text.starts_with("## "), "{} text render", t.title);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv.lines().count(),
+            t.rows.len() + 1,
+            "{} csv render",
+            t.title
+        );
+    }
+}
+
+#[test]
+fn table2_reproduces_paper_inputs_exactly() {
+    let t = run("table2").expect("table2");
+    // Roadmap columns are the paper's stated inputs and must match
+    // exactly: L_poly 65/46/32/22 nm, T_ox 2.10/1.89/1.70/1.53 nm,
+    // V_dd 1.2/1.1/1.0/0.9.
+    let l: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    assert_eq!(l, vec![65.0, 46.0, 32.0, 22.0]);
+    let tox: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+    for (got, want) in tox.iter().zip([2.10, 1.89, 1.70, 1.53]) {
+        assert!((got - want).abs() < 0.011);
+    }
+    let vdd: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+    assert_eq!(vdd, vec![1.2, 1.1, 1.0, 0.9]);
+}
+
+#[test]
+fn table2_doping_lands_near_paper_values() {
+    // Paper Table 2: N_sub 1.52/1.97/2.52/3.31e18. Our derived values
+    // should land within ~50 % (independent substrate calibration).
+    let t = run("table2").expect("table2");
+    let want = [1.52e18, 1.97e18, 2.52e18, 3.31e18];
+    for (row, want) in t.rows.iter().zip(want) {
+        let got: f64 = row[3].parse().unwrap();
+        assert!(
+            (got / want - 1.0).abs() < 0.5,
+            "N_sub {got:e} vs paper {want:e}"
+        );
+    }
+}
+
+#[test]
+fn table3_gate_lengths_exceed_minimum_and_shrink_slowly() {
+    // Paper Table 3: L_poly 95/75/60/45 — longer than the super-Vth
+    // 65/46/32/22 and scaling ~20-25 %/generation.
+    let t = run("table3").expect("table3");
+    let l: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    let min = [65.0, 46.0, 32.0, 22.0];
+    for (got, min) in l.iter().zip(min) {
+        assert!(*got > min, "L_poly {got} must exceed the node minimum {min}");
+    }
+    for w in l.windows(2) {
+        let shrink = 1.0 - w[1] / w[0];
+        assert!(
+            (0.05..0.35).contains(&shrink),
+            "per-generation shrink {shrink} out of the paper's slow-scaling range"
+        );
+    }
+}
+
+#[test]
+fn fig2_and_fig10_shapes() {
+    let fig2 = run("fig2").expect("fig2");
+    let ss: Vec<f64> = fig2.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    assert!(ss.windows(2).all(|w| w[1] > w[0]), "S_S must degrade: {ss:?}");
+
+    let fig10 = run("fig10").expect("fig10");
+    let ratio: f64 = fig10.rows[3][3].parse().unwrap();
+    assert!(ratio > 1.05, "fig10 32 nm SNM ratio {ratio}");
+}
+
+#[test]
+fn fig12_energy_ratio_close_to_paper() {
+    // Paper: 23 % saving at 32 nm. Accept 10–40 %.
+    let t = run("fig12").expect("fig12");
+    let ratio: f64 = t.rows[3][5].parse().unwrap();
+    assert!(
+        (0.60..0.90).contains(&ratio),
+        "32 nm energy ratio {ratio} (paper: 0.77)"
+    );
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(run("table9").is_none());
+    assert!(run("").is_none());
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration: the scaling flows (subvt-core) driving the
+//! device physics (subvt-physics) and the circuit analyses
+//! (subvt-circuits), end to end — the paper's full pipeline.
+
+use subvt_circuits::chain::InverterChain;
+use subvt_circuits::delay::analytic_fo1_delay;
+use subvt_circuits::inverter::Inverter;
+use subvt_circuits::snm::noise_margins;
+use subvt_core::metrics::{delay_factor_fixed_ioff, energy_factor};
+use subvt_core::strategy::ScalingStrategy;
+use subvt_core::{SubVthStrategy, SuperVthStrategy, TechNode};
+use subvt_units::Volts;
+
+fn designs() -> (Vec<subvt_core::NodeDesign>, Vec<subvt_core::NodeDesign>) {
+    let sup = SuperVthStrategy::default().design_all().expect("super-Vth flow");
+    let sub = SubVthStrategy::default().design_all().expect("sub-Vth flow");
+    (sup, sub)
+}
+
+#[test]
+fn paper_headline_snm_advantage_at_32nm() {
+    // Paper Fig. 10: the proposed strategy's inverter SNM at 250 mV is
+    // ~19 % better at the 32 nm node.
+    let (sup, sub) = designs();
+    let v = Volts::new(0.25);
+    let snm = |d: &subvt_core::NodeDesign| {
+        let vtc = Inverter::new(d.cmos_pair()).vtc(v, 121).expect("vtc");
+        noise_margins(&vtc).expect("restoring inverter").snm()
+    };
+    let snm_sup = snm(&sup[3]);
+    let snm_sub = snm(&sub[3]);
+    assert!(
+        snm_sub > 1.05 * snm_sup,
+        "sub-Vth SNM {snm_sub} must clearly beat super-Vth {snm_sup} at 32 nm"
+    );
+}
+
+#[test]
+fn paper_headline_ss_flat_vs_degrading() {
+    let (sup, sub) = designs();
+    let deg_sup = sup[3].nfet_chars.s_s.get() / sup[0].nfet_chars.s_s.get();
+    let deg_sub = sub[3].nfet_chars.s_s.get() / sub[0].nfet_chars.s_s.get();
+    // Paper Fig. 9: super-Vth S_S degrades ~11 %+ while sub-Vth stays
+    // within a few mV/dec.
+    assert!(deg_sup > 1.08, "super-Vth S_S degradation {deg_sup}");
+    assert!(deg_sub < 1.06, "sub-Vth S_S must stay nearly flat: {deg_sub}");
+}
+
+#[test]
+fn paper_headline_energy_saving_at_32nm() {
+    // Paper Fig. 12: ~23 % chain-energy saving at 32 nm at V_min.
+    let (sup, sub) = designs();
+    let e_sup = InverterChain::paper_chain(sup[3].cmos_pair())
+        .minimum_energy_point()
+        .energy
+        .get();
+    let e_sub = InverterChain::paper_chain(sub[3].cmos_pair())
+        .minimum_energy_point()
+        .energy
+        .get();
+    let ratio = e_sub / e_sup;
+    assert!(
+        ratio < 0.95,
+        "sub-Vth strategy must save energy at 32 nm: ratio {ratio}"
+    );
+}
+
+#[test]
+fn paper_headline_vmin_flat_under_subvth() {
+    let (sup, sub) = designs();
+    let vmin = |d: &subvt_core::NodeDesign| {
+        InverterChain::paper_chain(d.cmos_pair())
+            .minimum_energy_point()
+            .v_min
+            .as_volts()
+    };
+    let spread_sup = vmin(&sup[3]) - vmin(&sup[0]);
+    let spread_sub = (vmin(&sub[3]) - vmin(&sub[0])).abs();
+    // Paper Fig. 6/12: V_min rises tens of mV under super-Vth scaling but
+    // moves only ~10 mV under the proposed strategy.
+    assert!(spread_sup > 0.02, "super-Vth V_min rise {spread_sup} V");
+    assert!(spread_sub < 0.04, "sub-Vth V_min spread {spread_sub} V");
+}
+
+#[test]
+fn subvth_delay_improves_where_supervth_degrades() {
+    // Paper Fig. 11 (via the analytic engine for speed): at 250 mV the
+    // sub-Vth strategy's delay falls monotonically; the super-Vth
+    // strategy's delay rises from 90 nm onwards.
+    let (sup, sub) = designs();
+    let v = Volts::new(0.25);
+    let d_sup: Vec<f64> = sup
+        .iter()
+        .map(|d| analytic_fo1_delay(&d.cmos_pair(), v).get())
+        .collect();
+    let d_sub: Vec<f64> = sub
+        .iter()
+        .map(|d| analytic_fo1_delay(&d.cmos_pair(), v).get())
+        .collect();
+    assert!(
+        d_sub.windows(2).all(|w| w[1] < w[0]),
+        "sub-Vth delay must fall: {d_sub:?}"
+    );
+    assert!(
+        d_sup[3] > d_sup[0],
+        "super-Vth 250 mV delay must degrade 90→32 nm: {d_sup:?}"
+    );
+}
+
+#[test]
+fn strategies_work_as_trait_objects() {
+    let strategies: Vec<Box<dyn ScalingStrategy>> = vec![
+        Box::new(SuperVthStrategy::default()),
+        Box::new(SubVthStrategy::default()),
+    ];
+    for s in &strategies {
+        let d = s.design_node(TechNode::N65).expect("node design");
+        assert_eq!(d.node, TechNode::N65);
+        assert!(d.nfet_chars.i_off.get() > 0.0);
+        assert!(!s.name().is_empty());
+    }
+}
+
+#[test]
+fn table3_factors_fall_monotonically() {
+    let sub = SubVthStrategy::default().design_all().expect("flow");
+    let ef: Vec<f64> = sub.iter().map(|d| energy_factor(&d.nfet_chars)).collect();
+    let df: Vec<f64> = sub
+        .iter()
+        .map(|d| delay_factor_fixed_ioff(&d.nfet_chars))
+        .collect();
+    assert!(ef.windows(2).all(|w| w[1] < w[0]), "energy factors {ef:?}");
+    assert!(df.windows(2).all(|w| w[1] < w[0]), "delay factors {df:?}");
+}
+
+#[test]
+fn designed_devices_are_circuit_ready() {
+    // Every designed node must yield a working inverter with a sane VTC
+    // at 250 mV (rail-to-rail, monotone).
+    let (sup, sub) = designs();
+    for d in sup.iter().chain(&sub) {
+        let vtc = Inverter::new(d.cmos_pair())
+            .vtc(Volts::new(0.25), 61)
+            .expect("vtc");
+        assert!(vtc.v_out[0] > 0.24, "{}: high output rail", d.node);
+        assert!(vtc.v_out[60] < 0.01, "{}: low output rail", d.node);
+        assert!(
+            vtc.v_out.windows(2).all(|w| w[1] <= w[0] + 1e-6),
+            "{}: monotone VTC",
+            d.node
+        );
+    }
+}

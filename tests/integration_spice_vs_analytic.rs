@@ -1,0 +1,156 @@
+//! Validates the MNA simulator (subvt-spice) against the paper's
+//! closed-form circuit expressions on the same devices.
+
+use subvt_circuits::chain::InverterChain;
+use subvt_circuits::delay::{analytic_fo1_delay, spice_fo1_delay};
+use subvt_circuits::inverter::{analytic_vtc, CmosPair, Inverter};
+use subvt_circuits::snm::noise_margins;
+use subvt_physics::device::DeviceParams;
+use subvt_spice::measure::supply_energy;
+use subvt_spice::netlist::{Netlist, Waveform};
+use subvt_spice::transient::{transient, Integrator, TransientSpec};
+use subvt_units::Volts;
+
+fn pair() -> CmosPair {
+    CmosPair::balanced(DeviceParams::reference_90nm_nfet())
+}
+
+#[test]
+fn spice_vtc_matches_paper_eq3() {
+    // The simulated VTC must track the paper's Eq. 3(b) closed form in
+    // the subthreshold regime.
+    let p = pair().at_supply(Volts::new(0.25));
+    let spice = Inverter::new(p).vtc(Volts::new(0.25), 81).expect("vtc");
+    let closed = analytic_vtc(&p, Volts::new(0.25), 81);
+    let max_dev = spice
+        .v_out
+        .iter()
+        .zip(&closed.v_out)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_dev < 0.05, "max VTC deviation {max_dev} V");
+}
+
+#[test]
+fn spice_delay_tracks_analytic_over_supply() {
+    // Eq. 4/Eq. 5 say delay is exponential in V_dd below threshold; the
+    // transient-measured delay must track the analytic estimate within a
+    // constant factor across supplies.
+    let p = pair();
+    for v in [0.22, 0.25, 0.30] {
+        let v = Volts::new(v);
+        let spice = spice_fo1_delay(&p, v, 700).expect("delay").average().get();
+        let analytic = analytic_fo1_delay(&p, v).get();
+        let ratio = spice / analytic;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "V_dd {v}: spice {spice:e} vs analytic {analytic:e}"
+        );
+    }
+}
+
+#[test]
+fn measured_switching_energy_close_to_cv2() {
+    // Drive a single inverter with one slow full swing and integrate the
+    // supply charge: E ≈ C_load·V_dd² for one low-to-high output event.
+    let p = pair().at_supply(Volts::new(0.3));
+    let inv = Inverter::new(p);
+    let vdd = 0.3;
+    let tp = analytic_fo1_delay(&p, Volts::new(vdd)).get();
+
+    let mut net = Netlist::new();
+    let vdd_node = net.node("vdd");
+    let a = net.node("a");
+    let b = net.node("b");
+    net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
+    net.vsource(
+        "VIN",
+        a,
+        Netlist::GROUND,
+        Waveform::Pulse {
+            v0: vdd, // input starts high → output low → one discharge…
+            v1: 0.0,
+            delay: 5.0 * tp,
+            rise: tp,
+            fall: tp,
+            width: 1.0,
+            period: f64::INFINITY,
+        },
+    );
+    inv.wire(&mut net, "X1", a, b, vdd_node);
+
+    let res = transient(
+        &net,
+        TransientSpec::with_steps(40.0 * tp, 1200, Integrator::Trapezoidal),
+    )
+    .expect("transient");
+    let e = supply_energy(&res, 0, vdd_node);
+    // Only the output node hangs on the supply-paid path (the input cap
+    // is charged by the input source): E_supply ≈ C_out·V_dd².
+    let want = p.output_capacitance() * vdd * vdd;
+    let ratio = e / want;
+    assert!(
+        (0.3..2.0).contains(&ratio),
+        "switching energy {e:e} vs C·V² {want:e} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn chain_energy_model_consistent_with_spice_leakage() {
+    // The analytic chain model's leakage term uses I_off·V_dd; check the
+    // DC supply current of an idle inverter matches the model's leakage
+    // estimate within a factor of a few.
+    let p = pair().at_supply(Volts::new(0.25));
+    let inv = Inverter::new(p);
+    let mut net = Netlist::new();
+    let vdd_node = net.node("vdd");
+    let a = net.node("a");
+    let b = net.node("b");
+    net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(0.25));
+    net.vsource("VIN", a, Netlist::GROUND, Waveform::Dc(0.0));
+    inv.wire(&mut net, "X1", a, b, vdd_node);
+    let sol = subvt_spice::dc_operating_point(&net).expect("op");
+    let i_supply = -sol.branch_currents[0];
+    let i_model = p.leakage_current();
+    let ratio = i_supply / i_model;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "DC leakage {i_supply:e} vs model {i_model:e}"
+    );
+}
+
+#[test]
+fn minimum_energy_point_is_stable_across_engines() {
+    // V_min from the analytic sweep must coincide with the golden-section
+    // search result (sanity of the optimizer itself).
+    let chain = InverterChain::paper_chain(pair());
+    let mep = chain.minimum_energy_point();
+    let sweep = chain.energy_sweep(Volts::new(0.1), Volts::new(0.6), 201);
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.total().get().partial_cmp(&b.total().get()).unwrap())
+        .expect("non-empty sweep");
+    assert!(
+        (best.v_dd.as_volts() - mep.v_min.as_volts()).abs() < 0.01,
+        "sweep minimum {} vs golden-section {}",
+        best.v_dd.as_volts(),
+        mep.v_min.as_volts()
+    );
+}
+
+#[test]
+fn snm_definitions_rank_supplies_consistently() {
+    // Gain-based (paper) and butterfly SNM must both rank supplies the
+    // same way.
+    let p = pair();
+    let inv = Inverter::new(p);
+    let snm_at = |v: f64| {
+        let vtc = inv.vtc(Volts::new(v), 121).expect("vtc");
+        let gain = noise_margins(&vtc).expect("margins").snm();
+        let fly = subvt_circuits::butterfly_snm(&vtc, &vtc);
+        (gain, fly)
+    };
+    let (g1, f1) = snm_at(0.20);
+    let (g2, f2) = snm_at(0.30);
+    assert!(g2 > g1 && f2 > f1);
+}
