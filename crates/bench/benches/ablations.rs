@@ -2,88 +2,54 @@
 //! compact vs 2-D engines, analytic vs simulated VTC, solver components,
 //! and the doping co-optimization the paper's §3 argues for.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_bench::Harness;
 use subvt_circuits::inverter::{analytic_vtc, CmosPair, Inverter};
+use subvt_core::{SubVthStrategy, TechNode};
 use subvt_physics::device::{DeviceKind, DeviceParams};
 use subvt_tcad::device::{MeshDensity, Mosfet2d};
 use subvt_tcad::gummel::DeviceSimulator;
 use subvt_units::{Nanometers, Volts};
 
-/// Compact characterization vs a full 2-D equilibrium solve: the reason
-/// the sweeps run on the compact engine (4–5 orders of magnitude apart).
-fn bench_engines(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("ablations").max_samples(20);
     let params = DeviceParams::reference_90nm_nfet();
-    c.bench_function("ablation_compact_characterize", |b| {
-        b.iter(|| params.characterize())
-    });
-    let mut g = c.benchmark_group("ablation_tcad_equilibrium");
-    g.sample_size(10);
-    g.bench_function("coarse_mesh", |b| {
-        b.iter(|| {
-            let dev = Mosfet2d::build(&params, MeshDensity::Coarse);
-            DeviceSimulator::new(dev).unwrap()
-        })
-    });
-    g.finish();
-}
 
-/// Analytic Eq. 3 VTC vs the SPICE DC sweep for the same inverter.
-fn bench_vtc_engines(c: &mut Criterion) {
-    let pair = CmosPair::balanced(DeviceParams::reference_90nm_nfet());
-    c.bench_function("ablation_vtc_analytic_eq3", |b| {
-        b.iter(|| analytic_vtc(&pair, Volts::new(0.25), 81))
+    // Compact characterization vs a full 2-D equilibrium solve: the
+    // reason the sweeps run on the compact engine (orders of magnitude).
+    h.bench("compact_characterize", || params.characterize());
+    h.bench("tcad_equilibrium_coarse_mesh", || {
+        let dev = Mosfet2d::build(&params, MeshDensity::Coarse);
+        DeviceSimulator::new(dev).unwrap()
     });
-    let mut g = c.benchmark_group("ablation_vtc_spice");
-    g.sample_size(10);
-    g.bench_function("dc_sweep_81pts", |b| {
-        let inv = Inverter::new(pair);
-        b.iter(|| inv.vtc(Volts::new(0.25), 81).unwrap())
-    });
-    g.finish();
-}
 
-/// Single-point I–V evaluation: the inner loop of every sweep.
-fn bench_model_eval(c: &mut Criterion) {
-    let params = DeviceParams::reference_90nm_nfet();
+    // Analytic Eq. 3 VTC vs the SPICE DC sweep for the same inverter.
+    let pair = CmosPair::balanced(params);
+    h.bench("vtc_analytic_eq3", || {
+        analytic_vtc(&pair, Volts::new(0.25), 81)
+    });
+    let inv = Inverter::new(CmosPair::balanced(params));
+    h.bench("vtc_spice_dc_sweep_81pts", || {
+        inv.vtc(Volts::new(0.25), 81).unwrap()
+    });
+
+    // Single-point I–V evaluation: the inner loop of every sweep.
     let model = params.mos_model();
-    c.bench_function("ablation_ekv_current_eval", |b| {
-        b.iter(|| model.drain_current(Volts::new(0.25), Volts::new(0.125)))
+    h.bench("ekv_current_eval", || {
+        model.drain_current(Volts::new(0.25), Volts::new(0.125))
     });
-}
 
-/// Doping co-optimization (paper §3.1): optimized profile vs a fixed
-/// heavy-halo profile at the same length — the cost of doing it right.
-fn bench_doping_optimization(c: &mut Criterion) {
-    use subvt_core::{SubVthStrategy, TechNode};
+    // Doping co-optimization (paper §3.1): optimized profile vs a fixed
+    // heavy-halo profile at the same length — the cost of doing it right.
     let strategy = SubVthStrategy::default();
-    let mut g = c.benchmark_group("ablation_doping");
-    g.sample_size(10);
-    g.bench_function("fixed_halo_ratio", |b| {
-        b.iter(|| {
-            strategy
-                .doping_for_ioff(TechNode::N45, DeviceKind::Nfet, Nanometers::new(60.0), 1.0)
-                .unwrap()
-        })
+    h.bench("doping_fixed_halo_ratio", || {
+        strategy
+            .doping_for_ioff(TechNode::N45, DeviceKind::Nfet, Nanometers::new(60.0), 1.0)
+            .unwrap()
     });
-    g.bench_function("co_optimized", |b| {
-        b.iter(|| {
-            strategy
-                .optimize_doping_at_length(
-                    TechNode::N45,
-                    DeviceKind::Nfet,
-                    Nanometers::new(60.0),
-                )
-                .unwrap()
-        })
+    h.bench("doping_co_optimized", || {
+        strategy
+            .optimize_doping_at_length(TechNode::N45, DeviceKind::Nfet, Nanometers::new(60.0))
+            .unwrap()
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_engines,
-    bench_vtc_engines,
-    bench_model_eval,
-    bench_doping_optimization
-);
-criterion_main!(benches);

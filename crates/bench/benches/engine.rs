@@ -1,0 +1,49 @@
+//! Engine benchmarks: serial vs pooled execution of the two design
+//! flows, the cached `StudyContext::compute` fast path, and the raw
+//! executor / cache primitives they are built from.
+
+use subvt_bench::{black_box, Harness};
+use subvt_core::strategy::ScalingStrategy;
+use subvt_core::{SubVthStrategy, SuperVthStrategy};
+use subvt_exp::StudyContext;
+
+fn main() {
+    let mut h = Harness::new("engine").max_samples(20);
+
+    // The tentpole comparison: both flows back-to-back on one thread vs
+    // overlapped on the engine pool (both uncached — the cache is what
+    // `compute_cache_hit` measures).
+    h.bench("design_flows_serial", || {
+        let sup = SuperVthStrategy::default().design_all().unwrap();
+        let sub = SubVthStrategy::default().design_all().unwrap();
+        (sup, sub)
+    });
+    h.bench("design_flows_parallel", || {
+        subvt_engine::global().map(vec![true, false], |is_super| {
+            if is_super {
+                SuperVthStrategy::default().design_all().unwrap()
+            } else {
+                SubVthStrategy::default().design_all().unwrap()
+            }
+        })
+    });
+
+    // Warm path every experiment takes after the first: a cache lookup
+    // plus a flat-float decode.
+    black_box(StudyContext::compute().unwrap());
+    h.bench("compute_cache_hit", || StudyContext::compute().unwrap());
+
+    // Raw primitives, for regression-spotting in the engine itself.
+    h.bench("executor_map_64_trivial_jobs", || {
+        subvt_engine::global().map((0..64u64).collect(), |i| i.wrapping_mul(2_654_435_761))
+    });
+    let cache = subvt_engine::Cache::new();
+    let payload: Vec<f64> = (0..64).map(f64::from).collect();
+    let mut key = 0u64;
+    h.bench("cache_get_or_compute_hit", move || {
+        key = key.wrapping_add(1) % 8;
+        let p = payload.clone();
+        cache.get_or_compute::<Vec<f64>>("bench", key, move || p)
+    });
+    h.finish();
+}

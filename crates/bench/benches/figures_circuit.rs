@@ -1,42 +1,24 @@
 //! Benchmarks for the circuit-level figures on the super-V_th designs:
 //! Fig. 4 (inverter SNM), Fig. 5 (FO1 delay) and Fig. 6 (V_min / energy).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_bench::Harness;
 use subvt_circuits::chain::InverterChain;
 use subvt_exp::figs_circuit::{delay_at, snm_at};
 use subvt_exp::StudyContext;
 use subvt_units::Volts;
 
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("figures_circuit").max_samples(20);
     let ctx = StudyContext::cached();
-    let mut g = c.benchmark_group("fig4_snm");
-    g.sample_size(10);
-    g.bench_function("snm_90nm_at_250mV", |b| {
-        b.iter(|| snm_at(&ctx.supervth[0], Volts::new(0.25)))
+    h.bench("fig4_snm_90nm_at_250mV", || {
+        snm_at(&ctx.supervth[0], Volts::new(0.25))
     });
-    g.finish();
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    let ctx = StudyContext::cached();
-    let mut g = c.benchmark_group("fig5_delay");
-    g.sample_size(10);
-    g.bench_function("spice_fo1_delay_90nm_at_250mV", |b| {
-        b.iter(|| delay_at(&ctx.supervth[0], Volts::new(0.25)))
+    h.bench("fig5_spice_fo1_delay_90nm_at_250mV", || {
+        delay_at(&ctx.supervth[0], Volts::new(0.25))
     });
-    g.finish();
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    let ctx = StudyContext::cached();
-    let mut g = c.benchmark_group("fig6_vmin");
-    g.sample_size(10);
-    g.bench_function("minimum_energy_point_90nm", |b| {
-        let chain = InverterChain::paper_chain(ctx.supervth[0].cmos_pair());
-        b.iter(|| chain.minimum_energy_point())
+    let chain = InverterChain::paper_chain(ctx.supervth[0].cmos_pair());
+    h.bench("fig6_minimum_energy_point_90nm", || {
+        chain.minimum_energy_point()
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_fig4, bench_fig5, bench_fig6);
-criterion_main!(benches);

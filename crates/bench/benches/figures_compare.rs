@@ -2,53 +2,30 @@
 //! Fig. 11 (delay) and Fig. 12 (energy/V_min), measured at the 32 nm
 //! node where the paper quotes its headline numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_bench::Harness;
 use subvt_circuits::chain::InverterChain;
 use subvt_circuits::delay::analytic_fo1_delay;
 use subvt_exp::figs_circuit::snm_at;
 use subvt_exp::StudyContext;
 use subvt_units::Volts;
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("figures_compare").max_samples(20);
     let ctx = StudyContext::cached();
-    let mut g = c.benchmark_group("fig10_snm_compare");
-    g.sample_size(10);
-    g.bench_function("snm_both_strategies_32nm", |b| {
-        b.iter(|| {
-            let a = snm_at(&ctx.supervth[3], Volts::new(0.25));
-            let bb = snm_at(&ctx.subvth[3], Volts::new(0.25));
-            (a, bb)
-        })
+    h.bench("fig10_snm_both_strategies_32nm", || {
+        let a = snm_at(&ctx.supervth[3], Volts::new(0.25));
+        let b = snm_at(&ctx.subvth[3], Volts::new(0.25));
+        (a, b)
     });
-    g.finish();
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let ctx = StudyContext::cached();
-    c.bench_function("fig11_delay_compare_analytic", |b| {
-        b.iter(|| {
-            let a = analytic_fo1_delay(&ctx.supervth[3].cmos_pair(), Volts::new(0.25));
-            let bb = analytic_fo1_delay(&ctx.subvth[3].cmos_pair(), Volts::new(0.25));
-            (a, bb)
-        })
+    h.bench("fig11_delay_compare_analytic", || {
+        let a = analytic_fo1_delay(&ctx.supervth[3].cmos_pair(), Volts::new(0.25));
+        let b = analytic_fo1_delay(&ctx.subvth[3].cmos_pair(), Volts::new(0.25));
+        (a, b)
     });
-}
-
-fn bench_fig12(c: &mut Criterion) {
-    let ctx = StudyContext::cached();
-    let mut g = c.benchmark_group("fig12_energy_compare");
-    g.sample_size(10);
-    g.bench_function("mep_both_strategies_32nm", |b| {
-        b.iter(|| {
-            let a = InverterChain::paper_chain(ctx.supervth[3].cmos_pair())
-                .minimum_energy_point();
-            let bb = InverterChain::paper_chain(ctx.subvth[3].cmos_pair())
-                .minimum_energy_point();
-            (a.energy, bb.energy)
-        })
+    h.bench("fig12_mep_both_strategies_32nm", || {
+        let a = InverterChain::paper_chain(ctx.supervth[3].cmos_pair()).minimum_energy_point();
+        let b = InverterChain::paper_chain(ctx.subvth[3].cmos_pair()).minimum_energy_point();
+        (a.energy, b.energy)
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_fig10, bench_fig11, bench_fig12);
-criterion_main!(benches);

@@ -2,64 +2,31 @@
 //! Fig. 3 (I_on), Fig. 7 (S_S vs L_poly), Fig. 8 (factors vs L_poly) and
 //! Fig. 9 (both strategies).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_bench::Harness;
 use subvt_core::metrics::energy_factor;
 use subvt_core::{SubVthStrategy, TechNode};
 use subvt_exp::{figs_device, StudyContext};
 use subvt_physics::device::DeviceKind;
 use subvt_units::Nanometers;
 
-fn bench_fig2(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("figures_device").max_samples(20);
     let ctx = StudyContext::cached();
-    c.bench_function("fig2_ss_ionioff", |b| b.iter(|| figs_device::fig2(ctx)));
-}
+    h.bench("fig2_ss_ionioff", || figs_device::fig2(ctx));
+    h.bench("fig3_ion", || figs_device::fig3(ctx));
 
-fn bench_fig3(c: &mut Criterion) {
-    let ctx = StudyContext::cached();
-    c.bench_function("fig3_ion", |b| b.iter(|| figs_device::fig3(ctx)));
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_ss_vs_l");
-    g.sample_size(10);
     let strategy = SubVthStrategy::default();
-    g.bench_function("optimize_doping_one_length", |b| {
-        b.iter(|| {
-            strategy
-                .optimize_doping_at_length(
-                    TechNode::N45,
-                    DeviceKind::Nfet,
-                    Nanometers::new(60.0),
-                )
-                .unwrap()
-        })
+    h.bench("fig7_optimize_doping_one_length", || {
+        strategy
+            .optimize_doping_at_length(TechNode::N45, DeviceKind::Nfet, Nanometers::new(60.0))
+            .unwrap()
     });
-    g.finish();
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_factors");
-    g.sample_size(10);
-    let strategy = SubVthStrategy::default();
-    g.bench_function("energy_factor_at_optimal_doping", |b| {
-        b.iter(|| {
-            let p = strategy
-                .optimize_doping_at_length(
-                    TechNode::N45,
-                    DeviceKind::Nfet,
-                    Nanometers::new(60.0),
-                )
-                .unwrap();
-            energy_factor(&p.characterize())
-        })
+    h.bench("fig8_energy_factor_at_optimal_doping", || {
+        let p = strategy
+            .optimize_doping_at_length(TechNode::N45, DeviceKind::Nfet, Nanometers::new(60.0))
+            .unwrap();
+        energy_factor(&p.characterize())
     });
-    g.finish();
+    h.bench("fig9_lpoly_ss", || figs_device::fig9(ctx));
+    h.finish();
 }
-
-fn bench_fig9(c: &mut Criterion) {
-    let ctx = StudyContext::cached();
-    c.bench_function("fig9_lpoly_ss", |b| b.iter(|| figs_device::fig9(ctx)));
-}
-
-criterion_group!(benches, bench_fig2, bench_fig3, bench_fig7, bench_fig8, bench_fig9);
-criterion_main!(benches);

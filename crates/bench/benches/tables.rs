@@ -1,43 +1,31 @@
 //! Benchmarks regenerating the paper's tables: the generalized-scaling
 //! table and the two device-design flows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_bench::Harness;
 use subvt_core::strategy::ScalingStrategy;
 use subvt_core::{SubVthStrategy, SuperVthStrategy, TechNode};
 use subvt_exp::StudyContext;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_generalized_scaling", |b| {
-        b.iter(subvt_exp::tables::table1)
-    });
-}
+fn main() {
+    let mut h = Harness::new("tables").max_samples(20);
+    h.bench("table1_generalized_scaling", subvt_exp::tables::table1);
 
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_supervth_flow");
-    g.sample_size(10);
-    g.bench_function("design_node_90nm", |b| {
-        b.iter(|| SuperVthStrategy::default().design_node(TechNode::N90).unwrap())
+    h.bench("table2_design_node_90nm", || {
+        SuperVthStrategy::default()
+            .design_node(TechNode::N90)
+            .unwrap()
     });
-    g.bench_function("render_full_table", |b| {
-        let ctx = StudyContext::cached();
-        b.iter(|| subvt_exp::tables::table2(ctx))
+    let ctx = StudyContext::cached();
+    h.bench("table2_render_full_table", || {
+        subvt_exp::tables::table2(ctx)
     });
-    g.finish();
-}
 
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_subvth_flow");
-    g.sample_size(10);
     let strategy = SubVthStrategy::default();
-    g.bench_function("design_node_90nm", |b| {
-        b.iter(|| strategy.design_node(TechNode::N90).unwrap())
+    h.bench("table3_design_node_90nm", || {
+        strategy.design_node(TechNode::N90).unwrap()
     });
-    g.bench_function("render_full_table", |b| {
-        let ctx = StudyContext::cached();
-        b.iter(|| subvt_exp::tables::table3(ctx))
+    h.bench("table3_render_full_table", || {
+        subvt_exp::tables::table3(ctx)
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_table1, bench_table2, bench_table3);
-criterion_main!(benches);

@@ -63,7 +63,11 @@ pub struct MinimumEnergyPoint {
 impl InverterChain {
     /// The paper's experiment: 30 stages at α = 0.1.
     pub fn paper_chain(pair: CmosPair) -> Self {
-        Self { pair, stages: 30, activity: 0.1 }
+        Self {
+            pair,
+            stages: 30,
+            activity: 0.1,
+        }
     }
 
     /// Creates a chain.
@@ -77,7 +81,11 @@ impl InverterChain {
             activity > 0.0 && activity <= 1.0,
             "activity factor must be in (0, 1]"
         );
-        Self { pair, stages, activity }
+        Self {
+            pair,
+            stages,
+            activity,
+        }
     }
 
     /// Evaluates the energy breakdown at one supply.
@@ -93,7 +101,12 @@ impl InverterChain {
         let dynamic = Joules::new(self.activity * n * c_stage * v * v);
         let i_leak = n * pair.leakage_current();
         let leakage = Joules::new(i_leak * v * t_cycle.get());
-        EnergyPoint { v_dd, dynamic, leakage, t_cycle }
+        EnergyPoint {
+            v_dd,
+            dynamic,
+            leakage,
+            t_cycle,
+        }
     }
 
     /// Sweeps the supply over `[lo, hi]` with `points` samples.
@@ -116,7 +129,11 @@ impl InverterChain {
         );
         let v_min = Volts::new(min.x);
         let point = self.energy_at(v_min);
-        MinimumEnergyPoint { v_min, energy: point.total(), point }
+        MinimumEnergyPoint {
+            v_min,
+            energy: point.total(),
+            point,
+        }
     }
 
     /// The paper's `K_Vmin = V_min / S_S` structural constant (§2.3.3,
@@ -135,9 +152,7 @@ mod tests {
     use subvt_physics::device::DeviceParams;
 
     fn chain() -> InverterChain {
-        InverterChain::paper_chain(CmosPair::balanced(
-            DeviceParams::reference_90nm_nfet(),
-        ))
+        InverterChain::paper_chain(CmosPair::balanced(DeviceParams::reference_90nm_nfet()))
     }
 
     #[test]
@@ -165,8 +180,9 @@ mod tests {
         let mep = c.minimum_energy_point();
         let below = c.energy_at(Volts::new(mep.v_min.as_volts() - 0.08));
         let above = c.energy_at(Volts::new(mep.v_min.as_volts() + 0.15));
-        assert!(below.leakage.get() / below.dynamic.get()
-            > above.leakage.get() / above.dynamic.get());
+        assert!(
+            below.leakage.get() / below.dynamic.get() > above.leakage.get() / above.dynamic.get()
+        );
     }
 
     #[test]

@@ -63,11 +63,7 @@ impl Fo1Delay {
 /// [`SpiceError::NoConvergence`] if crossings cannot be found (window
 /// heuristics derive the time scale from the analytic delay, so this is
 /// rare).
-pub fn spice_fo1_delay(
-    pair: &CmosPair,
-    v_dd: Volts,
-    steps: usize,
-) -> Result<Fo1Delay, SpiceError> {
+pub fn spice_fo1_delay(pair: &CmosPair, v_dd: Volts, steps: usize) -> Result<Fo1Delay, SpiceError> {
     let pair = pair.at_supply(v_dd);
     let inv = Inverter::new(pair);
     let tp0 = analytic_fo1_delay(&pair, v_dd).get().max(1e-15);
@@ -116,7 +112,10 @@ pub fn spice_fo1_delay(
             tp_hl: Seconds::new(hl),
             tp_lh: Seconds::new(lh),
         }),
-        _ => Err(SpiceError::NoConvergence { iterations: 0, residual: f64::NAN }),
+        _ => Err(SpiceError::NoConvergence {
+            iterations: 0,
+            residual: f64::NAN,
+        }),
     }
 }
 

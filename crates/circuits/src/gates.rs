@@ -46,12 +46,18 @@ pub struct Gate2 {
 impl Gate2 {
     /// Creates a NAND2 from a device pair.
     pub fn nand2(pair: CmosPair) -> Self {
-        Self { pair, kind: GateKind::Nand2 }
+        Self {
+            pair,
+            kind: GateKind::Nand2,
+        }
     }
 
     /// Creates a NOR2 from a device pair.
     pub fn nor2(pair: CmosPair) -> Self {
-        Self { pair, kind: GateKind::Nor2 }
+        Self {
+            pair,
+            kind: GateKind::Nor2,
+        }
     }
 
     /// Wires the gate into a netlist. The series stack is *not* upsized
@@ -77,15 +83,36 @@ impl Gate2 {
                 net.mosfet(&format!("{name}.MPB"), pmod, wp, output, input_b, vdd_node);
                 // Series NFET stack to ground.
                 net.mosfet(&format!("{name}.MNA"), nmod, wn, output, input_a, mid);
-                net.mosfet(&format!("{name}.MNB"), nmod, wn, mid, input_b, Netlist::GROUND);
+                net.mosfet(
+                    &format!("{name}.MNB"),
+                    nmod,
+                    wn,
+                    mid,
+                    input_b,
+                    Netlist::GROUND,
+                );
             }
             GateKind::Nor2 => {
                 // Series PFET stack from V_dd.
                 net.mosfet(&format!("{name}.MPA"), pmod, wp, mid, input_a, vdd_node);
                 net.mosfet(&format!("{name}.MPB"), pmod, wp, output, input_b, mid);
                 // Parallel NFETs to ground.
-                net.mosfet(&format!("{name}.MNA"), nmod, wn, output, input_a, Netlist::GROUND);
-                net.mosfet(&format!("{name}.MNB"), nmod, wn, output, input_b, Netlist::GROUND);
+                net.mosfet(
+                    &format!("{name}.MNA"),
+                    nmod,
+                    wn,
+                    output,
+                    input_a,
+                    Netlist::GROUND,
+                );
+                net.mosfet(
+                    &format!("{name}.MNB"),
+                    nmod,
+                    wn,
+                    output,
+                    input_b,
+                    Netlist::GROUND,
+                );
             }
         }
         // Lumped device capacitances (two gate loads at each input node
@@ -109,13 +136,11 @@ impl Gate2 {
     /// # Errors
     ///
     /// Propagates [`SpiceError`] from the solver.
-    pub fn vtc(
-        &self,
-        v_dd: Volts,
-        other: OtherInput,
-        points: usize,
-    ) -> Result<Vtc, SpiceError> {
-        let gate = Gate2 { pair: self.pair.at_supply(v_dd), kind: self.kind };
+    pub fn vtc(&self, v_dd: Volts, other: OtherInput, points: usize) -> Result<Vtc, SpiceError> {
+        let gate = Gate2 {
+            pair: self.pair.at_supply(v_dd),
+            kind: self.kind,
+        };
         let vdd = v_dd.as_volts();
         let mut net = Netlist::new();
         let vdd_node = net.node("vdd");
@@ -163,7 +188,10 @@ impl Gate2 {
         if worst.is_finite() {
             Ok(worst)
         } else {
-            Err(SpiceError::NoConvergence { iterations: 0, residual: f64::NAN })
+            Err(SpiceError::NoConvergence {
+                iterations: 0,
+                residual: f64::NAN,
+            })
         }
     }
 }

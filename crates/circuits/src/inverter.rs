@@ -35,13 +35,24 @@ impl CmosPair {
     /// balance (`W_p·I₀_p ≈ W_n·I₀_n`) — the symmetric-VTC condition the
     /// paper assumes in Eq. 3(c).
     pub fn balanced(nfet: DeviceParams) -> Self {
-        assert!(matches!(nfet.kind, DeviceKind::Nfet), "expected an NFET description");
-        let pfet = DeviceParams { kind: DeviceKind::Pfet, ..nfet };
+        assert!(
+            matches!(nfet.kind, DeviceKind::Nfet),
+            "expected an NFET description"
+        );
+        let pfet = DeviceParams {
+            kind: DeviceKind::Pfet,
+            ..nfet
+        };
         let i0_n = nfet.characterize().i0.get();
         let i0_p = pfet.characterize().i0.get();
         let wn_um = 1.0;
         let wp_um = (i0_n / i0_p).clamp(1.0, 4.0);
-        Self { nfet, pfet, wn_um, wp_um }
+        Self {
+            nfet,
+            pfet,
+            wn_um,
+            wp_um,
+        }
     }
 
     /// The supply voltage both devices were described at.
@@ -106,8 +117,7 @@ impl Vtc {
         let n = self.v_in.len();
         let mut g = vec![0.0; n];
         for (i, slot) in g.iter_mut().enumerate().take(n - 1).skip(1) {
-            *slot = (self.v_out[i + 1] - self.v_out[i - 1])
-                / (self.v_in[i + 1] - self.v_in[i - 1]);
+            *slot = (self.v_out[i + 1] - self.v_out[i - 1]) / (self.v_in[i + 1] - self.v_in[i - 1]);
         }
         if n >= 2 {
             g[0] = g[1];
@@ -194,7 +204,12 @@ impl Inverter {
         let vdd_node = net.node("vdd");
         let vin = net.node("in");
         let vout = net.node("out");
-        net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(v_dd.as_volts()));
+        net.vsource(
+            "VDD",
+            vdd_node,
+            Netlist::GROUND,
+            Waveform::Dc(v_dd.as_volts()),
+        );
         net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0));
         inv.wire(&mut net, "X1", vin, vout, vdd_node);
 
@@ -225,12 +240,9 @@ pub fn analytic_vtc(pair: &CmosPair, v_dd: Volts, points: usize) -> Vtc {
 
     // Eq. 3(a) balance: I_N(v_in, v_out) = I_P(v_dd − v_in, v_dd − v_out).
     let residual = |v_in: f64, v_out: f64| {
-        let i_n = io_n
-            * ((v_in - vth_n) / (m_n * vt)).exp()
-            * (1.0 - (-v_out / vt).exp());
-        let i_p = io_p
-            * ((vdd - v_in - vth_p) / (m_p * vt)).exp()
-            * (1.0 - (-(vdd - v_out) / vt).exp());
+        let i_n = io_n * ((v_in - vth_n) / (m_n * vt)).exp() * (1.0 - (-v_out / vt).exp());
+        let i_p =
+            io_p * ((vdd - v_in - vth_p) / (m_p * vt)).exp() * (1.0 - (-(vdd - v_out) / vt).exp());
         i_n - i_p
     };
 
@@ -252,7 +264,11 @@ pub fn analytic_vtc(pair: &CmosPair, v_dd: Volts, points: usize) -> Vtc {
             }
         })
         .collect();
-    Vtc { v_in, v_out, v_dd: vdd }
+    Vtc {
+        v_in,
+        v_out,
+        v_dd: vdd,
+    }
 }
 
 #[cfg(test)]
@@ -333,7 +349,10 @@ mod tests {
         // about (V_dd/2, V_dd/2).
         let mut p = pair();
         // Force exact symmetry: same device both sides.
-        p.pfet = DeviceParams { kind: DeviceKind::Pfet, ..p.nfet };
+        p.pfet = DeviceParams {
+            kind: DeviceKind::Pfet,
+            ..p.nfet
+        };
         let i0n = p.nfet.characterize().i0.get();
         let i0p = p.pfet.characterize().i0.get();
         p.wp_um = p.wn_um * i0n / i0p;

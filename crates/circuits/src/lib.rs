@@ -33,6 +33,7 @@ pub mod gates;
 pub mod inverter;
 pub mod montecarlo;
 pub mod ring;
+pub mod rng;
 pub mod snm;
 pub mod sram;
 

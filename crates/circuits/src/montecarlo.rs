@@ -5,13 +5,17 @@
 //! that: Pelgrom-law random dopant fluctuation `σ_VT = A_VT/√(W·L)`
 //! applied to the compact model, propagated to gate delay through the
 //! exponential subthreshold I–V.
+//!
+//! Sample loops run on the [`subvt_engine`] thread pool. Every sample
+//! draws from its own [`SplitMix64::stream`], so the population is a
+//! pure function of `(seed, sample index)` — identical no matter how
+//! many workers execute the sweep.
 
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use subvt_engine::trace;
 use subvt_units::{Seconds, Volts};
 
 use crate::inverter::CmosPair;
+use crate::rng::SplitMix64;
 
 /// Pelgrom mismatch coefficient, volts·µm (≈3.5 mV·µm for 90 nm-class
 /// oxides; scales roughly with `T_ox`).
@@ -23,6 +27,25 @@ pub fn pelgrom_coefficient(t_ox_nm: f64) -> f64 {
 pub fn sigma_vth(t_ox_nm: f64, w_um: f64, l_um: f64) -> Volts {
     assert!(w_um > 0.0 && l_um > 0.0, "device area must be positive");
     Volts::new(pelgrom_coefficient(t_ox_nm) / (w_um * l_um).sqrt())
+}
+
+/// Splits `samples` into contiguous index ranges, one per engine job
+/// (a few per worker so stealing can balance uneven chunks), and maps
+/// `per_sample` over every index in parallel, preserving order.
+fn parallel_samples<F>(samples: usize, per_sample: F) -> Vec<f64>
+where
+    F: Fn(u64) -> f64 + Send + Sync + 'static,
+{
+    let executor = subvt_engine::global();
+    let chunk = samples.div_ceil(executor.workers() * 4).max(16);
+    let ranges: Vec<(u64, u64)> = (0..samples)
+        .step_by(chunk)
+        .map(|start| (start as u64, samples.min(start + chunk) as u64))
+        .collect();
+    let chunks = executor.map(ranges, move |(start, end)| {
+        (start..end).map(&per_sample).collect::<Vec<f64>>()
+    });
+    chunks.concat()
 }
 
 /// Summary statistics of a Monte-Carlo delay population.
@@ -54,6 +77,7 @@ pub fn delay_variability(
     seed: u64,
 ) -> DelayStatistics {
     assert!(samples > 0, "need at least one sample");
+    let _span = trace::span("montecarlo.delay");
     let pair = pair.at_supply(v_dd);
     let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
     let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
@@ -64,22 +88,20 @@ pub fn delay_variability(
     let base_p = pair.pfet.mos_model();
     let vdd = v_dd.as_volts();
     let half = Volts::new(vdd / 2.0);
+    let (wn_um, wp_um) = (pair.wn_um, pair.wp_um);
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let normal = Gaussian;
-    let mut delays = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let dn = normal.sample(&mut rng) * sig_n;
-        let dp = normal.sample(&mut rng) * sig_p;
+    let delays = parallel_samples(samples, move |i| {
+        let mut rng = SplitMix64::stream(seed, i);
+        let dn = rng.next_gaussian() * sig_n;
+        let dp = rng.next_gaussian() * sig_p;
         let mut mn = base_n;
         mn.v_th_lin = Volts::new(mn.v_th_lin.as_volts() + dn);
         let mut mp = base_p;
         mp.v_th_lin = Volts::new(mp.v_th_lin.as_volts() + dp);
-        let i_n = mn.drain_current(v_dd, half).get() * pair.wn_um;
-        let i_p = mp.drain_current(v_dd, half).get() * pair.wp_um;
-        let tp = core::f64::consts::LN_2 * 0.5 * (c_l * vdd / i_n + c_l * vdd / i_p);
-        delays.push(tp);
-    }
+        let i_n = mn.drain_current(v_dd, half).get() * wn_um;
+        let i_p = mp.drain_current(v_dd, half).get() * wp_um;
+        core::f64::consts::LN_2 * 0.5 * (c_l * vdd / i_n + c_l * vdd / i_p)
+    });
 
     let n = delays.len() as f64;
     let mean = delays.iter().sum::<f64>() / n;
@@ -114,16 +136,12 @@ pub struct SnmStatistics {
 /// # Panics
 ///
 /// Panics if `samples` is zero.
-pub fn snm_variability(
-    pair: &CmosPair,
-    v_dd: Volts,
-    samples: usize,
-    seed: u64,
-) -> SnmStatistics {
+pub fn snm_variability(pair: &CmosPair, v_dd: Volts, samples: usize, seed: u64) -> SnmStatistics {
     use crate::inverter::Vtc;
     use subvt_physics::math::linspace;
 
     assert!(samples > 0, "need at least one sample");
+    let _span = trace::span("montecarlo.snm");
     let pair = pair.at_supply(v_dd);
     let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
     let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
@@ -135,21 +153,19 @@ pub fn snm_variability(
     let vdd = v_dd.as_volts();
     let io_n = n.i0.get() * pair.wn_um;
     let io_p = p.i0.get() * pair.wp_um;
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let normal = Gaussian;
-    let mut vals = Vec::with_capacity(samples);
-    let mut failures = 0usize;
     let v_in_grid = linspace(0.0, vdd, 101);
 
-    for _ in 0..samples {
-        let vth_n = n.v_th_sat.as_volts() + normal.sample(&mut rng) * sig_n;
-        let vth_p = p.v_th_sat.as_volts() + normal.sample(&mut rng) * sig_p;
+    // NaN marks a failed sample (no restoring margin); the sampled value
+    // itself is always finite, so the marker is unambiguous.
+    let outcomes = parallel_samples(samples, move |i| {
+        let mut rng = SplitMix64::stream(seed, i);
+        let vth_n = n.v_th_sat.as_volts() + rng.next_gaussian() * sig_n;
+        let vth_p = p.v_th_sat.as_volts() + rng.next_gaussian() * sig_p;
         // Eq. 3(a) current balance with mismatched thresholds.
         let residual = |v_in: f64, v_out: f64| {
-            let i_n = io_n * ((v_in - vth_n) / (n.m * vt)).exp()
-                * (1.0 - (-v_out / vt).exp());
-            let i_p = io_p * ((vdd - v_in - vth_p) / (p.m * vt)).exp()
+            let i_n = io_n * ((v_in - vth_n) / (n.m * vt)).exp() * (1.0 - (-v_out / vt).exp());
+            let i_p = io_p
+                * ((vdd - v_in - vth_p) / (p.m * vt)).exp()
                 * (1.0 - (-(vdd - v_out) / vt).exp());
             i_n - i_p
         };
@@ -158,16 +174,26 @@ pub fn snm_variability(
             .map(|&vi| {
                 subvt_physics::math::bisect(|vo| residual(vi, vo), 1e-9, vdd - 1e-9, 1e-10, 120)
                     .map(|r| r.x)
-                    .unwrap_or(if residual(vi, vdd / 2.0) > 0.0 { 0.0 } else { vdd })
+                    .unwrap_or(if residual(vi, vdd / 2.0) > 0.0 {
+                        0.0
+                    } else {
+                        vdd
+                    })
             })
             .collect();
-        let vtc = Vtc { v_in: v_in_grid.clone(), v_out, v_dd: vdd };
+        let vtc = Vtc {
+            v_in: v_in_grid.clone(),
+            v_out,
+            v_dd: vdd,
+        };
         match crate::snm::noise_margins(&vtc) {
-            Some(nm) if nm.snm() > 0.0 => vals.push(nm.snm()),
-            _ => failures += 1,
+            Some(nm) if nm.snm() > 0.0 => nm.snm(),
+            _ => f64::NAN,
         }
-    }
+    });
 
+    let vals: Vec<f64> = outcomes.iter().copied().filter(|v| v.is_finite()).collect();
+    let failures = outcomes.len() - vals.len();
     let count = vals.len().max(1) as f64;
     let mean = vals.iter().sum::<f64>() / count;
     let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count;
@@ -176,18 +202,6 @@ pub fn snm_variability(
         std_dev: Volts::new(var.sqrt()),
         failure_fraction: failures as f64 / samples as f64,
         samples: vals,
-    }
-}
-
-/// Standard-normal sampler via Box–Muller (keeps the dependency surface
-/// to `rand`'s core RNG only).
-struct Gaussian;
-
-impl Distribution<f64> for Gaussian {
-    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
     }
 }
 
@@ -205,6 +219,13 @@ mod tests {
         let a = delay_variability(&pair(), Volts::new(0.25), 100, 42);
         let b = delay_variability(&pair(), Volts::new(0.25), 100, 42);
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = delay_variability(&pair(), Volts::new(0.25), 50, 1);
+        let b = delay_variability(&pair(), Volts::new(0.25), 50, 2);
+        assert_ne!(a.samples, b.samples);
     }
 
     #[test]

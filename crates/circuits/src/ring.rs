@@ -36,7 +36,10 @@ pub fn ring_oscillator(
     stages: usize,
     steps: usize,
 ) -> Result<RingOscillation, SpiceError> {
-    assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+    assert!(
+        stages >= 3 && stages % 2 == 1,
+        "ring needs an odd stage count >= 3"
+    );
     let pair = pair.at_supply(v_dd);
     let inv = Inverter::new(pair);
     let tp0 = analytic_fo1_delay(&pair, v_dd).get();
@@ -85,7 +88,10 @@ pub fn ring_oscillator(
         }
     }
     if crossings.len() < 3 {
-        return Err(SpiceError::NoConvergence { iterations: 0, residual: f64::NAN });
+        return Err(SpiceError::NoConvergence {
+            iterations: 0,
+            residual: f64::NAN,
+        });
     }
     let k = crossings.len();
     let period = crossings[k - 1] - crossings[k - 2];

@@ -86,9 +86,8 @@ pub fn butterfly_snm(vtc_a: &Vtc, vtc_b: &Vtc) -> f64 {
     // Work along the diagonal coordinate u = (v_in + v_out)/√2: for each
     // sample of curve A, measure the diagonal gap to mirrored curve B and
     // track the largest square in each lobe.
-    let interp = |vtc: &Vtc, x: f64| -> f64 {
-        subvt_physics::math::interp1(&vtc.v_in, &vtc.v_out, x)
-    };
+    let interp =
+        |vtc: &Vtc, x: f64| -> f64 { subvt_physics::math::interp1(&vtc.v_in, &vtc.v_out, x) };
     // Lobe 1: squares below curve A and above mirror of B.
     let mut best = 0.0f64;
     let samples = 400;
@@ -203,7 +202,11 @@ mod tests {
             .iter()
             .map(|&x| 1.0 / (1.0 + ((x - 0.5) / 0.01).exp()))
             .collect();
-        let vtc = Vtc { v_in, v_out, v_dd: 1.0 };
+        let vtc = Vtc {
+            v_in,
+            v_out,
+            v_dd: 1.0,
+        };
         let nm = noise_margins(&vtc).unwrap();
         assert!((nm.v_il - 0.44).abs() < 0.05);
         assert!((nm.v_ih - 0.56).abs() < 0.05);
@@ -215,7 +218,11 @@ mod tests {
         // A shallow linear "VTC" never reaches gain −1.
         let v_in: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
         let v_out: Vec<f64> = v_in.iter().map(|&x| 0.6 - 0.2 * x).collect();
-        let vtc = Vtc { v_in, v_out, v_dd: 1.0 };
+        let vtc = Vtc {
+            v_in,
+            v_out,
+            v_dd: 1.0,
+        };
         assert!(noise_margins(&vtc).is_none());
     }
 

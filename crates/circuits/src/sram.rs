@@ -28,7 +28,10 @@ impl SramCell {
     /// the pull-down width (cell ratio 2), the sizing style of the
     /// paper's ref \[16\].
     pub fn subthreshold_cell(pair: CmosPair) -> Self {
-        Self { pair, w_access_um: 0.5 * pair.wn_um }
+        Self {
+            pair,
+            w_access_um: 0.5 * pair.wn_um,
+        }
     }
 
     /// Hold-mode static noise margin: butterfly of the two storage
@@ -67,7 +70,11 @@ impl SramCell {
     /// sensing budget).
     pub fn max_bits_per_bitline(&self, v_dd: Volts, margin: f64) -> usize {
         assert!(margin > 1.0, "sensing margin must exceed unity");
-        let nfet = subvt_physics::DeviceParams { v_dd, ..self.pair.nfet }.characterize();
+        let nfet = subvt_physics::DeviceParams {
+            v_dd,
+            ..self.pair.nfet
+        }
+        .characterize();
         let i_on = nfet.i_on.get() * self.w_access_um;
         let i_off = nfet.i_off.get() * self.w_access_um;
         ((i_on / (margin * i_off)).floor() as usize).max(1)
@@ -119,9 +126,7 @@ mod tests {
     use subvt_physics::device::DeviceParams;
 
     fn cell() -> SramCell {
-        SramCell::subthreshold_cell(CmosPair::balanced(
-            DeviceParams::reference_90nm_nfet(),
-        ))
+        SramCell::subthreshold_cell(CmosPair::balanced(DeviceParams::reference_90nm_nfet()))
     }
 
     #[test]
@@ -136,10 +141,7 @@ mod tests {
         let c = cell();
         let hold = c.hold_snm(Volts::new(0.25), 121).unwrap();
         let read = c.read_snm(Volts::new(0.25), 121).unwrap();
-        assert!(
-            read < hold,
-            "read SNM {read} must be below hold SNM {hold}"
-        );
+        assert!(read < hold, "read SNM {read} must be below hold SNM {hold}");
     }
 
     #[test]

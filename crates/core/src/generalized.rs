@@ -7,7 +7,8 @@
 
 /// A generalized-scaling rule set with dimension factor `α` and field
 /// growth factor `ε` per generation.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneralizedScaling {
     /// Dimension scaling factor `α > 1` (dimensions shrink by `1/α`).
     pub alpha: f64,
@@ -77,7 +78,8 @@ impl GeneralizedScaling {
 
 /// One row of the paper's Table 1: a parameter, its symbolic scaling
 /// factor, and the numeric value under the given rule set.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table1Row {
     /// Parameter description.
     pub parameter: &'static str,
@@ -126,6 +128,7 @@ pub fn table1(rules: &GeneralizedScaling) -> Vec<Table1Row> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -155,6 +158,7 @@ mod tests {
         let _ = GeneralizedScaling::new(0.9, 1.0);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn identities_hold(alpha in 1.01f64..2.0, eps in 1.0f64..1.5) {

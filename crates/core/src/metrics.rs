@@ -108,9 +108,8 @@ mod tests {
         let ch_b = p.characterize();
         assert!(ch_b.s_s.get() > ch_a.s_s.get());
         let ratio_ss = ch_b.s_s.get() / ch_a.s_s.get();
-        let ratio_e =
-            (energy_factor(&ch_b) / load_capacitance(&ch_b))
-                / (energy_factor(&ch_a) / load_capacitance(&ch_a));
+        let ratio_e = (energy_factor(&ch_b) / load_capacitance(&ch_b))
+            / (energy_factor(&ch_a) / load_capacitance(&ch_a));
         assert!((ratio_e - ratio_ss * ratio_ss).abs() < 1e-9);
     }
 }

@@ -48,7 +48,9 @@ pub struct SubVthStrategy {
 
 impl Default for SubVthStrategy {
     fn default() -> Self {
-        Self { i_off_target: AmpsPerMicron::from_picoamps(100.0) }
+        Self {
+            i_off_target: AmpsPerMicron::from_picoamps(100.0),
+        }
     }
 }
 
@@ -106,7 +108,10 @@ impl SubVthStrategy {
             1e-6,
             200,
         )
-        .map_err(|_| DesignError::DopingSearch { node, target: "sub-Vth I_off" })?;
+        .map_err(|_| DesignError::DopingSearch {
+            node,
+            target: "sub-Vth I_off",
+        })?;
         Ok(make(root.x.exp()))
     }
 
@@ -132,8 +137,10 @@ impl SubVthStrategy {
                 }
             }
         }
-        best.map(|(_, p)| p)
-            .ok_or(DesignError::DopingSearch { node, target: "halo-ratio scan" })
+        best.map(|(_, p)| p).ok_or(DesignError::DopingSearch {
+            node,
+            target: "halo-ratio scan",
+        })
     }
 
     /// Candidate gate-length range at a node: from the node's minimum
@@ -177,7 +184,10 @@ impl SubVthStrategy {
             }
         }
         if !best_s.is_finite() {
-            return Err(DesignError::DopingSearch { node, target: "L_poly scan" });
+            return Err(DesignError::DopingSearch {
+                node,
+                target: "L_poly scan",
+            });
         }
         // …then refine around the best grid cell.
         let span = (hi.get() - lo.get()) / (n_grid - 1) as f64;
@@ -277,9 +287,7 @@ mod tests {
         let heavy = s
             .doping_for_ioff(TechNode::N45, DeviceKind::Nfet, l, 2.0)
             .unwrap();
-        assert!(
-            opt.characterize().s_s.get() <= heavy.characterize().s_s.get() + 1e-9
-        );
+        assert!(opt.characterize().s_s.get() <= heavy.characterize().s_s.get() + 1e-9);
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl SuperVthStrategy {
     /// cadence (30 %/generation) — the ablation for the paper's central
     /// claim that *slow oxide scaling* drives S_S degradation.
     pub fn with_ideal_oxide_scaling() -> Self {
-        Self { t_ox_shrink_rate: 0.30, ..Self::default() }
+        Self {
+            t_ox_shrink_rate: 0.30,
+            ..Self::default()
+        }
     }
 
     /// Leakage budget at a node under this strategy's schedule.
@@ -110,8 +113,7 @@ impl SuperVthStrategy {
         node: TechNode,
     ) -> Result<PerCubicCentimeter, DesignError> {
         let c_ox = oxide_capacitance(template.geometry.t_ox);
-        let vth_target =
-            long_channel_vth(template.n_sub, c_ox, template.temperature).as_volts();
+        let vth_target = long_channel_vth(template.n_sub, c_ox, template.temperature).as_volts();
         let residual = |halo: f64| {
             let mut p = *template;
             p.n_p_halo = PerCubicCentimeter::new(halo);
@@ -125,7 +127,10 @@ impl SuperVthStrategy {
             1e-6,
             200,
         )
-        .map_err(|_| DesignError::DopingSearch { node, target: "halo flatness" })?;
+        .map_err(|_| DesignError::DopingSearch {
+            node,
+            target: "halo flatness",
+        })?;
         Ok(PerCubicCentimeter::new(root.x.exp()))
     }
 
@@ -150,14 +155,13 @@ impl SuperVthStrategy {
             // log-residual keeps the exponential I_off(V_th) well-scaled.
             (p.characterize().i_off.get() / budget).ln()
         };
-        let root = bisect(
-            residual,
-            (2.0e17f64).ln(),
-            (2.0e19f64).ln(),
-            1e-6,
-            200,
-        )
-        .map_err(|_| DesignError::DopingSearch { node, target: "leakage budget" })?;
+        let root =
+            bisect(residual, (2.0e17f64).ln(), (2.0e19f64).ln(), 1e-6, 200).map_err(|_| {
+                DesignError::DopingSearch {
+                    node,
+                    target: "leakage budget",
+                }
+            })?;
 
         let mut p = self.template(node, kind);
         p.n_sub = PerCubicCentimeter::new(root.x.exp());
@@ -201,7 +205,9 @@ mod tests {
 
     #[test]
     fn design_90nm_meets_budget_exactly() {
-        let d = SuperVthStrategy::default().design_device(TechNode::N90, DeviceKind::Nfet).unwrap();
+        let d = SuperVthStrategy::default()
+            .design_device(TechNode::N90, DeviceKind::Nfet)
+            .unwrap();
         let ch = d.characterize();
         assert!(
             (ch.i_off.as_picoamps() - 100.0).abs() < 1.0,
@@ -215,13 +221,12 @@ mod tests {
         // Paper Table 2, 90 nm: N_sub = 1.52e18, N_halo = 3.63e18,
         // V_th,sat = 403 mV. Our substrate should land in the same
         // neighbourhood (doping within ~2×, V_th within ~80 mV).
-        let d = SuperVthStrategy::default().design_device(TechNode::N90, DeviceKind::Nfet).unwrap();
+        let d = SuperVthStrategy::default()
+            .design_device(TechNode::N90, DeviceKind::Nfet)
+            .unwrap();
         let ch = d.characterize();
         let n_sub = d.n_sub.get();
-        assert!(
-            n_sub > 0.7e18 && n_sub < 3.0e18,
-            "N_sub = {n_sub:e}"
-        );
+        assert!(n_sub > 0.7e18 && n_sub < 3.0e18, "N_sub = {n_sub:e}");
         let vth = ch.v_th_sat.as_volts();
         assert!((vth - 0.403).abs() < 0.08, "V_th,sat = {vth}");
     }
@@ -230,7 +235,9 @@ mod tests {
     fn vth_is_flat_versus_channel_length() {
         // The halo compensation should hold V_th,sat near the long-channel
         // value for moderately longer channels too (roll-off compensated).
-        let d = SuperVthStrategy::default().design_device(TechNode::N90, DeviceKind::Nfet).unwrap();
+        let d = SuperVthStrategy::default()
+            .design_device(TechNode::N90, DeviceKind::Nfet)
+            .unwrap();
         let c_ox = oxide_capacitance(d.geometry.t_ox);
         let vth_long = long_channel_vth(d.n_sub, c_ox, d.temperature).as_volts();
         let vth_short = d.characterize().v_th_sat.as_volts();
@@ -284,7 +291,9 @@ mod tests {
 
     #[test]
     fn subthreshold_recharacterization_keeps_device() {
-        let d = SuperVthStrategy::default().design_node(TechNode::N90).unwrap();
+        let d = SuperVthStrategy::default()
+            .design_node(TechNode::N90)
+            .unwrap();
         let sub = at_subthreshold_supply(&d, Volts::new(0.25));
         assert_eq!(sub.nfet.n_sub, d.nfet.n_sub);
         assert!(sub.nfet_chars.i_on.get() < d.nfet_chars.i_on.get());
@@ -292,9 +301,14 @@ mod tests {
 
     #[test]
     fn pfet_design_balances_its_own_leakage() {
-        let d = SuperVthStrategy::default().design_node(TechNode::N90).unwrap();
+        let d = SuperVthStrategy::default()
+            .design_node(TechNode::N90)
+            .unwrap();
         let want = d.node.i_leak_budget().as_picoamps();
         let got = d.pfet_chars.i_off.as_picoamps();
-        assert!((got / want - 1.0).abs() < 0.02, "PFET I_off {got} vs {want}");
+        assert!(
+            (got / want - 1.0).abs() < 0.02,
+            "PFET I_off {got} vs {want}"
+        );
     }
 }

@@ -1,0 +1,486 @@
+//! Content-addressed result cache with optional JSON-lines persistence.
+//!
+//! Keys are stable 64-bit content hashes (see [`crate::KeyBuilder`]) of
+//! the inputs that determine a result — device parameters, sweep specs,
+//! strategy knobs. Values are numeric blobs: anything implementing
+//! [`Blob`] encodes to a `Vec<f64>` and back, which keeps the cache
+//! type-erased, exactly round-trippable (floats are persisted by bit
+//! pattern) and trivially persistable.
+//!
+//! Concurrent misses of one key are **single-flighted**: the first
+//! caller computes while later callers block until the slot fills.
+//! The computing path must not itself wait on the cache (the experiment
+//! stack's compute closures only fan out pure jobs), which keeps the
+//! scheme deadlock-free.
+//!
+//! Persistence schema, one JSON object per line:
+//!
+//! ```text
+//! {"ns":"tcad.extract","key":"1f3a..16 hex..","bits":[4614256656552045848,...]}
+//! ```
+//!
+//! `bits` are the IEEE-754 bit patterns of the encoded `f64`s, so a
+//! round trip through disk is bit-exact.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::trace;
+
+/// A value the cache can store: encodes to/from a flat `f64` record.
+pub trait Blob: Sized {
+    /// Flattens the value.
+    fn encode(&self) -> Vec<f64>;
+    /// Rebuilds the value; `None` on schema mismatch (treated as a
+    /// cache miss, never an error).
+    fn decode(record: &[f64]) -> Option<Self>;
+}
+
+impl Blob for Vec<f64> {
+    fn encode(&self) -> Vec<f64> {
+        self.clone()
+    }
+    fn decode(record: &[f64]) -> Option<Self> {
+        Some(record.to_vec())
+    }
+}
+
+impl Blob for f64 {
+    fn encode(&self) -> Vec<f64> {
+        vec![*self]
+    }
+    fn decode(record: &[f64]) -> Option<Self> {
+        match record {
+            [v] => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+enum Slot {
+    InFlight,
+    Ready(Arc<Vec<f64>>),
+}
+
+struct CacheInner {
+    map: HashMap<(u64, u64), Slot>,
+    /// Namespace-hash → name, for persistence and stats.
+    ns_names: HashMap<u64, String>,
+}
+
+/// Hit/miss counts, total and per namespace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses (each miss implies one compute).
+    pub misses: u64,
+    /// Per-namespace `(hits, misses)`.
+    pub by_namespace: Vec<(String, u64, u64)>,
+}
+
+/// Content-addressed, single-flight result cache.
+pub struct Cache {
+    inner: Mutex<CacheInner>,
+    filled: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    ns_stats: Mutex<HashMap<String, (u64, u64)>>,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                ns_names: HashMap::new(),
+            }),
+            filled: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            ns_stats: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Looks up `(ns, key)`; on a miss runs `compute`, stores its
+    /// result and returns it. Concurrent misses of the same key block
+    /// until the first caller's result is ready.
+    pub fn get_or_compute<V: Blob>(&self, ns: &str, key: u64, compute: impl FnOnce() -> V) -> V {
+        self.try_get_or_compute(ns, key, || Ok::<V, std::convert::Infallible>(compute()))
+            .unwrap_or_else(|never| match never {})
+    }
+
+    /// [`Cache::get_or_compute`] for fallible computations. An `Err`
+    /// clears the in-flight slot (a later caller retries) and is
+    /// propagated.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever `compute` returned; the cache adds no error
+    /// cases of its own.
+    pub fn try_get_or_compute<V: Blob, E>(
+        &self,
+        ns: &str,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        let nsh = crate::KeyBuilder::new("ns").str(ns).finish();
+        let id = (nsh, key);
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            loop {
+                match inner.map.get(&id) {
+                    Some(Slot::Ready(blob)) => {
+                        if let Some(v) = V::decode(blob) {
+                            drop(inner);
+                            self.record(ns, true);
+                            return Ok(v);
+                        }
+                        // Stale schema: recompute below.
+                        inner.map.insert(id, Slot::InFlight);
+                        break;
+                    }
+                    Some(Slot::InFlight) => {
+                        inner = self.filled.wait(inner).expect("cache wait");
+                    }
+                    None => {
+                        inner.map.insert(id, Slot::InFlight);
+                        inner.ns_names.entry(nsh).or_insert_with(|| ns.to_owned());
+                        break;
+                    }
+                }
+            }
+        }
+        self.record(ns, false);
+        // The in-flight slot must be cleared on every exit path — a
+        // panic or Err that left it in place would wedge later callers.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
+        let mut inner = self.inner.lock().expect("cache lock");
+        match &result {
+            Ok(Ok(v)) => {
+                inner.map.insert(id, Slot::Ready(Arc::new(v.encode())));
+            }
+            _ => {
+                inner.map.remove(&id);
+            }
+        }
+        drop(inner);
+        self.filled.notify_all();
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Returns the stored blob for `(ns, key)` without computing.
+    pub fn peek(&self, ns: &str, key: u64) -> Option<Vec<f64>> {
+        let nsh = crate::KeyBuilder::new("ns").str(ns).finish();
+        let inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(&(nsh, key)) {
+            Some(Slot::Ready(blob)) => Some(blob.as_ref().clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of ready entries.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("cache lock");
+        inner
+            .map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Whether the cache holds no ready entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss statistics since construction.
+    pub fn stats(&self) -> CacheStats {
+        let per = self.ns_stats.lock().expect("stats lock");
+        let mut by_namespace: Vec<(String, u64, u64)> = per
+            .iter()
+            .map(|(ns, (h, m))| (ns.clone(), *h, *m))
+            .collect();
+        by_namespace.sort();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            by_namespace,
+        }
+    }
+
+    fn record(&self, ns: &str, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut per = self.ns_stats.lock().expect("stats lock");
+        let entry = per.entry(ns.to_owned()).or_insert((0, 0));
+        if hit {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+        drop(per);
+        trace::add(
+            &format!("cache.{ns}.{}", if hit { "hit" } else { "miss" }),
+            1,
+        );
+    }
+
+    /// Loads JSON-lines entries from `path` (missing file = empty).
+    /// Returns how many entries were loaded; malformed lines are
+    /// skipped, never fatal — a corrupt cache degrades to recompute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found".
+    pub fn load_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut loaded = 0;
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if let Some((ns, key, bits)) = parse_entry(&line) {
+                let nsh = crate::KeyBuilder::new("ns").str(&ns).finish();
+                let blob: Vec<f64> = bits.iter().map(|b| f64::from_bits(*b)).collect();
+                let mut inner = self.inner.lock().expect("cache lock");
+                inner.map.insert((nsh, key), Slot::Ready(Arc::new(blob)));
+                inner.ns_names.entry(nsh).or_insert(ns);
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Writes every ready entry to `path` as JSON lines (atomic rename
+    /// via a sibling temp file). Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        let tmp = path.with_extension("jsonl.tmp");
+        let mut written = 0;
+        {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            let inner = self.inner.lock().expect("cache lock");
+            let mut entries: Vec<(&str, u64, &Arc<Vec<f64>>)> = inner
+                .map
+                .iter()
+                .filter_map(|((nsh, key), slot)| match slot {
+                    Slot::Ready(blob) => {
+                        inner.ns_names.get(nsh).map(|ns| (ns.as_str(), *key, blob))
+                    }
+                    Slot::InFlight => None,
+                })
+                .collect();
+            entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            for (ns, key, blob) in entries {
+                write!(
+                    w,
+                    "{{\"ns\":{},\"key\":\"{key:016x}\",\"bits\":[",
+                    trace::json_str(ns)
+                )?;
+                for (i, v) in blob.iter().enumerate() {
+                    if i > 0 {
+                        write!(w, ",")?;
+                    }
+                    write!(w, "{}", v.to_bits())?;
+                }
+                writeln!(w, "]}}")?;
+                written += 1;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(written)
+    }
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses one persistence line: `{"ns":"...","key":"hex","bits":[...]}`.
+fn parse_entry(line: &str) -> Option<(String, u64, Vec<u64>)> {
+    let rest = line.trim().strip_prefix("{\"ns\":\"")?;
+    // The namespace is written with `json_str`; unescape the two
+    // escapes that can occur in practice.
+    let mut ns = String::new();
+    let mut chars = rest.char_indices();
+    let ns_end = loop {
+        let (i, c) = chars.next()?;
+        match c {
+            '"' => break i,
+            '\\' => {
+                let (_, esc) = chars.next()?;
+                ns.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+            }
+            c => ns.push(c),
+        }
+    };
+    let rest = rest[ns_end..].strip_prefix("\",\"key\":\"")?;
+    let (key_hex, rest) = rest.split_once('"')?;
+    let key = u64::from_str_radix(key_hex, 16).ok()?;
+    let rest = rest.strip_prefix(",\"bits\":[")?;
+    let (body, _) = rest.split_once(']')?;
+    let bits = if body.is_empty() {
+        Vec::new()
+    } else {
+        body.split(',')
+            .map(|t| t.trim().parse::<u64>())
+            .collect::<Result<Vec<u64>, _>>()
+            .ok()?
+    };
+    Some((ns, key, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn second_identical_lookup_is_a_hit_and_never_recomputes() {
+        let cache = Cache::new();
+        let computes = AtomicUsize::new(0);
+        let f = || {
+            computes.fetch_add(1, Ordering::SeqCst);
+            vec![1.5, -0.0, 0.1 + 0.2]
+        };
+        let a = cache.get_or_compute("t", 42, f);
+        let b: Vec<f64> =
+            cache.get_or_compute("t", 42, || unreachable!("must be served from cache"));
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let cache = Cache::new();
+        let a = cache.get_or_compute("ns-a", 7, || 1.0);
+        let b = cache.get_or_compute("ns-b", 7, || 2.0);
+        assert_eq!((a, b), (1.0, 2.0));
+    }
+
+    #[test]
+    fn error_clears_in_flight_slot() {
+        let cache = Cache::new();
+        let r: Result<f64, &str> = cache.try_get_or_compute("t", 1, || Err("nope"));
+        assert_eq!(r, Err("nope"));
+        // A later caller is not wedged and can fill the slot.
+        let v: Result<f64, &str> = cache.try_get_or_compute("t", 1, || Ok(3.0));
+        assert_eq!(v, Ok(3.0));
+    }
+
+    #[test]
+    fn panic_in_compute_clears_in_flight_slot() {
+        let cache = Cache::new();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute("t", 9, || -> f64 { panic!("compute died") })
+        }));
+        assert!(attempt.is_err());
+        assert_eq!(cache.get_or_compute("t", 9, || 4.0), 4.0);
+    }
+
+    #[test]
+    fn concurrent_misses_single_flight() {
+        let cache = Arc::new(Cache::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_compute("t", 5, || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    7.25
+                })
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7.25);
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight violated");
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round-trip.jsonl");
+        let cache = Cache::new();
+        let tricky = vec![0.1 + 0.2, -0.0, f64::MIN_POSITIVE, 1.0e300, -3.25];
+        let t2 = tricky.clone();
+        cache.get_or_compute("blob", 11, move || t2);
+        cache.get_or_compute("scalar", 12, || 2.5);
+        assert_eq!(cache.save_jsonl(&path).unwrap(), 2);
+
+        let reloaded = Cache::new();
+        assert_eq!(reloaded.load_jsonl(&path).unwrap(), 2);
+        let got = reloaded.get_or_compute("blob", 11, || -> Vec<f64> {
+            unreachable!("must hit disk entry")
+        });
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            tricky.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(reloaded.stats().hits, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_empty() {
+        let cache = Cache::new();
+        let n = cache
+            .load_jsonl(Path::new("/nonexistent/subvt.jsonl"))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        assert!(parse_entry("not json").is_none());
+        assert!(parse_entry("{\"ns\":\"a\",\"key\":\"zz\",\"bits\":[1]}").is_none());
+        let ok = parse_entry("{\"ns\":\"a\",\"key\":\"00000000000000ff\",\"bits\":[1,2]}");
+        assert_eq!(ok, Some(("a".to_owned(), 255, vec![1, 2])));
+        let empty = parse_entry("{\"ns\":\"a\",\"key\":\"0000000000000001\",\"bits\":[]}");
+        assert_eq!(empty, Some(("a".to_owned(), 1, vec![])));
+    }
+
+    #[test]
+    fn stale_blob_schema_recomputes() {
+        let cache = Cache::new();
+        // Store a 2-element record, then read it as a scalar (f64::decode
+        // rejects len != 1) — must fall back to compute.
+        cache.get_or_compute("t", 3, || vec![1.0, 2.0]);
+        let v: f64 = cache.get_or_compute("t", 3, || 9.0);
+        assert_eq!(v, 9.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Stable content hashing for cache keys.
+//!
+//! `std::hash` makes no stability promises across runs or builds, so
+//! cache keys that may be persisted to disk are built with an explicit
+//! FNV-1a 64-bit hash over a tagged field stream. Floats are hashed by
+//! their IEEE-754 bit pattern, which is exactly the identity the cache
+//! needs: two [`f64`]s hash equal iff they are the same value.
+
+/// FNV-1a 64-bit streaming hasher (stable across runs and platforms).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Returns the current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builder for stable cache keys: a tag plus a stream of typed fields.
+///
+/// Each field is framed with a one-byte type marker and (for variable
+/// length data) its length, so field boundaries cannot alias — e.g.
+/// `.str("ab").str("c")` and `.str("a").str("bc")` hash differently.
+///
+/// # Examples
+///
+/// ```
+/// use subvt_engine::KeyBuilder;
+/// let a = KeyBuilder::new("idvg").f64(1.2).f64(0.05).finish();
+/// let b = KeyBuilder::new("idvg").f64(1.2).f64(0.05).finish();
+/// let c = KeyBuilder::new("idvg").f64(0.05).f64(1.2).finish();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyBuilder(Fnv64);
+
+impl KeyBuilder {
+    /// Starts a key with a schema tag (bump the tag when the encoded
+    /// layout of the cached value changes).
+    pub fn new(tag: &str) -> Self {
+        let mut h = Fnv64::new();
+        h.write(&(tag.len() as u64).to_le_bytes());
+        h.write(tag.as_bytes());
+        Self(h)
+    }
+
+    /// Hashes a string field.
+    #[must_use]
+    pub fn str(mut self, s: &str) -> Self {
+        self.0.write(&[1]);
+        self.0.write(&(s.len() as u64).to_le_bytes());
+        self.0.write(s.as_bytes());
+        self
+    }
+
+    /// Hashes a float by bit pattern.
+    #[must_use]
+    pub fn f64(mut self, v: f64) -> Self {
+        self.0.write(&[2]);
+        self.0.write(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Hashes an unsigned integer.
+    #[must_use]
+    pub fn u64(mut self, v: u64) -> Self {
+        self.0.write(&[3]);
+        self.0.write(&v.to_le_bytes());
+        self
+    }
+
+    /// Hashes a boolean.
+    #[must_use]
+    pub fn bool(mut self, v: bool) -> Self {
+        self.0.write(&[4, u8::from(v)]);
+        self
+    }
+
+    /// Hashes a float slice (length-framed).
+    #[must_use]
+    pub fn f64s(mut self, vs: &[f64]) -> Self {
+        self.0.write(&[5]);
+        self.0.write(&(vs.len() as u64).to_le_bytes());
+        for v in vs {
+            self.0.write(&v.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Returns the finished 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.0.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        let mut h = Fnv64::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn field_framing_prevents_aliasing() {
+        let a = KeyBuilder::new("t").str("ab").str("c").finish();
+        let b = KeyBuilder::new("t").str("a").str("bc").finish();
+        assert_ne!(a, b);
+        let a = KeyBuilder::new("t").f64s(&[1.0, 2.0]).f64s(&[]).finish();
+        let b = KeyBuilder::new("t").f64s(&[1.0]).f64s(&[2.0]).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tag_separates_namespaces() {
+        let a = KeyBuilder::new("x").u64(7).finish();
+        let b = KeyBuilder::new("y").u64(7).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_bit_identity() {
+        assert_ne!(
+            KeyBuilder::new("t").f64(0.0).finish(),
+            KeyBuilder::new("t").f64(-0.0).finish(),
+            "distinct bit patterns must hash differently"
+        );
+        assert_eq!(
+            KeyBuilder::new("t").f64(0.1 + 0.2).finish(),
+            KeyBuilder::new("t").f64(0.1 + 0.2).finish()
+        );
+    }
+}

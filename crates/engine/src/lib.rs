@@ -1,0 +1,108 @@
+//! Sweep execution engine for the `subvt` workspace.
+//!
+//! Every artefact in the paper — the Table 2/3 design searches and the
+//! Fig. 2–12 device and circuit sweeps — is an embarrassingly parallel
+//! sweep over device designs and bias points. This crate provides the
+//! three pieces the experiment stack runs on, using only `std`:
+//!
+//! * [`executor`]: a work-stealing thread pool for sweep/DAG jobs with
+//!   panic-safe [`executor::JobHandle`]s and an order-preserving
+//!   [`Executor::map`]. Worker threads that block joining sub-jobs help
+//!   drain their own local queue, so nested fan-out (an experiment that
+//!   spawns a design flow that spawns per-node searches) cannot
+//!   deadlock, even on a single-worker pool.
+//! * [`cache`]: a content-addressed result cache. Keys are stable
+//!   64-bit hashes built with [`KeyBuilder`]; values are numeric blobs
+//!   ([`cache::Blob`]) so identical TCAD extractions and design flows
+//!   are computed once per process — and, with JSON-lines persistence,
+//!   once per machine. Concurrent misses of the same key are
+//!   single-flighted.
+//! * [`trace`]: a structured tracing layer — spans with wall-clock
+//!   durations plus named counters (cache hits/misses among them) and a
+//!   machine-readable JSON-lines sink.
+//!
+//! The process-wide instances used by the experiment harness are
+//! [`global`] (sized by [`configure_jobs`], the `SUBVT_JOBS`
+//! environment variable, or the machine's parallelism) and
+//! [`global_cache`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod hash;
+pub mod trace;
+
+pub use cache::{Blob, Cache, CacheStats};
+pub use executor::{Executor, JobHandle, JobPanic};
+pub use hash::KeyBuilder;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Executor> = OnceLock::new();
+static GLOBAL_CACHE: OnceLock<Cache> = OnceLock::new();
+static REQUESTED_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Requests a worker count for the process-wide executor. Returns
+/// `false` (and changes nothing) once [`global`] has already been
+/// built. Call this early — e.g. from CLI flag parsing.
+pub fn configure_jobs(jobs: usize) -> bool {
+    if GLOBAL.get().is_some() {
+        return false;
+    }
+    REQUESTED_JOBS.store(jobs.max(1), Ordering::SeqCst);
+    GLOBAL.get().is_none()
+}
+
+/// Worker count the process-wide executor will use (or uses): the
+/// [`configure_jobs`] request, else `SUBVT_JOBS`, else the machine's
+/// available parallelism.
+pub fn default_jobs() -> usize {
+    let requested = REQUESTED_JOBS.load(Ordering::SeqCst);
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("SUBVT_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide executor, built on first use.
+pub fn global() -> &'static Executor {
+    GLOBAL.get_or_init(|| Executor::new(default_jobs()))
+}
+
+/// The process-wide result cache, built empty on first use.
+pub fn global_cache() -> &'static Cache {
+    GLOBAL_CACHE.get_or_init(Cache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_executor_is_singleton() {
+        let a = global() as *const _;
+        let b = global() as *const _;
+        assert_eq!(a, b);
+        assert!(global().workers() >= 1);
+    }
+
+    #[test]
+    fn global_cache_is_singleton() {
+        let a = global_cache() as *const _;
+        let b = global_cache() as *const _;
+        assert_eq!(a, b);
+    }
+}

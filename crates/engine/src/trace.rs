@@ -1,0 +1,238 @@
+//! Structured tracing: spans, counters, and a JSON-lines sink.
+//!
+//! The tracer is process-global and always on — recording a span is two
+//! `Instant` reads and one `Vec` push, far below the cost of anything
+//! worth tracing here. The `repro` binary drains it into a
+//! machine-readable JSON-lines file when `--trace <path>` is given.
+//!
+//! Schema (one JSON object per line):
+//!
+//! ```text
+//! {"type":"span","name":"experiment.fig4","start_us":123,"dur_us":4567,"thread":"ThreadId(5)"}
+//! {"type":"counter","name":"cache.design.hit","value":26}
+//! {"type":"meta","spans":17,"counters":4,"wall_us":890123}
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dotted span name, e.g. `experiment.fig4`.
+    pub name: String,
+    /// Start, microseconds since the tracer was created.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Debug rendering of the recording thread's id.
+    pub thread: String,
+}
+
+struct TracerState {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+}
+
+/// Process-global span/counter collector.
+pub struct Tracer {
+    epoch: Instant,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            state: Mutex::new(TracerState {
+                spans: Vec::new(),
+                counters: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Opens a span; the span records itself when dropped.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        Span {
+            tracer: self,
+            name: name.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut state = self.state.lock().expect("tracer lock");
+        *state.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Snapshot of all spans and counters recorded so far.
+    pub fn snapshot(&self) -> (Vec<SpanRecord>, BTreeMap<String, u64>) {
+        let state = self.state.lock().expect("tracer lock");
+        (state.spans.clone(), state.counters.clone())
+    }
+
+    /// Reads one counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .expect("tracer lock")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes the JSON-lines trace described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let (spans, counters) = self.snapshot();
+        for s in &spans {
+            writeln!(
+                w,
+                "{{\"type\":\"span\",\"name\":{},\"start_us\":{},\"dur_us\":{},\"thread\":{}}}",
+                json_str(&s.name),
+                s.start_us,
+                s.dur_us,
+                json_str(&s.thread)
+            )?;
+        }
+        for (name, value) in &counters {
+            writeln!(
+                w,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+                json_str(name),
+                value
+            )?;
+        }
+        writeln!(
+            w,
+            "{{\"type\":\"meta\",\"spans\":{},\"counters\":{},\"wall_us\":{}}}",
+            spans.len(),
+            counters.len(),
+            self.epoch.elapsed().as_micros()
+        )
+    }
+}
+
+/// An open span; records wall-clock duration when dropped.
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let start_us = self.started.duration_since(self.tracer.epoch).as_micros() as u64;
+        let dur_us = self.started.elapsed().as_micros() as u64;
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            start_us,
+            dur_us,
+            thread: format!("{:?}", std::thread::current().id()),
+        };
+        self.tracer
+            .state
+            .lock()
+            .expect("tracer lock")
+            .spans
+            .push(record);
+    }
+}
+
+/// The process-global tracer.
+pub fn global() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(Tracer::new)
+}
+
+/// Opens a span on the global tracer.
+pub fn span(name: impl Into<String>) -> Span<'static> {
+    global().span(name)
+}
+
+/// Adds to a counter on the global tracer.
+pub fn add(name: &str, delta: u64) {
+    global().add(name, delta);
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let tracer = Tracer::new();
+        {
+            let _span = tracer.span("unit.test");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let (spans, _) = tracer.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "unit.test");
+        assert!(
+            spans[0].dur_us >= 1_000,
+            "span too short: {}",
+            spans[0].dur_us
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let tracer = Tracer::new();
+        tracer.add("cache.x.hit", 2);
+        tracer.add("cache.x.hit", 3);
+        assert_eq!(tracer.counter("cache.x.hit"), 5);
+        assert_eq!(tracer.counter("missing"), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_is_machine_readable() {
+        let tracer = Tracer::new();
+        drop(tracer.span("a\"b"));
+        tracer.add("c", 1);
+        let mut buf = Vec::new();
+        tracer.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"name\":\"a\\\"b\""));
+        assert!(lines[1].contains("\"type\":\"counter\""));
+        assert!(lines[2].contains("\"type\":\"meta\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn json_escaping_covers_controls() {
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_str("q\"\\"), "\"q\\\"\\\\\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -6,6 +6,9 @@
 //! repro all                 # run everything in paper order
 //! repro table2 fig2 fig12   # run a subset
 //! repro --csv fig6          # CSV output instead of aligned text
+//! repro --jobs 8 all        # size the engine pool explicitly
+//! repro --trace t.jsonl all # dump spans + cache counters as JSON lines
+//! repro --cache c.jsonl all # persist the result cache across runs
 //! repro --list              # list experiment ids
 //! ```
 
@@ -16,10 +19,41 @@ use subvt_exp::{run, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv = false;
+    let mut trace_path: Option<String> = None;
+    let mut cache_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--csv" => csv = true,
+            "--jobs" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if !subvt_engine::configure_jobs(n) {
+                    eprintln!("--jobs must come before any work is scheduled");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--trace" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--trace needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(path.clone());
+            }
+            "--cache" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--cache needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                cache_path = Some(path.clone());
+            }
             "--list" => {
                 for id in ALL_EXPERIMENTS.iter().chain(&EXTENSION_EXPERIMENTS) {
                     println!("{id}");
@@ -44,6 +78,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if let Some(path) = &cache_path {
+        match subvt_engine::global_cache().load_jsonl(path.as_ref()) {
+            Ok(n) => eprintln!("loaded {n} cached results from {path}"),
+            Err(e) => {
+                eprintln!("cannot read cache file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     for id in &ids {
         match run(id) {
             Some(table) => {
@@ -59,12 +103,35 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Some(path) = &cache_path {
+        if let Err(e) = subvt_engine::global_cache().save_jsonl(path.as_ref()) {
+            eprintln!("cannot write cache file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &trace_path {
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(path)?;
+            subvt_engine::trace::global().write_jsonl(&mut file)
+        };
+        if let Err(e) = write() {
+            eprintln!("cannot write trace file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn print_help() {
-    eprintln!("usage: repro [--csv] <experiment...|all|ext|everything>");
+    eprintln!("usage: repro [options] <experiment...|all|ext|everything>");
     eprintln!("       repro --list");
+    eprintln!();
+    eprintln!("options:");
+    eprintln!("  --csv           CSV output instead of aligned text");
+    eprintln!("  --jobs <N>      engine worker threads (default: cores, or $SUBVT_JOBS)");
+    eprintln!("  --trace <path>  write spans and counters as JSON lines on exit");
+    eprintln!("  --cache <path>  load the result cache before, persist it after");
     eprintln!();
     eprintln!("Reproduces the tables and figures of 'Nanometer Device Scaling");
     eprintln!("in Subthreshold Circuits' (DAC 2007) from the subvt stack.");

@@ -1,0 +1,211 @@
+//! Flat-float codec for design results, so a full strategy flow can live
+//! in the engine's content-addressed cache (whose record type is
+//! `Vec<f64>`).
+//!
+//! Every field is laid out positionally; [`DesignSet::decode`] rejects
+//! records with the wrong length or unphysical discriminants, which the
+//! cache treats as a schema mismatch (a miss, then recompute). Bump the
+//! cache key tag in [`crate::context`] whenever this layout changes.
+
+use subvt_core::roadmap::TechNode;
+use subvt_core::strategy::NodeDesign;
+use subvt_engine::Blob;
+use subvt_physics::device::{DeviceCharacteristics, DeviceGeometry, DeviceKind, DeviceParams};
+use subvt_units::{
+    AmpsPerMicron, FaradsPerCm2, FaradsPerMicron, MilliVoltsPerDecade, Nanometers,
+    PerCubicCentimeter, Seconds, Temperature, Volts,
+};
+
+/// Floats per encoded [`DeviceParams`] (kind + 5 geometry + 5 scalars).
+const PARAMS_LEN: usize = 11;
+/// Floats per encoded [`DeviceCharacteristics`].
+const CHARS_LEN: usize = 17;
+/// Floats per encoded [`NodeDesign`].
+const DESIGN_LEN: usize = 1 + 2 * (PARAMS_LEN + CHARS_LEN);
+
+/// A cacheable set of per-node designs (one full strategy flow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSet(pub Vec<NodeDesign>);
+
+fn push_params(out: &mut Vec<f64>, p: &DeviceParams) {
+    out.push(match p.kind {
+        DeviceKind::Nfet => 0.0,
+        DeviceKind::Pfet => 1.0,
+    });
+    let g = &p.geometry;
+    out.extend([
+        g.l_poly.get(),
+        g.t_ox.get(),
+        g.l_overlap.get(),
+        g.x_j.get(),
+        g.halo_sigma.get(),
+        p.n_sub.get(),
+        p.n_p_halo.get(),
+        p.n_sd.get(),
+        p.v_dd.as_volts(),
+        p.temperature.as_kelvin(),
+    ]);
+}
+
+fn push_chars(out: &mut Vec<f64>, c: &DeviceCharacteristics) {
+    out.extend([
+        c.l_eff.get(),
+        c.n_eff.get(),
+        c.c_ox.get(),
+        c.w_dep.get(),
+        c.s_s.get(),
+        c.m,
+        c.v_th0.as_volts(),
+        c.v_th_lin.as_volts(),
+        c.v_th_sat.as_volts(),
+        c.dibl,
+        c.mu0,
+        c.i0.get(),
+        c.i_off.get(),
+        c.i_on.get(),
+        c.c_g.get(),
+        c.c_drain.get(),
+        c.tau.get(),
+    ]);
+}
+
+fn read_params(r: &[f64]) -> Option<DeviceParams> {
+    let kind = if r[0] == 0.0 {
+        DeviceKind::Nfet
+    } else if r[0] == 1.0 {
+        DeviceKind::Pfet
+    } else {
+        return None;
+    };
+    let kelvin = r[10];
+    if !(kelvin.is_finite() && kelvin > 0.0) {
+        return None;
+    }
+    Some(DeviceParams {
+        kind,
+        geometry: DeviceGeometry {
+            l_poly: Nanometers::new(r[1]),
+            t_ox: Nanometers::new(r[2]),
+            l_overlap: Nanometers::new(r[3]),
+            x_j: Nanometers::new(r[4]),
+            halo_sigma: Nanometers::new(r[5]),
+        },
+        n_sub: PerCubicCentimeter::new(r[6]),
+        n_p_halo: PerCubicCentimeter::new(r[7]),
+        n_sd: PerCubicCentimeter::new(r[8]),
+        v_dd: Volts::new(r[9]),
+        temperature: Temperature::from_kelvin(kelvin),
+    })
+}
+
+fn read_chars(r: &[f64]) -> DeviceCharacteristics {
+    DeviceCharacteristics {
+        l_eff: Nanometers::new(r[0]),
+        n_eff: PerCubicCentimeter::new(r[1]),
+        c_ox: FaradsPerCm2::new(r[2]),
+        w_dep: Nanometers::new(r[3]),
+        s_s: MilliVoltsPerDecade::new(r[4]),
+        m: r[5],
+        v_th0: Volts::new(r[6]),
+        v_th_lin: Volts::new(r[7]),
+        v_th_sat: Volts::new(r[8]),
+        dibl: r[9],
+        mu0: r[10],
+        i0: AmpsPerMicron::new(r[11]),
+        i_off: AmpsPerMicron::new(r[12]),
+        i_on: AmpsPerMicron::new(r[13]),
+        c_g: FaradsPerMicron::new(r[14]),
+        c_drain: FaradsPerMicron::new(r[15]),
+        tau: Seconds::new(r[16]),
+    }
+}
+
+fn node_from_generation(g: f64) -> Option<TechNode> {
+    TechNode::ALL
+        .iter()
+        .copied()
+        .find(|n| f64::from(n.generation()) == g)
+}
+
+impl Blob for DesignSet {
+    fn encode(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(1 + self.0.len() * DESIGN_LEN);
+        out.push(self.0.len() as f64);
+        for d in &self.0 {
+            out.push(f64::from(d.node.generation()));
+            push_params(&mut out, &d.nfet);
+            push_params(&mut out, &d.pfet);
+            push_chars(&mut out, &d.nfet_chars);
+            push_chars(&mut out, &d.pfet_chars);
+        }
+        out
+    }
+
+    fn decode(record: &[f64]) -> Option<Self> {
+        let (&count, rest) = record.split_first()?;
+        if count < 0.0 || count.fract() != 0.0 {
+            return None;
+        }
+        let count = count as usize;
+        if rest.len() != count * DESIGN_LEN {
+            return None;
+        }
+        let mut designs = Vec::with_capacity(count);
+        for chunk in rest.chunks_exact(DESIGN_LEN) {
+            let node = node_from_generation(chunk[0])?;
+            let mut at = 1;
+            let nfet = read_params(&chunk[at..at + PARAMS_LEN])?;
+            at += PARAMS_LEN;
+            let pfet = read_params(&chunk[at..at + PARAMS_LEN])?;
+            at += PARAMS_LEN;
+            let nfet_chars = read_chars(&chunk[at..at + CHARS_LEN]);
+            at += CHARS_LEN;
+            let pfet_chars = read_chars(&chunk[at..at + CHARS_LEN]);
+            designs.push(NodeDesign {
+                node,
+                nfet,
+                pfet,
+                nfet_chars,
+                pfet_chars,
+            });
+        }
+        Some(Self(designs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_core::strategy::ScalingStrategy;
+    use subvt_core::SubVthStrategy;
+
+    #[test]
+    fn design_set_round_trips_exactly() {
+        let designs = SubVthStrategy::default().design_all().unwrap();
+        let set = DesignSet(designs);
+        let decoded = DesignSet::decode(&set.encode()).unwrap();
+        assert_eq!(decoded, set);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_records() {
+        assert_eq!(DesignSet::decode(&[]), None);
+        assert_eq!(DesignSet::decode(&[1.0, 2.0, 3.0]), None);
+        assert_eq!(DesignSet::decode(&[-1.0]), None);
+        let set = DesignSet(SubVthStrategy::default().design_all().unwrap());
+        let mut bits = set.encode();
+        bits[1] = 9.0; // no node has generation 9
+        assert_eq!(DesignSet::decode(&bits), None);
+        let mut bits = set.encode();
+        bits.pop();
+        assert_eq!(DesignSet::decode(&bits), None);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        assert_eq!(
+            DesignSet::decode(&DesignSet(vec![]).encode()),
+            Some(DesignSet(vec![]))
+        );
+    }
+}

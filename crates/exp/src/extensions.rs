@@ -103,8 +103,14 @@ pub fn ext_sram(ctx: &StudyContext) -> Table {
     for (sup, sub) in ctx.supervth.iter().zip(&ctx.subvth) {
         let cell_sup = SramCell::subthreshold_cell(sup.cmos_pair());
         let cell_sub = SramCell::subthreshold_cell(sub.cmos_pair());
-        let hold = cell_sup.hold_snm(v, 121).map(|s| s * 1e3).unwrap_or(f64::NAN);
-        let read = cell_sup.read_snm(v, 121).map(|s| s * 1e3).unwrap_or(f64::NAN);
+        let hold = cell_sup
+            .hold_snm(v, 121)
+            .map(|s| s * 1e3)
+            .unwrap_or(f64::NAN);
+        let read = cell_sup
+            .read_snm(v, 121)
+            .map(|s| s * 1e3)
+            .unwrap_or(f64::NAN);
         t.push_row(vec![
             sup.node.name().to_owned(),
             fmt(hold, 1),
@@ -193,7 +199,10 @@ mod tests {
         let t = ext_temperature();
         let ss: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         let ioff: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
-        assert!(ss.windows(2).all(|w| w[1] > w[0]), "S_S rises with T: {ss:?}");
+        assert!(
+            ss.windows(2).all(|w| w[1] > w[0]),
+            "S_S rises with T: {ss:?}"
+        );
         assert!(
             ioff.windows(2).all(|w| w[1] > w[0]),
             "I_off rises with T: {ioff:?}"

@@ -153,25 +153,15 @@ pub fn fig6(ctx: &StudyContext) -> Table {
 }
 
 /// Runs a per-node closure in parallel across the four nodes (each SPICE
-/// measurement is independent).
+/// measurement is independent). Results keep the input node order.
 fn run_per_node<F>(designs: &[NodeDesign], f: F) -> Vec<(String, f64, f64)>
 where
-    F: Fn(&NodeDesign) -> (f64, f64) + Sync,
+    F: Fn(&NodeDesign) -> (f64, f64) + Send + Sync + 'static,
 {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = designs
-            .iter()
-            .map(|d| {
-                let f = &f;
-                s.spawn(move |_| {
-                    let (a, b) = f(d);
-                    (d.node.name().to_owned(), a, b)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("node task panicked")).collect()
+    subvt_engine::global().map(designs.to_vec(), move |d| {
+        let (a, b) = f(&d);
+        (d.node.name().to_owned(), a, b)
     })
-    .expect("scope panicked")
 }
 
 #[cfg(test)]
@@ -212,7 +202,10 @@ mod tests {
             let f: f64 = row[4].parse().unwrap();
             // Eq. 8 validation: the factor tracks measured energy within
             // ~35 % (the paper's Fig. 6 shows a close match).
-            assert!((e - f).abs() < 0.35_f64.max(0.35 * e), "E {e} vs factor {f}");
+            assert!(
+                (e - f).abs() < 0.35_f64.max(0.35 * e),
+                "E {e} vs factor {f}"
+            );
         }
     }
 }

@@ -15,44 +15,22 @@ use crate::table::{fmt, Table};
 /// 19 % larger than super-V_th at 32 nm.
 pub fn fig10(ctx: &StudyContext) -> Table {
     let v = Volts::new(V_SUBVT);
-    let rows: Vec<_> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ctx
-            .supervth
-            .iter()
-            .zip(&ctx.subvth)
-            .map(|(sup, sub)| {
-                s.spawn(move |_| {
-                    (
-                        sup.node.name().to_owned(),
-                        snm_at(sup, v),
-                        snm_at(sub, v),
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("snm task panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    let pairs: Vec<_> = ctx
+        .supervth
+        .iter()
+        .copied()
+        .zip(ctx.subvth.iter().copied())
+        .collect();
+    let rows = subvt_engine::global().map(pairs, move |(sup, sub)| {
+        (sup.node.name().to_owned(), snm_at(&sup, v), snm_at(&sub, v))
+    });
 
     let mut t = Table::new(
         "Fig 10: inverter SNM at 250 mV, super-Vth vs sub-Vth scaling",
-        &[
-            "Node",
-            "SNM super (mV)",
-            "SNM sub (mV)",
-            "sub/super",
-        ],
+        &["Node", "SNM super (mV)", "SNM sub (mV)", "sub/super"],
     );
     for (name, a, b) in rows {
-        t.push_row(vec![
-            name,
-            fmt(a * 1e3, 1),
-            fmt(b * 1e3, 1),
-            fmt(b / a, 2),
-        ]);
+        t.push_row(vec![name, fmt(a * 1e3, 1), fmt(b * 1e3, 1), fmt(b / a, 2)]);
     }
     t
 }
@@ -64,27 +42,19 @@ pub fn fig10(ctx: &StudyContext) -> Table {
 /// monotonically, while super-V_th delay is non-monotonic.
 pub fn fig11(ctx: &StudyContext) -> Table {
     let v = Volts::new(V_SUBVT);
-    let rows: Vec<_> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ctx
-            .supervth
-            .iter()
-            .zip(&ctx.subvth)
-            .map(|(sup, sub)| {
-                s.spawn(move |_| {
-                    (
-                        sup.node.name().to_owned(),
-                        delay_at(sup, v),
-                        delay_at(sub, v),
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("delay task panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    let pairs: Vec<_> = ctx
+        .supervth
+        .iter()
+        .copied()
+        .zip(ctx.subvth.iter().copied())
+        .collect();
+    let rows = subvt_engine::global().map(pairs, move |(sup, sub)| {
+        (
+            sup.node.name().to_owned(),
+            delay_at(&sup, v),
+            delay_at(&sub, v),
+        )
+    });
 
     let base_sup = rows[0].1;
     let base_sub = rows[0].2;
@@ -162,7 +132,10 @@ mod tests {
         let t = fig10(StudyContext::cached());
         let ratio: f64 = t.rows[3][3].parse().unwrap();
         // Paper: 19 % better. Accept any clear win (> 5 %).
-        assert!(ratio > 1.05, "sub-Vth SNM should win at 32 nm: ratio {ratio}");
+        assert!(
+            ratio > 1.05,
+            "sub-Vth SNM should win at 32 nm: ratio {ratio}"
+        );
     }
 
     #[test]
@@ -191,8 +164,7 @@ mod tests {
         let sup: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
         let sub: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
         let spread = |v: &[f64]| {
-            v.iter().cloned().fold(f64::MIN, f64::max)
-                - v.iter().cloned().fold(f64::MAX, f64::min)
+            v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
         };
         assert!(
             spread(&sub) < spread(&sup),

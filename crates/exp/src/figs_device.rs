@@ -64,7 +64,11 @@ pub fn fig3(ctx: &StudyContext) -> Table {
         * 1.0e9;
     for d in &ctx.supervth {
         let nom = d.nfet_chars.i_on.as_microamps();
-        let sub = at_subthreshold_supply(d, Volts::new(V_SUBVT)).nfet_chars.i_on.get() * 1.0e9;
+        let sub = at_subthreshold_supply(d, Volts::new(V_SUBVT))
+            .nfet_chars
+            .i_on
+            .get()
+            * 1.0e9;
         t.push_row(vec![
             d.node.name().to_owned(),
             fmt(nom, 0),
@@ -184,7 +188,10 @@ mod tests {
         let t = fig2(StudyContext::cached());
         let last_ratio: f64 = t.rows[3][3].parse().unwrap();
         // Paper: −60 %. Accept any substantial degradation (> 35 %).
-        assert!(last_ratio < 0.65, "I_on/I_off ratio at 32 nm = {last_ratio}");
+        assert!(
+            last_ratio < 0.65,
+            "I_on/I_off ratio at 32 nm = {last_ratio}"
+        );
     }
 
     #[test]
@@ -192,7 +199,10 @@ mod tests {
         let t = fig3(StudyContext::cached());
         let nom_32: f64 = t.rows[3][3].parse().unwrap();
         let sub_32: f64 = t.rows[3][4].parse().unwrap();
-        assert!(sub_32 < nom_32, "sub-Vth I_on must fall faster: {sub_32} vs {nom_32}");
+        assert!(
+            sub_32 < nom_32,
+            "sub-Vth I_on must fall faster: {sub_32} vs {nom_32}"
+        );
     }
 
     #[test]

@@ -6,51 +6,62 @@ use crate::{extensions, figs_circuit, figs_compare, figs_device, tables};
 
 /// All experiment identifiers in paper order.
 pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "fig12",
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12",
 ];
 
 /// Extension studies beyond the paper's artefacts (run with `repro ext`
 /// or by id).
-pub const EXTENSION_EXPERIMENTS: [&str; 5] =
-    ["ext-temperature", "ext-oxide", "ext-sram", "ext-variability", "ext-gates"];
+pub const EXTENSION_EXPERIMENTS: [&str; 5] = [
+    "ext-temperature",
+    "ext-oxide",
+    "ext-sram",
+    "ext-variability",
+    "ext-gates",
+];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
 ///
-/// Experiments that need device designs pull them from the process-wide
-/// [`StudyContext::cached`].
+/// Experiments that need device designs recall them through the engine's
+/// `design` cache (see [`StudyContext::compute`]) — the first consumer
+/// pays for the flows, every later one is a recorded cache hit. Each
+/// registered experiment records an `experiment.<id>` trace span.
 pub fn run(id: &str) -> Option<Table> {
-    let ctx = || StudyContext::cached();
+    let ctx = || StudyContext::compute().expect("design flows failed on roadmap inputs");
+    let _span = subvt_engine::trace::span(format!("experiment.{id}"));
     Some(match id {
         "table1" => tables::table1(),
-        "table2" => tables::table2(ctx()),
-        "table3" => tables::table3(ctx()),
-        "fig2" => figs_device::fig2(ctx()),
-        "fig3" => figs_device::fig3(ctx()),
-        "fig4" => figs_circuit::fig4(ctx()),
-        "fig5" => figs_circuit::fig5(ctx()),
-        "fig6" => figs_circuit::fig6(ctx()),
+        "table2" => tables::table2(&ctx()),
+        "table3" => tables::table3(&ctx()),
+        "fig2" => figs_device::fig2(&ctx()),
+        "fig3" => figs_device::fig3(&ctx()),
+        "fig4" => figs_circuit::fig4(&ctx()),
+        "fig5" => figs_circuit::fig5(&ctx()),
+        "fig6" => figs_circuit::fig6(&ctx()),
         "fig7" => figs_device::fig7(),
         "fig8" => figs_device::fig8(),
-        "fig9" => figs_device::fig9(ctx()),
-        "fig10" => figs_compare::fig10(ctx()),
-        "fig11" => figs_compare::fig11(ctx()),
-        "fig12" => figs_compare::fig12(ctx()),
+        "fig9" => figs_device::fig9(&ctx()),
+        "fig10" => figs_compare::fig10(&ctx()),
+        "fig11" => figs_compare::fig11(&ctx()),
+        "fig12" => figs_compare::fig12(&ctx()),
         "ext-temperature" => extensions::ext_temperature(),
         "ext-oxide" => extensions::ext_oxide_scaling(),
-        "ext-sram" => extensions::ext_sram(ctx()),
-        "ext-variability" => extensions::ext_variability(ctx()),
-        "ext-gates" => extensions::ext_gates(ctx()),
+        "ext-sram" => extensions::ext_sram(&ctx()),
+        "ext-variability" => extensions::ext_variability(&ctx()),
+        "ext-gates" => extensions::ext_gates(&ctx()),
         _ => return None,
     })
 }
 
-/// Runs every experiment in paper order.
+/// Runs every experiment in paper order, concurrently on the engine
+/// pool. Results are returned in registry order and are identical to a
+/// serial `ALL_EXPERIMENTS.iter().map(run)` loop: every experiment is a
+/// deterministic pure function of the (cached) study context.
 pub fn run_all() -> Vec<Table> {
-    ALL_EXPERIMENTS
-        .iter()
-        .map(|id| run(id).expect("registered experiment"))
-        .collect()
+    let _span = subvt_engine::trace::span("runner.run_all");
+    subvt_engine::global().map(ALL_EXPERIMENTS.to_vec(), |id| {
+        run(id).expect("registered experiment")
+    })
 }
 
 #[cfg(test)]
@@ -85,11 +96,17 @@ mod tests {
         assert_eq!(ALL_EXPERIMENTS.len(), 14);
         // 3 tables + 11 figures (Fig. 2 through Fig. 12).
         assert_eq!(
-            ALL_EXPERIMENTS.iter().filter(|s| s.starts_with("table")).count(),
+            ALL_EXPERIMENTS
+                .iter()
+                .filter(|s| s.starts_with("table"))
+                .count(),
             3
         );
         assert_eq!(
-            ALL_EXPERIMENTS.iter().filter(|s| s.starts_with("fig")).count(),
+            ALL_EXPERIMENTS
+                .iter()
+                .filter(|s| s.starts_with("fig"))
+                .count(),
             11
         );
     }

@@ -80,7 +80,12 @@ impl Table {
         };
         let mut out = String::new();
         out.push_str(
-            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {

@@ -1,9 +1,7 @@
 //! Reproductions of the paper's Tables 1–3.
 
 use subvt_core::generalized::{table1 as gen_table1, GeneralizedScaling};
-use subvt_core::metrics::{
-    delay_factor_fixed_ioff, energy_factor, normalize_to_first,
-};
+use subvt_core::metrics::{delay_factor_fixed_ioff, energy_factor, normalize_to_first};
 use subvt_core::strategy::NodeDesign;
 
 use crate::context::StudyContext;
@@ -18,7 +16,11 @@ pub fn table1() -> Table {
         &["Parameter", "Scaling factor", "Value/generation"],
     );
     for row in gen_table1(&rules) {
-        t.push_row(vec![row.parameter.to_owned(), row.symbol.to_owned(), fmt(row.value, 3)]);
+        t.push_row(vec![
+            row.parameter.to_owned(),
+            row.symbol.to_owned(),
+            fmt(row.value, 3),
+        ]);
     }
     t
 }
@@ -72,7 +74,11 @@ pub fn table2(ctx: &StudyContext) -> Table {
 /// Paper values — L_poly 95/75/60/45 nm, C_L·S_S² 1/0.80/0.65/0.51,
 /// C_L·S_S 1/0.80/0.65/0.50.
 pub fn table3(ctx: &StudyContext) -> Table {
-    let ef: Vec<f64> = ctx.subvth.iter().map(|d| energy_factor(&d.nfet_chars)).collect();
+    let ef: Vec<f64> = ctx
+        .subvth
+        .iter()
+        .map(|d| energy_factor(&d.nfet_chars))
+        .collect();
     let df: Vec<f64> = ctx
         .subvth
         .iter()

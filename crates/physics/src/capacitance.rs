@@ -18,8 +18,7 @@ use subvt_units::{FaradsPerCm2, FaradsPerMicron, Nanometers};
 /// classic conformal-mapping estimate with `T_poly ≈ 60 nm` of gate stack.
 pub fn fringe_per_side(t_ox: Nanometers) -> FaradsPerMicron {
     const T_POLY_NM: f64 = 60.0;
-    let per_cm = 2.0 * EPS_OX / core::f64::consts::PI
-        * (1.0 + T_POLY_NM / t_ox.get()).ln();
+    let per_cm = 2.0 * EPS_OX / core::f64::consts::PI * (1.0 + T_POLY_NM / t_ox.get()).ln();
     // Per cm of width → per µm of width.
     FaradsPerMicron::new(per_cm * 1.0e-4)
 }
@@ -70,10 +69,7 @@ pub fn drain_capacitance(
 
 /// Fan-out-of-one load: the driven gate's input capacitance plus the
 /// driver's own drain parasitics.
-pub fn fo1_load(
-    c_gate_load: FaradsPerMicron,
-    c_drain_driver: FaradsPerMicron,
-) -> FaradsPerMicron {
+pub fn fo1_load(c_gate_load: FaradsPerMicron, c_drain_driver: FaradsPerMicron) -> FaradsPerMicron {
     c_gate_load + c_drain_driver
 }
 
@@ -81,6 +77,7 @@ pub fn fo1_load(
 mod tests {
     use super::*;
     use crate::electrostatics::oxide_capacitance;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -120,6 +117,7 @@ mod tests {
         assert!(cd.get() < cg.get());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn gate_cap_monotone_in_length(

@@ -19,7 +19,8 @@ use crate::swing::{inverse_subthreshold_slope, slope_factor};
 use subvt_units::MilliVoltsPerDecade;
 
 /// Carrier-type polarity of a MOSFET.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DeviceKind {
     /// n-channel device (electron conduction, p-type body).
     Nfet,
@@ -41,7 +42,8 @@ impl core::fmt::Display for DeviceKind {
 /// the process generation; whether it tracks `l_poly` (super-V_th rule) or
 /// the node pitch (sub-V_th rule) is decided by the scaling flows in
 /// `subvt-core`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceGeometry {
     /// Physical (post-etch) gate length — the paper's `L_poly`.
     pub l_poly: Nanometers,
@@ -75,7 +77,8 @@ impl DeviceGeometry {
 
 /// Complete description of one transistor at one operating point — the
 /// paper's §2.2 model: four scaling parameters plus `V_dd`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceParams {
     /// Polarity.
     pub kind: DeviceKind,
@@ -148,7 +151,8 @@ impl DeviceParams {
 /// Everything the scaling flows and circuit analyses need to know about a
 /// characterized device. All currents and capacitances are per micron of
 /// gate width.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceCharacteristics {
     /// Effective channel length.
     pub l_eff: Nanometers,
@@ -251,6 +255,7 @@ pub fn characterize(params: &DeviceParams) -> DeviceCharacteristics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -270,7 +275,11 @@ mod tests {
             "I_off = {} pA/µm",
             ch.i_off.as_picoamps()
         );
-        assert!(ch.s_s.get() > 72.0 && ch.s_s.get() < 100.0, "S_S = {}", ch.s_s);
+        assert!(
+            ch.s_s.get() > 72.0 && ch.s_s.get() < 100.0,
+            "S_S = {}",
+            ch.s_s
+        );
         // Nominal on-current in the LSTP range of hundreds of µA/µm.
         assert!(
             ch.i_on.as_microamps() > 100.0 && ch.i_on.as_microamps() < 1500.0,
@@ -321,6 +330,7 @@ mod tests {
         assert!(result.is_err());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn shorter_channel_degrades_swing(

@@ -1,7 +1,7 @@
 //! MOS electrostatics: oxide capacitance, depletion width and charge,
 //! flat-band voltage and the long-channel threshold voltage.
 
-use subvt_units::consts::{E_G_300K, EPS_OX, EPS_SI, Q};
+use subvt_units::consts::{EPS_OX, EPS_SI, E_G_300K, Q};
 use subvt_units::{FaradsPerCm2, Nanometers, PerCubicCentimeter, Temperature, Volts};
 
 use crate::silicon::fermi_potential;
@@ -31,10 +31,7 @@ pub fn oxide_capacitance(t_ox: Nanometers) -> FaradsPerCm2 {
 /// # Panics
 ///
 /// Panics if the doping or band bending is not positive.
-pub fn depletion_width(
-    n_eff: PerCubicCentimeter,
-    surface_potential: Volts,
-) -> Nanometers {
+pub fn depletion_width(n_eff: PerCubicCentimeter, surface_potential: Volts) -> Nanometers {
     assert!(n_eff.get() > 0.0, "doping must be positive");
     assert!(
         surface_potential.as_volts() > 0.0,
@@ -46,10 +43,7 @@ pub fn depletion_width(
 
 /// Maximum (threshold-condition) depletion width, evaluated at
 /// `ψ_s = 2·φ_F`.
-pub fn max_depletion_width(
-    n_eff: PerCubicCentimeter,
-    temperature: Temperature,
-) -> Nanometers {
+pub fn max_depletion_width(n_eff: PerCubicCentimeter, temperature: Temperature) -> Nanometers {
     let phi_f = fermi_potential(n_eff, temperature);
     depletion_width(n_eff, phi_f * 2.0)
 }
@@ -109,6 +103,7 @@ pub fn long_channel_vth(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     const ROOM: Temperature = Temperature::room();
@@ -150,6 +145,7 @@ mod tests {
         assert!(hi > lo);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn depletion_width_monotone(

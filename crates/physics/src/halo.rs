@@ -92,6 +92,7 @@ pub fn effective_channel_doping(
 mod tests {
     use super::*;
     use crate::math::trapz;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn halo() -> HaloProfile {
@@ -141,9 +142,13 @@ mod tests {
             &halo(),
             Nanometers::new(45.0),
         );
-        assert!(n_eff.get() > 2.2e18 && n_eff.get() < 2.6e18, "got {n_eff:e}");
+        assert!(
+            n_eff.get() > 2.2e18 && n_eff.get() < 2.6e18,
+            "got {n_eff:e}"
+        );
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn average_monotone_decreasing_in_length(

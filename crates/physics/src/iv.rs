@@ -140,6 +140,7 @@ impl MosModel {
 mod tests {
     use super::*;
     use crate::subthreshold::subthreshold_current;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
     use subvt_units::Temperature;
 
@@ -158,8 +159,7 @@ mod tests {
         let ch = p.characterize();
         for (vgs, vds) in [(0.0, 0.25), (0.1, 0.25), (0.2, 0.1), (0.15, 0.05)] {
             let v_th = m.v_th(Volts::new(vds));
-            let eq1 = subthreshold_current(
-                ch.i0, Volts::new(vgs), Volts::new(vds), v_th, ch.m, t);
+            let eq1 = subthreshold_current(ch.i0, Volts::new(vgs), Volts::new(vds), v_th, ch.m, t);
             let ekv = m.drain_current(Volts::new(vgs), Volts::new(vds));
             assert!(
                 (ekv.get() / eq1.get() - 1.0).abs() < 0.02,
@@ -216,6 +216,7 @@ mod tests {
         assert!(g_sat < 0.3 * g_lin);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn monotone_in_vgs(vgs in 0.0f64..1.2, dv in 1e-3f64..0.2) {

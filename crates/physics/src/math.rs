@@ -93,10 +93,18 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     let (mut lo, mut hi) = (a.min(b), a.max(b));
     let (mut flo, fhi) = (f(lo), f(hi));
     if flo == 0.0 {
-        return Ok(Root { x: lo, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: lo,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fhi == 0.0 {
-        return Ok(Root { x: hi, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: hi,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if flo.signum() == fhi.signum() {
         return Err(BracketError);
@@ -107,7 +115,11 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         let fmid = f(mid);
         iterations += 1;
         if fmid == 0.0 {
-            return Ok(Root { x: mid, residual: 0.0, iterations });
+            return Ok(Root {
+                x: mid,
+                residual: 0.0,
+                iterations,
+            });
         }
         if fmid.signum() == flo.signum() {
             lo = mid;
@@ -117,7 +129,11 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         }
     }
     let x = 0.5 * (lo + hi);
-    Ok(Root { x, residual: f(x), iterations })
+    Ok(Root {
+        x,
+        residual: f(x),
+        iterations,
+    })
 }
 
 /// Finds a root of `f` in `[a, b]` by Brent's method (inverse quadratic
@@ -137,10 +153,18 @@ pub fn brent<F: FnMut(f64) -> f64>(
     let (mut a, mut b) = (a, b);
     let (mut fa, mut fb) = (f(a), f(b));
     if fa == 0.0 {
-        return Ok(Root { x: a, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(BracketError);
@@ -195,7 +219,11 @@ pub fn brent<F: FnMut(f64) -> f64>(
             core::mem::swap(&mut fa, &mut fb);
         }
     }
-    Ok(Root { x: b, residual: fb, iterations })
+    Ok(Root {
+        x: b,
+        residual: fb,
+        iterations,
+    })
 }
 
 /// Result of a 1-D minimization.
@@ -245,7 +273,11 @@ pub fn golden_section<F: FnMut(f64) -> f64>(
         iterations += 1;
     }
     let x = 0.5 * (a + b);
-    Minimum { x, value: f(x), iterations }
+    Minimum {
+        x,
+        value: f(x),
+        iterations,
+    }
 }
 
 /// `n` evenly spaced samples covering `[start, stop]` inclusive.
@@ -315,6 +347,7 @@ pub fn interp1(xs: &[f64], ys: &[f64], x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -364,7 +397,10 @@ mod tests {
 
     #[test]
     fn brent_rejects_bad_bracket() {
-        assert_eq!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100), Err(BracketError));
+        assert_eq!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(BracketError)
+        );
     }
 
     #[test]
@@ -403,6 +439,7 @@ mod tests {
         assert!((interp1(&xs, &ys, 1.5) - 25.0).abs() < 1e-12);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {

@@ -80,6 +80,7 @@ pub fn saturation_velocity(kind: DeviceKind) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -97,8 +98,7 @@ mod tests {
         for n in [1e15, 1e16, 1e17, 1e18, 1e19] {
             let d = PerCubicCentimeter::new(n);
             assert!(
-                low_field_mobility(DeviceKind::Pfet, d)
-                    < low_field_mobility(DeviceKind::Nfet, d)
+                low_field_mobility(DeviceKind::Pfet, d) < low_field_mobility(DeviceKind::Nfet, d)
             );
         }
     }
@@ -121,13 +121,13 @@ mod tests {
     fn temperature_scaling_is_three_halves_power() {
         let n = PerCubicCentimeter::new(1.0e18);
         let base = low_field_mobility(DeviceKind::Nfet, n);
-        let at_600 = low_field_mobility_at(
-            DeviceKind::Nfet, n, Temperature::from_kelvin(600.0));
+        let at_600 = low_field_mobility_at(DeviceKind::Nfet, n, Temperature::from_kelvin(600.0));
         assert!((at_600 / base - 8.0f64.sqrt().recip()).abs() < 1e-9);
         let at_300 = low_field_mobility_at(DeviceKind::Nfet, n, Temperature::room());
         assert!((at_300 - base).abs() < 1e-9);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn mobility_monotone_decreasing_in_doping(

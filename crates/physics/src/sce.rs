@@ -95,6 +95,7 @@ pub fn short_channel_vth(
 mod tests {
     use super::*;
     use crate::electrostatics::oxide_capacitance;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     const ROOM: Temperature = Temperature::room();
@@ -157,6 +158,7 @@ mod tests {
         assert!(vth_short < vth_long);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn roll_off_nonnegative_and_bounded(

@@ -50,7 +50,10 @@ pub fn built_in_potential(
     n_a: PerCubicCentimeter,
     temperature: Temperature,
 ) -> Volts {
-    assert!(n_d.get() > 0.0 && n_a.get() > 0.0, "doping must be positive");
+    assert!(
+        n_d.get() > 0.0 && n_a.get() > 0.0,
+        "doping must be positive"
+    );
     let ni = intrinsic_density(temperature).get();
     let vt = temperature.thermal_voltage().as_volts();
     Volts::new(vt * (n_d.get() * n_a.get() / (ni * ni)).ln())
@@ -59,6 +62,7 @@ pub fn built_in_potential(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -86,6 +90,7 @@ mod tests {
         assert!(hi.get() > 1e3 * lo.get());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn fermi_potential_monotone_in_doping(

@@ -22,7 +22,10 @@ pub fn specific_current(
     mobility: f64,
     temperature: Temperature,
 ) -> AmpsPerMicron {
-    assert!(l_eff.get() > 0.0 && w_dep.get() > 0.0, "lengths must be positive");
+    assert!(
+        l_eff.get() > 0.0 && w_dep.get() > 0.0,
+        "lengths must be positive"
+    );
     assert!(mobility > 0.0, "mobility must be positive");
     let vt = temperature.thermal_voltage().as_volts();
     let c_dep = EPS_SI / w_dep.as_cm(); // F/cm²
@@ -77,6 +80,7 @@ pub fn on_current_subvt(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     const ROOM: Temperature = Temperature::room();
@@ -91,7 +95,11 @@ mod tests {
         // I₀ = (1e-4/45e-7)·250·(1.04e-12/23e-7)·(0.02585)²
         //    = 22.2·250·4.5e-7·6.68e-4 ≈ 1.67 µA/µm.
         let i0 = i0_90nm();
-        assert!((i0.as_microamps() - 1.67).abs() < 0.1, "got {}", i0.as_microamps());
+        assert!(
+            (i0.as_microamps() - 1.67).abs() < 0.1,
+            "got {}",
+            i0.as_microamps()
+        );
     }
 
     #[test]
@@ -114,9 +122,21 @@ mod tests {
         let swing = core::f64::consts::LN_10 * m * vt;
         let i0 = i0_90nm();
         let low = subthreshold_current(
-            i0, Volts::new(0.10), Volts::new(0.5), Volts::new(0.4), m, ROOM);
+            i0,
+            Volts::new(0.10),
+            Volts::new(0.5),
+            Volts::new(0.4),
+            m,
+            ROOM,
+        );
         let high = subthreshold_current(
-            i0, Volts::new(0.10 + swing), Volts::new(0.5), Volts::new(0.4), m, ROOM);
+            i0,
+            Volts::new(0.10 + swing),
+            Volts::new(0.5),
+            Volts::new(0.4),
+            m,
+            ROOM,
+        );
         assert!((high.get() / low.get() - 10.0).abs() < 1e-6);
     }
 
@@ -125,9 +145,21 @@ mod tests {
         // For V_ds ≫ v_T the (1 − e^{−V_ds/v_T}) term saturates at 1.
         let i0 = i0_90nm();
         let a = subthreshold_current(
-            i0, Volts::new(0.1), Volts::new(0.2), Volts::new(0.4), 1.5, ROOM);
+            i0,
+            Volts::new(0.1),
+            Volts::new(0.2),
+            Volts::new(0.4),
+            1.5,
+            ROOM,
+        );
         let b = subthreshold_current(
-            i0, Volts::new(0.1), Volts::new(1.2), Volts::new(0.4), 1.5, ROOM);
+            i0,
+            Volts::new(0.1),
+            Volts::new(1.2),
+            Volts::new(0.4),
+            1.5,
+            ROOM,
+        );
         assert!((b.get() / a.get() - 1.0).abs() < 1e-3);
     }
 
@@ -147,6 +179,7 @@ mod tests {
         assert!((on.get() / off.get() / want - 1.0).abs() < 1e-9);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn current_monotone_in_vgs(

@@ -51,10 +51,10 @@ pub fn inverse_subthreshold_slope(
     let ratio = t_ox.get() / w_dep.get();
     let body = 1.0 + 3.0 * ratio;
     let sce = 1.0
-        + 11.0 * ratio
-            * (-core::f64::consts::PI * l_eff.get()
-                / (2.0 * (w_dep.get() + 3.0 * t_ox.get())))
-            .exp();
+        + 11.0
+            * ratio
+            * (-core::f64::consts::PI * l_eff.get() / (2.0 * (w_dep.get() + 3.0 * t_ox.get())))
+                .exp();
     MilliVoltsPerDecade::from_volts_per_decade(LN_10 * vt * body * sce)
 }
 
@@ -65,11 +65,12 @@ pub fn long_channel_slope(
     w_dep: Nanometers,
     temperature: Temperature,
 ) -> MilliVoltsPerDecade {
-    assert!(t_ox.get() > 0.0 && w_dep.get() > 0.0, "lengths must be positive");
+    assert!(
+        t_ox.get() > 0.0 && w_dep.get() > 0.0,
+        "lengths must be positive"
+    );
     let vt = temperature.thermal_voltage().as_volts();
-    MilliVoltsPerDecade::from_volts_per_decade(
-        LN_10 * vt * (1.0 + 3.0 * t_ox.get() / w_dep.get()),
-    )
+    MilliVoltsPerDecade::from_volts_per_decade(LN_10 * vt * (1.0 + 3.0 * t_ox.get() / w_dep.get()))
 }
 
 /// Subthreshold slope factor `m = S_S / (2.3·v_T)` — the ideality factor
@@ -84,9 +85,7 @@ pub fn slope_factor(s_s: MilliVoltsPerDecade, temperature: Temperature) -> f64 {
 /// Thermal floor `2.3·v_T` (≈59.5 mV/dec at 300 K): the slope of an ideal
 /// device with `m = 1`.
 pub fn thermal_floor(temperature: Temperature) -> MilliVoltsPerDecade {
-    MilliVoltsPerDecade::from_volts_per_decade(
-        LN_10 * temperature.thermal_voltage().as_volts(),
-    )
+    MilliVoltsPerDecade::from_volts_per_decade(LN_10 * temperature.thermal_voltage().as_volts())
 }
 
 /// Ratio of on- to off-current implied by a slope at supply `v_dd`,
@@ -99,6 +98,7 @@ pub fn on_off_ratio_from_slope(s_s: MilliVoltsPerDecade, v_dd: Volts) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     const ROOM: Temperature = Temperature::room();
@@ -151,11 +151,11 @@ mod tests {
     #[test]
     fn on_off_ratio_identity() {
         // S_S = 95 mV/dec at 250 mV → 10^(250/95) ≈ 427.
-        let ratio =
-            on_off_ratio_from_slope(MilliVoltsPerDecade::new(95.0), Volts::new(0.25));
+        let ratio = on_off_ratio_from_slope(MilliVoltsPerDecade::new(95.0), Volts::new(0.25));
         assert!((ratio - 427.0).abs() < 5.0, "got {ratio}");
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn slope_above_thermal_floor(

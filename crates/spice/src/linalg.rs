@@ -17,7 +17,10 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates an `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -64,7 +67,11 @@ pub struct SingularMatrixError {
 
 impl core::fmt::Display for SingularMatrixError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "matrix is singular at elimination column {}", self.column)
+        write!(
+            f,
+            "matrix is singular at elimination column {}",
+            self.column
+        )
     }
 }
 
@@ -81,10 +88,7 @@ impl std::error::Error for SingularMatrixError {}
 /// # Panics
 ///
 /// Panics if `b.len()` differs from the matrix dimension.
-pub fn solve_in_place(
-    a: &mut DenseMatrix,
-    b: &mut [f64],
-) -> Result<Vec<f64>, SingularMatrixError> {
+pub fn solve_in_place(a: &mut DenseMatrix, b: &mut [f64]) -> Result<Vec<f64>, SingularMatrixError> {
     let n = a.len();
     assert_eq!(b.len(), n, "rhs length must match matrix dimension");
     let mut perm: Vec<usize> = (0..n).collect();
@@ -136,6 +140,7 @@ pub fn solve_in_place(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn from_rows(rows: &[&[f64]]) -> DenseMatrix {
@@ -170,11 +175,7 @@ mod tests {
 
     #[test]
     fn solves_3x3_hand_case() {
-        let mut a = from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let mut a = from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let mut b = vec![8.0, -11.0, -3.0];
         let x = solve_in_place(&mut a, &mut b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-10);
@@ -207,6 +208,7 @@ mod tests {
         assert_eq!(m.get(0, 0), 0.0);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn residual_small_for_diagonally_dominant(

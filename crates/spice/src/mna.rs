@@ -50,8 +50,14 @@ impl core::fmt::Display for SpiceError {
             SpiceError::SingularMatrix { column } => {
                 write!(f, "singular MNA matrix at column {column} (floating node?)")
             }
-            SpiceError::NoConvergence { iterations, residual } => {
-                write!(f, "newton failed after {iterations} iterations (residual {residual:e} A)")
+            SpiceError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "newton failed after {iterations} iterations (residual {residual:e} A)"
+                )
             }
             SpiceError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
         }
@@ -160,8 +166,7 @@ impl<'a> Solver<'a> {
             subvt_physics::DeviceKind::Nfet => (vg - vs, vd - vs, 1.0),
             subvt_physics::DeviceKind::Pfet => (vs - vg, vs - vd, -1.0),
         };
-        sign * inst.width_um
-            * model.drain_current(Volts::new(vgs), Volts::new(vds)).get()
+        sign * inst.width_um * model.drain_current(Volts::new(vgs), Volts::new(vds)).get()
     }
 
     /// Assembles the Newton residual `f` and Jacobian at state `x`.
@@ -202,7 +207,12 @@ impl<'a> Solver<'a> {
                     }
                 }
                 Element::Capacitor { a, b, farads } => {
-                    if let CapMode::Companion { factor, v_prev, i_prev } = caps {
+                    if let CapMode::Companion {
+                        factor,
+                        v_prev,
+                        i_prev,
+                    } = caps
+                    {
                         let g = factor * farads;
                         let v_now = Self::v(x, *a) - Self::v(x, *b);
                         let vp = {
@@ -321,7 +331,11 @@ impl<'a> Solver<'a> {
             let n_v = self.n_nodes - 1;
             let mut max_dv: f64 = 0.0;
             for (i, d) in dx.iter().enumerate() {
-                let step = if i < n_v { d.clamp(-MAX_DV, MAX_DV) } else { *d };
+                let step = if i < n_v {
+                    d.clamp(-MAX_DV, MAX_DV)
+                } else {
+                    *d
+                };
                 x[i] += step;
                 if i < n_v {
                     max_dv = max_dv.max(step.abs());
@@ -331,10 +345,7 @@ impl<'a> Solver<'a> {
             if max_dv < VTOL {
                 // Verify the KCL residual at the accepted point.
                 let f = self.assemble(&x, caps);
-                let res = f
-                    .iter()
-                    .take(n_v)
-                    .fold(0.0f64, |acc, v| acc.max(v.abs()));
+                let res = f.iter().take(n_v).fold(0.0f64, |acc, v| acc.max(v.abs()));
                 if res < ITOL.max(1e-9 * max_abs(&f)) {
                     return Ok((x, iter));
                 }
@@ -428,9 +439,7 @@ pub fn dc_sweep(
     let idx = work
         .elements()
         .iter()
-        .position(|e| {
-            e.name == source_name && matches!(e.element, Element::VSource { .. })
-        })
+        .position(|e| e.name == source_name && matches!(e.element, Element::VSource { .. }))
         .ok_or_else(|| SpiceError::UnknownSource(source_name.to_owned()))?;
 
     let mut results = Vec::with_capacity(values.len());
@@ -438,8 +447,7 @@ pub fn dc_sweep(
     for &value in values {
         set_vsource_dc(&mut work, idx, value);
         let sol = match &prev {
-            Some(p) => dc_operating_point_from(&work, p)
-                .or_else(|_| dc_operating_point(&work))?,
+            Some(p) => dc_operating_point_from(&work, p).or_else(|_| dc_operating_point(&work))?,
             None => dc_operating_point(&work)?,
         };
         prev = Some(sol.clone());
@@ -449,9 +457,7 @@ pub fn dc_sweep(
 }
 
 pub(crate) fn set_vsource_dc(net: &mut Netlist, element_index: usize, value: f64) {
-    if let Element::VSource { waveform, .. } =
-        &mut net.elements_mut()[element_index].element
-    {
+    if let Element::VSource { waveform, .. } = &mut net.elements_mut()[element_index].element {
         *waveform = crate::netlist::Waveform::Dc(value);
     }
 }
@@ -542,7 +548,10 @@ mod tests {
     fn nfet_inverter_dc_rails() {
         use subvt_physics::{DeviceKind, DeviceParams};
         let nfet = DeviceParams::reference_90nm_nfet();
-        let pfet = DeviceParams { kind: DeviceKind::Pfet, ..nfet };
+        let pfet = DeviceParams {
+            kind: DeviceKind::Pfet,
+            ..nfet
+        };
         let nmod = nfet.mos_model();
         let pmod = pfet.mos_model();
 
@@ -567,6 +576,10 @@ mod tests {
         let mut net_hi = net.clone();
         set_vsource_dc(&mut net_hi, 1, 1.2);
         let sol = dc_operating_point(&net_hi).unwrap();
-        assert!(sol.node_voltages[vout].abs() < 0.01, "out = {}", sol.node_voltages[vout]);
+        assert!(
+            sol.node_voltages[vout].abs() < 0.01,
+            "out = {}",
+            sol.node_voltages[vout]
+        );
     }
 }

@@ -54,7 +54,15 @@ impl Waveform {
     pub fn value_at(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v0;
                 }
@@ -68,7 +76,11 @@ impl Waveform {
                 } else if tau < rise + width {
                     *v1
                 } else if tau < rise + width + fall {
-                    let f = if *fall > 0.0 { (tau - rise - width) / fall } else { 1.0 };
+                    let f = if *fall > 0.0 {
+                        (tau - rise - width) / fall
+                    } else {
+                        1.0
+                    };
                     v1 + (v0 - v1) * f
                 } else {
                     *v0
@@ -186,7 +198,11 @@ impl Netlist {
         let mut names = HashMap::new();
         names.insert("0".to_owned(), 0);
         names.insert("gnd".to_owned(), 0);
-        Self { names, node_count: 1, elements: Vec::new() }
+        Self {
+            names,
+            node_count: 1,
+            elements: Vec::new(),
+        }
     }
 
     /// Returns the node with the given name, creating it if necessary.
@@ -231,7 +247,10 @@ impl Netlist {
     }
 
     fn push(&mut self, name: &str, element: Element) {
-        self.elements.push(NamedElement { name: name.to_owned(), element });
+        self.elements.push(NamedElement {
+            name: name.to_owned(),
+            element,
+        });
     }
 
     /// Adds a resistor.
@@ -240,7 +259,10 @@ impl Netlist {
     ///
     /// Panics if `ohms` is not positive and finite.
     pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
         self.push(name, Element::Resistor { a, b, ohms });
         self
     }
@@ -251,7 +273,10 @@ impl Netlist {
     ///
     /// Panics if `farads` is negative or not finite.
     pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
-        assert!(farads.is_finite() && farads >= 0.0, "capacitance must be non-negative");
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitance must be non-negative"
+        );
         self.push(name, Element::Capacitor { a, b, farads });
         self
     }
@@ -294,10 +319,19 @@ impl Netlist {
         gate: NodeId,
         source: NodeId,
     ) -> &mut Self {
-        assert!(width_um.is_finite() && width_um > 0.0, "width must be positive");
+        assert!(
+            width_um.is_finite() && width_um > 0.0,
+            "width must be positive"
+        );
         self.push(
             name,
-            Element::Mosfet(MosInstance { model, width_um, drain, gate, source }),
+            Element::Mosfet(MosInstance {
+                model,
+                width_um,
+                drain,
+                gate,
+                source,
+            }),
         );
         self
     }

@@ -92,7 +92,10 @@ pub fn parse_value(token: &str) -> Result<f64, String> {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a `PULSE(v0 v1 td tr tf pw per)` source specification from the
@@ -109,7 +112,10 @@ fn parse_pulse(line: usize, args: &str) -> Result<Waveform, ParseError> {
         .map(|t| parse_value(t).map_err(|m| err(line, m)))
         .collect::<Result<_, _>>()?;
     if vals.len() != 7 {
-        return Err(err(line, format!("PULSE needs 7 values, got {}", vals.len())));
+        return Err(err(
+            line,
+            format!("PULSE needs 7 values, got {}", vals.len()),
+        ));
     }
     Ok(Waveform::Pulse {
         v0: vals[0],
@@ -118,7 +124,11 @@ fn parse_pulse(line: usize, args: &str) -> Result<Waveform, ParseError> {
         rise: vals[3],
         fall: vals[4],
         width: vals[5],
-        period: if vals[6] > 0.0 { vals[6] } else { f64::INFINITY },
+        period: if vals[6] > 0.0 {
+            vals[6]
+        } else {
+            f64::INFINITY
+        },
     })
 }
 
@@ -129,10 +139,7 @@ fn parse_pulse(line: usize, args: &str) -> Result<Waveform, ParseError> {
 ///
 /// Returns [`ParseError`] with the offending line on any malformed card,
 /// unknown element letter, or unresolved model name.
-pub fn parse_deck(
-    deck: &str,
-    models: &HashMap<String, MosModel>,
-) -> Result<Netlist, ParseError> {
+pub fn parse_deck(deck: &str, models: &HashMap<String, MosModel>) -> Result<Netlist, ParseError> {
     let mut net = Netlist::new();
     for (i, raw) in deck.lines().enumerate() {
         let line_no = i + 1;
@@ -197,9 +204,9 @@ pub fn parse_deck(
                 let d = net.node(tokens[1]);
                 let g = net.node(tokens[2]);
                 let s = net.node(tokens[3]);
-                let model = models.get(tokens[4]).ok_or_else(|| {
-                    err(line_no, format!("unknown MOSFET model `{}`", tokens[4]))
-                })?;
+                let model = models
+                    .get(tokens[4])
+                    .ok_or_else(|| err(line_no, format!("unknown MOSFET model `{}`", tokens[4])))?;
                 let w_spec = tokens[5];
                 let w_um = w_spec
                     .strip_prefix("W=")
@@ -279,7 +286,10 @@ mod tests {
     #[test]
     fn mosfet_inverter_deck() {
         let nfet = DeviceParams::reference_90nm_nfet();
-        let pfet = DeviceParams { kind: DeviceKind::Pfet, ..nfet };
+        let pfet = DeviceParams {
+            kind: DeviceKind::Pfet,
+            ..nfet
+        };
         let mut models = HashMap::new();
         models.insert("nch".to_owned(), nfet.mos_model());
         models.insert("pch".to_owned(), pfet.mos_model());
@@ -292,7 +302,10 @@ MN1 out in 0 nch W=1u
         let net = parse_deck(deck, &models).unwrap();
         let sol = dc_operating_point(&net).unwrap();
         let out = net.find_node("out").unwrap();
-        assert!((sol.node_voltages[out] - 1.2).abs() < 0.01, "inverter output high");
+        assert!(
+            (sol.node_voltages[out] - 1.2).abs() < 0.01,
+            "inverter output high"
+        );
     }
 
     #[test]

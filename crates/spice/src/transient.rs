@@ -2,7 +2,7 @@
 //! integration with capacitor companion models and a Newton solve per
 //! time point.
 
-use crate::mna::{CapMode, DcSolution, SpiceError, Solver};
+use crate::mna::{CapMode, DcSolution, Solver, SpiceError};
 use crate::netlist::{Element, Netlist};
 
 /// Time-integration method.
@@ -36,7 +36,11 @@ impl TransientSpec {
     /// Panics if `t_stop` is not positive or `steps` is zero.
     pub fn with_steps(t_stop: f64, steps: usize, method: Integrator) -> Self {
         assert!(t_stop > 0.0 && steps > 0, "invalid transient spec");
-        Self { t_stop, dt: t_stop / steps as f64, method }
+        Self {
+            t_stop,
+            dt: t_stop / steps as f64,
+            method,
+        }
     }
 }
 
@@ -71,7 +75,10 @@ impl TransientResult {
 /// Propagates solver failures ([`SpiceError`]) from the initial operating
 /// point or any time step.
 pub fn transient(net: &Netlist, spec: TransientSpec) -> Result<TransientResult, SpiceError> {
-    assert!(spec.dt > 0.0 && spec.t_stop > spec.dt / 2.0, "invalid transient spec");
+    assert!(
+        spec.dt > 0.0 && spec.t_stop > spec.dt / 2.0,
+        "invalid transient spec"
+    );
     let op = crate::mna::dc_operating_point(net)?;
     transient_from(net, spec, &op)
 }
@@ -146,8 +153,7 @@ pub fn transient_from(
                 // Backward Euler has no current history (i_prev stays 0);
                 // trapezoidal carries i_new = 2C/h·Δv − i_old.
                 if spec.method == Integrator::Trapezoidal {
-                    cap_i_prev[cap_idx] =
-                        factor * farads * (v_now - v_old) - cap_i_prev[cap_idx];
+                    cap_i_prev[cap_idx] = factor * farads * (v_now - v_old) - cap_i_prev[cap_idx];
                 }
                 cap_idx += 1;
             }
@@ -156,7 +162,11 @@ pub fn transient_from(
         push(t, &x, &mut time, &mut voltages, &mut branches);
     }
 
-    Ok(TransientResult { time, voltages, branch_currents: branches })
+    Ok(TransientResult {
+        time,
+        voltages,
+        branch_currents: branches,
+    })
 }
 
 #[inline]
@@ -219,10 +229,7 @@ mod tests {
             }
             let want = 1.0 - (-t / tau).exp();
             let got = res.voltages[k][out];
-            assert!(
-                (got - want).abs() < 5e-3,
-                "t={t:e}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 5e-3, "t={t:e}: got {got}, want {want}");
         }
     }
 

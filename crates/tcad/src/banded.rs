@@ -36,7 +36,11 @@ impl std::error::Error for ZeroPivotError {}
 impl BandedMatrix {
     /// Creates a zero matrix.
     pub fn zeros(n: usize, bw: usize) -> Self {
-        Self { n, bw, data: vec![0.0; n * (2 * bw + 1)] }
+        Self {
+            n,
+            bw,
+            data: vec![0.0; n * (2 * bw + 1)],
+        }
     }
 
     /// Matrix dimension.
@@ -158,6 +162,7 @@ impl BandedMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -248,6 +253,7 @@ mod tests {
         assert_eq!(m.get(0, 4), 0.0);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn solves_random_dominant_banded(

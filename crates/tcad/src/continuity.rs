@@ -190,6 +190,7 @@ mod tests {
     use super::*;
     use crate::device::{MeshDensity, Mosfet2d};
     use crate::poisson::{initial_guess, solve};
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
     use subvt_physics::device::DeviceParams;
 
@@ -257,6 +258,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn bernoulli_positive_and_decreasing(x in -100.0f64..100.0, dx in 0.01f64..5.0) {

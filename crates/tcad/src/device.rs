@@ -100,14 +100,15 @@ impl Mosfet2d {
 
         // Doping spec (NFET frame: donors positive, acceptors negative).
         let mut spec = DopingSpec::new();
-        spec.push(Profile::Uniform { concentration: -params.n_sub.get() });
+        spec.push(Profile::Uniform {
+            concentration: -params.n_sub.get(),
+        });
         let straggle = (0.15 * x_j).max(1.5e-7);
         // Pull the flat S/D regions back so the Gaussian tail crosses the
         // substrate level exactly at the nominal junction positions —
         // otherwise the tails encroach ~3σ into the channel and collapse
         // the barrier.
-        let encroach =
-            straggle * (2.0 * (params.n_sd.get() / params.n_sub.get()).ln()).sqrt();
+        let encroach = straggle * (2.0 * (params.n_sd.get() / params.n_sub.get()).ln()).sqrt();
         spec.push(Profile::SdBox {
             peak: params.n_sd.get(),
             x_lo: 0.0,
@@ -173,7 +174,12 @@ impl Mosfet2d {
             }
         }
 
-        let mesh = Mesh { xs, ys, material, boundary };
+        let mesh = Mesh {
+            xs,
+            ys,
+            material,
+            boundary,
+        };
         Self {
             mesh,
             doping,
@@ -249,9 +255,7 @@ mod tests {
         assert!(d.doping[idx_ch] < 0.0, "channel must be p-type");
         // Deep bulk: substrate doping.
         let idx_bulk = d.mesh.idx(i_mid, d.mesh.ny() - 1);
-        assert!(
-            (d.doping[idx_bulk] + d.params.n_sub.get()).abs() < 0.05 * d.params.n_sub.get()
-        );
+        assert!((d.doping[idx_bulk] + d.params.n_sub.get()).abs() < 0.05 * d.params.n_sub.get());
     }
 
     #[test]

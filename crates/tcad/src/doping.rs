@@ -54,12 +54,25 @@ impl Profile {
     pub fn eval(&self, x: f64, y: f64) -> f64 {
         match *self {
             Profile::Uniform { concentration } => concentration,
-            Profile::Gaussian { peak, x0, y0, sigma_x, sigma_y } => {
+            Profile::Gaussian {
+                peak,
+                x0,
+                y0,
+                sigma_x,
+                sigma_y,
+            } => {
                 let dx = (x - x0) / sigma_x;
                 let dy = (y - y0) / sigma_y;
                 peak * (-0.5 * (dx * dx + dy * dy)).exp()
             }
-            Profile::SdBox { peak, x_lo, x_hi, depth, sigma_x, sigma_y } => {
+            Profile::SdBox {
+                peak,
+                x_lo,
+                x_hi,
+                depth,
+                sigma_x,
+                sigma_y,
+            } => {
                 let fx = if x < x_lo {
                     let d = (x_lo - x) / sigma_x;
                     (-0.5 * d * d).exp()
@@ -111,7 +124,9 @@ mod tests {
 
     #[test]
     fn uniform_everywhere() {
-        let p = Profile::Uniform { concentration: -1.5e18 };
+        let p = Profile::Uniform {
+            concentration: -1.5e18,
+        };
         assert_eq!(p.eval(0.0, 0.0), -1.5e18);
         assert_eq!(p.eval(1e-4, 5e-6), -1.5e18);
     }
@@ -150,7 +165,9 @@ mod tests {
     #[test]
     fn spec_sums_contributions() {
         let mut s = DopingSpec::new();
-        s.push(Profile::Uniform { concentration: -1.0e18 });
+        s.push(Profile::Uniform {
+            concentration: -1.0e18,
+        });
         s.push(Profile::Gaussian {
             peak: 3.0e18,
             x0: 0.0,

@@ -20,9 +20,11 @@ pub struct IdVg {
 
 impl IdVg {
     /// Gate voltage at which the current crosses `i_target`
-    /// (log-interpolated). `None` outside the swept range.
+    /// (log-interpolated). `None` outside the swept range, for a
+    /// non-positive target, or when the sweep has fewer than two points
+    /// (interpolation on an empty or single-point curve is undefined).
     pub fn v_g_at(&self, i_target: f64) -> Option<f64> {
-        if i_target <= 0.0 {
+        if i_target <= 0.0 || self.i_d.len() < 2 || self.v_g.len() != self.i_d.len() {
             return None;
         }
         let logs: Vec<f64> = self.i_d.iter().map(|i| i.max(1e-30).log10()).collect();
@@ -36,11 +38,16 @@ impl IdVg {
 
     /// Inverse subthreshold slope in mV/dec, measured between two
     /// current levels (defaults used by [`sweep_and_extract`] are one and
-    /// three decades above the off-current).
+    /// three decades above the off-current). `None` when either level is
+    /// outside the sweep, the levels coincide, or the sweep is degenerate
+    /// (see [`IdVg::v_g_at`]).
     pub fn swing_between(&self, i_lo: f64, i_hi: f64) -> Option<f64> {
         let v_lo = self.v_g_at(i_lo)?;
         let v_hi = self.v_g_at(i_hi)?;
         let decades = (i_hi / i_lo).log10();
+        if decades == 0.0 {
+            return None;
+        }
         Some((v_hi - v_lo) / decades * 1.0e3)
     }
 }
@@ -135,9 +142,63 @@ pub fn id_vd(
     Ok(IdVd { v_d, i_d, v_g })
 }
 
+impl subvt_engine::Blob for Extraction {
+    fn encode(&self) -> Vec<f64> {
+        vec![self.s_s, self.v_th_sat, self.i_off, self.i_on, self.dibl]
+    }
+    fn decode(record: &[f64]) -> Option<Self> {
+        match record {
+            [s_s, v_th_sat, i_off, i_on, dibl] => Some(Self {
+                s_s: *s_s,
+                v_th_sat: *v_th_sat,
+                i_off: *i_off,
+                i_on: *i_on,
+                dibl: *dibl,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Stable cache key covering every input that determines an
+/// [`Extraction`]: the full parameter set, the mesh density and the
+/// sweep spec. The schema tag is versioned — bump it whenever the
+/// solver or the extraction recipe changes results.
+pub fn extraction_key(params: &DeviceParams, density: MeshDensity, step: f64) -> u64 {
+    let geom = &params.geometry;
+    subvt_engine::KeyBuilder::new("tcad.extract.v1")
+        .str(match params.kind {
+            subvt_physics::device::DeviceKind::Nfet => "nfet",
+            subvt_physics::device::DeviceKind::Pfet => "pfet",
+        })
+        .f64(geom.l_poly.get())
+        .f64(geom.t_ox.get())
+        .f64(geom.l_overlap.get())
+        .f64(geom.x_j.get())
+        .f64(geom.halo_sigma.get())
+        .f64(params.n_sub.get())
+        .f64(params.n_p_halo.get())
+        .f64(params.n_sd.get())
+        .f64(params.v_dd.as_volts())
+        .f64(params.temperature.as_kelvin())
+        .str(match density {
+            MeshDensity::Coarse => "coarse",
+            MeshDensity::Standard => "standard",
+        })
+        .f64(step)
+        .finish()
+}
+
 /// Runs the full characterization: a linear-region sweep
 /// (`V_d = 50 mV`) and a saturation sweep (`V_d = V_dd`), then extracts
 /// swing, threshold, off-current, on-current and DIBL.
+///
+/// The two sweeps are independent (each runs its own simulator and
+/// walks its own Gummel continuation) and execute in parallel on the
+/// engine pool. The finished extraction is stored in the process-wide
+/// content-addressed cache, so repeated characterizations of one
+/// device — e.g. across experiments — solve the 2-D device exactly
+/// once.
 ///
 /// The constant-current threshold criterion is the industry-standard
 /// `I_d = 100 nA · W/L_eff` (per µm of width).
@@ -149,13 +210,32 @@ pub fn sweep_and_extract(
     params: &DeviceParams,
     density: MeshDensity,
 ) -> Result<Extraction, TcadError> {
-    let v_dd = params.v_dd.as_volts();
-    let device = Mosfet2d::build(params, density);
-    let mut sim = DeviceSimulator::new(device)?;
-
     let step = 0.05;
-    let sat = id_vg(&mut sim, v_dd, v_dd, step)?;
-    let lin = id_vg(&mut sim, 0.05, v_dd, step)?;
+    let key = extraction_key(params, density, step);
+    let params = *params;
+    subvt_engine::global_cache().try_get_or_compute("tcad.extract", key, move || {
+        sweep_and_extract_uncached(&params, density, step)
+    })
+}
+
+fn sweep_and_extract_uncached(
+    params: &DeviceParams,
+    density: MeshDensity,
+    step: f64,
+) -> Result<Extraction, TcadError> {
+    let _span = subvt_engine::trace::span("tcad.sweep_and_extract");
+    let v_dd = params.v_dd.as_volts();
+    let params = *params;
+
+    // The sweeps are pure jobs (they never touch the cache), which is
+    // what keeps the cache's single-flight protocol deadlock-free.
+    let mut curves = subvt_engine::global().map(vec![v_dd, 0.05], move |v_d| {
+        let device = Mosfet2d::build(&params, density);
+        let mut sim = DeviceSimulator::new(device)?;
+        id_vg(&mut sim, v_d, v_dd, step)
+    });
+    let lin = curves.pop().expect("two sweeps")?;
+    let sat = curves.pop().expect("two sweeps")?;
 
     let i_off = sat.i_d[0];
     let i_on = *sat.i_d.last().expect("non-empty sweep");
@@ -176,7 +256,13 @@ pub fn sweep_and_extract(
         f64::NAN
     };
 
-    Ok(Extraction { s_s, v_th_sat, i_off, i_on, dibl })
+    Ok(Extraction {
+        s_s,
+        v_th_sat,
+        i_off,
+        i_on,
+        dibl,
+    })
 }
 
 #[cfg(test)]
@@ -201,13 +287,91 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_sweeps_return_none_instead_of_panicking() {
+        // Regression: these used to index logs[0] / logs[len - 1] and
+        // panic on empty or single-point curves.
+        let empty = IdVg {
+            v_g: vec![],
+            i_d: vec![],
+            v_d: 1.0,
+        };
+        assert_eq!(empty.v_g_at(1e-9), None);
+        assert_eq!(empty.swing_between(1e-11, 1e-9), None);
+
+        let single = IdVg {
+            v_g: vec![0.0],
+            i_d: vec![1e-12],
+            v_d: 1.0,
+        };
+        assert_eq!(single.v_g_at(1e-12), None);
+        assert_eq!(single.swing_between(1e-12, 1e-12), None);
+
+        let mismatched = IdVg {
+            v_g: vec![0.0, 0.1],
+            i_d: vec![1e-12],
+            v_d: 1.0,
+        };
+        assert_eq!(mismatched.v_g_at(1e-12), None);
+    }
+
+    #[test]
+    fn non_positive_target_and_zero_decades_return_none() {
+        let curve = IdVg {
+            v_g: vec![0.0, 0.1],
+            i_d: vec![1e-12, 1e-11],
+            v_d: 1.0,
+        };
+        assert_eq!(curve.v_g_at(0.0), None);
+        assert_eq!(curve.v_g_at(-1e-9), None);
+        // Identical levels span zero decades — slope is undefined.
+        assert_eq!(curve.swing_between(1e-12, 1e-12), None);
+    }
+
+    #[test]
+    fn extraction_blob_round_trips() {
+        use subvt_engine::Blob;
+        let ext = Extraction {
+            s_s: 92.5,
+            v_th_sat: 0.31,
+            i_off: 3.2e-11,
+            i_on: 4.1e-4,
+            dibl: 0.08,
+        };
+        assert_eq!(Extraction::decode(&ext.encode()), Some(ext));
+        assert_eq!(Extraction::decode(&[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn extraction_key_distinguishes_inputs() {
+        let p = DeviceParams::reference_90nm_nfet();
+        let mut q = p;
+        q.v_dd = subvt_units::Volts::new(p.v_dd.as_volts() + 0.1);
+        let a = extraction_key(&p, MeshDensity::Coarse, 0.05);
+        assert_eq!(a, extraction_key(&p, MeshDensity::Coarse, 0.05));
+        assert_ne!(a, extraction_key(&q, MeshDensity::Coarse, 0.05));
+        assert_ne!(a, extraction_key(&p, MeshDensity::Standard, 0.05));
+        assert_ne!(a, extraction_key(&p, MeshDensity::Coarse, 0.1));
+    }
+
+    #[test]
+    fn repeated_extraction_is_served_from_cache() {
+        let params = DeviceParams::reference_90nm_nfet();
+        let cache = subvt_engine::global_cache();
+        let first = sweep_and_extract(&params, MeshDensity::Coarse).unwrap();
+        let before = cache.stats().hits;
+        let second = sweep_and_extract(&params, MeshDensity::Coarse).unwrap();
+        assert_eq!(first, second);
+        assert!(
+            cache.stats().hits > before,
+            "second identical extraction must be a cache hit"
+        );
+    }
+
+    #[test]
     fn output_characteristic_is_monotone_and_saturates() {
         use crate::device::{MeshDensity, Mosfet2d};
         use crate::gummel::DeviceSimulator;
-        let dev = Mosfet2d::build(
-            &DeviceParams::reference_90nm_nfet(),
-            MeshDensity::Coarse,
-        );
+        let dev = Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
         let mut sim = DeviceSimulator::new(dev).unwrap();
         let curve = id_vd(&mut sim, 0.9, 1.2, 0.1).unwrap();
         // Monotone increasing in V_d.
@@ -228,11 +392,8 @@ mod tests {
         // The flagship 2-D validation: coarse-mesh 90 nm NFET metrics in
         // physically sensible windows (compact-model agreement is tested
         // in the cross-crate integration suite).
-        let ext = sweep_and_extract(
-            &DeviceParams::reference_90nm_nfet(),
-            MeshDensity::Coarse,
-        )
-        .unwrap();
+        let ext =
+            sweep_and_extract(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse).unwrap();
         assert!(ext.s_s > 60.0 && ext.s_s < 130.0, "S_S = {}", ext.s_s);
         assert!(
             ext.v_th_sat > 0.10 && ext.v_th_sat < 0.65,

@@ -34,7 +34,11 @@ impl core::fmt::Display for TcadError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             TcadError::PoissonDiverged { bias } => {
-                write!(f, "poisson newton diverged at Vg={}, Vd={}", bias.v_gate, bias.v_drain)
+                write!(
+                    f,
+                    "poisson newton diverged at Vg={}, Vd={}",
+                    bias.v_gate, bias.v_drain
+                )
             }
             TcadError::GummelStalled { bias, residual } => write!(
                 f,
@@ -74,7 +78,13 @@ impl DeviceSimulator {
         }
         let n = solve_electrons(&device, &psi, &bias);
         let phi_n = zeros;
-        Ok(Self { device, bias, psi, n, phi_n })
+        Ok(Self {
+            device,
+            bias,
+            psi,
+            n,
+            phi_n,
+        })
     }
 
     /// The current bias point.
@@ -151,7 +161,10 @@ impl DeviceSimulator {
                 return Ok(());
             }
         }
-        Err(TcadError::GummelStalled { bias, residual: last_residual })
+        Err(TcadError::GummelStalled {
+            bias,
+            residual: last_residual,
+        })
     }
 
     /// Drain terminal current at the present bias, A/µm of gate width.
@@ -167,8 +180,7 @@ mod tests {
     use subvt_physics::device::DeviceParams;
 
     fn simulator() -> DeviceSimulator {
-        let dev =
-            Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
+        let dev = Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
         DeviceSimulator::new(dev).expect("equilibrium")
     }
 

@@ -81,7 +81,11 @@ impl Mesh {
     pub fn dual_width(axis: &[f64], k: usize) -> f64 {
         let n = axis.len();
         let left = if k > 0 { axis[k] - axis[k - 1] } else { 0.0 };
-        let right = if k + 1 < n { axis[k + 1] - axis[k] } else { 0.0 };
+        let right = if k + 1 < n {
+            axis[k + 1] - axis[k]
+        } else {
+            0.0
+        };
         0.5 * (left + right)
     }
 }
@@ -135,6 +139,7 @@ pub fn graded_axis(lo: f64, hi: f64, fine_lo: f64, fine_hi: f64, h_fine: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -181,6 +186,7 @@ mod tests {
         assert_eq!(mesh.coords(1, 1), (1.0, 1.0));
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn graded_axis_always_sorted(

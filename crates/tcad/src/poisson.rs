@@ -63,12 +63,8 @@ pub fn contact_potential(device: &Mosfet2d, idx: usize, bias: &Bias) -> Option<f
     let (vt, ni) = thermals(device);
     match device.mesh.boundary[idx] {
         Boundary::Gate => Some(bias.v_gate + vt * (N_POLY / ni).ln()),
-        Boundary::Source => {
-            Some(bias.v_source + neutral_potential(device.doping[idx], vt, ni))
-        }
-        Boundary::Drain => {
-            Some(bias.v_drain + neutral_potential(device.doping[idx], vt, ni))
-        }
+        Boundary::Source => Some(bias.v_source + neutral_potential(device.doping[idx], vt, ni)),
+        Boundary::Drain => Some(bias.v_drain + neutral_potential(device.doping[idx], vt, ni)),
         Boundary::Substrate => {
             Some(bias.v_substrate + neutral_potential(device.doping[idx], vt, ni))
         }
@@ -157,16 +153,36 @@ pub fn solve(
                     jac.add(idx, nb_idx, c);
                 };
                 if i > 0 {
-                    face(mesh.idx(i - 1, j), mesh.xs[i] - mesh.xs[i - 1], wy, &mut jac);
+                    face(
+                        mesh.idx(i - 1, j),
+                        mesh.xs[i] - mesh.xs[i - 1],
+                        wy,
+                        &mut jac,
+                    );
                 }
                 if i + 1 < nx {
-                    face(mesh.idx(i + 1, j), mesh.xs[i + 1] - mesh.xs[i], wy, &mut jac);
+                    face(
+                        mesh.idx(i + 1, j),
+                        mesh.xs[i + 1] - mesh.xs[i],
+                        wy,
+                        &mut jac,
+                    );
                 }
                 if j > 0 {
-                    face(mesh.idx(i, j - 1), mesh.ys[j] - mesh.ys[j - 1], wx, &mut jac);
+                    face(
+                        mesh.idx(i, j - 1),
+                        mesh.ys[j] - mesh.ys[j - 1],
+                        wx,
+                        &mut jac,
+                    );
                 }
                 if j + 1 < ny {
-                    face(mesh.idx(i, j + 1), mesh.ys[j + 1] - mesh.ys[j], wx, &mut jac);
+                    face(
+                        mesh.idx(i, j + 1),
+                        mesh.ys[j + 1] - mesh.ys[j],
+                        wx,
+                        &mut jac,
+                    );
                 }
 
                 if mesh.material[idx] == Material::Silicon {
@@ -184,12 +200,20 @@ pub fn solve(
 
         let a = jac.build();
         let Some(ilu) = a.ilu0() else {
-            return PoissonSolve { iterations: iter, max_update: last_update, converged: false };
+            return PoissonSolve {
+                iterations: iter,
+                max_update: last_update,
+                converged: false,
+            };
         };
         let mut delta = vec![0.0; n_nodes];
         let lin = bicgstab(&a, &rhs, &mut delta, &ilu, 1e-10, 2000);
         if !lin.converged {
-            return PoissonSolve { iterations: iter, max_update: last_update, converged: false };
+            return PoissonSolve {
+                iterations: iter,
+                max_update: last_update,
+                converged: false,
+            };
         }
 
         let mut max_update = 0.0f64;
@@ -200,10 +224,18 @@ pub fn solve(
         }
         last_update = max_update;
         if max_update < PSI_TOL {
-            return PoissonSolve { iterations: iter, max_update, converged: true };
+            return PoissonSolve {
+                iterations: iter,
+                max_update,
+                converged: true,
+            };
         }
     }
-    PoissonSolve { iterations: MAX_NEWTON, max_update: last_update, converged: false }
+    PoissonSolve {
+        iterations: MAX_NEWTON,
+        max_update: last_update,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +265,11 @@ mod tests {
         let (vt, ni) = thermals(&dev);
         // n+ source region: ψ ≈ +v_T·ln(1e20/n_i) ≈ 0.595 V.
         let idx_src = dev.mesh.idx(0, dev.j_si0);
-        assert!((psi[idx_src] - vt * (1.0e20 / ni).ln()).abs() < 0.02, "src {}", psi[idx_src]);
+        assert!(
+            (psi[idx_src] - vt * (1.0e20 / ni).ln()).abs() < 0.02,
+            "src {}",
+            psi[idx_src]
+        );
         // Deep p-substrate: ψ ≈ −v_T·ln(N_sub/n_i) < −0.4 V.
         let idx_sub = dev.mesh.idx(dev.mesh.nx() / 2, dev.mesh.ny() - 1);
         assert!(psi[idx_sub] < -0.40, "substrate {}", psi[idx_sub]);
@@ -254,7 +290,10 @@ mod tests {
     #[test]
     fn gate_bias_bends_surface_potential() {
         let (dev, psi0) = solved_equilibrium();
-        let bias = Bias { v_gate: 0.6, ..Bias::default() };
+        let bias = Bias {
+            v_gate: 0.6,
+            ..Bias::default()
+        };
         let mut psi = psi0.clone();
         let phi = vec![0.0; dev.len()];
         let out = solve(&dev, &mut psi, &phi, &phi, &bias);

@@ -128,8 +128,7 @@ mod tests {
     use subvt_physics::device::DeviceParams;
 
     fn sim() -> DeviceSimulator {
-        let dev =
-            Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
+        let dev = Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
         DeviceSimulator::new(dev).expect("equilibrium")
     }
 

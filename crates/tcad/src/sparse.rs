@@ -23,7 +23,10 @@ pub struct TripletBuilder {
 impl TripletBuilder {
     /// Creates a builder for an `n × n` system.
     pub fn new(n: usize) -> Self {
-        Self { n, triplets: Vec::with_capacity(5 * n) }
+        Self {
+            n,
+            triplets: Vec::with_capacity(5 * n),
+        }
     }
 
     /// Adds `value` at `(row, col)`.
@@ -60,7 +63,12 @@ impl TripletBuilder {
         for r in 0..self.n {
             row_ptr[r + 1] = row_ptr[r] + row_counts[r];
         }
-        CsrMatrix { n: self.n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -226,7 +234,11 @@ pub fn bicgstab(
     let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm_b == 0.0 {
         x.fill(0.0);
-        return IterativeSolve { iterations: 0, relative_residual: 0.0, converged: true };
+        return IterativeSolve {
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        };
     }
 
     let mut r = vec![0.0; n];
@@ -288,7 +300,11 @@ pub fn bicgstab(
         }
         let rel = norm(&r) / norm_b;
         if rel < tol {
-            return IterativeSolve { iterations: iter, relative_residual: rel, converged: true };
+            return IterativeSolve {
+                iterations: iter,
+                relative_residual: rel,
+                converged: true,
+            };
         }
         if omega == 0.0 {
             break;
@@ -300,12 +316,17 @@ pub fn bicgstab(
         res[i] = b[i] - res[i];
     }
     let rel = norm(&res) / norm_b;
-    IterativeSolve { iterations: max_iter, relative_residual: rel, converged: rel < tol }
+    IterativeSolve {
+        iterations: max_iter,
+        relative_residual: rel,
+        converged: rel < tol,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     /// 1-D Laplacian with Dirichlet ends: tridiag(-1, 2, -1).
@@ -393,6 +414,7 @@ mod tests {
         assert_eq!(x, vec![0.0; 5]);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn bicgstab_random_diagonally_dominant(

@@ -48,6 +48,7 @@ impl AmpsPerMicron {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -57,6 +58,7 @@ mod tests {
         assert_eq!(i.as_picoamps(), 1.0e6);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn pa_round_trip(pa in 1e-3f64..1e9) {

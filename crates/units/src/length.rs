@@ -65,6 +65,7 @@ impl From<Centimeters> for Nanometers {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -73,6 +74,7 @@ mod tests {
         assert!((Centimeters::new(1.0e-7).as_nm() - 1.0).abs() < 1e-12);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn nm_cm_round_trip(value in 0.01f64..1.0e6) {

@@ -18,7 +18,8 @@ use crate::Volts;
 /// let floor = 2.3 * t.thermal_voltage().as_volts() * 1.0e3;
 /// assert!((floor - 59.5).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Temperature(f64);
 
 impl Temperature {
@@ -80,6 +81,7 @@ impl core::fmt::Display for Temperature {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -100,6 +102,7 @@ mod tests {
         let _ = Temperature::from_kelvin(0.0);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn thermal_voltage_scales_linearly(t in 100.0f64..500.0) {

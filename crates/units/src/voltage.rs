@@ -61,18 +61,17 @@ impl MilliVoltsPerDecade {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
     fn millivolt_conversions() {
         assert_eq!(Volts::from_millivolts(250.0).as_volts(), 0.25);
         assert_eq!(Volts::new(1.2).as_millivolts(), 1200.0);
-        assert_eq!(
-            MilliVoltsPerDecade::from_volts_per_decade(0.08).get(),
-            80.0
-        );
+        assert_eq!(MilliVoltsPerDecade::from_volts_per_decade(0.08).get(), 80.0);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn mv_round_trip(v in -10.0f64..10.0) {

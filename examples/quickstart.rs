@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  tau       = {:.2} ps", ch.tau.as_picoseconds());
 
     // 2. The same device operated in subthreshold (paper's 250 mV point).
-    let sub = DeviceParams { v_dd: Volts::new(0.25), ..dev };
+    let sub = DeviceParams {
+        v_dd: Volts::new(0.25),
+        ..dev
+    };
     let sub_ch = sub.characterize();
     println!("\n== Same device at V_dd = 250 mV ==");
     println!("  I_on/I_off = {:.0}", sub_ch.on_off_ratio());

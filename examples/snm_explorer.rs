@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Butterfly view at the paper's 250 mV point.
     println!("\nButterfly (hold) SNM at 250 mV:");
-    for (label, d) in [("90nm super", &sup90), ("32nm super", &sup32), ("32nm sub", &sub32)] {
+    for (label, d) in [
+        ("90nm super", &sup90),
+        ("32nm super", &sup32),
+        ("32nm sub", &sub32),
+    ] {
         let vtc = Inverter::new(d.cmos_pair()).vtc(Volts::new(0.25), 161)?;
         println!("  {label:<11} {:.1} mV", butterfly_snm(&vtc, &vtc) * 1e3);
     }

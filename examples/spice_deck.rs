@@ -36,14 +36,21 @@ CL  out 0 5f
     let net = parse_deck(deck, &models)?;
     let sol = dc_operating_point(&net)?;
     let out = net.find_node("out").expect("deck defines `out`");
-    println!("NAND(1,1) output: {:.1} mV (expect ~0)", sol.node_voltages[out] * 1e3);
+    println!(
+        "NAND(1,1) output: {:.1} mV (expect ~0)",
+        sol.node_voltages[out] * 1e3
+    );
 
     // Sweep input A with B held high: the deck is reusable data.
     let sweep: Vec<f64> = (0..=10).map(|k| 0.25 * k as f64 / 10.0).collect();
     let sols = dc_sweep(&net, "VA", &sweep)?;
     println!("\nVTC with B = high:");
     for (va, s) in sweep.iter().zip(&sols) {
-        println!("  V_A = {:>4.0} mV -> out = {:>5.1} mV", va * 1e3, s.node_voltages[out] * 1e3);
+        println!(
+            "  V_A = {:>4.0} mV -> out = {:>5.1} mV",
+            va * 1e3,
+            s.node_voltages[out] * 1e3
+        );
     }
 
     // And a transient: pulse A while B stays high.
@@ -58,6 +65,9 @@ CL  out 0 5f
     )?;
     let out_t = net_tran.find_node("out").expect("out");
     let final_v = res.voltages.last().unwrap()[out_t];
-    println!("\nTransient: out settles at {:.1} mV after the input pulse", final_v * 1e3);
+    println!(
+        "\nTransient: out settles at {:.1} mV after the input pulse",
+        final_v * 1e3
+    );
     Ok(())
 }

@@ -62,7 +62,10 @@ fn table3_gate_lengths_exceed_minimum_and_shrink_slowly() {
     let l: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
     let min = [65.0, 46.0, 32.0, 22.0];
     for (got, min) in l.iter().zip(min) {
-        assert!(*got > min, "L_poly {got} must exceed the node minimum {min}");
+        assert!(
+            *got > min,
+            "L_poly {got} must exceed the node minimum {min}"
+        );
     }
     for w in l.windows(2) {
         let shrink = 1.0 - w[1] / w[0];
@@ -77,7 +80,10 @@ fn table3_gate_lengths_exceed_minimum_and_shrink_slowly() {
 fn fig2_and_fig10_shapes() {
     let fig2 = run("fig2").expect("fig2");
     let ss: Vec<f64> = fig2.rows.iter().map(|r| r[1].parse().unwrap()).collect();
-    assert!(ss.windows(2).all(|w| w[1] > w[0]), "S_S must degrade: {ss:?}");
+    assert!(
+        ss.windows(2).all(|w| w[1] > w[0]),
+        "S_S must degrade: {ss:?}"
+    );
 
     let fig10 = run("fig10").expect("fig10");
     let ratio: f64 = fig10.rows[3][3].parse().unwrap();

@@ -12,8 +12,12 @@ use subvt_core::{SubVthStrategy, SuperVthStrategy, TechNode};
 use subvt_units::Volts;
 
 fn designs() -> (Vec<subvt_core::NodeDesign>, Vec<subvt_core::NodeDesign>) {
-    let sup = SuperVthStrategy::default().design_all().expect("super-Vth flow");
-    let sub = SubVthStrategy::default().design_all().expect("sub-Vth flow");
+    let sup = SuperVthStrategy::default()
+        .design_all()
+        .expect("super-Vth flow");
+    let sub = SubVthStrategy::default()
+        .design_all()
+        .expect("sub-Vth flow");
     (sup, sub)
 }
 
@@ -43,7 +47,10 @@ fn paper_headline_ss_flat_vs_degrading() {
     // Paper Fig. 9: super-Vth S_S degrades ~11 %+ while sub-Vth stays
     // within a few mV/dec.
     assert!(deg_sup > 1.08, "super-Vth S_S degradation {deg_sup}");
-    assert!(deg_sub < 1.06, "sub-Vth S_S must stay nearly flat: {deg_sub}");
+    assert!(
+        deg_sub < 1.06,
+        "sub-Vth S_S must stay nearly flat: {deg_sub}"
+    );
 }
 
 #[test]

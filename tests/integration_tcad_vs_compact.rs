@@ -63,8 +63,7 @@ fn both_engines_agree_halo_raises_threshold() {
     let mut heavy = base;
     heavy.n_p_halo = PerCubicCentimeter::new(2.0 * base.n_p_halo.get());
 
-    let compact_drop =
-        heavy.characterize().i_off.get() / base.characterize().i_off.get();
+    let compact_drop = heavy.characterize().i_off.get() / base.characterize().i_off.get();
     assert!(compact_drop < 1.0, "compact: halo must cut leakage");
 
     let ioff_2d = |p: &DeviceParams| {
@@ -74,7 +73,10 @@ fn both_engines_agree_halo_raises_threshold() {
         sim.drain_current()
     };
     let tcad_drop = ioff_2d(&heavy) / ioff_2d(&base);
-    assert!(tcad_drop < 1.0, "2-D: halo must cut leakage (ratio {tcad_drop})");
+    assert!(
+        tcad_drop < 1.0,
+        "2-D: halo must cut leakage (ratio {tcad_drop})"
+    );
 }
 
 #[test]
@@ -94,7 +96,9 @@ fn both_engines_agree_shorter_channel_degrades_swing() {
         let mut sim = DeviceSimulator::new(dev).expect("equilibrium");
         let curve = id_vg(&mut sim, 0.6, 0.5, 0.05).expect("sweep");
         let i0 = curve.i_d[0];
-        curve.swing_between(10.0 * i0, 1.0e3 * i0).expect("swing window")
+        curve
+            .swing_between(10.0 * i0, 1.0e3 * i0)
+            .expect("swing window")
     };
     let ss_t_base = ss_2d(&base);
     let ss_t_short = ss_2d(&short);
@@ -118,7 +122,9 @@ fn subvth_style_device_shows_better_swing_in_2d() {
         let mut sim = DeviceSimulator::new(dev).expect("equilibrium");
         let curve = id_vg(&mut sim, 0.6, 0.5, 0.05).expect("sweep");
         let i0 = curve.i_d[0];
-        curve.swing_between(10.0 * i0, 1.0e3 * i0).expect("swing window")
+        curve
+            .swing_between(10.0 * i0, 1.0e3 * i0)
+            .expect("swing window")
     };
     let ss_base = ss(&base);
     let ss_relaxed = ss(&relaxed);
