@@ -1,0 +1,33 @@
+//! Device-model backend benchmarks: what the `DeviceModel` seam costs
+//! (dynamic dispatch over the direct compact-model call) and what the
+//! TCAD backend costs once its calibration is cached.
+
+use subvt_bench::{black_box, Harness};
+use subvt_model::DeviceModel;
+use subvt_physics::device::DeviceParams;
+use subvt_tcad::model::TCAD_COARSE;
+
+fn main() {
+    let mut h = Harness::new("backends");
+    let dev = DeviceParams::reference_90nm_nfet();
+
+    // Baseline: the compact model called directly, as every layer did
+    // before the trait seam existed.
+    h.bench("analytic_direct", || black_box(&dev).characterize());
+
+    // The same evaluation through `&dyn DeviceModel` — the seam's entire
+    // overhead is one vtable call plus the Result wrapper.
+    let model = subvt_model::analytic();
+    h.bench("analytic_via_trait", || {
+        model.characterize(black_box(&dev)).unwrap()
+    });
+
+    // Anchored TCAD backend on the warm path: the reference sweep and
+    // deck correction are computed once (in the warm-up iteration), so
+    // the steady state is analytic work plus cached calibration lookup.
+    h.bench("tcad_anchored_calibrated", || {
+        TCAD_COARSE.characterize(black_box(&dev)).unwrap()
+    });
+
+    h.finish();
+}

@@ -141,7 +141,7 @@ impl InverterChain {
     /// activity, not on device scaling parameters.
     pub fn k_vmin(&self) -> f64 {
         let mep = self.minimum_energy_point();
-        let s_s = self.pair.nfet.characterize().s_s.as_volts_per_decade();
+        let s_s = self.pair.nfet_chars().s_s.as_volts_per_decade();
         mep.v_min.as_volts() / s_s
     }
 }

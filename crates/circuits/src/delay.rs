@@ -18,8 +18,8 @@ use crate::inverter::{CmosPair, Inverter};
 pub fn analytic_fo1_delay(pair: &CmosPair, v_dd: Volts) -> Seconds {
     let pair = pair.at_supply(v_dd);
     let c_l = pair.input_capacitance() + pair.output_capacitance();
-    let n_model = pair.nfet.mos_model();
-    let p_model = pair.pfet.mos_model();
+    let n_model = pair.nfet_model();
+    let p_model = pair.pfet_model();
     let i_n = n_model
         .drain_current(v_dd, Volts::new(v_dd.as_volts() / 2.0))
         .get()

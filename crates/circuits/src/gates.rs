@@ -72,8 +72,8 @@ impl Gate2 {
         output: NodeId,
         vdd_node: NodeId,
     ) {
-        let nmod = self.pair.nfet.mos_model();
-        let pmod = self.pair.pfet.mos_model();
+        let nmod = self.pair.nfet_model();
+        let pmod = self.pair.pfet_model();
         let (wn, wp) = (self.pair.wn_um, self.pair.wp_um);
         let mid = net.node(&format!("{name}.mid"));
         match self.kind {

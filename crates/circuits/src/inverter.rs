@@ -9,7 +9,9 @@
 //!   currents (valid for sub-V_th supplies), used to cross-check the
 //!   simulator.
 
-use subvt_physics::device::{DeviceKind, DeviceParams};
+use subvt_model::{DeviceModel, ModelError};
+use subvt_physics::device::{DeviceCharacteristics, DeviceKind, DeviceParams};
+use subvt_physics::iv::MosModel;
 use subvt_physics::math::{bisect, linspace};
 use subvt_spice::mna::{dc_sweep, SpiceError};
 use subvt_spice::netlist::{Netlist, NodeId, Waveform};
@@ -17,7 +19,14 @@ use subvt_units::Volts;
 
 /// A complementary device pair with widths — the unit cell every analysis
 /// in this crate is built from.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Characterizations are produced lazily through the pair's
+/// [`DeviceModel`] backend (analytic unless built with
+/// [`CmosPair::balanced_with`] or [`CmosPair::from_parts`]), so mutating
+/// the public device fields — e.g. re-biasing via [`CmosPair::at_supply`]
+/// or skewing a polarity in a study — can never leave stale
+/// characteristics behind.
+#[derive(Debug, Clone, Copy)]
 pub struct CmosPair {
     /// The n-channel device.
     pub nfet: DeviceParams,
@@ -27,14 +36,41 @@ pub struct CmosPair {
     pub wn_um: f64,
     /// PFET width in microns.
     pub wp_um: f64,
+    model: &'static dyn DeviceModel,
+}
+
+impl PartialEq for CmosPair {
+    fn eq(&self, other: &Self) -> bool {
+        self.nfet == other.nfet
+            && self.pfet == other.pfet
+            && self.wn_um == other.wn_um
+            && self.wp_um == other.wp_um
+            && self.model.cache_id() == other.model.cache_id()
+    }
 }
 
 impl CmosPair {
     /// Builds a pair from an NFET description, deriving the PFET by
     /// polarity flip and sizing it so the subthreshold drive strengths
     /// balance (`W_p·I₀_p ≈ W_n·I₀_n`) — the symmetric-VTC condition the
-    /// paper assumes in Eq. 3(c).
+    /// paper assumes in Eq. 3(c). Evaluated with the analytic backend.
     pub fn balanced(nfet: DeviceParams) -> Self {
+        Self::balanced_with(subvt_model::analytic(), nfet).expect("analytic backend is infallible")
+    }
+
+    /// [`CmosPair::balanced`] through an explicit model backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nfet` is not an NFET description.
+    pub fn balanced_with(
+        model: &'static dyn DeviceModel,
+        nfet: DeviceParams,
+    ) -> Result<Self, ModelError> {
         assert!(
             matches!(nfet.kind, DeviceKind::Nfet),
             "expected an NFET description"
@@ -43,16 +79,74 @@ impl CmosPair {
             kind: DeviceKind::Pfet,
             ..nfet
         };
-        let i0_n = nfet.characterize().i0.get();
-        let i0_p = pfet.characterize().i0.get();
+        let i0_n = model.characterize(&nfet)?.i0.get();
+        let i0_p = model.characterize(&pfet)?.i0.get();
         let wn_um = 1.0;
         let wp_um = (i0_n / i0_p).clamp(1.0, 4.0);
+        Ok(Self {
+            nfet,
+            pfet,
+            wn_um,
+            wp_um,
+            model,
+        })
+    }
+
+    /// Assembles a pair from already-designed devices and widths, bound
+    /// to the given model backend.
+    pub fn from_parts(
+        nfet: DeviceParams,
+        pfet: DeviceParams,
+        wn_um: f64,
+        wp_um: f64,
+        model: &'static dyn DeviceModel,
+    ) -> Self {
         Self {
             nfet,
             pfet,
             wn_um,
             wp_um,
+            model,
         }
+    }
+
+    /// The model backend this pair characterizes its devices through.
+    pub fn model(&self) -> &'static dyn DeviceModel {
+        self.model
+    }
+
+    /// NFET characterization through the pair's backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend fails (the analytic backend cannot).
+    pub fn nfet_chars(&self) -> DeviceCharacteristics {
+        self.model
+            .characterize(&self.nfet)
+            .expect("model backend failed on NFET")
+    }
+
+    /// PFET characterization through the pair's backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend fails (the analytic backend cannot).
+    pub fn pfet_chars(&self) -> DeviceCharacteristics {
+        self.model
+            .characterize(&self.pfet)
+            .expect("model backend failed on PFET")
+    }
+
+    /// All-region I–V model of the NFET, built on the pair's backend
+    /// characterization.
+    pub fn nfet_model(&self) -> MosModel {
+        MosModel::from_device(&self.nfet, &self.nfet_chars())
+    }
+
+    /// All-region I–V model of the PFET, built on the pair's backend
+    /// characterization.
+    pub fn pfet_model(&self) -> MosModel {
+        MosModel::from_device(&self.pfet, &self.pfet_chars())
     }
 
     /// The supply voltage both devices were described at.
@@ -71,23 +165,23 @@ impl CmosPair {
     /// Total switched capacitance of one inverter input (gate caps of
     /// both devices), farads.
     pub fn input_capacitance(&self) -> f64 {
-        let cn = self.nfet.characterize().c_g.get() * self.wn_um;
-        let cp = self.pfet.characterize().c_g.get() * self.wp_um;
+        let cn = self.nfet_chars().c_g.get() * self.wn_um;
+        let cp = self.pfet_chars().c_g.get() * self.wp_um;
         cn + cp
     }
 
     /// Drain parasitic capacitance at the shared output node, farads.
     pub fn output_capacitance(&self) -> f64 {
-        let cn = self.nfet.characterize().c_drain.get() * self.wn_um;
-        let cp = self.pfet.characterize().c_drain.get() * self.wp_um;
+        let cn = self.nfet_chars().c_drain.get() * self.wn_um;
+        let cp = self.pfet_chars().c_drain.get() * self.wp_um;
         cn + cp
     }
 
     /// Average off-state leakage of the inverter (mean of the two input
     /// states), amps.
     pub fn leakage_current(&self) -> f64 {
-        let i_n = self.nfet.characterize().i_off.get() * self.wn_um;
-        let i_p = self.pfet.characterize().i_off.get() * self.wp_um;
+        let i_n = self.nfet_chars().i_off.get() * self.wn_um;
+        let i_p = self.pfet_chars().i_off.get() * self.wp_um;
         0.5 * (i_n + i_p)
     }
 }
@@ -163,7 +257,7 @@ impl Inverter {
     ) {
         net.mosfet(
             &format!("{name}.MP"),
-            self.pair.pfet.mos_model(),
+            self.pair.pfet_model(),
             self.pair.wp_um,
             output,
             input,
@@ -171,7 +265,7 @@ impl Inverter {
         );
         net.mosfet(
             &format!("{name}.MN"),
-            self.pair.nfet.mos_model(),
+            self.pair.nfet_model(),
             self.pair.wn_um,
             output,
             input,
@@ -229,8 +323,8 @@ impl Inverter {
 /// region). Device asymmetry enters through `I₀` ratios and slope
 /// factors.
 pub fn analytic_vtc(pair: &CmosPair, v_dd: Volts, points: usize) -> Vtc {
-    let n = pair.nfet.characterize();
-    let p = pair.pfet.characterize();
+    let n = pair.nfet_chars();
+    let p = pair.pfet_chars();
     let vt = pair.nfet.temperature.thermal_voltage().as_volts();
     let vdd = v_dd.as_volts();
     let io_n = n.i0.get() * pair.wn_um;

@@ -84,8 +84,8 @@ pub fn delay_variability(
     let sig_p = sigma_vth(pair.pfet.geometry.t_ox.get(), pair.wp_um, l_um).as_volts();
 
     let c_l = pair.input_capacitance() + pair.output_capacitance();
-    let base_n = pair.nfet.mos_model();
-    let base_p = pair.pfet.mos_model();
+    let base_n = pair.nfet_model();
+    let base_p = pair.pfet_model();
     let vdd = v_dd.as_volts();
     let half = Volts::new(vdd / 2.0);
     let (wn_um, wp_um) = (pair.wn_um, pair.wp_um);
@@ -147,8 +147,8 @@ pub fn snm_variability(pair: &CmosPair, v_dd: Volts, samples: usize, seed: u64) 
     let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
     let sig_p = sigma_vth(pair.pfet.geometry.t_ox.get(), pair.wp_um, l_um).as_volts();
 
-    let n = pair.nfet.characterize();
-    let p = pair.pfet.characterize();
+    let n = pair.nfet_chars();
+    let p = pair.pfet_chars();
     let vt = pair.nfet.temperature.thermal_voltage().as_volts();
     let vdd = v_dd.as_volts();
     let io_n = n.i0.get() * pair.wn_um;

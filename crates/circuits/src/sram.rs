@@ -70,11 +70,7 @@ impl SramCell {
     /// sensing budget).
     pub fn max_bits_per_bitline(&self, v_dd: Volts, margin: f64) -> usize {
         assert!(margin > 1.0, "sensing margin must exceed unity");
-        let nfet = subvt_physics::DeviceParams {
-            v_dd,
-            ..self.pair.nfet
-        }
-        .characterize();
+        let nfet = self.pair.at_supply(v_dd).nfet_chars();
         let i_on = nfet.i_on.get() * self.w_access_um;
         let i_off = nfet.i_off.get() * self.w_access_um;
         ((i_on / (margin * i_off)).floor() as usize).max(1)
@@ -103,7 +99,7 @@ impl SramCell {
         // between the storage node and the precharged bit-line.
         net.mosfet(
             "MA",
-            pair.nfet.mos_model(),
+            pair.nfet_model(),
             self.w_access_um,
             bitline,
             vdd_node,

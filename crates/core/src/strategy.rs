@@ -2,8 +2,14 @@
 //! [`NodeDesign`] per technology node, and everything downstream
 //! (figures, benches, examples) consumes designs through the
 //! [`ScalingStrategy`] trait.
+//!
+//! Every flow evaluates candidate devices through a
+//! [`DeviceModel`] backend; the `*_with` trait methods select the
+//! backend explicitly, while the plain methods default to the analytic
+//! compact model (byte-identical to the historical behaviour).
 
 use subvt_circuits::inverter::CmosPair;
+use subvt_model::{DeviceModel, ModelError};
 use subvt_physics::device::{DeviceCharacteristics, DeviceParams};
 
 use crate::roadmap::TechNode;
@@ -18,6 +24,8 @@ pub enum DesignError {
         /// What the search was solving for.
         target: &'static str,
     },
+    /// The device-model backend failed to characterize a candidate.
+    Model(ModelError),
 }
 
 impl core::fmt::Display for DesignError {
@@ -26,11 +34,25 @@ impl core::fmt::Display for DesignError {
             DesignError::DopingSearch { node, target } => {
                 write!(f, "doping search for {target} failed to bracket at {node}")
             }
+            DesignError::Model(e) => write!(f, "device model error: {e}"),
         }
     }
 }
 
-impl std::error::Error for DesignError {}
+impl std::error::Error for DesignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DesignError::DopingSearch { .. } => None,
+            DesignError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for DesignError {
+    fn from(e: ModelError) -> Self {
+        DesignError::Model(e)
+    }
+}
 
 /// A complete complementary device design at one technology node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,15 +76,19 @@ impl NodeDesign {
     /// shrinks along with every other layout dimension), which is what
     /// makes scaled nodes cheaper in absolute energy.
     pub fn cmos_pair(&self) -> CmosPair {
+        self.cmos_pair_with(subvt_model::analytic())
+    }
+
+    /// Like [`Self::cmos_pair`] but routes circuit-level
+    /// characterization through an explicit backend. The width balance
+    /// comes from the stored design-time characteristics so the pair's
+    /// geometry is independent of the evaluation backend.
+    pub fn cmos_pair_with(&self, model: &'static dyn DeviceModel) -> CmosPair {
         let i0_n = self.nfet_chars.i0.get();
         let i0_p = self.pfet_chars.i0.get();
         let wn_um = self.node.dimension_scale();
-        CmosPair {
-            nfet: self.nfet,
-            pfet: self.pfet,
-            wn_um,
-            wp_um: wn_um * (i0_n / i0_p).clamp(1.0, 4.0),
-        }
+        let wp_um = wn_um * (i0_n / i0_p).clamp(1.0, 4.0);
+        CmosPair::from_parts(self.nfet, self.pfet, wn_um, wp_um, model)
     }
 }
 
@@ -72,15 +98,43 @@ pub trait ScalingStrategy {
     /// Short name used in tables and figure legends.
     fn name(&self) -> &'static str;
 
-    /// Designs the devices for one node.
+    /// Designs the devices for one node, evaluating every candidate
+    /// through the given backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] when the underlying doping searches cannot
+    /// meet the flow's constraints, or when the backend fails to
+    /// characterize a candidate.
+    fn design_node_with(
+        &self,
+        model: &dyn DeviceModel,
+        node: TechNode,
+    ) -> Result<NodeDesign, DesignError>;
+
+    /// Designs the devices for one node with the analytic backend.
     ///
     /// # Errors
     ///
     /// Returns [`DesignError`] when the underlying doping searches cannot
     /// meet the flow's constraints.
-    fn design_node(&self, node: TechNode) -> Result<NodeDesign, DesignError>;
+    fn design_node(&self, node: TechNode) -> Result<NodeDesign, DesignError> {
+        self.design_node_with(subvt_model::analytic(), node)
+    }
 
-    /// Designs every node from 90 nm to 32 nm.
+    /// Designs every node from 90 nm to 32 nm through the given backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DesignError`] encountered.
+    fn design_all_with(&self, model: &dyn DeviceModel) -> Result<Vec<NodeDesign>, DesignError> {
+        TechNode::ALL
+            .iter()
+            .map(|&n| self.design_node_with(model, n))
+            .collect()
+    }
+
+    /// Designs every node from 90 nm to 32 nm with the analytic backend.
     ///
     /// # Errors
     ///

@@ -17,6 +17,9 @@
 //! PFET at the NFET's optimal length (the paper finds the PFET optimum is
 //! "almost identical").
 
+use std::cell::Cell;
+
+use subvt_model::{DeviceModel, ModelError};
 use subvt_physics::device::{DeviceGeometry, DeviceKind, DeviceParams};
 use subvt_physics::math::{bisect, golden_section};
 use subvt_units::{AmpsPerMicron, Nanometers, PerCubicCentimeter, Temperature};
@@ -94,6 +97,26 @@ impl SubVthStrategy {
         l_poly: Nanometers,
         halo_ratio: f64,
     ) -> Result<DeviceParams, DesignError> {
+        self.doping_for_ioff_with(node, kind, l_poly, halo_ratio, subvt_model::analytic())
+    }
+
+    /// Like [`Self::doping_for_ioff`] but evaluates candidates through an
+    /// explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::DopingSearch`] when the target cannot be
+    /// bracketed — an unsatisfiable `i_off_target` is an error, never a
+    /// panic — and [`DesignError::Model`] when the backend fails on a
+    /// probe.
+    pub fn doping_for_ioff_with(
+        &self,
+        node: TechNode,
+        kind: DeviceKind,
+        l_poly: Nanometers,
+        halo_ratio: f64,
+        model: &dyn DeviceModel,
+    ) -> Result<DeviceParams, DesignError> {
         let target = self.i_off_target.get();
         let make = |n_sub: f64| {
             let mut p = self.template(node, kind, l_poly);
@@ -101,17 +124,30 @@ impl SubVthStrategy {
             p.n_p_halo = PerCubicCentimeter::new((halo_ratio * n_sub).max(1.0e14));
             p
         };
+        let model_err: Cell<Option<ModelError>> = Cell::new(None);
         let root = bisect(
-            |log_n: f64| (make(log_n.exp()).characterize().i_off.get() / target).ln(),
+            |log_n: f64| match model.characterize(&make(log_n.exp())) {
+                Ok(ch) => (ch.i_off.get() / target).ln(),
+                Err(e) => {
+                    model_err.set(Some(e));
+                    f64::NAN
+                }
+            },
             (1.0e17f64).ln(),
             (3.0e19f64).ln(),
             1e-6,
             200,
         )
-        .map_err(|_| DesignError::DopingSearch {
-            node,
-            target: "sub-Vth I_off",
+        .map_err(|_| match model_err.take() {
+            Some(e) => DesignError::Model(e),
+            None => DesignError::DopingSearch {
+                node,
+                target: "sub-Vth I_off",
+            },
         })?;
+        if let Some(e) = model_err.take() {
+            return Err(DesignError::Model(e));
+        }
         Ok(make(root.x.exp()))
     }
 
@@ -128,18 +164,44 @@ impl SubVthStrategy {
         kind: DeviceKind,
         l_poly: Nanometers,
     ) -> Result<DeviceParams, DesignError> {
+        self.optimize_doping_at_length_with(node, kind, l_poly, subvt_model::analytic())
+    }
+
+    /// Like [`Self::optimize_doping_at_length`] but evaluates candidates
+    /// through an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] if no halo ratio admits the target; when
+    /// every ratio failed, the last underlying failure is reported
+    /// instead of a generic scan error.
+    pub fn optimize_doping_at_length_with(
+        &self,
+        node: TechNode,
+        kind: DeviceKind,
+        l_poly: Nanometers,
+        model: &dyn DeviceModel,
+    ) -> Result<DeviceParams, DesignError> {
         let mut best: Option<(f64, DeviceParams)> = None;
+        let mut last_err: Option<DesignError> = None;
         for &f in &HALO_RATIOS {
-            if let Ok(p) = self.doping_for_ioff(node, kind, l_poly, f) {
-                let ss = p.characterize().s_s.get();
-                if best.as_ref().is_none_or(|(b, _)| ss < *b) {
-                    best = Some((ss, p));
+            match self
+                .doping_for_ioff_with(node, kind, l_poly, f, model)
+                .and_then(|p| Ok((model.characterize(&p)?.s_s.get(), p)))
+            {
+                Ok((ss, p)) => {
+                    if best.as_ref().is_none_or(|(b, _)| ss < *b) {
+                        best = Some((ss, p));
+                    }
                 }
+                Err(e) => last_err = Some(e),
             }
         }
-        best.map(|(_, p)| p).ok_or(DesignError::DopingSearch {
-            node,
-            target: "halo-ratio scan",
+        best.map(|(_, p)| p).ok_or_else(|| {
+            last_err.unwrap_or(DesignError::DopingSearch {
+                node,
+                target: "halo-ratio scan",
+            })
         })
     }
 
@@ -164,12 +226,27 @@ impl SubVthStrategy {
         node: TechNode,
         kind: DeviceKind,
     ) -> Result<Nanometers, DesignError> {
+        self.optimal_l_poly_with(node, kind, subvt_model::analytic())
+    }
+
+    /// Like [`Self::optimal_l_poly`] but evaluates candidates through an
+    /// explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] if doping optimization fails across the
+    /// whole candidate range.
+    pub fn optimal_l_poly_with(
+        &self,
+        node: TechNode,
+        kind: DeviceKind,
+        model: &dyn DeviceModel,
+    ) -> Result<Nanometers, DesignError> {
         let (lo, hi) = Self::l_poly_range(node);
         let score = |l: f64| -> f64 {
-            match self.optimize_doping_at_length(node, kind, Nanometers::new(l)) {
-                Ok(p) => energy_factor(&p.characterize()),
-                Err(_) => f64::INFINITY,
-            }
+            self.optimize_doping_at_length_with(node, kind, Nanometers::new(l), model)
+                .and_then(|p| Ok(energy_factor(&model.characterize(&p)?)))
+                .unwrap_or(f64::INFINITY)
         };
         // Coarse scan to bracket the minimum…
         let n_grid = 9;
@@ -203,17 +280,21 @@ impl ScalingStrategy for SubVthStrategy {
         "sub-Vth"
     }
 
-    fn design_node(&self, node: TechNode) -> Result<NodeDesign, DesignError> {
-        let l_opt = self.optimal_l_poly(node, DeviceKind::Nfet)?;
-        let nfet = self.optimize_doping_at_length(node, DeviceKind::Nfet, l_opt)?;
+    fn design_node_with(
+        &self,
+        model: &dyn DeviceModel,
+        node: TechNode,
+    ) -> Result<NodeDesign, DesignError> {
+        let l_opt = self.optimal_l_poly_with(node, DeviceKind::Nfet, model)?;
+        let nfet = self.optimize_doping_at_length_with(node, DeviceKind::Nfet, l_opt, model)?;
         // The paper reuses the NFET's optimal length for the PFET.
-        let pfet = self.optimize_doping_at_length(node, DeviceKind::Pfet, l_opt)?;
+        let pfet = self.optimize_doping_at_length_with(node, DeviceKind::Pfet, l_opt, model)?;
         Ok(NodeDesign {
             node,
             nfet,
             pfet,
-            nfet_chars: nfet.characterize(),
-            pfet_chars: pfet.characterize(),
+            nfet_chars: model.characterize(&nfet)?,
+            pfet_chars: model.characterize(&pfet)?,
         })
     }
 }
@@ -296,6 +377,36 @@ mod tests {
         let (lo, hi) = SubVthStrategy::l_poly_range(TechNode::N45);
         let l = s.optimal_l_poly(TechNode::N45, DeviceKind::Nfet).unwrap();
         assert!(l.get() > lo.get() && l.get() < hi.get(), "L_opt = {l}");
+    }
+
+    #[test]
+    fn unsatisfiable_ioff_target_is_an_error() {
+        // No doping in the bracket leaks a full 1e12 pA/µm; the search
+        // must report the failure rather than panic or return a clamped
+        // endpoint device.
+        use crate::strategy::DesignError;
+        let s = SubVthStrategy {
+            i_off_target: AmpsPerMicron::from_picoamps(1.0e12),
+        };
+        let r = s.doping_for_ioff(TechNode::N90, DeviceKind::Nfet, Nanometers::new(90.0), 1.0);
+        assert!(
+            matches!(
+                r,
+                Err(DesignError::DopingSearch {
+                    target: "sub-Vth I_off",
+                    ..
+                })
+            ),
+            "{r:?}"
+        );
+        // And the scan over halo ratios degrades into the same error
+        // instead of swallowing it.
+        let scan =
+            s.optimize_doping_at_length(TechNode::N90, DeviceKind::Nfet, Nanometers::new(90.0));
+        assert!(
+            matches!(scan, Err(DesignError::DopingSearch { .. })),
+            "{scan:?}"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! delay-optimal device under `I_off ≤ I_max` sits exactly at the budget,
 //! which is where the search lands.
 
+use std::cell::Cell;
+
+use subvt_model::{DeviceModel, ModelError};
 use subvt_physics::device::{DeviceGeometry, DeviceKind, DeviceParams};
 use subvt_physics::electrostatics::{long_channel_vth, oxide_capacitance};
 use subvt_physics::math::bisect;
@@ -112,12 +115,36 @@ impl SuperVthStrategy {
         template: &DeviceParams,
         node: TechNode,
     ) -> Result<PerCubicCentimeter, DesignError> {
+        Self::halo_for_flat_vth_with(template, node, subvt_model::analytic())
+    }
+
+    /// Like [`Self::halo_for_flat_vth`] but evaluates candidates through
+    /// an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::DopingSearch`] when the bracket fails and
+    /// [`DesignError::Model`] when the backend fails on a probe (a probe
+    /// failure poisons the whole search — the bisection trajectory is no
+    /// longer trustworthy).
+    pub fn halo_for_flat_vth_with(
+        template: &DeviceParams,
+        node: TechNode,
+        model: &dyn DeviceModel,
+    ) -> Result<PerCubicCentimeter, DesignError> {
         let c_ox = oxide_capacitance(template.geometry.t_ox);
         let vth_target = long_channel_vth(template.n_sub, c_ox, template.temperature).as_volts();
+        let model_err: Cell<Option<ModelError>> = Cell::new(None);
         let residual = |halo: f64| {
             let mut p = *template;
             p.n_p_halo = PerCubicCentimeter::new(halo);
-            p.characterize().v_th_sat.as_volts() - vth_target
+            match model.characterize(&p) {
+                Ok(ch) => ch.v_th_sat.as_volts() - vth_target,
+                Err(e) => {
+                    model_err.set(Some(e));
+                    f64::NAN
+                }
+            }
         };
         // Work in log-space for the wide doping range.
         let root = bisect(
@@ -127,10 +154,16 @@ impl SuperVthStrategy {
             1e-6,
             200,
         )
-        .map_err(|_| DesignError::DopingSearch {
-            node,
-            target: "halo flatness",
+        .map_err(|_| match model_err.take() {
+            Some(e) => DesignError::Model(e),
+            None => DesignError::DopingSearch {
+                node,
+                target: "halo flatness",
+            },
         })?;
+        if let Some(e) = model_err.take() {
+            return Err(DesignError::Model(e));
+        }
         Ok(PerCubicCentimeter::new(root.x.exp()))
     }
 
@@ -139,33 +172,76 @@ impl SuperVthStrategy {
     ///
     /// # Errors
     ///
-    /// Returns [`DesignError`] if the budget cannot be bracketed.
+    /// Returns [`DesignError`] if the budget cannot be bracketed — e.g.
+    /// an unsatisfiable leakage budget is reported as
+    /// [`DesignError::DopingSearch`], never a panic.
     pub fn design_device(
         &self,
         node: TechNode,
         kind: DeviceKind,
     ) -> Result<DeviceParams, DesignError> {
+        self.design_device_with(node, kind, subvt_model::analytic())
+    }
+
+    /// Like [`Self::design_device`] but evaluates candidates through an
+    /// explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] if the budget cannot be bracketed or the
+    /// backend fails.
+    pub fn design_device_with(
+        &self,
+        node: TechNode,
+        kind: DeviceKind,
+        model: &dyn DeviceModel,
+    ) -> Result<DeviceParams, DesignError> {
         let budget = self.leakage_budget(node);
+        // A backend failure anywhere in the search invalidates the
+        // bisection trajectory; a failed *halo* sub-search at a probe
+        // point merely leaves the template halo in place (the historical
+        // behaviour) but is remembered so a failed outer search can
+        // report the root cause instead of a generic bracket failure.
+        let model_err: Cell<Option<ModelError>> = Cell::new(None);
+        let halo_err: Cell<Option<DesignError>> = Cell::new(None);
         let residual = |log_n_sub: f64| -> f64 {
             let mut p = self.template(node, kind);
             p.n_sub = PerCubicCentimeter::new(log_n_sub.exp());
-            if let Ok(halo) = Self::halo_for_flat_vth(&p, node) {
-                p.n_p_halo = halo;
+            match Self::halo_for_flat_vth_with(&p, node, model) {
+                Ok(halo) => p.n_p_halo = halo,
+                Err(DesignError::Model(e)) => {
+                    model_err.set(Some(e));
+                    return f64::NAN;
+                }
+                Err(e) => halo_err.set(Some(e)),
             }
-            // log-residual keeps the exponential I_off(V_th) well-scaled.
-            (p.characterize().i_off.get() / budget).ln()
+            match model.characterize(&p) {
+                // log-residual keeps the exponential I_off(V_th)
+                // well-scaled.
+                Ok(ch) => (ch.i_off.get() / budget).ln(),
+                Err(e) => {
+                    model_err.set(Some(e));
+                    f64::NAN
+                }
+            }
         };
         let root =
             bisect(residual, (2.0e17f64).ln(), (2.0e19f64).ln(), 1e-6, 200).map_err(|_| {
-                DesignError::DopingSearch {
+                if let Some(e) = model_err.take() {
+                    return DesignError::Model(e);
+                }
+                halo_err.take().unwrap_or(DesignError::DopingSearch {
                     node,
                     target: "leakage budget",
-                }
+                })
             })?;
+        if let Some(e) = model_err.take() {
+            return Err(DesignError::Model(e));
+        }
 
         let mut p = self.template(node, kind);
         p.n_sub = PerCubicCentimeter::new(root.x.exp());
-        p.n_p_halo = Self::halo_for_flat_vth(&p, node)?;
+        p.n_p_halo = Self::halo_for_flat_vth_with(&p, node, model)?;
         Ok(p)
     }
 }
@@ -175,15 +251,19 @@ impl ScalingStrategy for SuperVthStrategy {
         "super-Vth"
     }
 
-    fn design_node(&self, node: TechNode) -> Result<NodeDesign, DesignError> {
-        let nfet = self.design_device(node, DeviceKind::Nfet)?;
-        let pfet = self.design_device(node, DeviceKind::Pfet)?;
+    fn design_node_with(
+        &self,
+        model: &dyn DeviceModel,
+        node: TechNode,
+    ) -> Result<NodeDesign, DesignError> {
+        let nfet = self.design_device_with(node, DeviceKind::Nfet, model)?;
+        let pfet = self.design_device_with(node, DeviceKind::Pfet, model)?;
         Ok(NodeDesign {
             node,
             nfet,
             pfet,
-            nfet_chars: nfet.characterize(),
-            pfet_chars: pfet.characterize(),
+            nfet_chars: model.characterize(&nfet)?,
+            pfet_chars: model.characterize(&pfet)?,
         })
     }
 }
@@ -191,12 +271,27 @@ impl ScalingStrategy for SuperVthStrategy {
 /// Characterizes a super-V_th design at a subthreshold supply (the
 /// paper's 250 mV evaluation point): same device, different `V_dd`.
 pub fn at_subthreshold_supply(design: &NodeDesign, v_dd: Volts) -> NodeDesign {
+    at_subthreshold_supply_with(design, v_dd, subvt_model::analytic())
+        .expect("analytic backend is infallible")
+}
+
+/// Like [`at_subthreshold_supply`] but re-characterizes through an
+/// explicit backend.
+///
+/// # Errors
+///
+/// Propagates backend failures as [`DesignError::Model`].
+pub fn at_subthreshold_supply_with(
+    design: &NodeDesign,
+    v_dd: Volts,
+    model: &dyn DeviceModel,
+) -> Result<NodeDesign, DesignError> {
     let mut d = *design;
     d.nfet.v_dd = v_dd;
     d.pfet.v_dd = v_dd;
-    d.nfet_chars = d.nfet.characterize();
-    d.pfet_chars = d.pfet.characterize();
-    d
+    d.nfet_chars = model.characterize(&d.nfet)?;
+    d.pfet_chars = model.characterize(&d.pfet)?;
+    Ok(d)
 }
 
 #[cfg(test)]
@@ -297,6 +392,40 @@ mod tests {
         let sub = at_subthreshold_supply(&d, Volts::new(0.25));
         assert_eq!(sub.nfet.n_sub, d.nfet.n_sub);
         assert!(sub.nfet_chars.i_on.get() < d.nfet_chars.i_on.get());
+    }
+
+    #[test]
+    fn unsatisfiable_tight_leakage_budget_is_an_error() {
+        // A budget orders of magnitude below anything the doping range
+        // can reach must surface as a DopingSearch error, not a silent
+        // clamp onto a bracket endpoint or a panic.
+        let strict = SuperVthStrategy {
+            i_leak_90nm_pa: 1.0e-12,
+            ..SuperVthStrategy::default()
+        };
+        let r = strict.design_device(TechNode::N90, DeviceKind::Nfet);
+        assert!(
+            matches!(
+                r,
+                Err(DesignError::DopingSearch {
+                    target: "leakage budget",
+                    ..
+                })
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_loose_leakage_budget_is_an_error() {
+        // The opposite direction: a budget far above the lightest
+        // substrate's leakage cannot be bracketed either.
+        let loose = SuperVthStrategy {
+            i_leak_90nm_pa: 1.0e12,
+            ..SuperVthStrategy::default()
+        };
+        let r = loose.design_device(TechNode::N90, DeviceKind::Nfet);
+        assert!(matches!(r, Err(DesignError::DopingSearch { .. })), "{r:?}");
     }
 
     #[test]

@@ -111,10 +111,28 @@ impl KeyBuilder {
         self
     }
 
+    /// Absorbs a [`Keyed`] value's field stream.
+    #[must_use]
+    pub fn keyed(self, value: &impl Keyed) -> Self {
+        value.absorb(self)
+    }
+
     /// Returns the finished 64-bit key.
     pub fn finish(self) -> u64 {
         self.0.finish()
     }
+}
+
+/// A value with a canonical stable-key field stream.
+///
+/// Implementations define, once, the exact sequence of typed fields that
+/// identifies a value for caching purposes; every cache key that covers
+/// the value then shares that sequence via [`KeyBuilder::keyed`] instead
+/// of re-listing the fields (and risking divergence between callers).
+pub trait Keyed {
+    /// Absorbs this value's identifying fields into the builder.
+    #[must_use]
+    fn absorb(&self, kb: KeyBuilder) -> KeyBuilder;
 }
 
 #[cfg(test)]
@@ -150,6 +168,24 @@ mod tests {
         let a = KeyBuilder::new("x").u64(7).finish();
         let b = KeyBuilder::new("y").u64(7).finish();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keyed_matches_manual_field_stream() {
+        struct Point {
+            x: f64,
+            label: &'static str,
+        }
+        impl Keyed for Point {
+            fn absorb(&self, kb: KeyBuilder) -> KeyBuilder {
+                kb.f64(self.x).str(self.label)
+            }
+        }
+        let p = Point { x: 1.5, label: "a" };
+        assert_eq!(
+            KeyBuilder::new("t").keyed(&p).u64(7).finish(),
+            KeyBuilder::new("t").f64(1.5).str("a").u64(7).finish()
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod trace;
 
 pub use cache::{Blob, Cache, CacheStats};
 pub use executor::{Executor, JobHandle, JobPanic};
-pub use hash::KeyBuilder;
+pub use hash::{KeyBuilder, Keyed};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

@@ -1,0 +1,77 @@
+//! Process-wide device-model backend selection.
+//!
+//! The `repro` binary picks a backend once (`--backend analytic|tcad`)
+//! before any experiment runs; every design flow, figure and extension
+//! then evaluates devices through [`model`]. The default is the analytic
+//! compact model, which reproduces the historical output byte for byte.
+
+use std::sync::OnceLock;
+
+use subvt_circuits::inverter::CmosPair;
+use subvt_core::strategy::NodeDesign;
+use subvt_core::supervth::at_subthreshold_supply_with;
+use subvt_model::{Backend, DeviceModel};
+use subvt_units::Volts;
+
+static SELECTED: OnceLock<Backend> = OnceLock::new();
+
+/// Locks in the process-wide backend. The first selection wins; returns
+/// `false` when a *different* backend was already locked (selecting the
+/// active backend again is a no-op success).
+pub fn configure(backend: Backend) -> bool {
+    *SELECTED.get_or_init(|| backend) == backend
+}
+
+/// The selected backend; defaults to [`Backend::Analytic`] when nothing
+/// was configured.
+pub fn selected() -> Backend {
+    *SELECTED.get_or_init(Backend::default)
+}
+
+/// The model instance experiments evaluate devices through. TCAD
+/// selections use the coarse-mesh anchored model, which pays for one
+/// anchor extraction and then runs design searches at analytic speed.
+pub fn model() -> &'static dyn DeviceModel {
+    match selected() {
+        Backend::Analytic => subvt_model::analytic(),
+        Backend::Tcad => &subvt_tcad::model::TCAD_COARSE,
+    }
+}
+
+/// A node's circuit-level device pair, characterized through the
+/// selected backend.
+pub fn pair(design: &NodeDesign) -> CmosPair {
+    design.cmos_pair_with(model())
+}
+
+/// Re-characterizes a design at a subthreshold supply through the
+/// selected backend.
+///
+/// # Panics
+///
+/// Panics if the backend fails on the already-designed device — designs
+/// come out of the same backend, so a failure here is a backend bug, not
+/// an input error.
+pub fn at_subthreshold(design: &NodeDesign, v_dd: Volts) -> NodeDesign {
+    at_subthreshold_supply_with(design, v_dd, model())
+        .expect("selected backend failed on a design it produced")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_analytic() {
+        // Nothing configures a backend in the test process, so the
+        // default must route to the analytic model.
+        assert_eq!(selected(), Backend::Analytic);
+        assert_eq!(model().cache_id(), "analytic");
+    }
+
+    #[test]
+    fn reconfiguring_same_backend_is_ok() {
+        assert!(configure(Backend::Analytic));
+        assert!(!configure(Backend::Tcad));
+    }
+}

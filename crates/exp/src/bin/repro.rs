@@ -6,6 +6,7 @@
 //! repro all                 # run everything in paper order
 //! repro table2 fig2 fig12   # run a subset
 //! repro --csv fig6          # CSV output instead of aligned text
+//! repro --backend tcad fig2 # evaluate devices through the 2-D TCAD solver
 //! repro --jobs 8 all        # size the engine pool explicitly
 //! repro --trace t.jsonl all # dump spans + cache counters as JSON lines
 //! repro --cache c.jsonl all # persist the result cache across runs
@@ -15,6 +16,7 @@
 use std::process::ExitCode;
 
 use subvt_exp::{run, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+use subvt_model::Backend;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +48,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 trace_path = Some(path.clone());
+            }
+            "--backend" => {
+                let Some(backend) = iter.next().and_then(|v| v.parse::<Backend>().ok()) else {
+                    eprintln!("--backend needs one of: analytic, tcad");
+                    return ExitCode::FAILURE;
+                };
+                if !subvt_exp::backend::configure(backend) {
+                    eprintln!("--backend given twice with conflicting values");
+                    return ExitCode::FAILURE;
+                }
             }
             "--cache" => {
                 let Some(path) = iter.next() else {
@@ -129,6 +141,7 @@ fn print_help() {
     eprintln!();
     eprintln!("options:");
     eprintln!("  --csv           CSV output instead of aligned text");
+    eprintln!("  --backend <b>   device-model backend: analytic (default) | tcad");
     eprintln!("  --jobs <N>      engine worker threads (default: cores, or $SUBVT_JOBS)");
     eprintln!("  --trace <path>  write spans and counters as JSON lines on exit");
     eprintln!("  --cache <path>  load the result cache before, persist it after");

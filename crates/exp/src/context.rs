@@ -14,6 +14,7 @@ use std::sync::OnceLock;
 use subvt_core::strategy::{DesignError, NodeDesign, ScalingStrategy};
 use subvt_core::{SubVthStrategy, SuperVthStrategy};
 use subvt_engine::KeyBuilder;
+use subvt_model::DeviceModel;
 
 use crate::codec::DesignSet;
 
@@ -31,10 +32,12 @@ pub struct StudyContext {
 }
 
 /// Cache key for the super-V_th flow: every strategy knob that shapes
-/// the designs. The tag is versioned against the [`DesignSet`] layout.
-fn supervth_key(s: &SuperVthStrategy) -> u64 {
+/// the designs, plus the evaluation backend. The tag is versioned
+/// against the [`DesignSet`] layout.
+fn supervth_key(s: &SuperVthStrategy, model: &dyn DeviceModel) -> u64 {
     KeyBuilder::new("design.v1")
         .str("supervth")
+        .str(&model.cache_id())
         .f64(s.t_ox_shrink_rate)
         .f64(s.i_leak_90nm_pa)
         .f64(s.i_leak_growth)
@@ -42,9 +45,10 @@ fn supervth_key(s: &SuperVthStrategy) -> u64 {
 }
 
 /// Cache key for the sub-V_th flow.
-fn subvth_key(s: &SubVthStrategy) -> u64 {
+fn subvth_key(s: &SubVthStrategy, model: &dyn DeviceModel) -> u64 {
     KeyBuilder::new("design.v1")
         .str("subvth")
+        .str(&model.cache_id())
         .f64(s.i_off_target.get())
         .finish()
 }
@@ -70,14 +74,30 @@ impl StudyContext {
     ///
     /// Propagates [`DesignError`] from either flow.
     pub fn compute() -> Result<Self, DesignError> {
+        Self::compute_with(subvt_model::analytic())
+    }
+
+    /// Like [`Self::compute`] but runs (or recalls) both flows through
+    /// an explicit device-model backend. Each backend keeps its own
+    /// entries in the `design` cache namespace, keyed by
+    /// [`DeviceModel::cache_id`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DesignError`] from either flow.
+    pub fn compute_with(model: &'static dyn DeviceModel) -> Result<Self, DesignError> {
         // The two flows are independent; overlap them.
-        let mut flows = subvt_engine::global().map(vec![true, false], |is_super| {
+        let mut flows = subvt_engine::global().map(vec![true, false], move |is_super| {
             if is_super {
                 let s = SuperVthStrategy::default();
-                design_cached("supervth", supervth_key(&s), move || s.design_all())
+                design_cached("supervth", supervth_key(&s, model), move || {
+                    s.design_all_with(model)
+                })
             } else {
                 let s = SubVthStrategy::default();
-                design_cached("subvth", subvth_key(&s), move || s.design_all())
+                design_cached("subvth", subvth_key(&s, model), move || {
+                    s.design_all_with(model)
+                })
             }
         });
         let subvth = flows.pop().expect("two flows")?;
@@ -130,12 +150,21 @@ mod tests {
 
     #[test]
     fn strategy_knobs_change_the_cache_key() {
-        let a = supervth_key(&SuperVthStrategy::default());
+        let m = subvt_model::analytic();
+        let a = supervth_key(&SuperVthStrategy::default(), m);
         let s = SuperVthStrategy {
             t_ox_shrink_rate: 0.30,
             ..Default::default()
         };
-        assert_ne!(a, supervth_key(&s));
-        assert_ne!(a, subvth_key(&SubVthStrategy::default()));
+        assert_ne!(a, supervth_key(&s, m));
+        assert_ne!(a, subvth_key(&SubVthStrategy::default(), m));
+    }
+
+    #[test]
+    fn backend_changes_the_cache_key() {
+        let s = SuperVthStrategy::default();
+        let analytic = supervth_key(&s, subvt_model::analytic());
+        let tcad = supervth_key(&s, &subvt_tcad::model::TCAD_COARSE);
+        assert_ne!(analytic, tcad, "backends must not share design entries");
     }
 }

@@ -9,9 +9,11 @@ use subvt_circuits::gates::Gate2;
 use subvt_circuits::montecarlo::{delay_variability, snm_variability};
 use subvt_circuits::sram::SramCell;
 use subvt_core::{SuperVthStrategy, TechNode};
+use subvt_model::DeviceModel;
 use subvt_physics::device::{DeviceKind, DeviceParams};
 use subvt_units::{Temperature, Volts};
 
+use crate::backend;
 use crate::context::{StudyContext, V_SUBVT};
 use crate::table::{fmt, Table};
 
@@ -31,11 +33,12 @@ pub fn ext_temperature() -> Table {
             "E@Vmin (fJ)",
         ],
     );
+    let model = backend::model();
     for celsius in [-25.0, 0.0, 25.0, 50.0, 75.0, 100.0] {
         let mut dev = DeviceParams::reference_90nm_nfet();
         dev.temperature = Temperature::from_celsius(celsius);
-        let ch = dev.characterize();
-        let pair = subvt_circuits::CmosPair::balanced(dev);
+        let ch = model.characterize(&dev).expect("backend characterize");
+        let pair = subvt_circuits::CmosPair::balanced_with(model, dev).expect("backend balance");
         let mep = InverterChain::paper_chain(pair).minimum_energy_point();
         t.push_row(vec![
             fmt(celsius, 0),
@@ -67,19 +70,21 @@ pub fn ext_oxide_scaling() -> Table {
             "S_S ideal-rate",
         ],
     );
+    let model = backend::model();
     for node in TechNode::ALL {
         let d_paper = paper
-            .design_device(node, DeviceKind::Nfet)
+            .design_device_with(node, DeviceKind::Nfet, model)
             .expect("paper-rate design");
         let d_ideal = ideal
-            .design_device(node, DeviceKind::Nfet)
+            .design_device_with(node, DeviceKind::Nfet, model)
             .expect("ideal-rate design");
+        let ch = |d| model.characterize(d).expect("backend characterize");
         t.push_row(vec![
             node.name().to_owned(),
             fmt(d_paper.geometry.t_ox.get(), 2),
             fmt(d_ideal.geometry.t_ox.get(), 2),
-            fmt(d_paper.characterize().s_s.get(), 1),
-            fmt(d_ideal.characterize().s_s.get(), 1),
+            fmt(ch(&d_paper).s_s.get(), 1),
+            fmt(ch(&d_ideal).s_s.get(), 1),
         ]);
     }
     t
@@ -101,8 +106,8 @@ pub fn ext_sram(ctx: &StudyContext) -> Table {
         ],
     );
     for (sup, sub) in ctx.supervth.iter().zip(&ctx.subvth) {
-        let cell_sup = SramCell::subthreshold_cell(sup.cmos_pair());
-        let cell_sub = SramCell::subthreshold_cell(sub.cmos_pair());
+        let cell_sup = SramCell::subthreshold_cell(backend::pair(sup));
+        let cell_sub = SramCell::subthreshold_cell(backend::pair(sub));
         let hold = cell_sup
             .hold_snm(v, 121)
             .map(|s| s * 1e3)
@@ -137,8 +142,8 @@ pub fn ext_variability(ctx: &StudyContext) -> Table {
             "SNM fail 32nm (%)",
         ],
     );
-    let p90 = ctx.supervth[0].cmos_pair();
-    let p32 = ctx.supervth[3].cmos_pair();
+    let p90 = backend::pair(&ctx.supervth[0]);
+    let p32 = backend::pair(&ctx.supervth[3]);
     for mv in [200.0, 250.0, 300.0, 400.0, 1200.0] {
         let v = Volts::from_millivolts(mv);
         let d90 = delay_variability(&p90, v, 400, 2007);
@@ -170,7 +175,7 @@ pub fn ext_gates(ctx: &StudyContext) -> Table {
         ],
     );
     for d in &ctx.supervth {
-        let pair = d.cmos_pair();
+        let pair = backend::pair(d);
         let inv = crate::figs_circuit::snm_at(d, v) * 1e3;
         let nand = Gate2::nand2(pair)
             .worst_case_snm(v, 121)
@@ -185,6 +190,50 @@ pub fn ext_gates(ctx: &StudyContext) -> Table {
             fmt(inv, 1),
             fmt(nand, 1),
             fmt(nor, 1),
+        ]);
+    }
+    t
+}
+
+/// Extension F — backend cross-validation: the 90 nm reference NFET
+/// characterized by the analytic compact model, the anchored coarse-mesh
+/// TCAD backend, and the deck-corrected direct TCAD backend (every 2-D
+/// sweep recalled through the `tcad.extract` / `tcad.model` caches).
+///
+/// Expected shape: the anchored backend transfers the 2-D swing/DIBL
+/// shape (S_S within a few percent of analytic), while the direct
+/// backend additionally reports deck-corrected V_th and currents —
+/// near-identical at this anchor device by construction.
+pub fn ext_backends() -> Table {
+    let dev = DeviceParams::reference_90nm_nfet();
+    let base = subvt_model::analytic()
+        .characterize(&dev)
+        .expect("analytic backend");
+    let models: [&'static dyn DeviceModel; 3] = [
+        subvt_model::analytic(),
+        &subvt_tcad::model::TCAD_COARSE,
+        &subvt_tcad::model::TCAD_COARSE_DIRECT,
+    ];
+    let mut t = Table::new(
+        "Ext F: device-model backends, 90 nm reference NFET",
+        &[
+            "Backend",
+            "S_S (mV/dec)",
+            "V_th,sat (mV)",
+            "I_off (pA/um)",
+            "DIBL (mV/V)",
+            "dlog10 I_off",
+        ],
+    );
+    for m in models {
+        let ch = m.characterize(&dev).expect("backend characterize");
+        t.push_row(vec![
+            m.cache_id(),
+            fmt(ch.s_s.get(), 1),
+            fmt(ch.v_th_sat.as_millivolts(), 0),
+            fmt(ch.i_off.as_picoamps(), 1),
+            fmt(ch.dibl * 1e3, 0),
+            fmt((ch.i_off.get() / base.i_off.get()).log10(), 3),
         ]);
     }
     t

@@ -21,7 +21,7 @@ const DELAY_STEPS: usize = 900;
 /// paper's gain = −1 definition. Returns NaN if the inverter has no
 /// restoring region at that supply.
 pub fn snm_at(design: &NodeDesign, v_dd: Volts) -> f64 {
-    let pair = design.cmos_pair();
+    let pair = crate::backend::pair(design);
     Inverter::new(pair)
         .vtc(v_dd, VTC_POINTS)
         .ok()
@@ -33,7 +33,7 @@ pub fn snm_at(design: &NodeDesign, v_dd: Volts) -> f64 {
 /// Measured FO1 delay of a node's inverter at the given supply (SPICE
 /// transient). Returns NaN on measurement failure.
 pub fn delay_at(design: &NodeDesign, v_dd: Volts) -> f64 {
-    let pair = design.cmos_pair();
+    let pair = crate::backend::pair(design);
     spice_fo1_delay(&pair, v_dd, DELAY_STEPS)
         .map(|d| d.average().get())
         .unwrap_or(f64::NAN)
@@ -115,7 +115,7 @@ pub fn fig5(ctx: &StudyContext) -> Table {
 pub fn fig6(ctx: &StudyContext) -> Table {
     let mut rows = Vec::new();
     for d in &ctx.supervth {
-        let chain = InverterChain::paper_chain(d.cmos_pair());
+        let chain = InverterChain::paper_chain(crate::backend::pair(d));
         let mep = chain.minimum_energy_point();
         // The Eq. 8 factor uses width-normalized capacitance; scale by
         // the node's device width so it overlays the absolute energy of

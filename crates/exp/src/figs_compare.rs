@@ -89,8 +89,8 @@ pub fn fig11(ctx: &StudyContext) -> Table {
 pub fn fig12(ctx: &StudyContext) -> Table {
     let mut rows = Vec::new();
     for (sup, sub) in ctx.supervth.iter().zip(&ctx.subvth) {
-        let mep_sup = InverterChain::paper_chain(sup.cmos_pair()).minimum_energy_point();
-        let mep_sub = InverterChain::paper_chain(sub.cmos_pair()).minimum_energy_point();
+        let mep_sup = InverterChain::paper_chain(crate::backend::pair(sup)).minimum_energy_point();
+        let mep_sub = InverterChain::paper_chain(crate::backend::pair(sub)).minimum_energy_point();
         rows.push((
             sup.node.name().to_owned(),
             mep_sup.energy.as_femtojoules(),

@@ -4,12 +4,12 @@
 
 use subvt_core::metrics::{delay_factor_fixed_ioff, energy_factor};
 use subvt_core::subvth::SubVthStrategy;
-use subvt_core::supervth::at_subthreshold_supply;
 use subvt_core::TechNode;
 use subvt_physics::device::DeviceKind;
 use subvt_physics::math::linspace;
 use subvt_units::{Nanometers, Volts};
 
+use crate::backend;
 use crate::context::{StudyContext, V_SUBVT};
 use crate::table::{fmt, Table};
 
@@ -24,11 +24,11 @@ pub fn fig2(ctx: &StudyContext) -> Table {
         &["Node", "S_S (mV/dec)", "I_on/I_off @250mV", "ratio vs 90nm"],
     );
     let base_ratio = {
-        let d = at_subthreshold_supply(&ctx.supervth[0], Volts::new(V_SUBVT));
+        let d = backend::at_subthreshold(&ctx.supervth[0], Volts::new(V_SUBVT));
         d.nfet_chars.on_off_ratio()
     };
     for d in &ctx.supervth {
-        let sub = at_subthreshold_supply(d, Volts::new(V_SUBVT));
+        let sub = backend::at_subthreshold(d, Volts::new(V_SUBVT));
         let ratio = sub.nfet_chars.on_off_ratio();
         t.push_row(vec![
             d.node.name().to_owned(),
@@ -57,14 +57,14 @@ pub fn fig3(ctx: &StudyContext) -> Table {
         ],
     );
     let base_nom = ctx.supervth[0].nfet_chars.i_on.as_microamps();
-    let base_sub = at_subthreshold_supply(&ctx.supervth[0], Volts::new(V_SUBVT))
+    let base_sub = backend::at_subthreshold(&ctx.supervth[0], Volts::new(V_SUBVT))
         .nfet_chars
         .i_on
         .get()
         * 1.0e9;
     for d in &ctx.supervth {
         let nom = d.nfet_chars.i_on.as_microamps();
-        let sub = at_subthreshold_supply(d, Volts::new(V_SUBVT))
+        let sub = backend::at_subthreshold(d, Volts::new(V_SUBVT))
             .nfet_chars
             .i_on
             .get()
@@ -88,12 +88,13 @@ pub fn fig3(ctx: &StudyContext) -> Table {
 /// co-optimized doping S_S keeps improving toward the long-channel floor.
 pub fn fig7() -> Table {
     let strategy = SubVthStrategy::default();
+    let model = backend::model();
     let node = TechNode::N45;
     let lengths = linspace(32.0, 130.0, 11);
 
     // Fixed profile: the optimum at the minimum length.
     let fixed = strategy
-        .optimize_doping_at_length(node, DeviceKind::Nfet, Nanometers::new(lengths[0]))
+        .optimize_doping_at_length_with(node, DeviceKind::Nfet, Nanometers::new(lengths[0]), model)
         .expect("doping at min length");
 
     let mut t = Table::new(
@@ -107,10 +108,13 @@ pub fn fig7() -> Table {
     for &l in &lengths {
         let mut dev_fixed = fixed;
         dev_fixed.geometry.l_poly = Nanometers::new(l);
-        let ss_fixed = dev_fixed.characterize().s_s.get();
+        let ss_fixed = model
+            .characterize(&dev_fixed)
+            .map(|ch| ch.s_s.get())
+            .unwrap_or(f64::NAN);
         let ss_opt = strategy
-            .optimize_doping_at_length(node, DeviceKind::Nfet, Nanometers::new(l))
-            .map(|p| p.characterize().s_s.get())
+            .optimize_doping_at_length_with(node, DeviceKind::Nfet, Nanometers::new(l), model)
+            .and_then(|p| Ok(model.characterize(&p)?.s_s.get()))
             .unwrap_or(f64::NAN);
         t.push_row(vec![fmt(l, 0), fmt(ss_fixed, 1), fmt(ss_opt, 1)]);
     }
@@ -126,15 +130,16 @@ pub fn fig7() -> Table {
 /// negligible delay.
 pub fn fig8() -> Table {
     let strategy = SubVthStrategy::default();
+    let model = backend::model();
     let node = TechNode::N45;
     let lengths = linspace(32.0, 130.0, 11);
 
     let mut rows = Vec::new();
     for &l in &lengths {
-        if let Ok(p) =
-            strategy.optimize_doping_at_length(node, DeviceKind::Nfet, Nanometers::new(l))
+        if let Ok(ch) = strategy
+            .optimize_doping_at_length_with(node, DeviceKind::Nfet, Nanometers::new(l), model)
+            .and_then(|p| Ok(model.characterize(&p)?))
         {
-            let ch = p.characterize();
             rows.push((l, energy_factor(&ch), delay_factor_fixed_ioff(&ch)));
         }
     }

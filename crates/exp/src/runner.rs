@@ -12,12 +12,13 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
 
 /// Extension studies beyond the paper's artefacts (run with `repro ext`
 /// or by id).
-pub const EXTENSION_EXPERIMENTS: [&str; 5] = [
+pub const EXTENSION_EXPERIMENTS: [&str; 6] = [
     "ext-temperature",
     "ext-oxide",
     "ext-sram",
     "ext-variability",
     "ext-gates",
+    "ext-backends",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
@@ -27,7 +28,10 @@ pub const EXTENSION_EXPERIMENTS: [&str; 5] = [
 /// pays for the flows, every later one is a recorded cache hit. Each
 /// registered experiment records an `experiment.<id>` trace span.
 pub fn run(id: &str) -> Option<Table> {
-    let ctx = || StudyContext::compute().expect("design flows failed on roadmap inputs");
+    let ctx = || {
+        StudyContext::compute_with(crate::backend::model())
+            .expect("design flows failed on roadmap inputs")
+    };
     let _span = subvt_engine::trace::span(format!("experiment.{id}"));
     Some(match id {
         "table1" => tables::table1(),
@@ -49,6 +53,7 @@ pub fn run(id: &str) -> Option<Table> {
         "ext-sram" => extensions::ext_sram(&ctx()),
         "ext-variability" => extensions::ext_variability(&ctx()),
         "ext-gates" => extensions::ext_gates(&ctx()),
+        "ext-backends" => extensions::ext_backends(),
         _ => return None,
     })
 }

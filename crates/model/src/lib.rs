@@ -1,0 +1,184 @@
+//! Backend-agnostic device evaluation.
+//!
+//! The paper evaluates every candidate device in 2-D TCAD (MEDICI); this
+//! reproduction's fast path is the compact analytic model. The
+//! [`DeviceModel`] trait decouples *what* consumes a characterization
+//! (design flows, circuit analyses, figures) from *how* it is produced,
+//! so the same doping search or SNM sweep runs against either backend:
+//!
+//! * [`AnalyticModel`] — the compact model in `subvt-physics`, evaluated
+//!   inline (microseconds per device, infallible).
+//! * `TcadModel` (in `subvt-tcad`, which sits above this crate) — the
+//!   2-D Poisson/drift-diffusion solver behind the engine's
+//!   content-addressed cache, calibrated to the compact reference.
+//!
+//! Consumers hold a `&'static dyn DeviceModel` — both shipped backends
+//! are available as statics, which keeps pair/design types `Copy`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+
+use subvt_physics::device::{DeviceCharacteristics, DeviceParams};
+
+/// Why a model backend failed to characterize a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The backend ran but could not produce a physical result (solver
+    /// divergence, degenerate extraction, …).
+    Backend {
+        /// Name of the backend that failed.
+        backend: &'static str,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Backend { backend, message } => {
+                write!(f, "{backend} backend failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A device-evaluation backend: anything that can turn a parameter set
+/// into a full characterization.
+///
+/// Implementations must be deterministic for a given parameter set —
+/// the design searches bisect over model outputs, and the experiment
+/// layer caches results keyed by parameters plus [`cache_id`].
+///
+/// [`cache_id`]: DeviceModel::cache_id
+pub trait DeviceModel: Send + Sync + fmt::Debug {
+    /// Short backend name used in CLI output and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Stable identifier distinguishing configurations of the same
+    /// backend (mesh density, calibration fidelity) in cache keys.
+    /// Defaults to [`name`](DeviceModel::name).
+    fn cache_id(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Characterizes a device through this backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the backend cannot produce a result.
+    fn characterize(&self, params: &DeviceParams) -> Result<DeviceCharacteristics, ModelError>;
+}
+
+/// The compact analytic model (the paper's Eqs. 1–2 framework in
+/// `subvt-physics`). Infallible and fast; the reference backend every
+/// tier-1 artefact is generated with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyticModel;
+
+impl DeviceModel for AnalyticModel {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn characterize(&self, params: &DeviceParams) -> Result<DeviceCharacteristics, ModelError> {
+        Ok(params.characterize())
+    }
+}
+
+/// The process-wide analytic backend instance.
+pub static ANALYTIC: AnalyticModel = AnalyticModel;
+
+/// The analytic backend as a trait object — the default model handle
+/// everywhere a `&'static dyn DeviceModel` is stored.
+pub fn analytic() -> &'static dyn DeviceModel {
+    &ANALYTIC
+}
+
+/// CLI-facing backend selector (`repro --backend analytic|tcad`). The
+/// mapping to a concrete [`DeviceModel`] lives in the experiment layer,
+/// which knows both backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Compact analytic model (default).
+    #[default]
+    Analytic,
+    /// 2-D TCAD, calibrated to the compact reference device.
+    Tcad,
+}
+
+impl Backend {
+    /// Every selectable backend.
+    pub const ALL: [Backend; 2] = [Backend::Analytic, Backend::Tcad];
+
+    /// The CLI spelling of this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Analytic => "analytic",
+            Backend::Tcad => "tcad",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "analytic" => Ok(Backend::Analytic),
+            "tcad" => Ok(Backend::Tcad),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'analytic' or 'tcad')"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_model_matches_direct_characterization() {
+        let p = DeviceParams::reference_90nm_nfet();
+        let via_trait = analytic().characterize(&p).unwrap();
+        assert_eq!(via_trait, p.characterize(), "trait dispatch must be exact");
+    }
+
+    #[test]
+    fn analytic_cache_id_is_name() {
+        assert_eq!(analytic().cache_id(), "analytic");
+        assert_eq!(analytic().name(), "analytic");
+    }
+
+    #[test]
+    fn backend_round_trips_through_str() {
+        for b in Backend::ALL {
+            assert_eq!(b.as_str().parse::<Backend>(), Ok(b));
+            assert_eq!(format!("{b}").parse::<Backend>(), Ok(b));
+        }
+        assert!("medici".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Analytic);
+    }
+
+    #[test]
+    fn model_error_displays_backend_and_message() {
+        let e = ModelError::Backend {
+            backend: "tcad",
+            message: "Poisson diverged".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("tcad") && s.contains("Poisson diverged"), "{s}");
+    }
+}

@@ -148,6 +148,30 @@ impl DeviceParams {
     }
 }
 
+impl subvt_engine::Keyed for DeviceParams {
+    /// The canonical cache-key field stream for a device: polarity plus
+    /// every physical input the characterization depends on. All model
+    /// backends (analytic and TCAD) key their caches through this one
+    /// sequence.
+    fn absorb(&self, kb: subvt_engine::KeyBuilder) -> subvt_engine::KeyBuilder {
+        let geom = &self.geometry;
+        kb.str(match self.kind {
+            DeviceKind::Nfet => "nfet",
+            DeviceKind::Pfet => "pfet",
+        })
+        .f64(geom.l_poly.get())
+        .f64(geom.t_ox.get())
+        .f64(geom.l_overlap.get())
+        .f64(geom.x_j.get())
+        .f64(geom.halo_sigma.get())
+        .f64(self.n_sub.get())
+        .f64(self.n_p_halo.get())
+        .f64(self.n_sd.get())
+        .f64(self.v_dd.as_volts())
+        .f64(self.temperature.as_kelvin())
+    }
+}
+
 /// Everything the scaling flows and circuit analyses need to know about a
 /// characterized device. All currents and capacitances are per micron of
 /// gate width.
@@ -320,6 +344,20 @@ mod tests {
         let with = base.characterize();
         let without = no_halo.characterize();
         assert!(with.v_th_sat > without.v_th_sat);
+    }
+
+    #[test]
+    fn keyed_stream_distinguishes_devices() {
+        use subvt_engine::KeyBuilder;
+        let p = DeviceParams::reference_90nm_nfet();
+        let key = |p: &DeviceParams| KeyBuilder::new("t").keyed(p).finish();
+        assert_eq!(key(&p), key(&p));
+        let mut q = p;
+        q.kind = DeviceKind::Pfet;
+        assert_ne!(key(&p), key(&q));
+        let mut q = p;
+        q.n_p_halo = PerCubicCentimeter::new(3.0e18);
+        assert_ne!(key(&p), key(&q));
     }
 
     #[test]

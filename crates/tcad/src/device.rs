@@ -40,6 +40,16 @@ pub enum MeshDensity {
     Standard,
 }
 
+impl MeshDensity {
+    /// Stable spelling used in cache keys and backend identifiers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MeshDensity::Coarse => "coarse",
+            MeshDensity::Standard => "standard",
+        }
+    }
+}
+
 impl Mosfet2d {
     /// Builds the cross-section from compact-model parameters.
     ///

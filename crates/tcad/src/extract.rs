@@ -161,30 +161,15 @@ impl subvt_engine::Blob for Extraction {
 }
 
 /// Stable cache key covering every input that determines an
-/// [`Extraction`]: the full parameter set, the mesh density and the
-/// sweep spec. The schema tag is versioned — bump it whenever the
-/// solver or the extraction recipe changes results.
+/// [`Extraction`]: the full parameter set (via the canonical
+/// [`subvt_engine::Keyed`] stream shared with the analytic backend's
+/// cache keys), the mesh density and the sweep spec. The schema tag is
+/// versioned — bump it whenever the solver or the extraction recipe
+/// changes results.
 pub fn extraction_key(params: &DeviceParams, density: MeshDensity, step: f64) -> u64 {
-    let geom = &params.geometry;
     subvt_engine::KeyBuilder::new("tcad.extract.v1")
-        .str(match params.kind {
-            subvt_physics::device::DeviceKind::Nfet => "nfet",
-            subvt_physics::device::DeviceKind::Pfet => "pfet",
-        })
-        .f64(geom.l_poly.get())
-        .f64(geom.t_ox.get())
-        .f64(geom.l_overlap.get())
-        .f64(geom.x_j.get())
-        .f64(geom.halo_sigma.get())
-        .f64(params.n_sub.get())
-        .f64(params.n_p_halo.get())
-        .f64(params.n_sd.get())
-        .f64(params.v_dd.as_volts())
-        .f64(params.temperature.as_kelvin())
-        .str(match density {
-            MeshDensity::Coarse => "coarse",
-            MeshDensity::Standard => "standard",
-        })
+        .keyed(params)
+        .str(density.as_str())
         .f64(step)
         .finish()
 }

@@ -46,6 +46,7 @@ pub mod doping;
 pub mod extract;
 pub mod gummel;
 pub mod mesh;
+pub mod model;
 pub mod poisson;
 pub mod report;
 pub mod sparse;
@@ -53,3 +54,4 @@ pub mod sparse;
 pub use device::{MeshDensity, Mosfet2d};
 pub use extract::{sweep_and_extract, Extraction};
 pub use gummel::{DeviceSimulator, TcadError};
+pub use model::{Fidelity, TcadModel};

@@ -60,17 +60,21 @@ fn design_cache_round_trips_through_disk_without_recompute() {
 }
 
 /// Mirrors the `design` namespace keys of `subvt_exp::context` for the
-/// default strategies (the flows' own parameters, tag `design.v1`).
+/// default strategies (the flows' own parameters, the device-model
+/// backend's cache id, tag `design.v1`).
 fn design_key(flow: &str) -> u64 {
+    let backend = subvt_model::analytic().cache_id();
     match flow {
         "supervth" => subvt_engine::KeyBuilder::new("design.v1")
             .str("supervth")
+            .str(&backend)
             .f64(0.10)
             .f64(100.0)
             .f64(1.25)
             .finish(),
         "subvth" => subvt_engine::KeyBuilder::new("design.v1")
             .str("subvth")
+            .str(&backend)
             .f64(subvt_units::AmpsPerMicron::from_picoamps(100.0).get())
             .finish(),
         _ => unreachable!(),

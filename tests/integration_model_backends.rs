@@ -1,0 +1,116 @@
+//! Backend-parity tests for the [`subvt_model::DeviceModel`] trait: the
+//! analytic compact model and the TCAD-backed models must agree on the
+//! paper's reference device.
+//!
+//! The TCAD backends run at coarse mesh density so the whole file stays
+//! in the few-second range; the single 2-D anchor sweep is shared by
+//! every test through the engine's `tcad.extract` cache.
+
+use subvt_model::DeviceModel;
+use subvt_physics::device::{DeviceKind, DeviceParams};
+use subvt_tcad::model::{TCAD_COARSE, TCAD_COARSE_DIRECT};
+
+fn reference() -> DeviceParams {
+    DeviceParams::reference_90nm_nfet()
+}
+
+#[test]
+fn anchored_backend_matches_analytic_on_reference_device() {
+    let dev = reference();
+    let base = subvt_model::analytic()
+        .characterize(&dev)
+        .expect("analytic");
+    let tcad = TCAD_COARSE.characterize(&dev).expect("tcad anchored");
+
+    let ss_rel = (tcad.s_s.get() - base.s_s.get()).abs() / base.s_s.get();
+    assert!(
+        ss_rel < 0.10,
+        "S_S: tcad {:.1} vs analytic {:.1} mV/dec ({:.1} % apart)",
+        tcad.s_s.get(),
+        base.s_s.get(),
+        ss_rel * 100.0
+    );
+
+    let ioff_decades = (tcad.i_off.get() / base.i_off.get()).log10().abs();
+    assert!(
+        ioff_decades < 0.5,
+        "I_off: tcad {:e} vs analytic {:e} ({ioff_decades:.2} decades apart)",
+        tcad.i_off.get(),
+        base.i_off.get()
+    );
+}
+
+#[test]
+fn direct_backend_matches_analytic_on_reference_device() {
+    let dev = reference();
+    let base = subvt_model::analytic()
+        .characterize(&dev)
+        .expect("analytic");
+    let tcad = TCAD_COARSE_DIRECT.characterize(&dev).expect("tcad direct");
+
+    let ss_rel = (tcad.s_s.get() - base.s_s.get()).abs() / base.s_s.get();
+    assert!(
+        ss_rel < 0.10,
+        "S_S: tcad {:.1} vs analytic {:.1} mV/dec",
+        tcad.s_s.get(),
+        base.s_s.get()
+    );
+
+    // The direct backend's deck correction is anchored at this very
+    // device, so its off-current must land on the analytic value.
+    let ioff_decades = (tcad.i_off.get() / base.i_off.get()).log10().abs();
+    assert!(
+        ioff_decades < 0.5,
+        "I_off: tcad {:e} vs analytic {:e} ({ioff_decades:.2} decades apart)",
+        tcad.i_off.get(),
+        base.i_off.get()
+    );
+
+    let vth_diff = (tcad.v_th_sat.as_volts() - base.v_th_sat.as_volts()).abs();
+    assert!(
+        vth_diff < 0.05,
+        "V_th,sat: tcad {:.3} vs analytic {:.3} V",
+        tcad.v_th_sat.as_volts(),
+        base.v_th_sat.as_volts()
+    );
+}
+
+#[test]
+fn tcad_backend_corrects_both_polarities_with_one_ratio() {
+    // The 2-D solver only simulates electrons; the model derives its
+    // swing correction in the NFET frame and applies the same ratio to
+    // either polarity's own analytic base — so the NFET/PFET asymmetry
+    // of the compact model must survive, while the relative swing
+    // correction is polarity-independent.
+    let nfet = reference();
+    let mut pfet = nfet;
+    pfet.kind = DeviceKind::Pfet;
+    let base_n = subvt_model::analytic()
+        .characterize(&nfet)
+        .expect("nfet base");
+    let base_p = subvt_model::analytic()
+        .characterize(&pfet)
+        .expect("pfet base");
+    let chn = TCAD_COARSE.characterize(&nfet).expect("nfet");
+    let chp = TCAD_COARSE.characterize(&pfet).expect("pfet");
+    let ratio_n = chn.s_s.get() / base_n.s_s.get();
+    let ratio_p = chp.s_s.get() / base_p.s_s.get();
+    assert!(
+        (ratio_n - ratio_p).abs() < 1e-12,
+        "swing correction must be polarity-independent: {ratio_n} vs {ratio_p}"
+    );
+}
+
+#[test]
+fn second_characterization_is_served_from_cache() {
+    let cache = subvt_engine::global_cache();
+    let dev = reference();
+    let _ = TCAD_COARSE_DIRECT.characterize(&dev).expect("first");
+    let before = cache.stats().misses;
+    let _ = TCAD_COARSE_DIRECT.characterize(&dev).expect("second");
+    assert_eq!(
+        cache.stats().misses,
+        before,
+        "repeat characterization must not recompute"
+    );
+}
