@@ -33,6 +33,26 @@ fn main() {
     black_box(StudyContext::compute().unwrap());
     h.bench("compute_cache_hit", || StudyContext::compute().unwrap());
 
+    // Tracing-overhead A/B on that same warm path: identical work with
+    // the telemetry layer live vs globally disabled. The acceptance bar
+    // for the trace subsystem is that the traced row stays within ~5% of
+    // the untraced one.
+    h.bench("compute_cache_hit_traced", || {
+        StudyContext::compute().unwrap()
+    });
+    subvt_engine::trace::set_enabled(false);
+    h.bench("compute_cache_hit_untraced", || {
+        StudyContext::compute().unwrap()
+    });
+    subvt_engine::trace::set_enabled(true);
+
+    // Raw span cost: open + attribute + close, amortized over 1k spans.
+    h.bench("trace_span_open_close_1k", || {
+        for i in 0..1000u64 {
+            let _span = subvt_engine::trace::span("bench.span").attr("i", i);
+        }
+    });
+
     // Raw primitives, for regression-spotting in the engine itself.
     h.bench("executor_map_64_trivial_jobs", || {
         subvt_engine::global().map((0..64u64).collect(), |i| i.wrapping_mul(2_654_435_761))

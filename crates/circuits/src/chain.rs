@@ -12,6 +12,7 @@
 //! As `V_dd` falls, `E_dyn` shrinks quadratically while `t_p` (and so
 //! `E_leak`) grows exponentially; the crossover sets `V_min`.
 
+use subvt_engine::trace;
 use subvt_physics::math::golden_section;
 use subvt_units::{Joules, Seconds, Volts};
 
@@ -111,22 +112,34 @@ impl InverterChain {
 
     /// Sweeps the supply over `[lo, hi]` with `points` samples.
     pub fn energy_sweep(&self, lo: Volts, hi: Volts, points: usize) -> Vec<EnergyPoint> {
-        subvt_physics::math::linspace(lo.as_volts(), hi.as_volts(), points.max(2))
-            .into_iter()
-            .map(|v| self.energy_at(Volts::new(v)))
-            .collect()
+        let _span = trace::span("circuits.chain.energy_sweep")
+            .attr("points", points.max(2))
+            .attr("stages", self.stages);
+        let out: Vec<EnergyPoint> =
+            subvt_physics::math::linspace(lo.as_volts(), hi.as_volts(), points.max(2))
+                .into_iter()
+                .map(|v| self.energy_at(Volts::new(v)))
+                .collect();
+        trace::add("circuits.chain.energy_points", out.len() as u64);
+        out
     }
 
     /// Finds the minimum-energy point by golden-section search over
     /// `V_dd ∈ [0.08 V, 0.7 V]`.
     pub fn minimum_energy_point(&self) -> MinimumEnergyPoint {
+        let _span = trace::span("circuits.chain.minimum_energy_point").attr("stages", self.stages);
+        let probes = std::cell::Cell::new(0u64);
         let min = golden_section(
-            |v| self.energy_at(Volts::new(v)).total().get(),
+            |v| {
+                probes.set(probes.get() + 1);
+                self.energy_at(Volts::new(v)).total().get()
+            },
             0.08,
             0.7,
             1e-5,
             200,
         );
+        trace::add("circuits.chain.energy_points", probes.get());
         let v_min = Volts::new(min.x);
         let point = self.energy_at(v_min);
         MinimumEnergyPoint {

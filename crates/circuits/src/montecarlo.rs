@@ -43,7 +43,11 @@ where
         .map(|start| (start as u64, samples.min(start + chunk) as u64))
         .collect();
     let chunks = executor.map(ranges, move |(start, end)| {
-        (start..end).map(&per_sample).collect::<Vec<f64>>()
+        let out = (start..end).map(&per_sample).collect::<Vec<f64>>();
+        // Per-batch progress: long sweeps stay observable mid-flight.
+        trace::add("montecarlo.batches", 1);
+        trace::add("montecarlo.samples", end - start);
+        out
     });
     chunks.concat()
 }
@@ -77,7 +81,9 @@ pub fn delay_variability(
     seed: u64,
 ) -> DelayStatistics {
     assert!(samples > 0, "need at least one sample");
-    let _span = trace::span("montecarlo.delay");
+    let _span = trace::span("montecarlo.delay")
+        .attr("samples", samples)
+        .attr("v_dd", v_dd.as_volts());
     let pair = pair.at_supply(v_dd);
     let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
     let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
@@ -141,7 +147,9 @@ pub fn snm_variability(pair: &CmosPair, v_dd: Volts, samples: usize, seed: u64) 
     use subvt_physics::math::linspace;
 
     assert!(samples > 0, "need at least one sample");
-    let _span = trace::span("montecarlo.snm");
+    let _span = trace::span("montecarlo.snm")
+        .attr("samples", samples)
+        .attr("v_dd", v_dd.as_volts());
     let pair = pair.at_supply(v_dd);
     let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
     let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();

@@ -19,6 +19,7 @@
 
 use std::cell::Cell;
 
+use subvt_engine::trace;
 use subvt_model::{DeviceModel, ModelError};
 use subvt_physics::device::{DeviceGeometry, DeviceKind, DeviceParams};
 use subvt_physics::math::{bisect, golden_section};
@@ -148,6 +149,7 @@ impl SubVthStrategy {
         if let Some(e) = model_err.take() {
             return Err(DesignError::Model(e));
         }
+        trace::observe("design.bisect.steps", root.iterations as f64);
         Ok(make(root.x.exp()))
     }
 
@@ -194,7 +196,10 @@ impl SubVthStrategy {
                         best = Some((ss, p));
                     }
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => {
+                    trace::add("design.rejected", 1);
+                    last_err = Some(e);
+                }
             }
         }
         best.map(|(_, p)| p).ok_or_else(|| {
@@ -242,8 +247,13 @@ impl SubVthStrategy {
         kind: DeviceKind,
         model: &dyn DeviceModel,
     ) -> Result<Nanometers, DesignError> {
+        let _span = trace::span("design.optimal_l_poly")
+            .attr("node", node.to_string())
+            .attr("kind", format!("{kind:?}"))
+            .attr("backend", model.cache_id());
         let (lo, hi) = Self::l_poly_range(node);
         let score = |l: f64| -> f64 {
+            trace::add("design.l_poly.candidates", 1);
             self.optimize_doping_at_length_with(node, kind, Nanometers::new(l), model)
                 .and_then(|p| Ok(energy_factor(&model.characterize(&p)?)))
                 .unwrap_or(f64::INFINITY)

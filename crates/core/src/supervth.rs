@@ -18,6 +18,7 @@
 
 use std::cell::Cell;
 
+use subvt_engine::trace;
 use subvt_model::{DeviceModel, ModelError};
 use subvt_physics::device::{DeviceGeometry, DeviceKind, DeviceParams};
 use subvt_physics::electrostatics::{long_channel_vth, oxide_capacitance};
@@ -164,6 +165,7 @@ impl SuperVthStrategy {
         if let Some(e) = model_err.take() {
             return Err(DesignError::Model(e));
         }
+        trace::observe("design.bisect.steps", root.iterations as f64);
         Ok(PerCubicCentimeter::new(root.x.exp()))
     }
 
@@ -227,6 +229,7 @@ impl SuperVthStrategy {
         };
         let root =
             bisect(residual, (2.0e17f64).ln(), (2.0e19f64).ln(), 1e-6, 200).map_err(|_| {
+                trace::add("design.rejected", 1);
                 if let Some(e) = model_err.take() {
                     return DesignError::Model(e);
                 }
@@ -238,6 +241,7 @@ impl SuperVthStrategy {
         if let Some(e) = model_err.take() {
             return Err(DesignError::Model(e));
         }
+        trace::observe("design.bisect.steps", root.iterations as f64);
 
         let mut p = self.template(node, kind);
         p.n_sub = PerCubicCentimeter::new(root.x.exp());

@@ -130,6 +130,9 @@ impl Cache {
     ) -> Result<V, E> {
         let nsh = crate::KeyBuilder::new("ns").str(ns).finish();
         let id = (nsh, key);
+        // Lookup latency includes any single-flight wait — that wait is
+        // exactly the cost a caller pays for the lookup.
+        let lookup_started = std::time::Instant::now();
         {
             let mut inner = self.inner.lock().expect("cache lock");
             loop {
@@ -137,7 +140,7 @@ impl Cache {
                     Some(Slot::Ready(blob)) => {
                         if let Some(v) = V::decode(blob) {
                             drop(inner);
-                            self.record(ns, true);
+                            self.record(ns, true, lookup_started);
                             return Ok(v);
                         }
                         // Stale schema: recompute below.
@@ -155,7 +158,7 @@ impl Cache {
                 }
             }
         }
-        self.record(ns, false);
+        self.record(ns, false, lookup_started);
         // The in-flight slot must be cleared on every exit path — a
         // panic or Err that left it in place would wedge later callers.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
@@ -216,7 +219,7 @@ impl Cache {
         }
     }
 
-    fn record(&self, ns: &str, hit: bool) {
+    fn record(&self, ns: &str, hit: bool, lookup_started: std::time::Instant) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -230,10 +233,29 @@ impl Cache {
             entry.1 += 1;
         }
         drop(per);
-        trace::add(
-            &format!("cache.{ns}.{}", if hit { "hit" } else { "miss" }),
-            1,
+        // Hit/miss *counters* are published lazily by the flush hook
+        // (see `flush_stats_into`), so every drained trace carries them
+        // without a per-lookup counter write here. Latency is recorded
+        // eagerly: the histogram needs every sample.
+        trace::observe(
+            &format!("cache.{ns}.lookup_us"),
+            lookup_started.elapsed().as_micros() as f64,
         );
+    }
+
+    /// Publishes this cache's hit/miss totals into `tracer` as
+    /// `cache.<ns>.hit` / `cache.<ns>.miss` counters (plus `cache.hit`
+    /// / `cache.miss` totals). Registered as a flush hook on the global
+    /// tracer by [`crate::global_cache`], so drained traces always
+    /// carry cache stats even for paths that never touched the tracer.
+    pub fn flush_stats_into(&self, tracer: &trace::Tracer) {
+        let stats = self.stats();
+        tracer.set_counter("cache.hit", stats.hits);
+        tracer.set_counter("cache.miss", stats.misses);
+        for (ns, hits, misses) in &stats.by_namespace {
+            tracer.set_counter(&format!("cache.{ns}.hit"), *hits);
+            tracer.set_counter(&format!("cache.{ns}.miss"), *misses);
+        }
     }
 
     /// Loads JSON-lines entries from `path` (missing file = empty).
@@ -472,6 +494,33 @@ mod tests {
         assert_eq!(ok, Some(("a".to_owned(), 255, vec![1, 2])));
         let empty = parse_entry("{\"ns\":\"a\",\"key\":\"0000000000000001\",\"bits\":[]}");
         assert_eq!(empty, Some(("a".to_owned(), 1, vec![])));
+    }
+
+    #[test]
+    fn flush_publishes_stats_as_counters() {
+        let cache = Cache::new();
+        cache.get_or_compute("flushns", 1, || 1.0);
+        let _: f64 = cache.get_or_compute("flushns", 1, || unreachable!("hit"));
+        let tracer = trace::Tracer::new();
+        cache.flush_stats_into(&tracer);
+        assert_eq!(tracer.counter("cache.flushns.hit"), 1);
+        assert_eq!(tracer.counter("cache.flushns.miss"), 1);
+        assert_eq!(tracer.counter("cache.hit"), 1);
+        assert_eq!(tracer.counter("cache.miss"), 1);
+    }
+
+    #[test]
+    fn lookups_record_latency_histograms() {
+        let cache = Cache::new();
+        cache.get_or_compute("latns", 2, || 1.0);
+        let _: f64 = cache.get_or_compute("latns", 2, || unreachable!("hit"));
+        let snap = trace::global().snapshot();
+        let h = snap
+            .hists
+            .get("cache.latns.lookup_us")
+            .expect("lookup latency histogram");
+        assert!(h.count >= 2);
+        assert_eq!(h.counts.iter().sum::<u64>(), h.count);
     }
 
     #[test]

@@ -112,6 +112,10 @@ fn help_one(shared: &Arc<Shared>) -> bool {
 
 fn worker_loop(shared: &Arc<Shared>, idx: usize) {
     CURRENT_WORKER.with(|c| *c.borrow_mut() = Some((Arc::downgrade(shared), idx)));
+    // Lane 0 is reserved for non-pool threads; worker `idx` is lane
+    // `idx + 1`. This gives traces a stable, small-integer thread id
+    // that is deterministic for a fixed `--jobs` (unlike `ThreadId`).
+    crate::trace::set_worker_lane(idx as u32 + 1);
     loop {
         if let Some(job) = shared.take(idx) {
             job();
@@ -252,8 +256,17 @@ impl Executor {
             done: Condvar::new(),
         });
         let result_state = Arc::clone(&state);
+        // Capture the spawner's innermost span so spans opened inside
+        // the job attach to the spawn site, not to whatever the stealing
+        // worker happened to be running.
+        let parent_span = crate::trace::current_span_id();
         let job: Job = Box::new(move || {
+            let ctx = crate::trace::task_context(parent_span);
             let result = catch_unwind(AssertUnwindSafe(f)).map_err(JobPanic::from_payload);
+            // Restore the worker's own span context before publishing
+            // the result (the panic path included — `ctx` drops here
+            // regardless of how `f` exited).
+            drop(ctx);
             *result_state.slot.lock().expect("handle lock") = Some(result);
             result_state.done.notify_all();
         });
@@ -389,6 +402,71 @@ mod tests {
             seen.load(Ordering::Relaxed).count_ones() >= 2,
             "work never spread"
         );
+    }
+
+    #[test]
+    fn spawned_jobs_inherit_the_spawn_site_span() {
+        let ex = Executor::new(2);
+        let root_id;
+        {
+            let root = crate::trace::span("exec.test.root");
+            root_id = root.id();
+            let handles: Vec<_> = (0..4)
+                .map(|i| ex.spawn(move || drop(crate::trace::span(format!("exec.test.child{i}")))))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        let snap = crate::trace::global().snapshot();
+        let children: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("exec.test.child"))
+            .collect();
+        assert_eq!(children.len(), 4);
+        for c in children {
+            assert_eq!(c.parent, Some(root_id), "{} lost its parent", c.name);
+            assert!(c.worker >= 1, "{} should run on a pool lane", c.name);
+        }
+    }
+
+    #[test]
+    fn panicking_job_records_open_span_with_parent_chain() {
+        // Regression: a span open at panic time must still record, with
+        // the parent chain rooted at the spawn site, and the worker's
+        // own context must survive the unwind.
+        let ex = Executor::new(1);
+        let root_id;
+        {
+            let root = crate::trace::span("exec.panic.root");
+            root_id = root.id();
+            let err = ex
+                .spawn(|| {
+                    let _open = crate::trace::span("exec.panic.open");
+                    panic!("traced panic");
+                })
+                .join()
+                .unwrap_err();
+            assert_eq!(err.message, "traced panic");
+        }
+        // The same worker must keep a clean context afterwards.
+        ex.spawn(|| drop(crate::trace::span("exec.panic.after")))
+            .join()
+            .unwrap();
+        let snap = crate::trace::global().snapshot();
+        let open = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "exec.panic.open")
+            .expect("span open at panic time must still record");
+        assert_eq!(open.parent, Some(root_id));
+        let after = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "exec.panic.after")
+            .unwrap();
+        assert_eq!(after.parent, None, "worker context leaked across panic");
     }
 
     #[test]

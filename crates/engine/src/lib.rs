@@ -17,9 +17,11 @@
 //!   are computed once per process — and, with JSON-lines persistence,
 //!   once per machine. Concurrent misses of the same key are
 //!   single-flighted.
-//! * [`trace`]: a structured tracing layer — spans with wall-clock
-//!   durations plus named counters (cache hits/misses among them) and a
-//!   machine-readable JSON-lines sink.
+//! * [`trace`]: a hierarchical tracing and metrics layer — attributed
+//!   spans with parent links (propagated across the executor), counters,
+//!   gauges and fixed-bucket histograms, with JSON-lines (schema v2) and
+//!   Chrome trace-event sinks. Cache statistics are flushed into drained
+//!   traces automatically.
 //!
 //! The process-wide instances used by the experiment harness are
 //! [`global`] (sized by [`configure_jobs`], the `SUBVT_JOBS`
@@ -82,9 +84,21 @@ pub fn global() -> &'static Executor {
     GLOBAL.get_or_init(|| Executor::new(default_jobs()))
 }
 
-/// The process-wide result cache, built empty on first use.
+/// The process-wide result cache, built empty on first use. Its
+/// hit/miss statistics are flushed into [`trace::global`] whenever a
+/// trace is drained, so `--trace` output always carries
+/// `cache.<ns>.hit`/`cache.<ns>.miss` counters.
 pub fn global_cache() -> &'static Cache {
-    GLOBAL_CACHE.get_or_init(Cache::new)
+    GLOBAL_CACHE.get_or_init(|| {
+        trace::global().register_flush(|tracer| {
+            // `get()` rather than `expect`: a drain racing this
+            // `get_or_init` could fire before the OnceLock is set.
+            if let Some(cache) = GLOBAL_CACHE.get() {
+                cache.flush_stats_into(tracer);
+            }
+        });
+        Cache::new()
+    })
 }
 
 #[cfg(test)]

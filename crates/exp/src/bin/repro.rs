@@ -8,20 +8,36 @@
 //! repro --csv fig6          # CSV output instead of aligned text
 //! repro --backend tcad fig2 # evaluate devices through the 2-D TCAD solver
 //! repro --jobs 8 all        # size the engine pool explicitly
-//! repro --trace t.jsonl all # dump spans + cache counters as JSON lines
+//! repro --trace t.jsonl all # dump spans + metrics as JSON lines
+//! repro --trace t.json --trace-format chrome fig2
+//!                           # Chrome trace-event JSON (load in Perfetto)
+//! repro --manifest m.json all
+//!                           # per-run summary: timings, cache, solvers
 //! repro --cache c.jsonl all # persist the result cache across runs
+//! repro trace-report t.jsonl
+//!                           # render a saved trace as a span tree
 //! repro --list              # list experiment ids
 //! ```
 
 use std::process::ExitCode;
 
-use subvt_exp::{run, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+use subvt_exp::{run, tracefmt, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
 use subvt_model::Backend;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace-report") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: repro trace-report <trace-file>");
+            return ExitCode::FAILURE;
+        };
+        return trace_report(path);
+    }
+
     let mut csv = false;
     let mut trace_path: Option<String> = None;
+    let mut trace_chrome = false;
+    let mut manifest_path: Option<String> = None;
     let mut cache_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
@@ -48,6 +64,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 trace_path = Some(path.clone());
+            }
+            "--trace-format" => match iter.next().map(String::as_str) {
+                Some("jsonl") => trace_chrome = false,
+                Some("chrome") => trace_chrome = true,
+                _ => {
+                    eprintln!("--trace-format needs one of: jsonl, chrome");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--manifest" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--manifest needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                manifest_path = Some(path.clone());
             }
             "--backend" => {
                 let Some(backend) = iter.next().and_then(|v| v.parse::<Backend>().ok()) else {
@@ -125,26 +156,74 @@ fn main() -> ExitCode {
     if let Some(path) = &trace_path {
         let write = || -> std::io::Result<()> {
             let mut file = std::fs::File::create(path)?;
-            subvt_engine::trace::global().write_jsonl(&mut file)
+            let tracer = subvt_engine::trace::global();
+            if trace_chrome {
+                tracer.write_chrome(&mut file)
+            } else {
+                tracer.write_jsonl(&mut file)
+            }
         };
         if let Err(e) = write() {
             eprintln!("cannot write trace file {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &manifest_path {
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(path)?;
+            subvt_exp::report::write_manifest(&mut file)
+        };
+        if let Err(e) = write() {
+            eprintln!("cannot write manifest file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses a saved trace (either sink format, sniffed from the content),
+/// validates its invariants, and renders the span-tree report.
+fn trace_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = if text.trim_start().starts_with("{\"traceEvents\"") {
+        tracefmt::parse_chrome(&text).map(|events| tracefmt::trace_from_chrome(&events))
+    } else {
+        tracefmt::parse_jsonl(&text)
+    };
+    let trace = match parsed {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("malformed trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = tracefmt::validate(&trace) {
+        eprintln!("invalid trace {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", tracefmt::render_report(&trace));
     ExitCode::SUCCESS
 }
 
 fn print_help() {
     eprintln!("usage: repro [options] <experiment...|all|ext|everything>");
+    eprintln!("       repro trace-report <trace-file>");
     eprintln!("       repro --list");
     eprintln!();
     eprintln!("options:");
-    eprintln!("  --csv           CSV output instead of aligned text");
-    eprintln!("  --backend <b>   device-model backend: analytic (default) | tcad");
-    eprintln!("  --jobs <N>      engine worker threads (default: cores, or $SUBVT_JOBS)");
-    eprintln!("  --trace <path>  write spans and counters as JSON lines on exit");
-    eprintln!("  --cache <path>  load the result cache before, persist it after");
+    eprintln!("  --csv                CSV output instead of aligned text");
+    eprintln!("  --backend <b>        device-model backend: analytic (default) | tcad");
+    eprintln!("  --jobs <N>           engine worker threads (default: cores, or $SUBVT_JOBS)");
+    eprintln!("  --trace <path>       write the run's trace on exit");
+    eprintln!("  --trace-format <f>   trace sink: jsonl (default) | chrome (Perfetto)");
+    eprintln!("  --manifest <path>    write a per-run summary manifest (JSON)");
+    eprintln!("  --cache <path>       load the result cache before, persist it after");
     eprintln!();
     eprintln!("Reproduces the tables and figures of 'Nanometer Device Scaling");
     eprintln!("in Subthreshold Circuits' (DAC 2007) from the subvt stack.");

@@ -25,9 +25,11 @@ pub mod extensions;
 pub mod figs_circuit;
 pub mod figs_compare;
 pub mod figs_device;
+pub mod report;
 pub mod runner;
 pub mod table;
 pub mod tables;
+pub mod tracefmt;
 
 pub use context::StudyContext;
 pub use runner::{run, run_all, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};

@@ -1,0 +1,265 @@
+//! Per-run manifest (`repro --manifest <path>`).
+//!
+//! The manifest is one JSON object summarising a `repro` invocation for
+//! CI artefacts and regression tracking: which backend produced the
+//! numbers, how parallel the run was, how long each experiment took,
+//! how the cache behaved per namespace, and how hard the solvers had to
+//! work (Gummel/Poisson iteration quantiles). Schema:
+//!
+//! ```json
+//! {
+//!   "v": 1,
+//!   "backend": "tcad.coarse.standard",
+//!   "jobs": 8,
+//!   "wall_us": 1234567,
+//!   "experiments": [{"id": "fig2", "runs": 1, "dur_us": 98765}, ...],
+//!   "cache": {"hits": 40, "misses": 2,
+//!             "namespaces": [{"ns": "design", "hits": 40, "misses": 2}]},
+//!   "counters": {"tcad.gummel.bias_points": 123, ...},
+//!   "gauges": {...},
+//!   "histograms": [{"name": "tcad.gummel.iterations", "count": 123,
+//!                   "sum": 1.5e3, "min": 2, "max": 31,
+//!                   "p50": 10, "p95": 20}, ...],
+//!   "solvers": {
+//!     "poisson": {"solves": 512, "diverged": 0},
+//!     "gummel":  {"bias_points": 123, "stalls": 0, "poisson_failures": 0}
+//!   }
+//! }
+//! ```
+//!
+//! `min`/`max`/quantiles are `null` for empty histograms; `experiments`
+//! aggregates `experiment.<id>` spans by id (an id re-run under
+//! `repro everything` sums its durations and bumps `runs`).
+
+use std::io::{self, Write};
+
+use subvt_engine::cache::CacheStats;
+use subvt_engine::trace::{self, TraceSnapshot};
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the manifest JSON from an explicit snapshot + cache stats
+/// (the testable core of [`write_manifest`]).
+pub fn render_manifest(
+    snap: &TraceSnapshot,
+    cache: &CacheStats,
+    backend: &str,
+    jobs: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\"v\":1,");
+    out.push_str(&format!("\"backend\":{},", json_str(backend)));
+    out.push_str(&format!("\"jobs\":{jobs},"));
+    out.push_str(&format!("\"wall_us\":{},", snap.wall_us));
+
+    // Per-experiment durations from `experiment.<id>` spans, aggregated
+    // by id in first-seen (i.e. completion) order.
+    let mut experiments: Vec<(String, u64, u64)> = Vec::new();
+    for s in &snap.spans {
+        if let Some(id) = s.name.strip_prefix("experiment.") {
+            match experiments.iter_mut().find(|(e, _, _)| e == id) {
+                Some((_, runs, dur)) => {
+                    *runs += 1;
+                    *dur += s.dur_us;
+                }
+                None => experiments.push((id.to_owned(), 1, s.dur_us)),
+            }
+        }
+    }
+    out.push_str("\"experiments\":[");
+    for (i, (id, runs, dur)) in experiments.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"runs\":{runs},\"dur_us\":{dur}}}",
+            json_str(id)
+        ));
+    }
+    out.push_str("],");
+
+    out.push_str(&format!(
+        "\"cache\":{{\"hits\":{},\"misses\":{},\"namespaces\":[",
+        cache.hits, cache.misses
+    ));
+    for (i, (ns, hits, misses)) in cache.by_namespace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ns\":{},\"hits\":{hits},\"misses\":{misses}}}",
+            json_str(ns)
+        ));
+    }
+    out.push_str("]},");
+
+    out.push_str("\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{value}", json_str(name)));
+    }
+    out.push_str("},");
+
+    out.push_str("\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_str(name), json_f64(*value)));
+    }
+    out.push_str("},");
+
+    out.push_str("\"histograms\":[");
+    for (i, (name, h)) in snap.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+            json_str(name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+            json_f64(h.quantile(0.5)),
+            json_f64(h.quantile(0.95)),
+        ));
+    }
+    out.push_str("],");
+
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    out.push_str(&format!(
+        "\"solvers\":{{\"poisson\":{{\"solves\":{},\"diverged\":{}}},\
+         \"gummel\":{{\"bias_points\":{},\"stalls\":{},\"poisson_failures\":{}}}}}",
+        counter("tcad.poisson.solves"),
+        counter("tcad.poisson.diverged"),
+        counter("tcad.gummel.bias_points"),
+        counter("tcad.gummel.stall"),
+        counter("tcad.gummel.poisson_failures"),
+    ));
+    out.push('}');
+    out
+}
+
+/// Drains the global tracer (running cache-stats flush hooks) and writes
+/// the manifest for the current process: global cache stats, the
+/// configured backend's cache id, and the engine pool width.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_manifest(w: &mut impl Write) -> io::Result<()> {
+    let snap = trace::global().drain();
+    let stats = subvt_engine::global_cache().stats();
+    let manifest = render_manifest(
+        &snap,
+        &stats,
+        &crate::backend::model().cache_id(),
+        subvt_engine::global().workers(),
+    );
+    writeln!(w, "{manifest}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracefmt;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let tracer = trace::Tracer::new();
+        {
+            let _e = tracer.span("experiment.fig2");
+            drop(tracer.span("tcad.id_vg"));
+        }
+        drop(tracer.span("experiment.fig2"));
+        tracer.add("tcad.gummel.bias_points", 12);
+        tracer.observe("tcad.gummel.iterations", 9.0);
+        tracer.gauge("design.ioff_target_log10", -9.0);
+        tracer.snapshot()
+    }
+
+    fn sample_stats() -> CacheStats {
+        CacheStats {
+            hits: 5,
+            misses: 2,
+            by_namespace: vec![("design".into(), 5, 2)],
+        }
+    }
+
+    #[test]
+    fn manifest_is_valid_json_with_expected_fields() {
+        let text = render_manifest(
+            &sample_snapshot(),
+            &sample_stats(),
+            "tcad.coarse.standard",
+            4,
+        );
+        let v = tracefmt::parse_json(&text).expect("manifest parses");
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("backend").unwrap().as_str(),
+            Some("tcad.coarse.standard")
+        );
+        assert_eq!(v.get("jobs").unwrap().as_u64(), Some(4));
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(5));
+        let ns = cache.get("namespaces").unwrap().as_arr().unwrap();
+        assert_eq!(ns[0].get("ns").unwrap().as_str(), Some("design"));
+        let solvers = v.get("solvers").unwrap();
+        assert_eq!(
+            solvers
+                .get("gummel")
+                .unwrap()
+                .get("bias_points")
+                .unwrap()
+                .as_u64(),
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn experiments_aggregate_repeat_runs() {
+        let text = render_manifest(&sample_snapshot(), &sample_stats(), "analytic", 1);
+        let v = tracefmt::parse_json(&text).unwrap();
+        let exps = v.get("experiments").unwrap().as_arr().unwrap();
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0].get("id").unwrap().as_str(), Some("fig2"));
+        assert_eq!(exps[0].get("runs").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn histogram_quantiles_serialise() {
+        let text = render_manifest(&sample_snapshot(), &sample_stats(), "analytic", 1);
+        let v = tracefmt::parse_json(&text).unwrap();
+        let hists = v.get("histograms").unwrap().as_arr().unwrap();
+        let gummel = hists
+            .iter()
+            .find(|h| h.get("name").unwrap().as_str() == Some("tcad.gummel.iterations"))
+            .unwrap();
+        assert_eq!(gummel.get("count").unwrap().as_u64(), Some(1));
+        assert!(gummel.get("p50").unwrap().as_f64().unwrap() >= 9.0);
+    }
+}

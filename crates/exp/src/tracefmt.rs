@@ -1,0 +1,851 @@
+//! Parsing and validation of the engine's trace sinks, plus the
+//! `repro trace-report` renderer.
+//!
+//! The engine writes two machine-readable formats (see
+//! `subvt_engine::trace`): JSON-lines (schema `v2`) and Chrome
+//! trace-event JSON. This module re-reads both through a small
+//! recursive-descent JSON parser — deliberately independent of the
+//! writers, so round-trip tests catch malformed output instead of
+//! mirroring its bugs — validates the structural invariants (every line
+//! valid JSON, span tree acyclic, parent ids resolve, histogram bucket
+//! counts sum to the sample count) and renders a self-time-sorted span
+//! tree with counter/histogram tables.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (`None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value, if this is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a human-readable description with a byte offset.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-utf8".to_owned())?;
+    token
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{token}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        // Surrogates never occur in our writers; map them
+                        // to the replacement character rather than erroring.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through untouched).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| "non-utf8".to_owned())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected , or ] at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected member name at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected : at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected , or }} at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// One span read back from a sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Span id.
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start, µs since trace epoch.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Executor lane (`tid` in the Chrome form).
+    pub worker: u32,
+}
+
+/// One histogram read back from the JSONL sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHist {
+    /// Metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (`NaN` when the sink wrote `null`).
+    pub min: f64,
+    /// Largest sample (`NaN` when the sink wrote `null`).
+    pub max: f64,
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries incl. overflow).
+    pub counts: Vec<u64>,
+}
+
+/// A fully parsed trace, independent of which sink produced it.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFile {
+    /// Schema version from the meta line (0 when absent — pre-v2).
+    pub v: u64,
+    /// All spans.
+    pub spans: Vec<TraceSpan>,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, TraceHist>,
+    /// Wall time from the meta line, µs.
+    pub wall_us: u64,
+}
+
+fn num_or_nan(v: Option<&Json>) -> f64 {
+    match v {
+        Some(Json::Num(x)) => *x,
+        _ => f64::NAN,
+    }
+}
+
+/// Parses a JSON-lines trace (schema v1 or v2 — v1 span lines lack
+/// `id`/`parent`/`worker` and map to defaults).
+///
+/// # Errors
+///
+/// Returns the first offending line's number and parse error.
+pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
+    let mut out = TraceFile::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {}: missing \"type\"", lineno + 1))?;
+        let name = || {
+            value
+                .get("name")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or(format!("line {}: missing \"name\"", lineno + 1))
+        };
+        match kind {
+            "span" => out.spans.push(TraceSpan {
+                id: value.get("id").and_then(Json::as_u64).unwrap_or(0),
+                parent: value.get("parent").and_then(Json::as_u64),
+                name: name()?,
+                start_us: value.get("start_us").and_then(Json::as_u64).unwrap_or(0),
+                dur_us: value.get("dur_us").and_then(Json::as_u64).unwrap_or(0),
+                worker: value.get("worker").and_then(Json::as_u64).unwrap_or(0) as u32,
+            }),
+            "counter" => {
+                let v = value
+                    .get("value")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("line {}: counter without value", lineno + 1))?;
+                out.counters.insert(name()?, v);
+            }
+            "gauge" => {
+                out.gauges.insert(name()?, num_or_nan(value.get("value")));
+            }
+            "hist" => {
+                let bounds = value
+                    .get("bounds")
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().map(|b| num_or_nan(Some(b))).collect())
+                    .unwrap_or_default();
+                let counts = value
+                    .get("counts")
+                    .and_then(Json::as_arr)
+                    .map(|a| {
+                        a.iter()
+                            .map(|c| c.as_u64().unwrap_or(0))
+                            .collect::<Vec<u64>>()
+                    })
+                    .unwrap_or_default();
+                let h = TraceHist {
+                    name: name()?,
+                    count: value.get("count").and_then(Json::as_u64).unwrap_or(0),
+                    sum: num_or_nan(value.get("sum")),
+                    min: num_or_nan(value.get("min")),
+                    max: num_or_nan(value.get("max")),
+                    bounds,
+                    counts,
+                };
+                out.hists.insert(h.name.clone(), h);
+            }
+            "meta" => {
+                out.v = value.get("v").and_then(Json::as_u64).unwrap_or(0);
+                out.wall_us = value.get("wall_us").and_then(Json::as_u64).unwrap_or(0);
+            }
+            other => return Err(format!("line {}: unknown type `{other}`", lineno + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// One Chrome trace event with the mandatory fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Phase: `X` (complete), `M` (metadata), `C` (counter), …
+    pub ph: String,
+    /// Process id.
+    pub pid: u64,
+    /// Thread id (the executor lane for spans).
+    pub tid: u64,
+    /// Timestamp, µs.
+    pub ts: u64,
+    /// Duration, µs.
+    pub dur: u64,
+    /// The `args` object, if present.
+    pub args: Option<Json>,
+}
+
+/// Parses a Chrome trace-event file, requiring `pid`/`tid`/`ts`/`dur`/
+/// `name`/`ph` on **every** event — the strict contract the Perfetto UI
+/// and our round-trip tests rely on.
+///
+/// # Errors
+///
+/// Describes the first malformed event.
+pub fn parse_chrome(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let root = parse_json(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut out = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| {
+            ev.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("event {i}: missing or invalid \"{key}\""))
+        };
+        out.push(ChromeEvent {
+            name: ev
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("event {i}: missing \"name\""))?
+                .to_owned(),
+            ph: ev
+                .get("ph")
+                .and_then(Json::as_str)
+                .ok_or(format!("event {i}: missing \"ph\""))?
+                .to_owned(),
+            pid: field("pid")?,
+            tid: field("tid")?,
+            ts: field("ts")?,
+            dur: field("dur")?,
+            args: ev.get("args").cloned(),
+        });
+    }
+    Ok(out)
+}
+
+/// Lifts Chrome complete/counter events back into a [`TraceFile`]
+/// (metadata rows are dropped), so one validator and one report renderer
+/// serve both formats.
+pub fn trace_from_chrome(events: &[ChromeEvent]) -> TraceFile {
+    let mut out = TraceFile::default();
+    for ev in events {
+        match ev.ph.as_str() {
+            "X" => out.spans.push(TraceSpan {
+                id: ev
+                    .args
+                    .as_ref()
+                    .and_then(|a| a.get("id"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                parent: ev
+                    .args
+                    .as_ref()
+                    .and_then(|a| a.get("parent"))
+                    .and_then(Json::as_u64),
+                name: ev.name.clone(),
+                start_us: ev.ts,
+                dur_us: ev.dur,
+                worker: ev.tid as u32,
+            }),
+            "C" => {
+                let v = ev
+                    .args
+                    .as_ref()
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                out.counters.insert(ev.name.clone(), v);
+                out.wall_us = out.wall_us.max(ev.ts);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Checks the structural invariants of a parsed trace: span ids unique,
+/// every parent id resolves to a span in the file, the parent graph is
+/// acyclic, and each histogram's bucket counts sum to its sample count.
+///
+/// # Errors
+///
+/// Describes the first violated invariant.
+pub fn validate(trace: &TraceFile) -> Result<(), String> {
+    let mut ids = HashSet::with_capacity(trace.spans.len());
+    for s in &trace.spans {
+        if s.id == 0 {
+            return Err(format!("span `{}` has id 0", s.name));
+        }
+        if !ids.insert(s.id) {
+            return Err(format!("duplicate span id {}", s.id));
+        }
+    }
+    let parent_of: HashMap<u64, Option<u64>> =
+        trace.spans.iter().map(|s| (s.id, s.parent)).collect();
+    for s in &trace.spans {
+        if let Some(p) = s.parent {
+            if !parent_of.contains_key(&p) {
+                return Err(format!(
+                    "span {} (`{}`): parent {p} unresolved",
+                    s.id, s.name
+                ));
+            }
+        }
+        // Walk the parent chain; revisiting the start means a cycle.
+        let mut cursor = s.parent;
+        let mut hops = 0usize;
+        while let Some(p) = cursor {
+            if p == s.id || hops > trace.spans.len() {
+                return Err(format!("span {} (`{}`): parent cycle", s.id, s.name));
+            }
+            hops += 1;
+            cursor = parent_of.get(&p).copied().flatten();
+        }
+    }
+    for h in trace.hists.values() {
+        let bucket_sum: u64 = h.counts.iter().sum();
+        if bucket_sum != h.count {
+            return Err(format!(
+                "hist `{}`: bucket counts sum to {bucket_sum}, count is {}",
+                h.name, h.count
+            ));
+        }
+        if !h.bounds.is_empty() && h.counts.len() != h.bounds.len() + 1 {
+            return Err(format!(
+                "hist `{}`: {} bounds but {} buckets",
+                h.name,
+                h.bounds.len(),
+                h.counts.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Aggregated node of the report's span tree: spans with the same name
+/// under the same parent group are merged.
+struct ReportNode {
+    name: String,
+    count: u64,
+    total_us: u64,
+    self_us: u64,
+    children: Vec<ReportNode>,
+}
+
+fn build_nodes(
+    span_ids: &[usize],
+    spans: &[TraceSpan],
+    children_of: &HashMap<u64, Vec<usize>>,
+) -> Vec<ReportNode> {
+    // Group sibling spans by name, preserving first-seen order.
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for &idx in span_ids {
+        let name = &spans[idx].name;
+        match groups.iter_mut().find(|(n, _)| n == name) {
+            Some((_, members)) => members.push(idx),
+            None => groups.push((name.clone(), vec![idx])),
+        }
+    }
+    let mut nodes: Vec<ReportNode> = groups
+        .into_iter()
+        .map(|(name, members)| {
+            let total_us: u64 = members.iter().map(|&i| spans[i].dur_us).sum();
+            let child_ids: Vec<usize> = members
+                .iter()
+                .flat_map(|&i| {
+                    children_of
+                        .get(&spans[i].id)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                })
+                .copied()
+                .collect();
+            let children = build_nodes(&child_ids, spans, children_of);
+            let child_total: u64 = child_ids.iter().map(|&i| spans[i].dur_us).sum();
+            ReportNode {
+                name,
+                count: members.len() as u64,
+                total_us,
+                // Children on other workers can overlap the parent, so
+                // clamp instead of underflowing.
+                self_us: total_us.saturating_sub(child_total),
+                children,
+            }
+        })
+        .collect();
+    nodes.sort_by_key(|n| std::cmp::Reverse(n.self_us));
+    nodes
+}
+
+fn render_node(out: &mut String, node: &ReportNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", node.name);
+    let _ = writeln!(
+        out,
+        "  {label:<44} {:>6} {:>12} {:>12}",
+        node.count,
+        format_us(node.total_us),
+        format_us(node.self_us)
+    );
+    for child in &node.children {
+        render_node(out, child, depth + 1);
+    }
+}
+
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1.0e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1.0e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Estimated quantile of a parsed histogram, mirroring the engine's
+/// bucket-walk estimator.
+fn hist_quantile(h: &TraceHist, q: f64) -> f64 {
+    if h.count == 0 {
+        return f64::NAN;
+    }
+    let target = (q.clamp(0.0, 1.0) * h.count as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return match h.bounds.get(i) {
+                Some(&b) => b.min(h.max),
+                None => h.max,
+            };
+        }
+    }
+    h.max
+}
+
+/// Renders the `repro trace-report` text: a span tree aggregated by name
+/// and sorted by self time, then counter, gauge and histogram tables.
+pub fn render_report(trace: &TraceFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} spans, {} counters, {} histograms, wall {}",
+        trace.spans.len(),
+        trace.counters.len(),
+        trace.hists.len(),
+        format_us(trace.wall_us)
+    );
+
+    let ids: HashSet<u64> = trace.spans.iter().map(|s| s.id).collect();
+    let mut children_of: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (idx, s) in trace.spans.iter().enumerate() {
+        match s.parent {
+            // Tolerate unresolved parents here (validate() reports them):
+            // treat such spans as roots so the report still renders.
+            Some(p) if ids.contains(&p) => children_of.entry(p).or_default().push(idx),
+            _ => roots.push(idx),
+        }
+    }
+    if !trace.spans.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>6} {:>12} {:>12}",
+            "span (self-time sorted)", "count", "total", "self"
+        );
+        for node in build_nodes(&roots, &trace.spans, &children_of) {
+            render_node(&mut out, &node, 0);
+        }
+    }
+
+    if !trace.counters.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  {:<44} {:>12}", "counter", "value");
+        for (name, value) in &trace.counters {
+            let _ = writeln!(out, "  {name:<44} {value:>12}");
+        }
+    }
+    if !trace.gauges.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  {:<44} {:>12}", "gauge", "value");
+        for (name, value) in &trace.gauges {
+            let _ = writeln!(out, "  {name:<44} {value:>12.3}");
+        }
+    }
+    if !trace.hists.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "mean", "p50", "p95", "max"
+        );
+        for (name, h) in &trace.hists {
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                f64::NAN
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<44} {:>8} {mean:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                h.count,
+                hist_quantile(h, 0.5),
+                hist_quantile(h, 0.95),
+                h.max
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\n\"y","c":null,"d":true,"e":{}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\n\"y"));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trip_from_engine_writer() {
+        let tracer = subvt_engine::trace::Tracer::new();
+        {
+            let _outer = tracer.span("outer");
+            drop(tracer.span("inner").attr("k", 3u64));
+        }
+        tracer.add("c1", 7);
+        tracer.observe_with("h1", 3.0, &[1.0, 5.0]);
+        let mut buf = Vec::new();
+        tracer.write_jsonl(&mut buf).unwrap();
+        let trace = parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(trace.v, subvt_engine::trace::SCHEMA_VERSION);
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.counters["c1"], 7);
+        assert_eq!(trace.hists["h1"].count, 1);
+        validate(&trace).unwrap();
+        let inner = trace.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = trace.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+    }
+
+    #[test]
+    fn chrome_round_trip_from_engine_writer() {
+        let tracer = subvt_engine::trace::Tracer::new();
+        {
+            let _outer = tracer.span("outer");
+            drop(tracer.span("inner"));
+        }
+        tracer.add("c1", 2);
+        let mut buf = Vec::new();
+        tracer.write_chrome(&mut buf).unwrap();
+        let events = parse_chrome(std::str::from_utf8(&buf).unwrap()).unwrap();
+        // process_name + >=1 thread_name + 2 spans + 1 counter.
+        assert!(events.len() >= 5, "{events:?}");
+        assert!(events.iter().all(|e| e.pid == 1));
+        let trace = trace_from_chrome(&events);
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.counters["c1"], 2);
+        validate(&trace).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_broken_traces() {
+        let mut t = TraceFile::default();
+        t.spans.push(TraceSpan {
+            id: 1,
+            parent: Some(99),
+            name: "orphan".into(),
+            start_us: 0,
+            dur_us: 1,
+            worker: 0,
+        });
+        assert!(validate(&t).unwrap_err().contains("unresolved"));
+
+        let mut t = TraceFile::default();
+        t.spans.push(TraceSpan {
+            id: 1,
+            parent: Some(2),
+            name: "a".into(),
+            start_us: 0,
+            dur_us: 1,
+            worker: 0,
+        });
+        t.spans.push(TraceSpan {
+            id: 2,
+            parent: Some(1),
+            name: "b".into(),
+            start_us: 0,
+            dur_us: 1,
+            worker: 0,
+        });
+        assert!(validate(&t).unwrap_err().contains("cycle"));
+
+        let mut t = TraceFile::default();
+        t.hists.insert(
+            "h".into(),
+            TraceHist {
+                name: "h".into(),
+                count: 3,
+                sum: 1.0,
+                min: 0.0,
+                max: 1.0,
+                bounds: vec![1.0],
+                counts: vec![1, 1],
+            },
+        );
+        assert!(validate(&t).unwrap_err().contains("sum to"));
+    }
+
+    #[test]
+    fn report_renders_tree_and_tables() {
+        let tracer = subvt_engine::trace::Tracer::new();
+        {
+            let _e = tracer.span("experiment.x");
+            drop(tracer.span("design.sub"));
+            drop(tracer.span("design.sub"));
+        }
+        tracer.add("cache.design.hit", 4);
+        tracer.observe("design.bisect.steps", 31.0);
+        let mut buf = Vec::new();
+        tracer.write_jsonl(&mut buf).unwrap();
+        let trace = parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let report = render_report(&trace);
+        assert!(report.contains("experiment.x"), "{report}");
+        assert!(report.contains("design.sub"), "{report}");
+        assert!(report.contains("cache.design.hit"), "{report}");
+        assert!(report.contains("design.bisect.steps"), "{report}");
+        // The two design.sub spans aggregate to one row with count 2.
+        let sub_line = report.lines().find(|l| l.contains("design.sub")).unwrap();
+        assert!(sub_line.contains(" 2 "), "{sub_line}");
+    }
+}

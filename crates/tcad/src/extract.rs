@@ -79,6 +79,7 @@ pub fn id_vg(
     step: f64,
 ) -> Result<IdVg, TcadError> {
     assert!(step > 0.0 && v_g_max > 0.0, "invalid sweep spec");
+    let _span = subvt_engine::trace::span("tcad.id_vg").attr("v_d", v_d);
     let mut v_g = Vec::new();
     let mut i_d = Vec::new();
     sim.set_bias(0.0, v_d)?;
@@ -208,7 +209,10 @@ fn sweep_and_extract_uncached(
     density: MeshDensity,
     step: f64,
 ) -> Result<Extraction, TcadError> {
-    let _span = subvt_engine::trace::span("tcad.sweep_and_extract");
+    let _span = subvt_engine::trace::span("tcad.sweep_and_extract")
+        .attr("l_poly_nm", params.geometry.l_poly.get())
+        .attr("v_dd", params.v_dd.as_volts())
+        .attr("density", density.as_str());
     let v_dd = params.v_dd.as_volts();
     let params = *params;
 

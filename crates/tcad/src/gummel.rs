@@ -5,6 +5,7 @@
 use crate::continuity::{drain_current, solve_electrons};
 use crate::device::Mosfet2d;
 use crate::poisson::{initial_guess, solve, thermals, Bias};
+use subvt_engine::trace;
 
 /// Outer-loop convergence tolerance on the potential update, volts.
 const GUMMEL_TOL: f64 = 1.0e-6;
@@ -135,10 +136,23 @@ impl DeviceSimulator {
         let (vt, ni) = thermals(&self.device);
         let zeros = vec![0.0; self.device.len()];
         let mut last_residual = f64::INFINITY;
-        for _ in 0..MAX_GUMMEL {
+        trace::add("tcad.gummel.bias_points", 1);
+        let record = |iterations: usize, residual: f64| {
+            trace::observe("tcad.gummel.iterations", iterations as f64);
+            if residual.is_finite() && residual > 0.0 {
+                trace::observe_with(
+                    "tcad.gummel.residual_log10",
+                    residual.log10(),
+                    &trace::LOG10_BUCKETS,
+                );
+            }
+        };
+        for iteration in 1..=MAX_GUMMEL {
             let psi_before = self.psi.clone();
             let out = solve(&self.device, &mut self.psi, &self.phi_n, &zeros, &bias);
             if !out.converged {
+                trace::add("tcad.gummel.poisson_failures", 1);
+                record(iteration, last_residual);
                 return Err(TcadError::PoissonDiverged { bias });
             }
             self.n = solve_electrons(&self.device, &self.psi, &bias);
@@ -158,9 +172,12 @@ impl DeviceSimulator {
             last_residual = residual;
             if residual < GUMMEL_TOL {
                 self.bias = bias;
+                record(iteration, residual);
                 return Ok(());
             }
         }
+        trace::add("tcad.gummel.stall", 1);
+        record(MAX_GUMMEL, last_residual);
         Err(TcadError::GummelStalled {
             bias,
             residual: last_residual,

@@ -8,6 +8,7 @@
 //! Dirichlet; every other boundary is a natural Neumann (reflecting)
 //! boundary of the finite-volume scheme.
 
+use subvt_engine::trace;
 use subvt_units::consts::{EPS_OX, EPS_SI, Q};
 
 use crate::device::{Mosfet2d, N_POLY};
@@ -113,8 +114,34 @@ fn coupling(mat: &[Material], ia: usize, ib: usize, d: f64, a: f64) -> f64 {
 /// Solves the nonlinear Poisson equation in place. `phi_n`/`phi_p` are
 /// per-node quasi-Fermi potentials (ignored in the oxide).
 ///
-/// Returns the solve telemetry; `psi` holds the solution.
+/// Returns the solve telemetry; `psi` holds the solution. Every solve
+/// feeds the metrics registry: `tcad.poisson.solves`/`.diverged`
+/// counters plus `tcad.poisson.iterations` and
+/// `tcad.poisson.residual_log10` histograms.
 pub fn solve(
+    device: &Mosfet2d,
+    psi: &mut [f64],
+    phi_n: &[f64],
+    phi_p: &[f64],
+    bias: &Bias,
+) -> PoissonSolve {
+    let out = solve_inner(device, psi, phi_n, phi_p, bias);
+    trace::add("tcad.poisson.solves", 1);
+    if !out.converged {
+        trace::add("tcad.poisson.diverged", 1);
+    }
+    trace::observe("tcad.poisson.iterations", out.iterations as f64);
+    if out.max_update.is_finite() && out.max_update > 0.0 {
+        trace::observe_with(
+            "tcad.poisson.residual_log10",
+            out.max_update.log10(),
+            &trace::LOG10_BUCKETS,
+        );
+    }
+    out
+}
+
+fn solve_inner(
     device: &Mosfet2d,
     psi: &mut [f64],
     phi_n: &[f64],
