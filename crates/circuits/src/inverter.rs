@@ -9,6 +9,7 @@
 //!   currents (valid for sub-V_th supplies), used to cross-check the
 //!   simulator.
 
+use subvt_engine::trace;
 use subvt_model::{DeviceModel, ModelError};
 use subvt_physics::device::{DeviceCharacteristics, DeviceKind, DeviceParams};
 use subvt_physics::iv::MosModel;
@@ -49,16 +50,47 @@ impl PartialEq for CmosPair {
     }
 }
 
+/// How a [`CmosPair::balanced_with`] sizing computation arrived at its
+/// P/N width ratio.
+///
+/// The balancing rule wants `W_p/W_n = I₀_n/I₀_p` (Eq. 3(c) symmetry),
+/// but the implementable layout range is bounded: the ratio is applied
+/// within [`BalanceReport::RATIO_RANGE`]. A target outside that range is
+/// clamped to the nearest bound and reported here — the pair is then
+/// *not* strength-balanced, and callers that care (skew studies, strongly
+/// asymmetric backends) must check [`BalanceReport::clamped`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceReport {
+    /// The width ratio `I₀_n/I₀_p` the devices ask for.
+    pub target_ratio: f64,
+    /// The width ratio actually applied (`wp_um / wn_um`).
+    pub applied_ratio: f64,
+    /// Whether the target fell outside the implementable range.
+    pub clamped: bool,
+}
+
+impl BalanceReport {
+    /// Implementable P/N width-ratio range `[min, max]`.
+    pub const RATIO_RANGE: (f64, f64) = (1.0, 4.0);
+}
+
 impl CmosPair {
     /// Builds a pair from an NFET description, deriving the PFET by
     /// polarity flip and sizing it so the subthreshold drive strengths
     /// balance (`W_p·I₀_p ≈ W_n·I₀_n`) — the symmetric-VTC condition the
     /// paper assumes in Eq. 3(c). Evaluated with the analytic backend.
+    ///
+    /// The width ratio is applied within
+    /// [`BalanceReport::RATIO_RANGE`]; use [`CmosPair::balanced_report`]
+    /// to detect a clamped (unbalanceable) device.
     pub fn balanced(nfet: DeviceParams) -> Self {
         Self::balanced_with(subvt_model::analytic(), nfet).expect("analytic backend is infallible")
     }
 
-    /// [`CmosPair::balanced`] through an explicit model backend.
+    /// [`CmosPair::balanced`] through an explicit model backend. The
+    /// width ratio is applied within [`BalanceReport::RATIO_RANGE`]; a
+    /// clamp is recorded in the `circuits.balance.clamped` trace counter,
+    /// and [`CmosPair::balanced_report`] returns the full report.
     ///
     /// # Errors
     ///
@@ -71,6 +103,25 @@ impl CmosPair {
         model: &'static dyn DeviceModel,
         nfet: DeviceParams,
     ) -> Result<Self, ModelError> {
+        Self::balanced_report(model, nfet).map(|(pair, _)| pair)
+    }
+
+    /// [`CmosPair::balanced_with`] returning the sizing outcome alongside
+    /// the pair: the strength ratio the devices asked for, the width
+    /// ratio actually applied, and whether the target was clamped to the
+    /// implementable range (in which case the pair is *not* balanced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nfet` is not an NFET description.
+    pub fn balanced_report(
+        model: &'static dyn DeviceModel,
+        nfet: DeviceParams,
+    ) -> Result<(Self, BalanceReport), ModelError> {
         assert!(
             matches!(nfet.kind, DeviceKind::Nfet),
             "expected an NFET description"
@@ -81,15 +132,30 @@ impl CmosPair {
         };
         let i0_n = model.characterize(&nfet)?.i0.get();
         let i0_p = model.characterize(&pfet)?.i0.get();
+        let (lo, hi) = BalanceReport::RATIO_RANGE;
+        let target_ratio = i0_n / i0_p;
+        let applied_ratio = target_ratio.clamp(lo, hi);
+        let report = BalanceReport {
+            target_ratio,
+            applied_ratio,
+            clamped: applied_ratio != target_ratio,
+        };
+        if report.clamped {
+            trace::add("circuits.balance.clamped", 1);
+            trace::gauge("circuits.balance.target_ratio", target_ratio);
+        }
         let wn_um = 1.0;
-        let wp_um = (i0_n / i0_p).clamp(1.0, 4.0);
-        Ok(Self {
-            nfet,
-            pfet,
-            wn_um,
-            wp_um,
-            model,
-        })
+        let wp_um = applied_ratio;
+        Ok((
+            Self {
+                nfet,
+                pfet,
+                wn_um,
+                wp_um,
+                model,
+            },
+            report,
+        ))
     }
 
     /// Assembles a pair from already-designed devices and widths, bound
@@ -285,13 +351,12 @@ impl Inverter {
         );
     }
 
-    /// Traces the VTC by a SPICE DC sweep with `points` samples at supply
-    /// `v_dd`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`SpiceError`] from the solver.
-    pub fn vtc(&self, v_dd: Volts, points: usize) -> Result<Vtc, SpiceError> {
+    /// Builds the VTC test-bench netlist at supply `v_dd`: a `VDD` rail
+    /// source, a sweepable `VIN` source and the inverter wired between
+    /// them. Returns the netlist and the output node to sample — shared
+    /// by [`Inverter::vtc`] and the circuit backends, so the deck a DC
+    /// sweep solves is identical however the curve is requested.
+    pub fn vtc_netlist(&self, v_dd: Volts) -> (Netlist, NodeId) {
         let pair = self.pair.at_supply(v_dd);
         let inv = Inverter::new(pair);
         let mut net = Netlist::new();
@@ -306,7 +371,17 @@ impl Inverter {
         );
         net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0));
         inv.wire(&mut net, "X1", vin, vout, vdd_node);
+        (net, vout)
+    }
 
+    /// Traces the VTC by a SPICE DC sweep with `points` samples at supply
+    /// `v_dd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpiceError`] from the solver.
+    pub fn vtc(&self, v_dd: Volts, points: usize) -> Result<Vtc, SpiceError> {
+        let (net, vout) = self.vtc_netlist(v_dd);
         let sweep = linspace(0.0, v_dd.as_volts(), points.max(2));
         let sols = dc_sweep(&net, "VIN", &sweep)?;
         Ok(Vtc {
@@ -377,6 +452,68 @@ mod tests {
     fn balanced_pair_upsizes_pfet() {
         let p = pair();
         assert!(p.wp_um > p.wn_um);
+    }
+
+    /// A backend that weakens one polarity's `I₀` by a fixed factor,
+    /// pushing the balance target outside the implementable range.
+    #[derive(Debug)]
+    struct SkewModel {
+        /// Multiplier applied to the PFET `I₀`.
+        pfet_i0_scale: f64,
+    }
+
+    impl subvt_model::DeviceModel for SkewModel {
+        fn name(&self) -> &'static str {
+            "skew-test"
+        }
+        fn characterize(
+            &self,
+            params: &DeviceParams,
+        ) -> Result<subvt_physics::device::DeviceCharacteristics, ModelError> {
+            let mut chars = params.characterize();
+            if matches!(params.kind, DeviceKind::Pfet) {
+                chars.i0 = subvt_units::AmpsPerMicron::new(chars.i0.get() * self.pfet_i0_scale);
+            }
+            Ok(chars)
+        }
+    }
+
+    #[test]
+    fn skewed_device_reports_clamped_balance() {
+        // Scaling the PFET I₀ down 20× pushes the requested width ratio
+        // far above the implementable maximum: the ratio is clamped to
+        // the upper bound and the clamp is reported instead of silently
+        // producing an unbalanced pair labeled "balanced".
+        static WEAK_P: SkewModel = SkewModel {
+            pfet_i0_scale: 0.05,
+        };
+        let (pair, report) =
+            CmosPair::balanced_report(&WEAK_P, DeviceParams::reference_90nm_nfet()).unwrap();
+        let (lo, hi) = BalanceReport::RATIO_RANGE;
+        assert!(report.clamped, "20x-weak PFET must report a clamp");
+        assert!(report.target_ratio > hi, "target {}", report.target_ratio);
+        assert_eq!(report.applied_ratio, hi);
+        assert_eq!(pair.wp_um, hi * pair.wn_um);
+
+        // The opposite skew clamps at the lower bound.
+        static STRONG_P: SkewModel = SkewModel {
+            pfet_i0_scale: 100.0,
+        };
+        let (pair, report) =
+            CmosPair::balanced_report(&STRONG_P, DeviceParams::reference_90nm_nfet()).unwrap();
+        assert!(report.clamped);
+        assert!(report.target_ratio < lo);
+        assert_eq!(pair.wp_um, lo * pair.wn_um);
+    }
+
+    #[test]
+    fn reference_device_balances_without_clamp() {
+        let (pair, report) =
+            CmosPair::balanced_report(subvt_model::analytic(), DeviceParams::reference_90nm_nfet())
+                .unwrap();
+        assert!(!report.clamped, "report: {report:?}");
+        assert_eq!(report.applied_ratio, report.target_ratio);
+        assert_eq!(pair.wp_um, report.applied_ratio * pair.wn_um);
     }
 
     #[test]

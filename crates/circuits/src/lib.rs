@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod chain;
 pub mod delay;
 pub mod gates;
@@ -37,6 +38,9 @@ pub mod rng;
 pub mod snm;
 pub mod sram;
 
+pub use backend::{
+    analytic_circuit, spice_circuit, CircuitBackend, CircuitBackendKind, CircuitError,
+};
 pub use chain::{InverterChain, MinimumEnergyPoint};
 pub use inverter::{CmosPair, Inverter, Vtc};
 pub use snm::{butterfly_snm, noise_margins, NoiseMargins};

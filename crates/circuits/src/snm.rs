@@ -82,7 +82,11 @@ pub fn noise_margins(vtc: &Vtc) -> Option<NoiseMargins> {
 /// The returned value is the side of the largest square that fits between
 /// the curve and the mirrored curve — the classic SRAM hold-SNM
 /// definition (paper ref \[16\]).
-pub fn butterfly_snm(vtc_a: &Vtc, vtc_b: &Vtc) -> f64 {
+///
+/// Returns `None` — like [`noise_margins`] on a degenerate curve — when a
+/// VTC cannot be inverted (NaN samples from a failed solve, or numerical
+/// non-monotonicity leaving an output level with no bracketing interval).
+pub fn butterfly_snm(vtc_a: &Vtc, vtc_b: &Vtc) -> Option<f64> {
     // Work along the diagonal coordinate u = (v_in + v_out)/√2: for each
     // sample of curve A, measure the diagonal gap to mirrored curve B and
     // track the largest square in each lobe.
@@ -97,7 +101,7 @@ pub fn butterfly_snm(vtc_a: &Vtc, vtc_b: &Vtc) -> f64 {
         // Curve A: y = A(x). Mirrored B: y such that x = B(y) → y = B⁻¹(x);
         // with a monotone decreasing VTC the inverse is found by scanning.
         let ya = interp(vtc_a, x);
-        let yb_inv = inverse_vtc(vtc_b, x);
+        let yb_inv = inverse_vtc(vtc_b, x)?;
         // Diagonal separation between the two curves at this x defines
         // the largest square anchored here.
         let gap = ya - yb_inv;
@@ -105,15 +109,16 @@ pub fn butterfly_snm(vtc_a: &Vtc, vtc_b: &Vtc) -> f64 {
         // use the standard diagonal-gap/√2… practical approximation:
         // side = gap/√2 when gap > 0 (upper lobe).
         if gap > 0.0 {
-            best = best.max(largest_square(vtc_a, vtc_b, x, ya));
+            best = best.max(largest_square(vtc_a, vtc_b, x)?);
         }
     }
-    best
+    Some(best)
 }
 
 /// Largest square anchored with its lower-left corner at `(x, y_mirror)`
-/// fitting under curve A and right of mirrored curve B.
-fn largest_square(vtc_a: &Vtc, vtc_b: &Vtc, x: f64, _ya: f64) -> f64 {
+/// fitting under curve A and right of mirrored curve B. `None` when
+/// curve B cannot be inverted.
+fn largest_square(vtc_a: &Vtc, vtc_b: &Vtc, x: f64) -> Option<f64> {
     let interp = |vtc: &Vtc, v: f64| subvt_physics::math::interp1(&vtc.v_in, &vtc.v_out, v);
     // Binary search the square side.
     let mut lo = 0.0;
@@ -121,10 +126,11 @@ fn largest_square(vtc_a: &Vtc, vtc_b: &Vtc, x: f64, _ya: f64) -> f64 {
     for _ in 0..40 {
         let s = 0.5 * (lo + hi);
         // Square with corners (x, y0), (x+s, y0+s) where y0 = B⁻¹(x)…
-        let y0 = inverse_vtc(vtc_b, x);
+        let y0 = inverse_vtc(vtc_b, x)?;
         let fits = interp(vtc_a, x) >= y0 + s && interp(vtc_a, x + s) >= y0 + s && {
             // Right edge must stay left of mirrored B: B⁻¹(x+s) ≤ y0.
-            inverse_vtc(vtc_b, x + s) <= y0 + 1e-12 || inverse_vtc(vtc_b, x + s) <= y0 + s
+            let inv = inverse_vtc(vtc_b, x + s)?;
+            inv <= y0 + 1e-12 || inv <= y0 + s
         };
         if fits {
             lo = s;
@@ -132,28 +138,36 @@ fn largest_square(vtc_a: &Vtc, vtc_b: &Vtc, x: f64, _ya: f64) -> f64 {
             hi = s;
         }
     }
-    lo
+    Some(lo)
 }
 
 /// Inverse of a monotone-decreasing VTC: the input that produces output
 /// `y` (clamped at the rails).
-fn inverse_vtc(vtc: &Vtc, y: f64) -> f64 {
-    // v_out is decreasing in v_in; binary search on samples.
+///
+/// A sample landing exactly on `y` is attributed to the interval that
+/// arrives at it (the sign-product test would match both neighbours), and
+/// a `y` strictly inside the rail levels with *no* bracketing interval —
+/// NaN samples from a failed solve, or non-monotone numerical noise
+/// around the rails — returns `None` instead of silently answering with
+/// the last input sample.
+fn inverse_vtc(vtc: &Vtc, y: f64) -> Option<f64> {
+    // v_out is decreasing in v_in; scan the samples for a bracket.
     let n = vtc.v_in.len();
     if y >= vtc.v_out[0] {
-        return vtc.v_in[0];
+        return Some(vtc.v_in[0]);
     }
     if y <= vtc.v_out[n - 1] {
-        return vtc.v_in[n - 1];
+        return Some(vtc.v_in[n - 1]);
     }
     for i in 1..n {
         let (a, b) = (vtc.v_out[i - 1], vtc.v_out[i]);
-        if (a - y) * (b - y) <= 0.0 && a != b {
+        let (da, db) = (a - y, b - y);
+        if da * db < 0.0 || (db == 0.0 && da != 0.0) {
             let f = (y - a) / (b - a);
-            return vtc.v_in[i - 1] + f * (vtc.v_in[i] - vtc.v_in[i - 1]);
+            return Some(vtc.v_in[i - 1] + f * (vtc.v_in[i] - vtc.v_in[i - 1]));
         }
     }
-    vtc.v_in[n - 1]
+    None
 }
 
 #[cfg(test)]
@@ -229,7 +243,7 @@ mod tests {
     #[test]
     fn butterfly_snm_positive_and_below_half_vdd() {
         let vtc = subvt_vtc();
-        let snm = butterfly_snm(&vtc, &vtc);
+        let snm = butterfly_snm(&vtc, &vtc).expect("clean VTC inverts");
         assert!(snm > 0.02, "butterfly SNM = {snm}");
         assert!(snm < 0.125, "butterfly SNM = {snm}");
     }
@@ -240,7 +254,42 @@ mod tests {
         // inverter (they measure related but different geometry).
         let vtc = subvt_vtc();
         let g = noise_margins(&vtc).unwrap().snm();
-        let b = butterfly_snm(&vtc, &vtc);
+        let b = butterfly_snm(&vtc, &vtc).unwrap();
         assert!(b > 0.4 * g && b < 2.5 * g, "gain {g} vs butterfly {b}");
+    }
+
+    #[test]
+    fn noisy_vtc_is_an_error_not_a_rail() {
+        // A NaN sample (failed solve at one sweep point) leaves interior
+        // output levels with no bracketing interval. The old code fell
+        // through to `v_in[n-1]`, silently treating the curve as pinned at
+        // the low rail; now the whole butterfly measurement reports None.
+        let vtc = Vtc {
+            v_in: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            v_out: vec![0.9, 0.8, f64::NAN, 0.2, 0.1],
+            v_dd: 1.0,
+        };
+        assert!(butterfly_snm(&vtc, &vtc).is_none());
+    }
+
+    #[test]
+    fn exact_sample_inverse_is_attributed_once() {
+        // 0.5 is hit exactly by the middle sample; both neighbouring
+        // intervals used to satisfy the `<= 0` product test and the first
+        // (leaving) interval won. The crossing belongs to the interval
+        // that arrives at the level, so the inverse must interpolate
+        // inside [0.25, 0.5] and land exactly on v_in = 0.5.
+        let vtc = Vtc {
+            v_in: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            v_out: vec![1.0, 0.9, 0.5, 0.1, 0.0],
+            v_dd: 1.0,
+        };
+        let x = inverse_vtc(&vtc, 0.5).unwrap();
+        assert!((x - 0.5).abs() < 1e-12, "inverse = {x}");
+        // And a clean monotone curve still inverts everywhere strictly
+        // inside the rails.
+        for y in [0.05, 0.3, 0.7, 0.95] {
+            assert!(inverse_vtc(&vtc, y).is_some(), "y = {y}");
+        }
     }
 }

@@ -13,6 +13,14 @@ use subvt_units::Volts;
 use crate::inverter::{CmosPair, Inverter, Vtc};
 use crate::snm::butterfly_snm;
 
+/// How a butterfly curve that cannot be inverted (NaN samples or
+/// non-monotone noise) surfaces through the `SpiceError`-typed SNM API —
+/// the same shape `spice_fo1_delay` uses for a failed measurement.
+const DEGENERATE_VTC: SpiceError = SpiceError::NoConvergence {
+    iterations: 0,
+    residual: f64::NAN,
+};
+
 /// A 6T SRAM cell: cross-coupled inverters plus NFET access transistors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramCell {
@@ -39,10 +47,11 @@ impl SramCell {
     ///
     /// # Errors
     ///
-    /// Propagates [`SpiceError`] from the VTC sweeps.
+    /// Propagates [`SpiceError`] from the VTC sweeps; an un-invertible
+    /// (degenerate) butterfly curve reports as a non-convergence.
     pub fn hold_snm(&self, v_dd: Volts, points: usize) -> Result<f64, SpiceError> {
         let vtc = Inverter::new(self.pair).vtc(v_dd, points)?;
-        Ok(butterfly_snm(&vtc, &vtc))
+        butterfly_snm(&vtc, &vtc).ok_or(DEGENERATE_VTC)
     }
 
     /// Read-mode static noise margin: the internal "0" node is disturbed
@@ -51,10 +60,11 @@ impl SramCell {
     ///
     /// # Errors
     ///
-    /// Propagates [`SpiceError`] from the solver.
+    /// Propagates [`SpiceError`] from the solver; an un-invertible
+    /// (degenerate) butterfly curve reports as a non-convergence.
     pub fn read_snm(&self, v_dd: Volts, points: usize) -> Result<f64, SpiceError> {
         let vtc = self.read_vtc(v_dd, points)?;
-        Ok(butterfly_snm(&vtc, &vtc))
+        butterfly_snm(&vtc, &vtc).ok_or(DEGENERATE_VTC)
     }
 
     /// Maximum bits per bit-line at the given supply — the paper's

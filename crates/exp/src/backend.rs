@@ -1,12 +1,17 @@
-//! Process-wide device-model backend selection.
+//! Process-wide device-model and circuit-backend selection.
 //!
-//! The `repro` binary picks a backend once (`--backend analytic|tcad`)
-//! before any experiment runs; every design flow, figure and extension
-//! then evaluates devices through [`model`]. The default is the analytic
-//! compact model, which reproduces the historical output byte for byte.
+//! The `repro` binary picks backends once (`--backend analytic|tcad` for
+//! device characterization, `--circuit-backend analytic|spice` for
+//! circuit metrics) before any experiment runs; every design flow,
+//! figure and extension then evaluates devices through [`model`] and
+//! circuit metrics through [`circuit`]. The defaults are the analytic
+//! paths, which reproduce the historical output byte for byte. The two
+//! seams compose: `--backend tcad --circuit-backend spice` produces
+//! Fig. 4–6 fully simulator-backed at both layers.
 
 use std::sync::OnceLock;
 
+use subvt_circuits::backend::{CircuitBackend, CircuitBackendKind};
 use subvt_circuits::inverter::CmosPair;
 use subvt_core::strategy::NodeDesign;
 use subvt_core::supervth::at_subthreshold_supply_with;
@@ -14,6 +19,7 @@ use subvt_model::{Backend, DeviceModel};
 use subvt_units::Volts;
 
 static SELECTED: OnceLock<Backend> = OnceLock::new();
+static CIRCUIT_SELECTED: OnceLock<CircuitBackendKind> = OnceLock::new();
 
 /// Locks in the process-wide backend. The first selection wins; returns
 /// `false` when a *different* backend was already locked (selecting the
@@ -36,6 +42,25 @@ pub fn model() -> &'static dyn DeviceModel {
         Backend::Analytic => subvt_model::analytic(),
         Backend::Tcad => &subvt_tcad::model::TCAD_COARSE,
     }
+}
+
+/// Locks in the process-wide circuit backend. The first selection wins;
+/// returns `false` when a *different* backend was already locked
+/// (selecting the active backend again is a no-op success).
+pub fn configure_circuit(kind: CircuitBackendKind) -> bool {
+    *CIRCUIT_SELECTED.get_or_init(|| kind) == kind
+}
+
+/// The selected circuit backend kind; defaults to
+/// [`CircuitBackendKind::Analytic`] when nothing was configured.
+pub fn circuit_selected() -> CircuitBackendKind {
+    *CIRCUIT_SELECTED.get_or_init(CircuitBackendKind::default)
+}
+
+/// The circuit backend experiments evaluate SNM, delay and chain-energy
+/// metrics through.
+pub fn circuit() -> &'static dyn CircuitBackend {
+    circuit_selected().instance()
 }
 
 /// A node's circuit-level device pair, characterized through the
@@ -73,5 +98,17 @@ mod tests {
     fn reconfiguring_same_backend_is_ok() {
         assert!(configure(Backend::Analytic));
         assert!(!configure(Backend::Tcad));
+    }
+
+    #[test]
+    fn default_circuit_backend_is_analytic() {
+        assert_eq!(circuit_selected(), CircuitBackendKind::Analytic);
+        assert_eq!(circuit().cache_id(), "analytic");
+    }
+
+    #[test]
+    fn reconfiguring_same_circuit_backend_is_ok() {
+        assert!(configure_circuit(CircuitBackendKind::Analytic));
+        assert!(!configure_circuit(CircuitBackendKind::Spice));
     }
 }

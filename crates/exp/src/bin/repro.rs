@@ -7,6 +7,8 @@
 //! repro table2 fig2 fig12   # run a subset
 //! repro --csv fig6          # CSV output instead of aligned text
 //! repro --backend tcad fig2 # evaluate devices through the 2-D TCAD solver
+//! repro --circuit-backend spice fig4
+//!                           # measure circuit metrics off full netlists
 //! repro --jobs 8 all        # size the engine pool explicitly
 //! repro --trace t.jsonl all # dump spans + metrics as JSON lines
 //! repro --trace t.json --trace-format chrome fig2
@@ -21,6 +23,7 @@
 
 use std::process::ExitCode;
 
+use subvt_circuits::CircuitBackendKind;
 use subvt_exp::{run, tracefmt, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
 use subvt_model::Backend;
 
@@ -87,6 +90,19 @@ fn main() -> ExitCode {
                 };
                 if !subvt_exp::backend::configure(backend) {
                     eprintln!("--backend given twice with conflicting values");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--circuit-backend" => {
+                let Some(kind) = iter
+                    .next()
+                    .and_then(|v| v.parse::<CircuitBackendKind>().ok())
+                else {
+                    eprintln!("--circuit-backend needs one of: analytic, spice");
+                    return ExitCode::FAILURE;
+                };
+                if !subvt_exp::backend::configure_circuit(kind) {
+                    eprintln!("--circuit-backend given twice with conflicting values");
                     return ExitCode::FAILURE;
                 }
             }
@@ -219,6 +235,7 @@ fn print_help() {
     eprintln!("options:");
     eprintln!("  --csv                CSV output instead of aligned text");
     eprintln!("  --backend <b>        device-model backend: analytic (default) | tcad");
+    eprintln!("  --circuit-backend <b> circuit-metric backend: analytic (default) | spice");
     eprintln!("  --jobs <N>           engine worker threads (default: cores, or $SUBVT_JOBS)");
     eprintln!("  --trace <path>       write the run's trace on exit");
     eprintln!("  --trace-format <f>   trace sink: jsonl (default) | chrome (Perfetto)");

@@ -2,8 +2,6 @@
 //! SNM), Fig. 5 (FO1 delay) and Fig. 6 (chain energy and V_min).
 
 use subvt_circuits::chain::InverterChain;
-use subvt_circuits::delay::spice_fo1_delay;
-use subvt_circuits::inverter::Inverter;
 use subvt_circuits::snm::noise_margins;
 use subvt_core::metrics::energy_factor;
 use subvt_core::strategy::NodeDesign;
@@ -14,27 +12,27 @@ use crate::table::{fmt, Table};
 
 /// VTC sample count for SNM extraction.
 const VTC_POINTS: usize = 161;
-/// Transient resolution for delay measurements.
-const DELAY_STEPS: usize = 900;
 
-/// SNM of a node's inverter at the given supply, via SPICE VTC and the
-/// paper's gain = −1 definition. Returns NaN if the inverter has no
-/// restoring region at that supply.
+/// SNM of a node's inverter at the given supply, via the selected
+/// circuit backend's VTC and the paper's gain = −1 definition. Returns
+/// NaN if the solve fails or the inverter has no restoring region at
+/// that supply.
 pub fn snm_at(design: &NodeDesign, v_dd: Volts) -> f64 {
     let pair = crate::backend::pair(design);
-    Inverter::new(pair)
-        .vtc(v_dd, VTC_POINTS)
+    crate::backend::circuit()
+        .vtc(&pair, v_dd, VTC_POINTS)
         .ok()
         .and_then(|vtc| noise_margins(&vtc))
         .map(|nm| nm.snm())
         .unwrap_or(f64::NAN)
 }
 
-/// Measured FO1 delay of a node's inverter at the given supply (SPICE
-/// transient). Returns NaN on measurement failure.
+/// Measured FO1 delay of a node's inverter at the given supply, through
+/// the selected circuit backend. Returns NaN on measurement failure.
 pub fn delay_at(design: &NodeDesign, v_dd: Volts) -> f64 {
     let pair = crate::backend::pair(design);
-    spice_fo1_delay(&pair, v_dd, DELAY_STEPS)
+    crate::backend::circuit()
+        .fo1_delay(&pair, v_dd)
         .map(|d| d.average().get())
         .unwrap_or(f64::NAN)
 }
@@ -116,7 +114,9 @@ pub fn fig6(ctx: &StudyContext) -> Table {
     let mut rows = Vec::new();
     for d in &ctx.supervth {
         let chain = InverterChain::paper_chain(crate::backend::pair(d));
-        let mep = chain.minimum_energy_point();
+        let mep = crate::backend::circuit()
+            .minimum_energy_point(&chain)
+            .expect("chain MEP search failed");
         // The Eq. 8 factor uses width-normalized capacitance; scale by
         // the node's device width so it overlays the absolute energy of
         // the width-scaled chain.

@@ -88,9 +88,14 @@ pub fn fig11(ctx: &StudyContext) -> Table {
 /// super-V_th scaling.
 pub fn fig12(ctx: &StudyContext) -> Table {
     let mut rows = Vec::new();
+    let circuit = crate::backend::circuit();
     for (sup, sub) in ctx.supervth.iter().zip(&ctx.subvth) {
-        let mep_sup = InverterChain::paper_chain(crate::backend::pair(sup)).minimum_energy_point();
-        let mep_sub = InverterChain::paper_chain(crate::backend::pair(sub)).minimum_energy_point();
+        let mep_sup = circuit
+            .minimum_energy_point(&InverterChain::paper_chain(crate::backend::pair(sup)))
+            .expect("chain MEP search failed");
+        let mep_sub = circuit
+            .minimum_energy_point(&InverterChain::paper_chain(crate::backend::pair(sub)))
+            .expect("chain MEP search failed");
         rows.push((
             sup.node.name().to_owned(),
             mep_sup.energy.as_femtojoules(),

@@ -10,6 +10,7 @@
 //! {
 //!   "v": 1,
 //!   "backend": "tcad.coarse.standard",
+//!   "circuit_backend": "spice",
 //!   "jobs": 8,
 //!   "wall_us": 1234567,
 //!   "experiments": [{"id": "fig2", "runs": 1, "dur_us": 98765}, ...],
@@ -22,7 +23,8 @@
 //!                   "p50": 10, "p95": 20}, ...],
 //!   "solvers": {
 //!     "poisson": {"solves": 512, "diverged": 0},
-//!     "gummel":  {"bias_points": 123, "stalls": 0, "poisson_failures": 0}
+//!     "gummel":  {"bias_points": 123, "stalls": 0, "poisson_failures": 0},
+//!     "spice":   {"dc_solves": 322, "tran_runs": 8}
 //!   }
 //! }
 //! ```
@@ -65,11 +67,16 @@ pub fn render_manifest(
     snap: &TraceSnapshot,
     cache: &CacheStats,
     backend: &str,
+    circuit_backend: &str,
     jobs: usize,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\"v\":1,");
     out.push_str(&format!("\"backend\":{},", json_str(backend)));
+    out.push_str(&format!(
+        "\"circuit_backend\":{},",
+        json_str(circuit_backend)
+    ));
     out.push_str(&format!("\"jobs\":{jobs},"));
     out.push_str(&format!("\"wall_us\":{},", snap.wall_us));
 
@@ -153,12 +160,15 @@ pub fn render_manifest(
     let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
     out.push_str(&format!(
         "\"solvers\":{{\"poisson\":{{\"solves\":{},\"diverged\":{}}},\
-         \"gummel\":{{\"bias_points\":{},\"stalls\":{},\"poisson_failures\":{}}}}}",
+         \"gummel\":{{\"bias_points\":{},\"stalls\":{},\"poisson_failures\":{}}},\
+         \"spice\":{{\"dc_solves\":{},\"tran_runs\":{}}}}}",
         counter("tcad.poisson.solves"),
         counter("tcad.poisson.diverged"),
         counter("tcad.gummel.bias_points"),
         counter("tcad.gummel.stall"),
         counter("tcad.gummel.poisson_failures"),
+        counter("spice.dc.solves"),
+        counter("spice.tran.runs"),
     ));
     out.push('}');
     out
@@ -178,6 +188,7 @@ pub fn write_manifest(w: &mut impl Write) -> io::Result<()> {
         &snap,
         &stats,
         &crate::backend::model().cache_id(),
+        &crate::backend::circuit().cache_id(),
         subvt_engine::global().workers(),
     );
     writeln!(w, "{manifest}")
@@ -215,6 +226,7 @@ mod tests {
             &sample_snapshot(),
             &sample_stats(),
             "tcad.coarse.standard",
+            "spice",
             4,
         );
         let v = tracefmt::parse_json(&text).expect("manifest parses");
@@ -223,6 +235,7 @@ mod tests {
             v.get("backend").unwrap().as_str(),
             Some("tcad.coarse.standard")
         );
+        assert_eq!(v.get("circuit_backend").unwrap().as_str(), Some("spice"));
         assert_eq!(v.get("jobs").unwrap().as_u64(), Some(4));
         let cache = v.get("cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64(), Some(5));
@@ -242,7 +255,13 @@ mod tests {
 
     #[test]
     fn experiments_aggregate_repeat_runs() {
-        let text = render_manifest(&sample_snapshot(), &sample_stats(), "analytic", 1);
+        let text = render_manifest(
+            &sample_snapshot(),
+            &sample_stats(),
+            "analytic",
+            "analytic",
+            1,
+        );
         let v = tracefmt::parse_json(&text).unwrap();
         let exps = v.get("experiments").unwrap().as_arr().unwrap();
         assert_eq!(exps.len(), 1);
@@ -252,7 +271,13 @@ mod tests {
 
     #[test]
     fn histogram_quantiles_serialise() {
-        let text = render_manifest(&sample_snapshot(), &sample_stats(), "analytic", 1);
+        let text = render_manifest(
+            &sample_snapshot(),
+            &sample_stats(),
+            "analytic",
+            "analytic",
+            1,
+        );
         let v = tracefmt::parse_json(&text).unwrap();
         let hists = v.get("histograms").unwrap().as_arr().unwrap();
         let gummel = hists

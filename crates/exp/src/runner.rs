@@ -33,7 +33,8 @@ pub fn run(id: &str) -> Option<Table> {
             .expect("design flows failed on roadmap inputs")
     };
     let _span = subvt_engine::trace::span(format!("experiment.{id}"))
-        .attr("backend", crate::backend::model().cache_id());
+        .attr("backend", crate::backend::model().cache_id())
+        .attr("circuit_backend", crate::backend::circuit().cache_id());
     Some(match id {
         "table1" => tables::table1(),
         "table2" => tables::table2(&ctx()),

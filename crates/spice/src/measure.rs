@@ -28,7 +28,15 @@ pub fn crossing_time(
     for k in 1..result.time.len() {
         let v0 = result.voltages[k - 1][node];
         let v1 = result.voltages[k][node];
-        let crossed = (v0 - level) * (v1 - level) <= 0.0 && v0 != v1;
+        // A sample landing exactly on `level` makes the sign product
+        // vanish for both adjacent intervals; the crossing belongs to the
+        // interval that *arrives* at the level (d1 == 0), never the one
+        // that leaves it — except at the very first interval, where no
+        // earlier interval could have claimed it.
+        let d0 = v0 - level;
+        let d1 = v1 - level;
+        let crossed =
+            d0 * d1 < 0.0 || (d1 == 0.0 && d0 != 0.0) || (k == 1 && d0 == 0.0 && d1 != 0.0);
         if !crossed {
             continue;
         }
@@ -111,6 +119,7 @@ mod tests {
                 .map(|i| vec![0.0, i as f64 / 10.0, 1.0 - i as f64 / 10.0])
                 .collect(),
             branch_currents: (0..=10).map(|_| vec![-1.0e-3]).collect(),
+            newton_iterations: vec![1; 10],
         }
     }
 
@@ -123,6 +132,58 @@ mod tests {
         assert!((t - 0.5).abs() < 1e-12);
         assert!(crossing_time(&r, 1, 0.5, Edge::Falling, 0).is_none());
         assert!(crossing_time(&r, 1, 2.0, Edge::Any, 0).is_none());
+    }
+
+    #[test]
+    fn exact_sample_crossing_counted_once() {
+        // The node-1 ramp is sampled *exactly* at swing/2 (sample 5 is
+        // 0.5): the old `(v0-level)*(v1-level) <= 0` test reported the
+        // same physical crossing from both adjacent intervals, so the
+        // nth-crossing index was skewed by one from there on.
+        let r = ramp_result();
+        let t = crossing_time(&r, 1, 0.5, Edge::Any, 0).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!(
+            crossing_time(&r, 1, 0.5, Edge::Any, 1).is_none(),
+            "a single crossing through an exact sample must count once"
+        );
+        // Same dedupe on the falling ramp.
+        assert!((crossing_time(&r, 2, 0.5, Edge::Falling, 0).unwrap() - 0.5).abs() < 1e-12);
+        assert!(crossing_time(&r, 2, 0.5, Edge::Any, 1).is_none());
+    }
+
+    #[test]
+    fn waveform_starting_on_level_still_crosses() {
+        // If the first sample sits exactly on the level and the waveform
+        // leaves it, that departure is the (single) crossing.
+        let r = TransientResult {
+            time: vec![0.0, 1.0, 2.0],
+            voltages: vec![vec![0.0, 0.5], vec![0.0, 1.0], vec![0.0, 1.0]],
+            branch_currents: vec![vec![]; 3],
+            newton_iterations: vec![1; 2],
+        };
+        let t = crossing_time(&r, 1, 0.5, Edge::Rising, 0).unwrap();
+        assert!((t - 0.0).abs() < 1e-12);
+        assert!(crossing_time(&r, 1, 0.5, Edge::Any, 1).is_none());
+    }
+
+    #[test]
+    fn propagation_delay_with_exact_midpoint_samples() {
+        // Input and output both sampled exactly at swing/2; the output
+        // also *touches* the level once before the input edge. Each
+        // exact-sample hit must occupy exactly one nth slot so the scan
+        // in `propagation_delay` lands on the true post-edge crossing.
+        let out = [1.0, 0.5, 1.0, 1.0, 1.0, 1.0, 0.5, 0.0, 0.0, 0.0, 0.0];
+        let inp = [0.0, 0.0, 0.0, 0.0, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let r = TransientResult {
+            time: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            voltages: (0..=10).map(|i| vec![0.0, inp[i], out[i]]).collect(),
+            branch_currents: (0..=10).map(|_| vec![]).collect(),
+            newton_iterations: vec![1; 10],
+        };
+        let d = propagation_delay(&r, 1, 2, 1.0, Edge::Rising).unwrap();
+        // Input crosses at t = 0.4, output falls through 0.5 at t = 0.6.
+        assert!((d - 0.2).abs() < 1e-12, "delay {d}");
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct TransientResult {
     pub voltages: Vec<Vec<f64>>,
     /// Voltage-source branch currents per time point, netlist order.
     pub branch_currents: Vec<Vec<f64>>,
+    /// Newton iterations consumed per time step (one entry per step, so
+    /// `newton_iterations.len() == time.len() - 1`) — the raw material
+    /// for solver-effort histograms.
+    pub newton_iterations: Vec<usize>,
 }
 
 impl TransientResult {
@@ -111,6 +115,7 @@ pub fn transient_from(
     let mut time = Vec::with_capacity(steps + 1);
     let mut voltages = Vec::with_capacity(steps + 1);
     let mut branches = Vec::with_capacity(steps + 1);
+    let mut newton_iterations = Vec::with_capacity(steps);
 
     let push = |t: f64,
                 x: &[f64],
@@ -140,8 +145,9 @@ pub fn transient_from(
             v_prev: &v_prev,
             i_prev: &cap_i_prev,
         };
-        let (x_new, _iters) = solver.newton(x.clone(), caps)?;
+        let (x_new, iters) = solver.newton(x.clone(), caps)?;
         x = x_new;
+        newton_iterations.push(iters);
 
         // Update capacitor history currents.
         let mut cap_idx = 0usize;
@@ -166,6 +172,7 @@ pub fn transient_from(
         time,
         voltages,
         branch_currents: branches,
+        newton_iterations,
     })
 }
 

@@ -49,7 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("32nm sub", &sub32),
     ] {
         let vtc = Inverter::new(d.cmos_pair()).vtc(Volts::new(0.25), 161)?;
-        println!("  {label:<11} {:.1} mV", butterfly_snm(&vtc, &vtc) * 1e3);
+        let snm = butterfly_snm(&vtc, &vtc).expect("clean VTC inverts");
+        println!("  {label:<11} {:.1} mV", snm * 1e3);
     }
     Ok(())
 }

@@ -138,6 +138,95 @@ fn minimum_energy_point_is_stable_across_engines() {
     );
 }
 
+/// Sums hits and misses across the `spice.*` cache namespaces. Only the
+/// parity test below touches those namespaces in this process, so the
+/// deltas are race-free even with tests running in parallel.
+fn spice_cache_totals() -> (u64, u64) {
+    let stats = subvt_engine::global_cache().stats();
+    stats
+        .by_namespace
+        .iter()
+        .filter(|(ns, _, _)| ns.starts_with("spice."))
+        .fold((0, 0), |(h, m), (_, hits, misses)| (h + hits, m + misses))
+}
+
+/// Backend parity at every Table 2 node, then cache-reuse on a warm
+/// rerun. One combined test: splitting it would race on the shared
+/// global cache stats across parallel test threads.
+#[test]
+fn spice_backend_parity_and_warm_cache_reuse() {
+    let analytic = subvt_circuits::analytic_circuit();
+    let spice = subvt_circuits::spice_circuit();
+    let ctx = subvt_exp::StudyContext::cached();
+    let v = Volts::new(0.25);
+    let pairs: Vec<CmosPair> = ctx.supervth.iter().map(subvt_exp::backend::pair).collect();
+
+    for (d, p) in ctx.supervth.iter().zip(&pairs) {
+        let node = d.node.name();
+
+        // Both backends sweep the identical MNA deck for the VTC, so the
+        // curves — and the SNM read off them — must agree to solver
+        // precision.
+        let vtc_a = analytic.vtc(p, v, 81).expect("analytic vtc");
+        let vtc_s = spice.vtc(p, v, 81).expect("spice vtc");
+        let max_dev = vtc_a
+            .v_out
+            .iter()
+            .zip(&vtc_s.v_out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-9, "{node}: VTC deviation {max_dev} V");
+        let snm_a = noise_margins(&vtc_a).expect("margins").snm();
+        let snm_s = noise_margins(&vtc_s).expect("margins").snm();
+        assert!(
+            (snm_a - snm_s).abs() < 1e-9,
+            "{node}: SNM {snm_a} vs {snm_s}"
+        );
+
+        // Same FO1 fixture at different step counts (900 vs 1200): the
+        // measured propagation delays must land within 10 %.
+        let d_a = analytic.fo1_delay(p, v).expect("analytic fo1");
+        let d_s = spice.fo1_delay(p, v).expect("spice fo1");
+        let ratio = d_s.average().get() / d_a.average().get();
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "{node}: FO1 delay ratio {ratio}"
+        );
+
+        // Chain energy: closed-form model vs supply-charge integration.
+        // These are different estimators, so only order-of-magnitude
+        // agreement is claimed (factor 3).
+        let chain = InverterChain::paper_chain(*p);
+        let e_a = analytic.chain_energy(&chain, v).expect("analytic energy");
+        let e_s = spice.chain_energy(&chain, v).expect("spice energy");
+        let ratio = e_s.total().get() / e_a.total().get();
+        assert!(
+            (1.0 / 3.0..3.0).contains(&ratio),
+            "{node}: chain energy ratio {ratio}"
+        );
+    }
+
+    // Warm rerun: every spice metric recomputed above must now be a pure
+    // cache hit — zero new misses in the spice.* namespaces.
+    let (hits_cold, misses_cold) = spice_cache_totals();
+    for p in &pairs {
+        spice.vtc(p, v, 81).expect("warm vtc");
+        spice.fo1_delay(p, v).expect("warm fo1");
+        spice
+            .chain_energy(&InverterChain::paper_chain(*p), v)
+            .expect("warm energy");
+    }
+    let (hits_warm, misses_warm) = spice_cache_totals();
+    assert_eq!(
+        misses_warm, misses_cold,
+        "warm spice rerun must not miss the cache"
+    );
+    assert!(
+        hits_warm >= hits_cold + 3 * pairs.len() as u64,
+        "warm spice rerun should hit per metric: {hits_cold} -> {hits_warm}"
+    );
+}
+
 #[test]
 fn snm_definitions_rank_supplies_consistently() {
     // Gain-based (paper) and butterfly SNM must both rank supplies the
@@ -147,7 +236,7 @@ fn snm_definitions_rank_supplies_consistently() {
     let snm_at = |v: f64| {
         let vtc = inv.vtc(Volts::new(v), 121).expect("vtc");
         let gain = noise_margins(&vtc).expect("margins").snm();
-        let fly = subvt_circuits::butterfly_snm(&vtc, &vtc);
+        let fly = subvt_circuits::butterfly_snm(&vtc, &vtc).expect("butterfly");
         (gain, fly)
     };
     let (g1, f1) = snm_at(0.20);
