@@ -1,122 +1,8 @@
 //! Deterministic pseudo-random sampling for Monte-Carlo sweeps.
 //!
-//! A SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014) — tiny,
-//! fast, passes BigCrush for this kind of workload, and most importantly
-//! *std-only and stable across platforms*, so Monte-Carlo experiments
-//! are reproducible byte-for-byte everywhere.
-//!
-//! [`SplitMix64::stream`] derives a decorrelated generator per sample
-//! index. Sweeps seed one stream per sample, which makes the sampled
-//! population a pure function of `(seed, index)` — independent of how
-//! the sample loop is chunked across the thread pool.
+//! The generator itself now lives in `subvt_engine::rng` so the
+//! engine's fault-injection harness can share the same deterministic
+//! streams; this module re-exports it for the existing circuit-level
+//! call sites ([`crate::montecarlo`] and downstream users).
 
-/// SplitMix64 PRNG state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
-
-impl SplitMix64 {
-    /// Creates a generator from a seed.
-    pub fn new(seed: u64) -> Self {
-        Self { state: seed }
-    }
-
-    /// Creates the decorrelated stream for one sample index: the same
-    /// `(seed, index)` always yields the same sequence, regardless of
-    /// which thread or chunk consumes it.
-    pub fn stream(seed: u64, index: u64) -> Self {
-        let mut mixer = Self::new(seed ^ index.wrapping_mul(GOLDEN_GAMMA));
-        // One warm-up step decouples streams whose seeds differ only in
-        // a few bits.
-        let state = mixer.next_u64();
-        Self { state }
-    }
-
-    /// Next raw 64-bit output.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform sample in `[0, 1)` with 53 bits of precision.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Standard-normal sample via Box–Muller (the first uniform is
-    /// drawn from `(0, 1]` so the logarithm is always finite).
-    pub fn next_gaussian(&mut self) -> f64 {
-        let u1 = ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
-        let u2 = self.next_f64();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_sequences() {
-        let mut a = SplitMix64::new(42);
-        let mut b = SplitMix64::new(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
-
-    #[test]
-    fn known_splitmix_vector() {
-        // Reference sequence for seed 0 (e.g. from the Vigna/xoshiro
-        // reference implementation of splitmix64).
-        let mut g = SplitMix64::new(0);
-        assert_eq!(g.next_u64(), 0xe220_a839_7b1d_cdaf);
-        assert_eq!(g.next_u64(), 0x6e78_9e6a_a1b9_65f4);
-        assert_eq!(g.next_u64(), 0x06c4_5d18_8009_454f);
-    }
-
-    #[test]
-    fn uniform_is_in_unit_interval_and_spread() {
-        let mut g = SplitMix64::new(7);
-        let vals: Vec<f64> = (0..4000).map(|_| g.next_f64()).collect();
-        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
-        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        assert!((mean - 0.5).abs() < 0.03, "uniform mean off: {mean}");
-    }
-
-    #[test]
-    fn gaussian_moments_are_sane() {
-        let mut g = SplitMix64::new(11);
-        let vals: Vec<f64> = (0..20_000).map(|_| g.next_gaussian()).collect();
-        let n = vals.len() as f64;
-        let mean = vals.iter().sum::<f64>() / n;
-        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        assert!(mean.abs() < 0.03, "gaussian mean {mean}");
-        assert!((var - 1.0).abs() < 0.05, "gaussian variance {var}");
-        assert!(vals.iter().all(|v| v.is_finite()));
-    }
-
-    #[test]
-    fn streams_are_decorrelated_and_stable() {
-        let a: Vec<u64> = {
-            let mut g = SplitMix64::stream(5, 0);
-            (0..4).map(|_| g.next_u64()).collect()
-        };
-        let b: Vec<u64> = {
-            let mut g = SplitMix64::stream(5, 1);
-            (0..4).map(|_| g.next_u64()).collect()
-        };
-        assert_ne!(a, b);
-        let a2: Vec<u64> = {
-            let mut g = SplitMix64::stream(5, 0);
-            (0..4).map(|_| g.next_u64()).collect()
-        };
-        assert_eq!(a, a2);
-    }
-}
+pub use subvt_engine::rng::SplitMix64;

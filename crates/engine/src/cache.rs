@@ -16,15 +16,24 @@
 //! Persistence schema, one JSON object per line:
 //!
 //! ```text
-//! {"ns":"tcad.extract","key":"1f3a..16 hex..","bits":[4614256656552045848,...]}
+//! {"ns":"tcad.extract","key":"1f3a..16 hex..","bits":[4614256656552045848,...],"crc":"..16 hex.."}
 //! ```
 //!
 //! `bits` are the IEEE-754 bit patterns of the encoded `f64`s, so a
-//! round trip through disk is bit-exact.
+//! round trip through disk is bit-exact. `crc` is an FNV-1a digest of
+//! the entry's content: on load, lines whose digest does not match —
+//! torn writes, flipped bits, truncations — are **quarantined** to a
+//! `<path>.quarantine` sidecar and skipped, never fatal and never
+//! silently wrong. Lines without a `crc` field (written by older
+//! builds) are accepted when structurally intact. Saving rewrites the
+//! whole file through a sibling temp file plus atomic rename, which
+//! also compacts away superseded duplicate entries, and
+//! [`CacheLock`] provides an advisory lock file so two processes can
+//! share a cache directory without clobbering each other's saves.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -259,35 +268,93 @@ impl Cache {
     }
 
     /// Loads JSON-lines entries from `path` (missing file = empty).
-    /// Returns how many entries were loaded; malformed lines are
-    /// skipped, never fatal — a corrupt cache degrades to recompute.
+    /// Returns how many entries were loaded; damaged lines are
+    /// quarantined, never fatal — a corrupt cache degrades to
+    /// recompute. See [`Cache::load_jsonl_report`] for the full
+    /// accounting.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors other than "file not found".
     pub fn load_jsonl(&self, path: &Path) -> std::io::Result<usize> {
-        let file = match std::fs::File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
-            Err(e) => return Err(e),
-        };
-        let mut loaded = 0;
-        for line in BufReader::new(file).lines() {
-            let line = line?;
-            if let Some((ns, key, bits)) = parse_entry(&line) {
-                let nsh = crate::KeyBuilder::new("ns").str(&ns).finish();
-                let blob: Vec<f64> = bits.iter().map(|b| f64::from_bits(*b)).collect();
-                let mut inner = self.inner.lock().expect("cache lock");
-                inner.map.insert((nsh, key), Slot::Ready(Arc::new(blob)));
-                inner.ns_names.entry(nsh).or_insert(ns);
-                loaded += 1;
-            }
-        }
-        Ok(loaded)
+        self.load_jsonl_report(path).map(|r| r.loaded)
     }
 
-    /// Writes every ready entry to `path` as JSON lines (atomic rename
-    /// via a sibling temp file). Returns the number of entries written.
+    /// Loads JSON-lines entries from `path` (missing file = empty),
+    /// reporting what happened to every line:
+    ///
+    /// * structurally valid lines with a matching (or absent, for
+    ///   legacy files) checksum are loaded; when the same `(ns, key)`
+    ///   appears more than once, later lines win and earlier ones count
+    ///   as `superseded` (the next [`Cache::save_jsonl`] compacts them
+    ///   away);
+    /// * torn, truncated or checksum-mismatched lines are appended
+    ///   verbatim to the `<path>.quarantine` sidecar, counted as
+    ///   `quarantined`, and traced as `cache.quarantined_lines` —
+    ///   loading continues.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found" (including
+    /// failure to write the quarantine sidecar).
+    pub fn load_jsonl_report(&self, path: &Path) -> std::io::Result<LoadReport> {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LoadReport::default()),
+            Err(e) => return Err(e),
+        };
+        let mut report = LoadReport::default();
+        let mut sidecar: Option<std::fs::File> = None;
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = parse_entry(&line).filter(|(ns, key, bits, crc)| match crc {
+                Some(crc) => *crc == line_crc(ns, *key, bits),
+                None => true, // legacy line, structurally intact
+            });
+            let Some((ns, key, bits, _)) = entry else {
+                let sidecar = match &mut sidecar {
+                    Some(f) => f,
+                    None => sidecar.insert(
+                        std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(quarantine_path(path))?,
+                    ),
+                };
+                writeln!(sidecar, "{line}")?;
+                report.quarantined += 1;
+                trace::add("cache.quarantined_lines", 1);
+                continue;
+            };
+            let nsh = crate::KeyBuilder::new("ns").str(&ns).finish();
+            let blob: Vec<f64> = bits.iter().map(|b| f64::from_bits(*b)).collect();
+            let mut inner = self.inner.lock().expect("cache lock");
+            if inner
+                .map
+                .insert((nsh, key), Slot::Ready(Arc::new(blob)))
+                .is_some()
+            {
+                report.superseded += 1;
+            } else {
+                report.loaded += 1;
+            }
+            inner.ns_names.entry(nsh).or_insert(ns);
+        }
+        if report.superseded > 0 {
+            trace::add("cache.superseded_lines", report.superseded as u64);
+        }
+        Ok(report)
+    }
+
+    /// Writes every ready entry to `path` as checksummed JSON lines.
+    /// The write goes through a sibling temp file plus atomic rename,
+    /// so a crash mid-save leaves the previous file intact; because the
+    /// in-memory map holds exactly one blob per `(ns, key)`, the
+    /// rewrite also compacts any superseded duplicates a previous file
+    /// accumulated. Returns the number of entries written.
     ///
     /// # Errors
     ///
@@ -310,18 +377,25 @@ impl Cache {
                 .collect();
             entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
             for (ns, key, blob) in entries {
-                write!(
-                    w,
+                let bits: Vec<u64> = blob.iter().map(|v| v.to_bits()).collect();
+                let mut line = format!(
                     "{{\"ns\":{},\"key\":\"{key:016x}\",\"bits\":[",
                     trace::json_str(ns)
-                )?;
-                for (i, v) in blob.iter().enumerate() {
+                );
+                for (i, b) in bits.iter().enumerate() {
                     if i > 0 {
-                        write!(w, ",")?;
+                        line.push(',');
                     }
-                    write!(w, "{}", v.to_bits())?;
+                    line.push_str(&b.to_string());
                 }
-                writeln!(w, "]}}")?;
+                line.push_str(&format!(
+                    "],\"crc\":\"{:016x}\"}}",
+                    line_crc(ns, key, &bits)
+                ));
+                // Chaos harness: simulates a torn write on this line
+                // (no-op unless a fault plan is armed).
+                crate::faultinject::corrupt_point(&mut line);
+                writeln!(w, "{line}")?;
                 written += 1;
             }
             w.flush()?;
@@ -331,14 +405,100 @@ impl Cache {
     }
 }
 
+/// Per-line accounting from [`Cache::load_jsonl_report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Distinct entries loaded into memory.
+    pub loaded: usize,
+    /// Duplicate `(ns, key)` lines replaced by a later line.
+    pub superseded: usize,
+    /// Damaged lines moved to the quarantine sidecar.
+    pub quarantined: usize,
+}
+
+/// The quarantine sidecar path for a cache file.
+pub fn quarantine_path(cache_path: &Path) -> PathBuf {
+    let mut os = cache_path.as_os_str().to_owned();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+/// Checksum of one persisted entry's content (namespace, key, bits).
+fn line_crc(ns: &str, key: u64, bits: &[u64]) -> u64 {
+    let mut h = crate::hash::Fnv64::new();
+    h.write(&(ns.len() as u64).to_le_bytes());
+    h.write(ns.as_bytes());
+    h.write(&key.to_le_bytes());
+    h.write(&(bits.len() as u64).to_le_bytes());
+    for b in bits {
+        h.write(&b.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Advisory lock file guarding a shared cache path.
+///
+/// [`CacheLock::acquire`] atomically creates `<path>.lock` (containing
+/// the holder's pid, for post-mortem debugging); the file is removed
+/// when the guard drops. `Ok(None)` means another process holds the
+/// lock — callers are expected to degrade gracefully (run without
+/// persisting, or skip the save) rather than fail.
+#[derive(Debug)]
+pub struct CacheLock {
+    path: PathBuf,
+}
+
+impl CacheLock {
+    /// Tries to take the lock for `cache_path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "already exists" (which maps to
+    /// `Ok(None)`).
+    pub fn acquire(cache_path: &Path) -> std::io::Result<Option<Self>> {
+        let mut os = cache_path.as_os_str().to_owned();
+        os.push(".lock");
+        let path = PathBuf::from(os);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                Ok(Some(Self { path }))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 impl Default for Cache {
     fn default() -> Self {
         Self::new()
     }
 }
 
-/// Parses one persistence line: `{"ns":"...","key":"hex","bits":[...]}`.
-fn parse_entry(line: &str) -> Option<(String, u64, Vec<u64>)> {
+/// Parses one persistence line:
+/// `{"ns":"...","key":"hex","bits":[...]}` (legacy) or
+/// `{"ns":"...","key":"hex","bits":[...],"crc":"hex"}`.
+///
+/// The trailing `}` must close the line exactly — any other trailing
+/// content marks the line as damaged, so a truncation that happens to
+/// leave a parsable prefix cannot load a short blob silently.
+fn parse_entry(line: &str) -> Option<(String, u64, Vec<u64>, Option<u64>)> {
     let rest = line.trim().strip_prefix("{\"ns\":\"")?;
     // The namespace is written with `json_str`; unescape the two
     // escapes that can occur in practice.
@@ -364,7 +524,7 @@ fn parse_entry(line: &str) -> Option<(String, u64, Vec<u64>)> {
     let (key_hex, rest) = rest.split_once('"')?;
     let key = u64::from_str_radix(key_hex, 16).ok()?;
     let rest = rest.strip_prefix(",\"bits\":[")?;
-    let (body, _) = rest.split_once(']')?;
+    let (body, rest) = rest.split_once(']')?;
     let bits = if body.is_empty() {
         Vec::new()
     } else {
@@ -373,7 +533,14 @@ fn parse_entry(line: &str) -> Option<(String, u64, Vec<u64>)> {
             .collect::<Result<Vec<u64>, _>>()
             .ok()?
     };
-    Some((ns, key, bits))
+    let crc = match rest {
+        "}" => None,
+        tail => {
+            let hex = tail.strip_prefix(",\"crc\":\"")?.strip_suffix("\"}")?;
+            Some(u64::from_str_radix(hex, 16).ok()?)
+        }
+    };
+    Some((ns, key, bits, crc))
 }
 
 #[cfg(test)]
@@ -491,9 +658,135 @@ mod tests {
         assert!(parse_entry("not json").is_none());
         assert!(parse_entry("{\"ns\":\"a\",\"key\":\"zz\",\"bits\":[1]}").is_none());
         let ok = parse_entry("{\"ns\":\"a\",\"key\":\"00000000000000ff\",\"bits\":[1,2]}");
-        assert_eq!(ok, Some(("a".to_owned(), 255, vec![1, 2])));
+        assert_eq!(ok, Some(("a".to_owned(), 255, vec![1, 2], None)));
         let empty = parse_entry("{\"ns\":\"a\",\"key\":\"0000000000000001\",\"bits\":[]}");
-        assert_eq!(empty, Some(("a".to_owned(), 1, vec![])));
+        assert_eq!(empty, Some(("a".to_owned(), 1, vec![], None)));
+        // Trailing garbage after the closing brace = damaged, even if a
+        // prefix parses (a truncated longer line must not load short).
+        assert!(
+            parse_entry("{\"ns\":\"a\",\"key\":\"0000000000000001\",\"bits\":[1]}#torn").is_none()
+        );
+        // crc field round-trips.
+        let crc = parse_entry(
+            "{\"ns\":\"a\",\"key\":\"0000000000000001\",\"bits\":[1],\"crc\":\"00000000000000aa\"}",
+        );
+        assert_eq!(crc, Some(("a".to_owned(), 1, vec![1], Some(0xaa))));
+    }
+
+    #[test]
+    fn corrupted_lines_are_quarantined_and_valid_entries_survive() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.jsonl");
+        let cache = Cache::new();
+        cache.get_or_compute("good", 1, || vec![1.0, 2.0]);
+        cache.get_or_compute("good", 2, || 3.5);
+        assert_eq!(cache.save_jsonl(&path).unwrap(), 2);
+
+        // Flip one bit in the first line's payload (checksum mismatch)
+        // and truncate the second (structural damage), then append one
+        // intact line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        lines[0] = lines[0].replacen("\"bits\":[", "\"bits\":[9,", 1);
+        let keep = lines[1].len() / 2;
+        lines[1].truncate(keep);
+        let extra = Cache::new();
+        extra.get_or_compute("extra", 3, || 7.0);
+        let extra_path = dir.join("extra.jsonl");
+        extra.save_jsonl(&extra_path).unwrap();
+        lines.push(std::fs::read_to_string(&extra_path).unwrap().trim().into());
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let reloaded = Cache::new();
+        let report = reloaded.load_jsonl_report(&path).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 1,
+                superseded: 0,
+                quarantined: 2
+            }
+        );
+        assert_eq!(reloaded.get_or_compute("extra", 3, || -1.0), 7.0);
+        let sidecar = std::fs::read_to_string(quarantine_path(&path)).unwrap();
+        assert_eq!(sidecar.lines().count(), 2, "both damaged lines kept");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(quarantine_path(&path)).ok();
+        std::fs::remove_file(&extra_path).ok();
+    }
+
+    #[test]
+    fn duplicate_entries_supersede_in_order_and_compact_on_save() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-d-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dupes.jsonl");
+        // Build a file with the same (ns, key) three times by
+        // concatenating saves with different values.
+        let mut text = String::new();
+        for v in [1.0, 2.0, 3.0] {
+            let c = Cache::new();
+            c.get_or_compute("dup", 9, move || v);
+            let p = dir.join("one.jsonl");
+            c.save_jsonl(&p).unwrap();
+            text.push_str(&std::fs::read_to_string(&p).unwrap());
+            std::fs::remove_file(&p).ok();
+        }
+        std::fs::write(&path, &text).unwrap();
+
+        let cache = Cache::new();
+        let report = cache.load_jsonl_report(&path).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 1,
+                superseded: 2,
+                quarantined: 0
+            }
+        );
+        // Last line wins.
+        assert_eq!(cache.get_or_compute("dup", 9, || -1.0), 3.0);
+        // A clean save compacts the file back to one line.
+        assert_eq!(cache.save_jsonl(&path).unwrap(), 1);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_lines_without_crc_still_load() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-l-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.jsonl");
+        let bits = 2.5f64.to_bits();
+        std::fs::write(
+            &path,
+            format!("{{\"ns\":\"old\",\"key\":\"000000000000000a\",\"bits\":[{bits}]}}\n"),
+        )
+        .unwrap();
+        let cache = Cache::new();
+        let report = cache.load_jsonl_report(&path).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(cache.get_or_compute("old", 10, || -1.0), 2.5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_lock_is_exclusive_and_released_on_drop() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-k-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("locked.jsonl");
+        let lock = CacheLock::acquire(&path).unwrap().expect("first acquire");
+        assert!(lock.path().exists());
+        assert!(
+            CacheLock::acquire(&path).unwrap().is_none(),
+            "second acquire must observe the held lock"
+        );
+        let lock_path = lock.path().to_owned();
+        drop(lock);
+        assert!(!lock_path.exists(), "drop must remove the lock file");
+        let again = CacheLock::acquire(&path).unwrap();
+        assert!(again.is_some(), "lock is reacquirable after release");
     }
 
     #[test]

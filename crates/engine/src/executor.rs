@@ -180,9 +180,36 @@ impl<T> JobHandle<T> {
     ///
     /// Returns [`JobPanic`] if the job panicked.
     pub fn join(self) -> Result<T, JobPanic> {
+        match self.join_until(None) {
+            Ok(result) => result,
+            Err(_) => unreachable!("join without a deadline cannot time out"),
+        }
+    }
+
+    /// Like [`JobHandle::join`], but gives up once `deadline` elapses.
+    ///
+    /// The deadline is advisory: a job that is already running cannot be
+    /// interrupted, so on timeout the handle is returned (inside `Err`)
+    /// and the job keeps running detached — its result is simply
+    /// discarded unless the caller joins the returned handle later.
+    ///
+    /// # Errors
+    ///
+    /// Returns the handle back when the deadline elapsed first.
+    pub fn join_deadline(self, deadline: Duration) -> Result<Result<T, JobPanic>, JobHandle<T>> {
+        self.join_until(Some(std::time::Instant::now() + deadline))
+    }
+
+    fn join_until(
+        self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Result<T, JobPanic>, JobHandle<T>> {
         loop {
             if let Some(result) = self.state.slot.lock().expect("handle lock").take() {
-                return result;
+                return Ok(result);
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                return Err(self);
             }
             if help_one(&self.shared) {
                 continue;
@@ -192,15 +219,15 @@ impl<T> JobHandle<T> {
                 continue;
             }
             // Short timeout so a worker wakes up to help with local
-            // work that appears while it waits; non-workers just loop
-            // on the condvar.
+            // work that appears while it waits (and so a deadline is
+            // noticed promptly); non-workers just loop on the condvar.
             let (mut guard, _) = self
                 .state
                 .done
                 .wait_timeout(guard, Duration::from_millis(1))
                 .expect("handle wait");
             if let Some(result) = guard.take() {
-                return result;
+                return Ok(result);
             }
         }
     }
@@ -467,6 +494,28 @@ mod tests {
             .find(|s| s.name == "exec.panic.after")
             .unwrap();
         assert_eq!(after.parent, None, "worker context leaked across panic");
+    }
+
+    #[test]
+    fn join_deadline_times_out_and_later_completes() {
+        let ex = Executor::new(1);
+        let h = ex.spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+            123
+        });
+        // Far too short: must come back with the handle, not a result.
+        let h = match h.join_deadline(Duration::from_millis(2)) {
+            Err(h) => h,
+            Ok(_) => panic!("2ms deadline should not fit a 30ms job"),
+        };
+        // The detached job still finishes; a later join sees the value.
+        assert_eq!(h.join().unwrap(), 123);
+        // And a generous deadline behaves like a plain join.
+        let quick = ex.spawn(|| 7);
+        match quick.join_deadline(Duration::from_secs(5)) {
+            Ok(result) => assert_eq!(result.unwrap(), 7),
+            Err(_) => panic!("generous deadline timed out"),
+        }
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //!   Chrome trace-event sinks. Cache statistics are flushed into drained
 //!   traces automatically.
 //!
+//! A fault-tolerance layer rides on top (DESIGN.md §7): [`supervisor`]
+//! retries/quarantines panicking or overrunning jobs, [`recovery`]
+//! records the typed ladder rungs solvers climb on non-convergence,
+//! [`rng`] hosts the deterministic SplitMix64 streams, and
+//! [`faultinject`] is the seeded chaos harness that drives the
+//! `integration_chaos` suite. All of it is pay-for-use: with no fault
+//! plan armed and no failures, runs are byte-identical to a build
+//! without the layer.
+//!
 //! The process-wide instances used by the experiment harness are
 //! [`global`] (sized by [`configure_jobs`], the `SUBVT_JOBS`
 //! environment variable, or the machine's parallelism) and
@@ -33,12 +42,19 @@
 
 pub mod cache;
 pub mod executor;
+pub mod faultinject;
 pub mod hash;
+pub mod recovery;
+pub mod rng;
+pub mod supervisor;
 pub mod trace;
 
 pub use cache::{Blob, Cache, CacheStats};
 pub use executor::{Executor, JobHandle, JobPanic};
+pub use faultinject::{FaultPlan, FaultSite};
 pub use hash::{KeyBuilder, Keyed};
+pub use recovery::{RecoveryRecord, RecoveryStep};
+pub use supervisor::{JobError, RetryPolicy, Supervisor};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

@@ -1,0 +1,350 @@
+//! Job supervision: panic isolation, bounded retries, deadlines, and a
+//! quarantine list.
+//!
+//! [`Supervisor::run`] wraps an executor job with the fault-tolerance
+//! policy the ISSUE's sweep driver needs: the job body runs under the
+//! executor's existing `catch_unwind` isolation, a panic or deadline
+//! overrun is retried up to [`RetryPolicy::max_attempts`] times (each
+//! retry recorded as a [`crate::recovery::RecoveryStep::Retry`] rung),
+//! and a job key that exhausts its attempts is quarantined so the same
+//! poisoned sweep point is refused instantly instead of re-running
+//! forever. Jobs that return normally on the first attempt pay one
+//! `HashSet` lookup and nothing else, keeping the happy path
+//! byte-identical.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::executor::Executor;
+use crate::faultinject::{self, FaultSite};
+use crate::recovery::{self, RecoveryStep};
+use crate::trace;
+
+/// Bounded retry policy for supervised jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first run included); at least 1.
+    pub max_attempts: u32,
+    /// Per-attempt deadline; `None` disables deadline enforcement.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            deadline: None,
+        }
+    }
+}
+
+/// Why a supervised job did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Every attempt panicked; carries the final panic message.
+    Panicked {
+        /// Stringified payload of the last panic.
+        message: String,
+        /// Attempts consumed (== `max_attempts`).
+        attempts: u32,
+    },
+    /// Every attempt overran its deadline.
+    DeadlineExceeded {
+        /// Attempts consumed (== `max_attempts`).
+        attempts: u32,
+        /// The per-attempt deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// The job key is quarantined from a previous exhaustion; the job
+    /// body was not run at all.
+    Quarantined,
+}
+
+impl core::fmt::Display for JobError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JobError::Panicked { message, attempts } => {
+                write!(f, "job panicked on all {attempts} attempts: {message}")
+            }
+            JobError::DeadlineExceeded { attempts, deadline } => {
+                write!(
+                    f,
+                    "job exceeded its {:?} deadline on all {attempts} attempts",
+                    deadline
+                )
+            }
+            JobError::Quarantined => write!(f, "job key is quarantined"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Supervises executor jobs under a [`RetryPolicy`] with a shared
+/// quarantine list.
+pub struct Supervisor {
+    policy: RetryPolicy,
+    quarantine: Mutex<HashSet<u64>>,
+}
+
+impl Supervisor {
+    /// Creates a supervisor; `max_attempts` is clamped up to 1.
+    pub fn new(mut policy: RetryPolicy) -> Self {
+        policy.max_attempts = policy.max_attempts.max(1);
+        Self {
+            policy,
+            quarantine: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The policy this supervisor enforces.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Whether `key` is currently quarantined.
+    pub fn is_quarantined(&self, key: u64) -> bool {
+        self.quarantine
+            .lock()
+            .expect("quarantine lock")
+            .contains(&key)
+    }
+
+    /// Keys quarantined so far, sorted for stable reporting.
+    pub fn quarantined_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .quarantine
+            .lock()
+            .expect("quarantine lock")
+            .iter()
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Runs `f` as a supervised job on `executor`.
+    ///
+    /// `key` identifies the logical work item (use
+    /// [`crate::KeyBuilder`] over the job's inputs) for quarantine
+    /// purposes; `label` is free-form context for recovery records.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Quarantined`] if `key` already exhausted its
+    /// attempts earlier; [`JobError::Panicked`] /
+    /// [`JobError::DeadlineExceeded`] once `max_attempts` attempts have
+    /// failed (the key is quarantined as a side effect).
+    pub fn run<T, F>(&self, executor: &Executor, key: u64, label: &str, f: F) -> Result<T, JobError>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + Clone + 'static,
+    {
+        if self.is_quarantined(key) {
+            trace::add("supervisor.quarantine_hits", 1);
+            return Err(JobError::Quarantined);
+        }
+        let mut last_error = JobError::Quarantined; // overwritten before use
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                trace::add("supervisor.retries", 1);
+            }
+            let body = f.clone();
+            let deadline = self.policy.deadline;
+            let handle = executor.spawn(move || {
+                // Injection points fire before the body runs, so a
+                // retried attempt reproduces the fault-free result
+                // exactly.
+                faultinject::panic_point();
+                if let Some(d) = deadline {
+                    if faultinject::should_inject(FaultSite::DeadlineOverrun) {
+                        std::thread::sleep(d + Duration::from_millis(25));
+                    }
+                }
+                body()
+            });
+            let joined = match deadline {
+                Some(d) => handle.join_deadline(d).map_err(|_| ()),
+                None => Ok(handle.join()),
+            };
+            match joined {
+                Ok(Ok(value)) => {
+                    if attempt > 1 {
+                        recovery::record(
+                            "supervisor",
+                            RecoveryStep::Retry,
+                            format!("{label}: recovered on attempt {attempt}"),
+                            true,
+                        );
+                    }
+                    return Ok(value);
+                }
+                Ok(Err(panic)) => {
+                    trace::add("supervisor.panics", 1);
+                    recovery::record(
+                        "supervisor",
+                        RecoveryStep::Retry,
+                        format!("{label}: attempt {attempt} panicked: {}", panic.message),
+                        false,
+                    );
+                    last_error = JobError::Panicked {
+                        message: panic.message,
+                        attempts: attempt,
+                    };
+                }
+                Err(()) => {
+                    trace::add("supervisor.deadline_exceeded", 1);
+                    recovery::record(
+                        "supervisor",
+                        RecoveryStep::Retry,
+                        format!("{label}: attempt {attempt} exceeded deadline"),
+                        false,
+                    );
+                    last_error = JobError::DeadlineExceeded {
+                        attempts: attempt,
+                        deadline: deadline.unwrap_or_default(),
+                    };
+                }
+            }
+        }
+        self.quarantine.lock().expect("quarantine lock").insert(key);
+        trace::add("supervisor.quarantined", 1);
+        Err(last_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultinject::FaultPlan;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn executor() -> Executor {
+        Executor::new(2)
+    }
+
+    #[test]
+    fn happy_path_runs_once_without_records() {
+        let sup = Supervisor::new(RetryPolicy::default());
+        let ex = executor();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let out = sup.run(&ex, 1, "happy", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            99
+        });
+        assert_eq!(out.unwrap(), 99);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(sup.quarantined_keys().is_empty());
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_attempts_and_quarantines() {
+        crate::recovery::drain();
+        let sup = Supervisor::new(RetryPolicy {
+            max_attempts: 3,
+            deadline: None,
+        });
+        let ex = executor();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let out: Result<u32, _> = sup.run(&ex, 7, "poison", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            panic!("always fails")
+        });
+        match out {
+            Err(JobError::Panicked { message, attempts }) => {
+                assert_eq!(message, "always fails");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert!(sup.is_quarantined(7));
+        // A second submission is refused without running the body.
+        let c2 = Arc::clone(&calls);
+        let again: Result<u32, _> = sup.run(&ex, 7, "poison", move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+            0
+        });
+        assert_eq!(again.unwrap_err(), JobError::Quarantined);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        let records = crate::recovery::drain();
+        assert!(
+            records
+                .iter()
+                .filter(|r| r.site == "supervisor" && !r.recovered)
+                .count()
+                >= 3
+        );
+    }
+
+    #[test]
+    fn transient_panic_recovers_on_retry() {
+        let sup = Supervisor::new(RetryPolicy {
+            max_attempts: 3,
+            deadline: None,
+        });
+        let ex = executor();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let out = sup.run(&ex, 11, "flaky", move || {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first attempt only");
+            }
+            42
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(!sup.is_quarantined(11));
+    }
+
+    #[test]
+    fn deadline_overrun_is_reported_and_retried() {
+        let sup = Supervisor::new(RetryPolicy {
+            max_attempts: 2,
+            deadline: Some(Duration::from_millis(5)),
+        });
+        let ex = executor();
+        let out: Result<u32, _> = sup.run(&ex, 13, "slow", || {
+            std::thread::sleep(Duration::from_millis(40));
+            1
+        });
+        match out {
+            Err(JobError::DeadlineExceeded { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(sup.is_quarantined(13));
+    }
+
+    #[test]
+    fn injected_panics_are_recovered_by_retry() {
+        // p=1 for the first call only is not expressible, so use a
+        // certain-fire plan and rely on retries: with p=0.45 and three
+        // attempts the chance all three fire is ~9%; fix the seed so the
+        // schedule is one that recovers.
+        faultinject::configure(Some(FaultPlan {
+            p_panic: 0.45,
+            ..FaultPlan::quiet(2024)
+        }));
+        let sup = Supervisor::new(RetryPolicy {
+            max_attempts: 6,
+            deadline: None,
+        });
+        let ex = executor();
+        let mut successes = 0;
+        for key in 0..16 {
+            if sup.run(&ex, key, "chaos", move || key * 2).is_ok() {
+                successes += 1;
+            }
+        }
+        faultinject::configure(None);
+        assert!(
+            successes >= 14,
+            "6 attempts at p=0.45 should almost always recover: {successes}/16"
+        );
+        assert!(faultinject::injected_total() > 0, "plan never fired");
+    }
+}

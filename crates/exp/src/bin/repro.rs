@@ -16,15 +16,19 @@
 //! repro --manifest m.json all
 //!                           # per-run summary: timings, cache, solvers
 //! repro --cache c.jsonl all # persist the result cache across runs
+//! repro --keep-going all    # isolate failures; report them, keep sweeping
 //! repro trace-report t.jsonl
 //!                           # render a saved trace as a span tree
+//! repro trace-report m.json # (manifest files are sniffed and summarised)
 //! repro --list              # list experiment ids
 //! ```
 
 use std::process::ExitCode;
 
 use subvt_circuits::CircuitBackendKind;
-use subvt_exp::{run, tracefmt, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+use subvt_exp::{
+    run, run_guarded, tracefmt, FigureFailure, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
+};
 use subvt_model::Backend;
 
 fn main() -> ExitCode {
@@ -38,6 +42,7 @@ fn main() -> ExitCode {
     }
 
     let mut csv = false;
+    let mut keep_going = false;
     let mut trace_path: Option<String> = None;
     let mut trace_chrome = false;
     let mut manifest_path: Option<String> = None;
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--csv" => csv = true,
+            "--keep-going" => keep_going = true,
             "--jobs" => {
                 let Some(n) = iter
                     .next()
@@ -137,9 +143,34 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Advisory lock: concurrent `repro --cache` runs against the same
+    // file degrade to read-only cache use instead of clobbering it.
+    let mut cache_lock: Option<subvt_engine::cache::CacheLock> = None;
     if let Some(path) = &cache_path {
-        match subvt_engine::global_cache().load_jsonl(path.as_ref()) {
-            Ok(n) => eprintln!("loaded {n} cached results from {path}"),
+        match subvt_engine::cache::CacheLock::acquire(path.as_ref()) {
+            Ok(Some(lock)) => cache_lock = Some(lock),
+            Ok(None) => {
+                eprintln!("cache file {path} is locked by another run; will not persist to it");
+            }
+            Err(e) => {
+                eprintln!("cannot lock cache file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match subvt_engine::global_cache().load_jsonl_report(path.as_ref()) {
+            Ok(report) => {
+                eprintln!("loaded {} cached results from {path}", report.loaded);
+                if report.superseded > 0 {
+                    eprintln!("  ({} superseded entries dropped)", report.superseded);
+                }
+                if report.quarantined > 0 {
+                    eprintln!(
+                        "  ({} corrupted lines quarantined to {})",
+                        report.quarantined,
+                        subvt_engine::cache::quarantine_path(path.as_ref()).display()
+                    );
+                }
+            }
             Err(e) => {
                 eprintln!("cannot read cache file {path}: {e}");
                 return ExitCode::FAILURE;
@@ -147,26 +178,52 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut failures: Vec<FigureFailure> = Vec::new();
     for id in &ids {
-        match run(id) {
-            Some(table) => {
-                if csv {
-                    print!("{}", table.to_csv());
-                } else {
-                    println!("{}", table.to_text());
+        if keep_going {
+            match run_guarded(id) {
+                Some(Ok(table)) => {
+                    if csv {
+                        print!("{}", table.to_csv());
+                    } else {
+                        println!("{}", table.to_text());
+                    }
+                }
+                Some(Err(failure)) => {
+                    eprintln!("FAILED {}: {}", failure.id, failure.message);
+                    failures.push(failure);
+                }
+                None => {
+                    eprintln!("unknown experiment `{id}` (try --list)");
+                    failures.push(FigureFailure {
+                        id: id.clone(),
+                        message: "unknown experiment id".to_owned(),
+                    });
                 }
             }
-            None => {
-                eprintln!("unknown experiment `{id}` (try --list)");
-                return ExitCode::FAILURE;
+        } else {
+            match run(id) {
+                Some(table) => {
+                    if csv {
+                        print!("{}", table.to_csv());
+                    } else {
+                        println!("{}", table.to_text());
+                    }
+                }
+                None => {
+                    eprintln!("unknown experiment `{id}` (try --list)");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
 
     if let Some(path) = &cache_path {
-        if let Err(e) = subvt_engine::global_cache().save_jsonl(path.as_ref()) {
-            eprintln!("cannot write cache file {path}: {e}");
-            return ExitCode::FAILURE;
+        if cache_lock.is_some() {
+            if let Err(e) = subvt_engine::global_cache().save_jsonl(path.as_ref()) {
+                eprintln!("cannot write cache file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let Some(path) = &trace_path {
@@ -187,18 +244,29 @@ fn main() -> ExitCode {
     if let Some(path) = &manifest_path {
         let write = || -> std::io::Result<()> {
             let mut file = std::fs::File::create(path)?;
-            subvt_exp::report::write_manifest(&mut file)
+            subvt_exp::report::write_manifest(&mut file, &failures)
         };
         if let Err(e) = write() {
             eprintln!("cannot write manifest file {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+    drop(cache_lock);
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} of {} experiments failed (see above)",
+            failures.len(),
+            ids.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// Parses a saved trace (either sink format, sniffed from the content),
-/// validates its invariants, and renders the span-tree report.
+/// validates its invariants, and renders the span-tree report. Manifest
+/// files (from `--manifest`) are also recognised and summarised.
 fn trace_report(path: &str) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -207,6 +275,19 @@ fn trace_report(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if text.trim_start().starts_with("{\"v\":") {
+        // A run manifest, not a trace.
+        return match tracefmt::parse_json(text.trim()) {
+            Ok(manifest) => {
+                print!("{}", tracefmt::render_manifest_report(&manifest));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("malformed manifest {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let parsed = if text.trim_start().starts_with("{\"traceEvents\"") {
         tracefmt::parse_chrome(&text).map(|events| tracefmt::trace_from_chrome(&events))
     } else {
@@ -241,6 +322,9 @@ fn print_help() {
     eprintln!("  --trace-format <f>   trace sink: jsonl (default) | chrome (Perfetto)");
     eprintln!("  --manifest <path>    write a per-run summary manifest (JSON)");
     eprintln!("  --cache <path>       load the result cache before, persist it after");
+    eprintln!("  --keep-going         isolate experiment failures: report each in the");
+    eprintln!("                       manifest's failures block, run the full sweep, and");
+    eprintln!("                       exit nonzero only at the end");
     eprintln!();
     eprintln!("Reproduces the tables and figures of 'Nanometer Device Scaling");
     eprintln!("in Subthreshold Circuits' (DAC 2007) from the subvt stack.");

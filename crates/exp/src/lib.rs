@@ -32,5 +32,7 @@ pub mod tables;
 pub mod tracefmt;
 
 pub use context::StudyContext;
-pub use runner::{run, run_all, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+pub use runner::{
+    run, run_all, run_guarded, FigureFailure, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
+};
 pub use table::Table;

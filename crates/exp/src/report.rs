@@ -8,7 +8,7 @@
 //!
 //! ```json
 //! {
-//!   "v": 1,
+//!   "v": 2,
 //!   "backend": "tcad.coarse.standard",
 //!   "circuit_backend": "spice",
 //!   "jobs": 8,
@@ -25,18 +25,27 @@
 //!     "poisson": {"solves": 512, "diverged": 0},
 //!     "gummel":  {"bias_points": 123, "stalls": 0, "poisson_failures": 0},
 //!     "spice":   {"dc_solves": 322, "tran_runs": 8}
-//!   }
+//!   },
+//!   "failures": [{"id": "fig4", "message": "..."}],
+//!   "recoveries": [{"site": "tcad.gummel", "step": "retry",
+//!                   "detail": "...", "recovered": true}]
 //! }
 //! ```
 //!
 //! `min`/`max`/quantiles are `null` for empty histograms; `experiments`
 //! aggregates `experiment.<id>` spans by id (an id re-run under
-//! `repro everything` sums its durations and bumps `runs`).
+//! `repro everything` sums its durations and bumps `runs`). Schema v2
+//! added the `failures` block (experiments that did not produce a table,
+//! populated by `repro --keep-going`) and the `recoveries` block (every
+//! solver recovery-ladder rung taken during the run).
 
 use std::io::{self, Write};
 
 use subvt_engine::cache::CacheStats;
+use subvt_engine::recovery::RecoveryRecord;
 use subvt_engine::trace::{self, TraceSnapshot};
+
+use crate::runner::FigureFailure;
 
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -69,9 +78,11 @@ pub fn render_manifest(
     backend: &str,
     circuit_backend: &str,
     jobs: usize,
+    failures: &[FigureFailure],
+    recoveries: &[RecoveryRecord],
 ) -> String {
     let mut out = String::new();
-    out.push_str("{\"v\":1,");
+    out.push_str("{\"v\":2,");
     out.push_str(&format!("\"backend\":{},", json_str(backend)));
     out.push_str(&format!(
         "\"circuit_backend\":{},",
@@ -170,26 +181,59 @@ pub fn render_manifest(
         counter("spice.dc.solves"),
         counter("spice.tran.runs"),
     ));
+
+    out.push_str(",\"failures\":[");
+    for (i, f) in failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"message\":{}}}",
+            json_str(&f.id),
+            json_str(&f.message)
+        ));
+    }
+    out.push_str("],");
+
+    out.push_str("\"recoveries\":[");
+    for (i, r) in recoveries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"site\":{},\"step\":{},\"detail\":{},\"recovered\":{}}}",
+            json_str(&r.site),
+            json_str(r.step.as_str()),
+            json_str(&r.detail),
+            r.recovered
+        ));
+    }
+    out.push(']');
+
     out.push('}');
     out
 }
 
-/// Drains the global tracer (running cache-stats flush hooks) and writes
-/// the manifest for the current process: global cache stats, the
-/// configured backend's cache id, and the engine pool width.
+/// Drains the global tracer (running cache-stats flush hooks) and the
+/// global recovery log, and writes the manifest for the current process:
+/// global cache stats, the configured backend's cache id, the engine
+/// pool width, plus the given figure failures.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `w`.
-pub fn write_manifest(w: &mut impl Write) -> io::Result<()> {
+pub fn write_manifest(w: &mut impl Write, failures: &[FigureFailure]) -> io::Result<()> {
     let snap = trace::global().drain();
     let stats = subvt_engine::global_cache().stats();
+    let recoveries = subvt_engine::recovery::drain();
     let manifest = render_manifest(
         &snap,
         &stats,
         &crate::backend::model().cache_id(),
         &crate::backend::circuit().cache_id(),
         subvt_engine::global().workers(),
+        failures,
+        &recoveries,
     );
     writeln!(w, "{manifest}")
 }
@@ -228,9 +272,11 @@ mod tests {
             "tcad.coarse.standard",
             "spice",
             4,
+            &[],
+            &[],
         );
         let v = tracefmt::parse_json(&text).expect("manifest parses");
-        assert_eq!(v.get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(2));
         assert_eq!(
             v.get("backend").unwrap().as_str(),
             Some("tcad.coarse.standard")
@@ -261,6 +307,8 @@ mod tests {
             "analytic",
             "analytic",
             1,
+            &[],
+            &[],
         );
         let v = tracefmt::parse_json(&text).unwrap();
         let exps = v.get("experiments").unwrap().as_arr().unwrap();
@@ -277,6 +325,8 @@ mod tests {
             "analytic",
             "analytic",
             1,
+            &[],
+            &[],
         );
         let v = tracefmt::parse_json(&text).unwrap();
         let hists = v.get("histograms").unwrap().as_arr().unwrap();
@@ -286,5 +336,44 @@ mod tests {
             .unwrap();
         assert_eq!(gummel.get("count").unwrap().as_u64(), Some(1));
         assert!(gummel.get("p50").unwrap().as_f64().unwrap() >= 9.0);
+    }
+
+    #[test]
+    fn failures_and_recoveries_round_trip() {
+        use subvt_engine::recovery::RecoveryStep;
+        let failures = vec![FigureFailure {
+            id: "fig4".into(),
+            message: "injected \"panic\"".into(),
+        }];
+        let recoveries = vec![RecoveryRecord {
+            site: "tcad.gummel".into(),
+            step: RecoveryStep::DampingIncrease,
+            detail: "relax 0.5".into(),
+            recovered: true,
+        }];
+        let text = render_manifest(
+            &sample_snapshot(),
+            &sample_stats(),
+            "analytic",
+            "analytic",
+            1,
+            &failures,
+            &recoveries,
+        );
+        let v = tracefmt::parse_json(&text).unwrap();
+        let fails = v.get("failures").unwrap().as_arr().unwrap();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].get("id").unwrap().as_str(), Some("fig4"));
+        assert_eq!(
+            fails[0].get("message").unwrap().as_str(),
+            Some("injected \"panic\"")
+        );
+        let recs = v.get("recoveries").unwrap().as_arr().unwrap();
+        assert_eq!(recs[0].get("site").unwrap().as_str(), Some("tcad.gummel"));
+        assert_eq!(
+            recs[0].get("step").unwrap().as_str(),
+            Some("damping_increase")
+        );
+        assert_eq!(recs[0].get("recovered").unwrap().as_bool(), Some(true));
     }
 }

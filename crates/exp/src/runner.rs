@@ -1,8 +1,27 @@
 //! Experiment registry and dispatch for the `repro` binary.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use crate::context::StudyContext;
 use crate::table::Table;
 use crate::{extensions, figs_circuit, figs_compare, figs_device, tables};
+
+/// A structured record of an experiment that failed to produce its
+/// table — the degradation unit for `repro --keep-going`, reported in
+/// the manifest's `failures` block instead of aborting the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureFailure {
+    /// Experiment id (e.g. `fig4`).
+    pub id: String,
+    /// Panic payload or error message.
+    pub message: String,
+}
+
+impl core::fmt::Display for FigureFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "experiment `{}` failed: {}", self.id, self.message)
+    }
+}
 
 /// All experiment identifiers in paper order.
 pub const ALL_EXPERIMENTS: [&str; 14] = [
@@ -60,6 +79,49 @@ pub fn run(id: &str) -> Option<Table> {
     })
 }
 
+/// Runs one experiment with panic isolation: a panicking experiment
+/// (diverged solver, poisoned expectation, injected fault) becomes a
+/// [`FigureFailure`] instead of tearing down the whole sweep. Returns
+/// `None` for an unknown id, like [`run`].
+///
+/// The experiment body runs under `catch_unwind`; the registry closure
+/// holds no shared mutable state beyond the engine's own panic-safe
+/// caches, so unwinding cannot leave it inconsistent.
+pub fn run_guarded(id: &str) -> Option<Result<Table, FigureFailure>> {
+    if !ALL_EXPERIMENTS.contains(&id) && !EXTENSION_EXPERIMENTS.contains(&id) {
+        return None;
+    }
+    // The fault-injection job-panic site lives here: each guarded
+    // experiment is one "job", so `SUBVT_FAULTS=...,p_panic=...` chaos
+    // runs exercise exactly this isolation boundary. Unarmed (the
+    // default), `panic_point` is a no-op.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        subvt_engine::faultinject::panic_point();
+        run(id)
+    }));
+    Some(match outcome {
+        Ok(Some(table)) => Ok(table),
+        // Unreachable given the registry check above, but keep the
+        // degradation total: an id that dispatches to nothing is a failure.
+        Ok(None) => Err(FigureFailure {
+            id: id.to_owned(),
+            message: "experiment dispatched to no implementation".to_owned(),
+        }),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            subvt_engine::trace::global().add("repro.figure_failures", 1);
+            Err(FigureFailure {
+                id: id.to_owned(),
+                message,
+            })
+        }
+    })
+}
+
 /// Runs every experiment in paper order, concurrently on the engine
 /// pool. Results are returned in registry order and are identical to a
 /// serial `ALL_EXPERIMENTS.iter().map(run)` loop: every experiment is a
@@ -96,6 +158,14 @@ mod tests {
                 assert!(run(id).is_some());
             }
         }
+    }
+
+    #[test]
+    fn run_guarded_reports_unknown_and_catches_panics() {
+        assert!(run_guarded("fig99").is_none());
+        // table1 is cheap and infallible.
+        let ok = run_guarded("table1").unwrap();
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -66,6 +66,14 @@ impl Json {
         }
     }
 
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Array elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -716,6 +724,95 @@ pub fn render_report(trace: &TraceFile) -> String {
     out
 }
 
+/// Renders a run manifest (the `repro --manifest` JSON, schema v2) as a
+/// human-readable summary: run configuration, per-experiment timings,
+/// cache behaviour, and — when present — the failures and recoveries
+/// blocks. Used by `repro trace-report` when it sniffs a manifest file.
+pub fn render_manifest_report(manifest: &Json) -> String {
+    let mut out = String::new();
+    let str_of = |key: &str| manifest.get(key).and_then(Json::as_str).unwrap_or("?");
+    let u64_of = |key: &str| manifest.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "manifest v{}: backend {}, circuit backend {}, {} jobs, wall {}",
+        u64_of("v"),
+        str_of("backend"),
+        str_of("circuit_backend"),
+        u64_of("jobs"),
+        format_us(u64_of("wall_us"))
+    );
+
+    if let Some(exps) = manifest.get("experiments").and_then(Json::as_arr) {
+        if !exps.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "  {:<20} {:>6} {:>12}", "experiment", "runs", "total");
+            for e in exps {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>6} {:>12}",
+                    e.get("id").and_then(Json::as_str).unwrap_or("?"),
+                    e.get("runs").and_then(Json::as_u64).unwrap_or(0),
+                    format_us(e.get("dur_us").and_then(Json::as_u64).unwrap_or(0))
+                );
+            }
+        }
+    }
+
+    if let Some(cache) = manifest.get("cache") {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  cache: {} hits, {} misses",
+            cache.get("hits").and_then(Json::as_u64).unwrap_or(0),
+            cache.get("misses").and_then(Json::as_u64).unwrap_or(0)
+        );
+    }
+
+    let failures = manifest
+        .get("failures")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    let _ = writeln!(out);
+    if failures.is_empty() {
+        let _ = writeln!(out, "  failures: none");
+    } else {
+        let _ = writeln!(out, "  failures: {}", failures.len());
+        for f in failures {
+            let _ = writeln!(
+                out,
+                "    {}: {}",
+                f.get("id").and_then(Json::as_str).unwrap_or("?"),
+                f.get("message").and_then(Json::as_str).unwrap_or("?")
+            );
+        }
+    }
+
+    let recoveries = manifest
+        .get("recoveries")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    if recoveries.is_empty() {
+        let _ = writeln!(out, "  recoveries: none");
+    } else {
+        let _ = writeln!(out, "  recoveries: {}", recoveries.len());
+        for r in recoveries {
+            let _ = writeln!(
+                out,
+                "    {} via {} ({}): {}",
+                r.get("site").and_then(Json::as_str).unwrap_or("?"),
+                r.get("step").and_then(Json::as_str).unwrap_or("?"),
+                if r.get("recovered").and_then(Json::as_bool) == Some(true) {
+                    "recovered"
+                } else {
+                    "failed"
+                },
+                r.get("detail").and_then(Json::as_str).unwrap_or("")
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,6 +831,38 @@ mod tests {
         assert!(parse_json("{\"a\":}").is_err());
         assert!(parse_json("{} trailing").is_err());
         assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn manifest_report_lists_failures_and_recoveries() {
+        let manifest = parse_json(
+            r#"{"v":2,"backend":"analytic","circuit_backend":"analytic","jobs":2,
+                "wall_us":1500,"experiments":[{"id":"fig2","runs":1,"dur_us":1000}],
+                "cache":{"hits":3,"misses":1,"namespaces":[]},
+                "failures":[{"id":"fig4","message":"injected job panic"}],
+                "recoveries":[{"site":"spice.dc","step":"gmin_stepping",
+                               "detail":"","recovered":true}]}"#,
+        )
+        .unwrap();
+        let report = render_manifest_report(&manifest);
+        assert!(report.contains("manifest v2"));
+        assert!(report.contains("fig2"));
+        assert!(report.contains("failures: 1"));
+        assert!(report.contains("fig4: injected job panic"));
+        assert!(report.contains("spice.dc via gmin_stepping (recovered)"));
+    }
+
+    #[test]
+    fn manifest_report_handles_clean_runs() {
+        let manifest = parse_json(
+            r#"{"v":2,"backend":"analytic","circuit_backend":"spice","jobs":1,
+                "wall_us":10,"experiments":[],"cache":{"hits":0,"misses":0,
+                "namespaces":[]},"failures":[],"recoveries":[]}"#,
+        )
+        .unwrap();
+        let report = render_manifest_report(&manifest);
+        assert!(report.contains("failures: none"));
+        assert!(report.contains("recoveries: none"));
     }
 
     #[test]

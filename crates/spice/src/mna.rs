@@ -42,6 +42,21 @@ pub enum SpiceError {
     },
     /// A named source was not found in the netlist.
     UnknownSource(String),
+    /// A netlist element carries a non-physical value (non-finite or
+    /// out-of-range), detected by [`Netlist::validate`] before solving.
+    InvalidNetlist {
+        /// Name of the offending element.
+        element: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A transient specification that cannot produce any time points.
+    InvalidTransientSpec {
+        /// Requested time step, seconds.
+        dt: f64,
+        /// Requested stop time, seconds.
+        t_stop: f64,
+    },
 }
 
 impl core::fmt::Display for SpiceError {
@@ -60,6 +75,15 @@ impl core::fmt::Display for SpiceError {
                 )
             }
             SpiceError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
+            SpiceError::InvalidNetlist { element, message } => {
+                write!(f, "invalid netlist element `{element}`: {message}")
+            }
+            SpiceError::InvalidTransientSpec { dt, t_stop } => {
+                write!(
+                    f,
+                    "invalid transient spec: dt = {dt:e} s, t_stop = {t_stop:e} s"
+                )
+            }
         }
     }
 }
@@ -112,6 +136,9 @@ pub(crate) struct Solver<'a> {
     pub(crate) source_scale: f64,
     /// Evaluation time for waveforms.
     pub(crate) time: f64,
+    /// Minimum conductance to ground on every node. Defaults to [`GMIN`];
+    /// raised temporarily during gmin stepping.
+    pub(crate) gmin: f64,
     jac: DenseMatrix,
 }
 
@@ -126,6 +153,7 @@ impl<'a> Solver<'a> {
             vsrc_rows,
             source_scale: 1.0,
             time: 0.0,
+            gmin: GMIN,
             jac: DenseMatrix::zeros(dim),
         }
     }
@@ -178,10 +206,11 @@ impl<'a> Solver<'a> {
         let jac = &mut self.jac;
 
         // g_min to ground on every node.
+        let gmin = self.gmin;
         for n in 1..self.n_nodes {
             let i = n - 1;
-            f[i] += GMIN * x[i];
-            jac.add(i, i, GMIN);
+            f[i] += gmin * x[i];
+            jac.add(i, i, gmin);
         }
 
         let mut branch = 0usize;
@@ -376,32 +405,127 @@ fn max_abs(v: &[f64]) -> f64 {
     v.iter().fold(0.0f64, |acc, x| acc.max(x.abs()))
 }
 
-/// Solves the DC operating point (capacitors open, waveforms at `t = 0`),
-/// with automatic source stepping if plain Newton fails.
+/// Recovery-ladder site name for DC operating-point solves.
+const DC_SITE: &str = "spice.dc";
+/// Gmin-stepping ladder: raised minimum conductances solved with
+/// continuation, ending back at the nominal [`GMIN`].
+const GMIN_LADDER: [f64; 5] = [1.0e-3, 1.0e-5, 1.0e-7, 1.0e-9, GMIN];
+
+/// Solves the DC operating point (capacitors open, waveforms at `t = 0`).
+///
+/// Non-convergence escalates through a deterministic recovery ladder —
+/// retry, source stepping (sources ramped 10 % → 100 %), then gmin
+/// stepping (minimum conductance relaxed and walked back down to
+/// [`GMIN`] with continuation). Each rung is recorded via
+/// [`subvt_engine::recovery`] under the `spice.dc` site.
 ///
 /// # Errors
 ///
-/// Returns [`SpiceError`] if the system is singular or Newton cannot
-/// converge even with stepping.
+/// Returns [`SpiceError::InvalidNetlist`] for non-physical element
+/// values, or the first solver error if every recovery rung fails.
 pub fn dc_operating_point(net: &Netlist) -> Result<DcSolution, SpiceError> {
+    use subvt_engine::{faultinject, recovery, recovery::RecoveryStep};
+
+    net.validate()?;
     let mut solver = Solver::new(net);
     let x0 = vec![0.0; solver.dim()];
+
+    // Fault injection fires before any solver state exists, so the plain
+    // Retry rung reproduces the fault-free result bit-for-bit.
+    let first = if faultinject::should_inject(faultinject::FaultSite::SolverDiverge) {
+        Err(SpiceError::NoConvergence {
+            iterations: 0,
+            residual: f64::INFINITY,
+        })
+    } else {
+        solver
+            .newton(x0.clone(), CapMode::Open)
+            .map(|(x, iters)| solver.to_solution(&x, iters))
+    };
+    let first_err = match first {
+        Ok(sol) => return Ok(sol),
+        Err(e) => e,
+    };
+
+    // Rung 1: plain retry from the same initial guess.
     match solver.newton(x0.clone(), CapMode::Open) {
-        Ok((x, iters)) => Ok(solver.to_solution(&x, iters)),
-        Err(_) => {
-            // Source stepping: ramp all sources from 10 % to 100 %.
-            let mut x = x0;
-            let mut total_iters = 0;
-            for step in 1..=10 {
-                solver.source_scale = step as f64 / 10.0;
-                let (xs, it) = solver.newton(x, CapMode::Open)?;
-                x = xs;
-                total_iters += it;
-            }
-            solver.source_scale = 1.0;
-            Ok(solver.to_solution(&x, total_iters))
+        Ok((x, iters)) => {
+            recovery::record(DC_SITE, RecoveryStep::Retry, format!("{first_err}"), true);
+            return Ok(solver.to_solution(&x, iters));
+        }
+        Err(e) => {
+            recovery::record(DC_SITE, RecoveryStep::Retry, format!("{e}"), false);
         }
     }
+
+    // Rung 2: source stepping — ramp all sources from 10 % to 100 %.
+    match source_stepping(&mut solver, &x0) {
+        Ok(sol) => {
+            recovery::record(
+                DC_SITE,
+                RecoveryStep::SourceStepping,
+                format!("{first_err}"),
+                true,
+            );
+            return Ok(sol);
+        }
+        Err(e) => {
+            recovery::record(DC_SITE, RecoveryStep::SourceStepping, format!("{e}"), false);
+        }
+    }
+
+    // Rung 3: gmin stepping — relax the minimum conductance and walk it
+    // back down to nominal with continuation.
+    match gmin_stepping(&mut solver, &x0) {
+        Ok(sol) => {
+            recovery::record(
+                DC_SITE,
+                RecoveryStep::GminStepping,
+                format!("{first_err}"),
+                true,
+            );
+            Ok(sol)
+        }
+        Err(e) => {
+            recovery::record(DC_SITE, RecoveryStep::GminStepping, format!("{e}"), false);
+            Err(first_err)
+        }
+    }
+}
+
+/// Source-stepping rung: sources ramped 10 % → 100 % with continuation.
+fn source_stepping(solver: &mut Solver<'_>, x0: &[f64]) -> Result<DcSolution, SpiceError> {
+    let mut x = x0.to_vec();
+    let mut total_iters = 0;
+    let result = (|| {
+        for step in 1..=10 {
+            solver.source_scale = step as f64 / 10.0;
+            let (xs, it) = solver.newton(x.clone(), CapMode::Open)?;
+            x = xs;
+            total_iters += it;
+        }
+        Ok(solver.to_solution(&x, total_iters))
+    })();
+    solver.source_scale = 1.0;
+    result
+}
+
+/// Gmin-stepping rung: solve with a large minimum conductance, then use
+/// each solution as the starting point for the next, smaller one.
+fn gmin_stepping(solver: &mut Solver<'_>, x0: &[f64]) -> Result<DcSolution, SpiceError> {
+    let mut x = x0.to_vec();
+    let mut total_iters = 0;
+    let result = (|| {
+        for gmin in GMIN_LADDER {
+            solver.gmin = gmin;
+            let (xs, it) = solver.newton(x.clone(), CapMode::Open)?;
+            x = xs;
+            total_iters += it;
+        }
+        Ok(solver.to_solution(&x, total_iters))
+    })();
+    solver.gmin = GMIN;
+    result
 }
 
 /// Solves a DC operating point starting from a previous solution
@@ -533,6 +657,51 @@ mod tests {
         assert!((got[0] - 0.0).abs() < 1e-9);
         assert!((got[1] - 0.5).abs() < 1e-6);
         assert!((got[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn injected_divergence_recovers_bit_identically() {
+        use subvt_engine::faultinject::{self, FaultPlan};
+
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.2));
+        net.resistor("R1", a, b, 10_000.0);
+        net.resistor("R2", b, Netlist::GROUND, 5_000.0);
+
+        faultinject::configure(None);
+        let clean = dc_operating_point(&net).unwrap();
+
+        let mut plan = FaultPlan::quiet(77);
+        plan.p_diverge = 1.0;
+        faultinject::configure(Some(plan));
+        let recovered = dc_operating_point(&net);
+        faultinject::configure(None);
+
+        let recovered = recovered.unwrap();
+        // The Retry rung re-runs the identical Newton solve, so recovered
+        // results are bit-for-bit equal to the fault-free run.
+        for (c, r) in clean.node_voltages.iter().zip(&recovered.node_voltages) {
+            assert_eq!(c.to_bits(), r.to_bits());
+        }
+        for (c, r) in clean.branch_currents.iter().zip(&recovered.branch_currents) {
+            assert_eq!(c.to_bits(), r.to_bits());
+        }
+        let recs = subvt_engine::recovery::snapshot();
+        assert!(recs.iter().any(|r| r.site == "spice.dc" && r.recovered));
+    }
+
+    #[test]
+    fn invalid_netlist_is_rejected_before_solving() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(f64::NAN));
+        net.resistor("R1", a, Netlist::GROUND, 1_000.0);
+        assert!(matches!(
+            dc_operating_point(&net),
+            Err(SpiceError::InvalidNetlist { .. })
+        ));
     }
 
     #[test]

@@ -305,6 +305,51 @@ impl Netlist {
         self
     }
 
+    /// Checks every element for parameters the solver cannot handle —
+    /// non-finite or out-of-range values that slipped past the builder
+    /// asserts (e.g. a parsed deck carrying `Dc(NaN)`, or a programmatic
+    /// waveform with an infinite edge time). Solver entry points call
+    /// this so degenerate netlists surface as typed errors instead of
+    /// NaN-poisoned "converged" solutions or panics.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SpiceError::InvalidNetlist`] naming the first offending
+    /// element.
+    pub fn validate(&self) -> Result<(), crate::SpiceError> {
+        let bad = |name: &str, message: &str| {
+            Err(crate::SpiceError::InvalidNetlist {
+                element: name.to_owned(),
+                message: message.to_owned(),
+            })
+        };
+        for e in &self.elements {
+            match &e.element {
+                Element::Resistor { ohms, .. } => {
+                    if !(ohms.is_finite() && *ohms > 0.0) {
+                        return bad(&e.name, "resistance must be positive and finite");
+                    }
+                }
+                Element::Capacitor { farads, .. } => {
+                    if !(farads.is_finite() && *farads >= 0.0) {
+                        return bad(&e.name, "capacitance must be non-negative and finite");
+                    }
+                }
+                Element::VSource { waveform, .. } | Element::ISource { waveform, .. } => {
+                    if !waveform_is_finite(waveform) {
+                        return bad(&e.name, "source waveform has a non-finite value");
+                    }
+                }
+                Element::Mosfet(inst) => {
+                    if !(inst.width_um.is_finite() && inst.width_um > 0.0) {
+                        return bad(&e.name, "MOSFET width must be positive and finite");
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Adds a MOSFET.
     ///
     /// # Panics
@@ -337,9 +382,83 @@ impl Netlist {
     }
 }
 
+/// Whether every value a waveform can produce is finite. An infinite
+/// `Pulse::period` is the documented "single pulse" encoding and stays
+/// legal; every other field must be finite.
+fn waveform_is_finite(w: &Waveform) -> bool {
+    match w {
+        Waveform::Dc(v) => v.is_finite(),
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            [*v0, *v1, *delay, *rise, *fall, *width]
+                .iter()
+                .all(|v| v.is_finite())
+                && !period.is_nan()
+        }
+        Waveform::Pwl(points) => points.iter().all(|(t, v)| t.is_finite() && v.is_finite()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_accepts_sane_and_rejects_non_finite() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0));
+        net.resistor("R1", a, Netlist::GROUND, 1_000.0);
+        assert!(net.validate().is_ok());
+
+        // Builder asserts can't be bypassed for R/C/M, but waveforms
+        // accept arbitrary values (e.g. from a parsed deck).
+        let mut bad = Netlist::new();
+        let b = bad.node("b");
+        bad.vsource("Vnan", b, Netlist::GROUND, Waveform::Dc(f64::NAN));
+        match bad.validate() {
+            Err(crate::SpiceError::InvalidNetlist { element, .. }) => {
+                assert_eq!(element, "Vnan");
+            }
+            other => panic!("expected InvalidNetlist, got {other:?}"),
+        }
+
+        let mut bad_pwl = Netlist::new();
+        let c = bad_pwl.node("c");
+        bad_pwl.isource(
+            "Ipwl",
+            c,
+            Netlist::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1.0, f64::INFINITY)]),
+        );
+        assert!(bad_pwl.validate().is_err());
+
+        // A single (infinite-period) pulse is legal.
+        let mut single = Netlist::new();
+        let d = single.node("d");
+        single.vsource(
+            "Vp",
+            d,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 0.1,
+                fall: 0.1,
+                width: 0.4,
+                period: f64::INFINITY,
+            },
+        );
+        assert!(single.validate().is_ok());
+    }
 
     #[test]
     fn node_names_are_stable() {

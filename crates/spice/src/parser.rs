@@ -152,7 +152,9 @@ pub fn parse_deck(deck: &str, models: &HashMap<String, MosModel>) -> Result<Netl
         let kind = name
             .chars()
             .next()
-            .expect("non-empty token")
+            // Invariant: `split_whitespace` on a non-empty trimmed line
+            // never yields an empty token.
+            .expect("split_whitespace yields non-empty tokens")
             .to_ascii_uppercase();
         match kind {
             'R' | 'C' => {

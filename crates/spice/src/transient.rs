@@ -76,13 +76,21 @@ impl TransientResult {
 ///
 /// # Errors
 ///
-/// Propagates solver failures ([`SpiceError`]) from the initial operating
-/// point or any time step.
+/// Returns [`SpiceError::InvalidTransientSpec`] when the spec cannot
+/// produce at least one time step (non-finite or non-positive `dt`, or a
+/// `t_stop` shorter than half a step), and propagates solver failures
+/// from the initial operating point or any time step.
 pub fn transient(net: &Netlist, spec: TransientSpec) -> Result<TransientResult, SpiceError> {
-    assert!(
-        spec.dt > 0.0 && spec.t_stop > spec.dt / 2.0,
-        "invalid transient spec"
-    );
+    if !(spec.dt.is_finite() && spec.t_stop.is_finite())
+        || spec.dt <= 0.0
+        || spec.t_stop <= spec.dt / 2.0
+    {
+        return Err(SpiceError::InvalidTransientSpec {
+            dt: spec.dt,
+            t_stop: spec.t_stop,
+        });
+    }
+    net.validate()?;
     let op = crate::mna::dc_operating_point(net)?;
     transient_from(net, spec, &op)
 }
@@ -293,6 +301,31 @@ mod tests {
         // At 20 τ the branch current through the source is ~0.
         let i_last = res.branch_currents.last().unwrap()[0];
         assert!(i_last.abs() < 1e-8, "got {i_last}");
+    }
+
+    #[test]
+    fn degenerate_transient_specs_are_typed_errors() {
+        let (net, _) = rc_circuit();
+        for (dt, t_stop) in [
+            (0.0, 1.0e-6),
+            (-1.0e-9, 1.0e-6),
+            (f64::NAN, 1.0e-6),
+            (1.0e-6, f64::INFINITY),
+            (1.0e-6, 0.0),
+        ] {
+            let spec = TransientSpec {
+                t_stop,
+                dt,
+                method: Integrator::Trapezoidal,
+            };
+            assert!(
+                matches!(
+                    transient(&net, spec),
+                    Err(SpiceError::InvalidTransientSpec { .. })
+                ),
+                "dt={dt}, t_stop={t_stop} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -71,14 +71,21 @@ pub struct Extraction {
 ///
 /// # Errors
 ///
-/// Propagates [`TcadError`] from any bias point.
+/// [`TcadError::InvalidSweep`] for a degenerate spec (non-positive or
+/// non-finite step / end point); otherwise propagates [`TcadError`]
+/// from any bias point.
 pub fn id_vg(
     sim: &mut DeviceSimulator,
     v_d: f64,
     v_g_max: f64,
     step: f64,
 ) -> Result<IdVg, TcadError> {
-    assert!(step > 0.0 && v_g_max > 0.0, "invalid sweep spec");
+    if !(step.is_finite() && v_g_max.is_finite() && step > 0.0 && v_g_max > 0.0) {
+        return Err(TcadError::InvalidSweep {
+            step,
+            v_max: v_g_max,
+        });
+    }
     let _span = subvt_engine::trace::span("tcad.id_vg").attr("v_d", v_d);
     let mut v_g = Vec::new();
     let mut i_d = Vec::new();
@@ -106,15 +113,14 @@ pub struct IdVd {
 
 impl IdVd {
     /// Output conductance `dI_d/dV_d` at the last (highest-V_d) segment —
-    /// a saturation-quality metric.
-    ///
-    /// # Panics
-    ///
-    /// Panics on curves with fewer than two points.
-    pub fn saturation_conductance(&self) -> f64 {
+    /// a saturation-quality metric. `None` on curves with fewer than
+    /// two points or mismatched vectors (the slope is undefined there).
+    pub fn saturation_conductance(&self) -> Option<f64> {
         let n = self.v_d.len();
-        assert!(n >= 2, "need at least two points");
-        (self.i_d[n - 1] - self.i_d[n - 2]) / (self.v_d[n - 1] - self.v_d[n - 2])
+        if n < 2 || self.i_d.len() != n {
+            return None;
+        }
+        Some((self.i_d[n - 1] - self.i_d[n - 2]) / (self.v_d[n - 1] - self.v_d[n - 2]))
     }
 }
 
@@ -122,14 +128,20 @@ impl IdVd {
 ///
 /// # Errors
 ///
-/// Propagates [`TcadError`] from any bias point.
+/// [`TcadError::InvalidSweep`] for a degenerate spec; otherwise
+/// propagates [`TcadError`] from any bias point.
 pub fn id_vd(
     sim: &mut DeviceSimulator,
     v_g: f64,
     v_d_max: f64,
     step: f64,
 ) -> Result<IdVd, TcadError> {
-    assert!(step > 0.0 && v_d_max > 0.0, "invalid sweep spec");
+    if !(step.is_finite() && v_d_max.is_finite() && step > 0.0 && v_d_max > 0.0) {
+        return Err(TcadError::InvalidSweep {
+            step,
+            v_max: v_d_max,
+        });
+    }
     let mut v_d = Vec::new();
     let mut i_d = Vec::new();
     sim.set_bias(v_g, 0.0)?;
@@ -189,9 +201,16 @@ pub fn extraction_key(params: &DeviceParams, density: MeshDensity, step: f64) ->
 /// The constant-current threshold criterion is the industry-standard
 /// `I_d = 100 nA · W/L_eff` (per µm of width).
 ///
+/// A standard-mesh characterization that fails even after the Gummel
+/// ladder falls back to the coarse mesh (the final
+/// [`subvt_engine::RecoveryStep::CoarseMeshFallback`] rung) before the
+/// failure is surfaced: a lower-fidelity extraction beats losing the
+/// whole figure.
+///
 /// # Errors
 ///
-/// Propagates [`TcadError`] from the sweeps.
+/// Propagates [`TcadError`] from the sweeps once the ladder (including
+/// the coarse-mesh fallback) is exhausted.
 pub fn sweep_and_extract(
     params: &DeviceParams,
     density: MeshDensity,
@@ -200,7 +219,22 @@ pub fn sweep_and_extract(
     let key = extraction_key(params, density, step);
     let params = *params;
     subvt_engine::global_cache().try_get_or_compute("tcad.extract", key, move || {
-        sweep_and_extract_uncached(&params, density, step)
+        match sweep_and_extract_uncached(&params, density, step) {
+            Ok(ext) => Ok(ext),
+            Err(err) if density == MeshDensity::Standard => {
+                let fallback = sweep_and_extract_uncached(&params, MeshDensity::Coarse, step);
+                subvt_engine::recovery::record(
+                    "tcad.extract",
+                    subvt_engine::RecoveryStep::CoarseMeshFallback,
+                    format!("l_poly={}nm: {err}", params.geometry.l_poly.get()),
+                    fallback.is_ok(),
+                );
+                // If the coarse mesh also fails, surface the original
+                // standard-mesh failure.
+                fallback.map_err(|_| err)
+            }
+            Err(err) => Err(err),
+        }
     })
 }
 
@@ -317,6 +351,32 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_sweep_specs_are_typed_errors_not_panics() {
+        use crate::device::{MeshDensity, Mosfet2d};
+        use crate::gummel::DeviceSimulator;
+        let dev = Mosfet2d::build(&DeviceParams::reference_90nm_nfet(), MeshDensity::Coarse);
+        let mut sim = DeviceSimulator::new(dev).unwrap();
+        for (v_max, step) in [(0.0, 0.05), (1.2, 0.0), (1.2, -0.1), (f64::NAN, 0.05)] {
+            match id_vg(&mut sim, 0.6, v_max, step) {
+                Err(TcadError::InvalidSweep { .. }) => {}
+                other => panic!("({v_max}, {step}) must be InvalidSweep, got {other:?}"),
+            }
+            match id_vd(&mut sim, 0.6, v_max, step) {
+                Err(TcadError::InvalidSweep { .. }) => {}
+                other => panic!("({v_max}, {step}) must be InvalidSweep, got {other:?}"),
+            }
+        }
+        // The conductance of an under-sampled output curve is undefined,
+        // not a panic.
+        let short = IdVd {
+            v_d: vec![0.0],
+            i_d: vec![0.0],
+            v_g: 0.6,
+        };
+        assert_eq!(short.saturation_conductance(), None);
+    }
+
+    #[test]
     fn extraction_blob_round_trips() {
         use subvt_engine::Blob;
         let ext = Extraction {
@@ -369,7 +429,7 @@ mod tests {
         }
         // Output conductance in saturation well below the triode slope.
         let g_triode = (curve.i_d[1] - curve.i_d[0]) / (curve.v_d[1] - curve.v_d[0]);
-        let g_sat = curve.saturation_conductance();
+        let g_sat = curve.saturation_conductance().unwrap();
         assert!(
             g_sat < 0.3 * g_triode,
             "saturation: g_sat {g_sat:e} vs triode {g_triode:e}"

@@ -1,0 +1,258 @@
+//! Chaos suite for the fault-tolerant execution layer: drives the
+//! `repro` binary under `SUBVT_FAULTS` fault-injection plans and asserts
+//! the tentpole guarantee — every injected fault is either recovered
+//! transparently (byte-identical output) or reported as a structured
+//! failure in the manifest, and a subsequent clean run is unaffected.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use subvt_exp::tracefmt::{self, Json};
+use subvt_exp::ALL_EXPERIMENTS;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("repro binary spawns");
+    assert!(
+        out.status.code().is_some(),
+        "repro must exit, not die on a signal"
+    );
+    out
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("subvt-chaos-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read_manifest(path: &PathBuf) -> Json {
+    let text = std::fs::read_to_string(path).expect("manifest written");
+    tracefmt::parse_json(text.trim()).expect("manifest is valid JSON")
+}
+
+#[test]
+fn injected_panics_are_reported_and_the_sweep_completes() {
+    let dir = tmpdir("panics");
+    let manifest_path = dir.join("m.json");
+    let out = run_ok(
+        repro()
+            .env("SUBVT_FAULTS", "seed=1,panic=0.7")
+            .arg("--keep-going")
+            .arg("--manifest")
+            .arg(&manifest_path)
+            .arg("all"),
+    );
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let manifest = read_manifest(&manifest_path);
+    assert_eq!(manifest.get("v").unwrap().as_u64(), Some(2));
+
+    let failures = manifest.get("failures").unwrap().as_arr().unwrap();
+    assert!(
+        !failures.is_empty(),
+        "panic=0.7 over {} experiments must fell at least one",
+        ALL_EXPERIMENTS.len()
+    );
+    // Every reported failure is a registered experiment with the
+    // injected panic's message; every failure printed a FAILED line.
+    for f in failures {
+        let id = f.get("id").unwrap().as_str().unwrap();
+        assert!(ALL_EXPERIMENTS.contains(&id), "unknown failed id {id}");
+        let message = f.get("message").unwrap().as_str().unwrap();
+        assert!(
+            message.contains("fault-injected job panic"),
+            "unexpected failure message: {message}"
+        );
+        assert!(stderr.contains(&format!("FAILED {id}")));
+    }
+    // The sweep is total: rendered tables + failures = all experiments.
+    let rendered = stdout.lines().filter(|l| l.starts_with("## ")).count();
+    assert_eq!(rendered + failures.len(), ALL_EXPERIMENTS.len());
+    // Nonzero exit, but only after the full sweep.
+    assert_ne!(out.status.code(), Some(0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_free_keep_going_run_is_byte_identical_and_exits_zero() {
+    let plain = run_ok(repro().arg("all"));
+    let kept = run_ok(repro().arg("--keep-going").arg("all"));
+    assert_eq!(plain.status.code(), Some(0));
+    assert_eq!(kept.status.code(), Some(0));
+    assert_eq!(
+        plain.stdout, kept.stdout,
+        "--keep-going must not perturb fault-free output"
+    );
+}
+
+#[test]
+fn injected_divergence_recovers_with_byte_identical_output() {
+    let dir = tmpdir("diverge");
+    let manifest_path = dir.join("m.json");
+    let clean = run_ok(repro().args(["--circuit-backend", "spice", "fig4"]));
+    assert_eq!(clean.status.code(), Some(0));
+
+    let chaos = run_ok(
+        repro()
+            .env("SUBVT_FAULTS", "seed=5,diverge=1.0")
+            .args(["--circuit-backend", "spice", "--keep-going"])
+            .arg("--manifest")
+            .arg(&manifest_path)
+            .arg("fig4"),
+    );
+    assert_eq!(chaos.status.code(), Some(0), "retry rung must recover");
+    assert_eq!(
+        clean.stdout, chaos.stdout,
+        "recovered solves must be bit-for-bit identical"
+    );
+
+    let manifest = read_manifest(&manifest_path);
+    let recoveries = manifest.get("recoveries").unwrap().as_arr().unwrap();
+    assert!(
+        recoveries
+            .iter()
+            .any(|r| r.get("site").unwrap().as_str() == Some("spice.dc")
+                && r.get("recovered").unwrap().as_bool() == Some(true)),
+        "manifest must record the spice.dc recovery"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_cache_is_quarantined_and_warm_run_matches_cold() {
+    let dir = tmpdir("corrupt");
+    let cache = dir.join("cache.jsonl");
+
+    // Baseline: cold, fault-free.
+    let cold = run_ok(repro().args(["table2", "fig2"]));
+    assert_eq!(cold.status.code(), Some(0));
+
+    // Chaos run persists the cache through the corruption point.
+    let chaos = run_ok(
+        repro()
+            .env("SUBVT_FAULTS", "seed=3,corrupt=1.0")
+            .arg("--cache")
+            .arg(&cache)
+            .args(["table2", "fig2"]),
+    );
+    assert_eq!(chaos.status.code(), Some(0));
+    assert_eq!(cold.stdout, chaos.stdout);
+
+    // Clean warm run: torn lines land in the quarantine sidecar, the
+    // results are recomputed, and the output is byte-identical.
+    let warm = run_ok(repro().arg("--cache").arg(&cache).args(["table2", "fig2"]));
+    assert_eq!(warm.status.code(), Some(0));
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm run over a corrupted cache must match the cold run"
+    );
+    let stderr = String::from_utf8(warm.stderr).unwrap();
+    assert!(
+        stderr.contains("quarantined"),
+        "expected a quarantine notice, got: {stderr}"
+    );
+    let quarantine = subvt_engine::cache::quarantine_path(&cache);
+    assert!(quarantine.exists(), "quarantine sidecar must exist");
+
+    // The rewritten cache is clean: a second warm run quarantines nothing.
+    let warm2 = run_ok(repro().arg("--cache").arg(&cache).args(["table2", "fig2"]));
+    let stderr2 = String::from_utf8(warm2.stderr).unwrap();
+    assert!(
+        !stderr2.contains("quarantined"),
+        "cache must be compacted clean on save, got: {stderr2}"
+    );
+    assert_eq!(cold.stdout, warm2.stdout);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_manifest_round_trips_through_trace_report() {
+    let dir = tmpdir("report");
+    let manifest_path = dir.join("m.json");
+    let chaos = run_ok(
+        repro()
+            .env("SUBVT_FAULTS", "seed=1,panic=0.7")
+            .arg("--keep-going")
+            .arg("--manifest")
+            .arg(&manifest_path)
+            .arg("all"),
+    );
+    let manifest = read_manifest(&manifest_path);
+    let failures = manifest.get("failures").unwrap().as_arr().unwrap();
+    assert!(!failures.is_empty());
+    drop(chaos);
+
+    let report = run_ok(repro().arg("trace-report").arg(&manifest_path));
+    assert_eq!(report.status.code(), Some(0));
+    let text = String::from_utf8(report.stdout).unwrap();
+    assert!(text.contains("manifest v2"), "{text}");
+    assert!(
+        text.contains(&format!("failures: {}", failures.len())),
+        "{text}"
+    );
+    for f in failures {
+        let id = f.get("id").unwrap().as_str().unwrap();
+        assert!(text.contains(id), "trace-report must list failed id {id}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_lock_degrades_to_read_only_use() {
+    let dir = tmpdir("lock");
+    let cache = dir.join("cache.jsonl");
+    let _lock = subvt_engine::cache::CacheLock::acquire(&cache)
+        .unwrap()
+        .expect("lock is free");
+
+    let out = run_ok(repro().arg("--cache").arg(&cache).arg("table1"));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "a held lock must not fail the run"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("locked by another run"), "{stderr}");
+    assert!(
+        !cache.exists(),
+        "a run without the lock must not write the cache file"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deterministic_plans_inject_identical_fault_sets() {
+    let run_with = |spec: &str| {
+        let out = run_ok(
+            repro()
+                .env("SUBVT_FAULTS", spec)
+                .arg("--keep-going")
+                .arg("all"),
+        );
+        String::from_utf8(out.stderr).unwrap()
+    };
+    let a = run_with("seed=42,panic=0.5");
+    let b = run_with("seed=42,panic=0.5");
+    let failed = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("FAILED "))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(failed(&a), failed(&b), "same plan must fail the same ids");
+    let c = run_with("seed=43,panic=0.5");
+    // Different seed, same probability: almost surely a different set;
+    // at minimum the harness must not crash. (Avoid asserting inequality
+    // — 14 Bernoulli draws can collide across seeds.)
+    let _ = failed(&c);
+}

@@ -114,3 +114,55 @@ fn second_characterization_is_served_from_cache() {
         "repeat characterization must not recompute"
     );
 }
+
+#[test]
+fn degenerate_tcad_sweeps_surface_typed_errors() {
+    use subvt_tcad::extract::{id_vd, id_vg};
+    use subvt_tcad::{DeviceSimulator, TcadError};
+    use subvt_tcad::{MeshDensity, Mosfet2d};
+
+    let dev = Mosfet2d::build(&reference(), MeshDensity::Coarse);
+    let mut sim = DeviceSimulator::new(dev).expect("equilibrium");
+    // Zero-length, negative, and non-finite sweep specs must come back
+    // as typed errors, not panics or empty curves.
+    for (v_max, step) in [
+        (0.0, 0.05),
+        (1.2, 0.0),
+        (1.2, -0.1),
+        (f64::NAN, 0.05),
+        (1.2, f64::INFINITY),
+    ] {
+        assert!(
+            matches!(
+                id_vg(&mut sim, 0.05, v_max, step),
+                Err(TcadError::InvalidSweep { .. })
+            ),
+            "id_vg(v_max={v_max}, step={step}) must be InvalidSweep"
+        );
+        assert!(
+            matches!(
+                id_vd(&mut sim, 0.3, v_max, step),
+                Err(TcadError::InvalidSweep { .. })
+            ),
+            "id_vd(v_max={v_max}, step={step}) must be InvalidSweep"
+        );
+    }
+    // The simulator survives the rejected sweeps: a sane one still runs.
+    assert!(id_vg(&mut sim, 0.05, 0.2, 0.1).is_ok());
+}
+
+#[test]
+fn bias_far_outside_gummel_basin_is_an_error_not_a_panic() {
+    use subvt_tcad::DeviceSimulator;
+    use subvt_tcad::{MeshDensity, Mosfet2d};
+
+    let dev = Mosfet2d::build(&reference(), MeshDensity::Coarse);
+    let mut sim = DeviceSimulator::new(dev).expect("equilibrium");
+    // A 100 V gate step is far outside the Gummel convergence basin even
+    // after the recovery ladder (damping, bias substepping); the solver
+    // must surface a typed error rather than panic or loop forever.
+    let absurd = sim.set_bias(100.0, 100.0);
+    assert!(absurd.is_err(), "100 V bias must not converge silently");
+    // The ladder restored the pre-call state: normal operation resumes.
+    sim.set_bias(0.05, 0.05).expect("small bias after recovery");
+}

@@ -243,3 +243,53 @@ fn snm_definitions_rank_supplies_consistently() {
     let (g2, f2) = snm_at(0.30);
     assert!(g2 > g1 && f2 > f1);
 }
+
+#[test]
+fn non_finite_netlist_parameters_surface_typed_errors() {
+    use subvt_spice::mna::{dc_operating_point, SpiceError};
+
+    // A parsed or programmatic deck carrying a NaN source value must be
+    // rejected by validation before the solver sees it.
+    let mut net = Netlist::new();
+    let a = net.node("a");
+    net.vsource("Vbad", a, Netlist::GROUND, Waveform::Dc(f64::NAN));
+    net.resistor("R1", a, Netlist::GROUND, 1.0e3);
+    match dc_operating_point(&net) {
+        Err(SpiceError::InvalidNetlist { element, .. }) => assert_eq!(element, "Vbad"),
+        other => panic!("expected InvalidNetlist, got {other:?}"),
+    }
+
+    // Same guard on the transient entry point, plus degenerate specs.
+    let mut ok_net = Netlist::new();
+    let b = ok_net.node("b");
+    ok_net.vsource("V1", b, Netlist::GROUND, Waveform::Dc(1.0));
+    ok_net.resistor("R1", b, Netlist::GROUND, 1.0e3);
+    let bad_spec = TransientSpec {
+        t_stop: 1.0e-6,
+        dt: f64::NAN,
+        method: Integrator::Trapezoidal,
+    };
+    assert!(matches!(
+        transient(&ok_net, bad_spec),
+        Err(SpiceError::InvalidTransientSpec { .. })
+    ));
+
+    let mut pwl_net = Netlist::new();
+    let c = pwl_net.node("c");
+    pwl_net.vsource(
+        "Vpwl",
+        c,
+        Netlist::GROUND,
+        Waveform::Pwl(vec![(0.0, 0.0), (1.0e-6, f64::INFINITY)]),
+    );
+    pwl_net.resistor("R1", c, Netlist::GROUND, 1.0e3);
+    let spec = TransientSpec {
+        t_stop: 1.0e-6,
+        dt: 1.0e-8,
+        method: Integrator::Trapezoidal,
+    };
+    assert!(matches!(
+        transient(&pwl_net, spec),
+        Err(SpiceError::InvalidNetlist { .. })
+    ));
+}

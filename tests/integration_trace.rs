@@ -106,10 +106,10 @@ fn trace_report_renders_the_global_trace() {
 fn manifest_describes_the_run() {
     run("fig7").expect("fig7 runs");
     let mut buf = Vec::new();
-    report::write_manifest(&mut buf).expect("in-memory write");
+    report::write_manifest(&mut buf, &[]).expect("in-memory write");
     let manifest = tracefmt::parse_json(std::str::from_utf8(&buf).expect("utf8").trim())
         .expect("manifest is one valid JSON object");
-    assert_eq!(manifest.get("v").unwrap().as_u64(), Some(1));
+    assert_eq!(manifest.get("v").unwrap().as_u64(), Some(2));
     assert_eq!(
         manifest.get("backend").unwrap().as_str().map(str::to_owned),
         Some(subvt_exp::backend::model().cache_id())
