@@ -1,0 +1,452 @@
+//! Load generator and smoke-test driver for `subvt-serve`.
+//!
+//! ```text
+//! subvt-loadgen --addr 127.0.0.1:7171 --wait-ready-ms 5000
+//! subvt-loadgen --addr A --call fo1 --params '{"node":"ref90","v_dd":0.3}'
+//! subvt-loadgen --addr A --call experiment --params '{"id":"fig2","format":"csv"}' --print payload
+//! subvt-loadgen --addr A --mixed 200 --concurrency 8 --out BENCH_serve.json
+//! subvt-loadgen --addr A --batch-probe      # needs a --workers 1 server
+//! subvt-loadgen --addr A --metrics          # dump GET /metrics
+//! subvt-loadgen --addr A --shutdown         # graceful drain
+//! ```
+//!
+//! `--mixed` drives a deterministic mixed workload (device sweeps,
+//! circuit metrics, deliberate duplicates for dedup) and writes a
+//! `BENCH_serve.json` artifact with throughput and latency quantiles.
+//! `--print payload` prints the *decoded* result payload — for the
+//! `experiment` method that is byte-identical to `repro` stdout, which
+//! CI checks with `cmp`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use subvt_exp::tracefmt::Json;
+use subvt_serve::client::{http_get, Client};
+
+struct Options {
+    addr: String,
+    wait_ready_ms: u64,
+    action: Action,
+}
+
+enum Action {
+    Ping,
+    Call {
+        method: String,
+        params: String,
+        print_payload: bool,
+    },
+    Metrics,
+    Shutdown,
+    Mixed {
+        requests: usize,
+        concurrency: usize,
+        out: Option<String>,
+    },
+    BatchProbe,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.wait_ready_ms > 0 {
+        let timeout = Duration::from_millis(opts.wait_ready_ms);
+        if let Err(e) = Client::connect_ready(opts.addr.as_str(), timeout) {
+            eprintln!("server at {} not ready: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    }
+    let run = || -> Result<(), String> {
+        match &opts.action {
+            Action::Ping => {
+                let mut c = client(&opts)?;
+                let r = c.call("ping", "{}").map_err(|e| e.to_string())?;
+                println!("{}", r.raw);
+                Ok(())
+            }
+            Action::Call {
+                method,
+                params,
+                print_payload,
+            } => {
+                let mut c = client(&opts)?;
+                let r = c.call(method, params).map_err(|e| e.to_string())?;
+                if !r.ok {
+                    return Err(format!("request failed: {}", r.raw));
+                }
+                if *print_payload {
+                    match r.result_json() {
+                        // A string payload (e.g. `experiment`) prints
+                        // decoded — byte-identical to repro stdout.
+                        Ok(Json::Str(text)) => print!("{text}"),
+                        _ => println!("{}", r.result.as_deref().unwrap_or("null")),
+                    }
+                } else {
+                    println!("{}", r.raw);
+                }
+                Ok(())
+            }
+            Action::Metrics => {
+                let body = http_get(opts.addr.as_str(), "/metrics").map_err(|e| e.to_string())?;
+                print!("{body}");
+                Ok(())
+            }
+            Action::Shutdown => {
+                let mut c = client(&opts)?;
+                let r = c.call("shutdown", "{}").map_err(|e| e.to_string())?;
+                println!("{}", r.raw);
+                Ok(())
+            }
+            Action::Mixed {
+                requests,
+                concurrency,
+                out,
+            } => run_mixed(&opts.addr, *requests, *concurrency, out.as_deref()),
+            Action::BatchProbe => run_batch_probe(&opts.addr),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn client(opts: &Options) -> Result<Client, String> {
+    Client::connect(opts.addr.as_str()).map_err(|e| format!("cannot connect to {}: {e}", opts.addr))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut wait_ready_ms = 0u64;
+    let mut action: Option<Action> = None;
+    let mut call_method: Option<String> = None;
+    let mut call_params = "{}".to_owned();
+    let mut print_payload = false;
+    let mut mixed_requests: Option<usize> = None;
+    let mut concurrency = 4usize;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(iter.next().ok_or("--addr needs HOST:PORT")?.clone()),
+            "--wait-ready-ms" => {
+                wait_ready_ms = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--wait-ready-ms needs an integer")?;
+            }
+            "--call" => call_method = Some(iter.next().ok_or("--call needs a method")?.clone()),
+            "--params" => call_params = iter.next().ok_or("--params needs JSON")?.clone(),
+            "--print" => {
+                print_payload = match iter.next().map(String::as_str) {
+                    Some("payload") => true,
+                    Some("line") => false,
+                    _ => return Err("--print needs one of: payload, line".to_owned()),
+                };
+            }
+            "--metrics" => action = Some(Action::Metrics),
+            "--shutdown" => action = Some(Action::Shutdown),
+            "--batch-probe" => action = Some(Action::BatchProbe),
+            "--mixed" => {
+                mixed_requests = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--mixed needs a request count")?,
+                );
+            }
+            "--concurrency" => {
+                concurrency = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--concurrency needs a positive integer")?;
+            }
+            "--out" => out = Some(iter.next().ok_or("--out needs a path")?.clone()),
+            "--help" | "-h" => {
+                return Err("see module docs: subvt-loadgen --addr A [--call|--mixed|--metrics|--batch-probe|--shutdown]".to_owned());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    let action = if let Some(method) = call_method {
+        Action::Call {
+            method,
+            params: call_params,
+            print_payload,
+        }
+    } else if let Some(requests) = mixed_requests {
+        Action::Mixed {
+            requests,
+            concurrency,
+            out,
+        }
+    } else {
+        action.unwrap_or(Action::Ping)
+    };
+    Ok(Options {
+        addr,
+        wait_ready_ms,
+        action,
+    })
+}
+
+/// The deterministic request mix: mostly cheap ref90 queries, with
+/// deliberate duplicates so dedup counters move under load.
+const MIX: [(&str, &str); 8] = [
+    (
+        "idvg",
+        r#"{"node":"ref90","v_ds":0.05,"v_gs":{"start":0.0,"stop":1.2,"points":25}}"#,
+    ),
+    ("params", r#"{"node":"ref90"}"#),
+    (
+        "idvg",
+        r#"{"node":"ref90","v_ds":0.05,"v_gs":{"start":0.0,"stop":1.2,"points":25}}"#,
+    ),
+    ("vtc", r#"{"node":"ref90","v_dd":0.3,"points":41}"#),
+    ("snm", r#"{"node":"ref90","v_dd":0.3}"#),
+    ("fo1", r#"{"node":"ref90","v_dd":0.3}"#),
+    ("chain_energy", r#"{"node":"ref90","v_dd":0.3}"#),
+    (
+        "idvg",
+        r#"{"node":"ref90","v_ds":1.2,"v_gs":{"start":0.0,"stop":1.2,"points":25}}"#,
+    ),
+];
+
+struct Sample {
+    method: &'static str,
+    ms: f64,
+    ok: bool,
+}
+
+fn run_mixed(
+    addr: &str,
+    requests: usize,
+    concurrency: usize,
+    out: Option<&str>,
+) -> Result<(), String> {
+    let next = Arc::new(AtomicUsize::new(0));
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::with_capacity(requests)));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..concurrency)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let samples = Arc::clone(&samples);
+            let addr = addr.to_owned();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut client = Client::connect(addr.as_str())
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= requests {
+                        return Ok(());
+                    }
+                    let (method, params) = MIX[i % MIX.len()];
+                    let call_started = Instant::now();
+                    let ok = match client.call(method, params) {
+                        Ok(r) => r.ok,
+                        Err(e) => return Err(format!("transport error on {method}: {e}")),
+                    };
+                    samples.lock().expect("samples lock").push(Sample {
+                        method,
+                        ms: call_started.elapsed().as_secs_f64() * 1e3,
+                        ok,
+                    });
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join()
+            .map_err(|_| "worker thread panicked".to_owned())??;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let samples = Arc::try_unwrap(samples)
+        .map_err(|_| "samples still shared")?
+        .into_inner()
+        .expect("samples lock");
+
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    let q = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((p * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+    let errors = samples.iter().filter(|s| !s.ok).count();
+    let mean = if latencies.is_empty() {
+        f64::NAN
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+
+    let mut by_method: Vec<(&str, usize, usize)> = Vec::new();
+    for s in &samples {
+        match by_method.iter_mut().find(|(m, _, _)| *m == s.method) {
+            Some(entry) => {
+                entry.1 += 1;
+                if !s.ok {
+                    entry.2 += 1;
+                }
+            }
+            None => by_method.push((s.method, 1, usize::from(!s.ok))),
+        }
+    }
+    by_method.sort_by_key(|(m, _, _)| *m);
+
+    let mut json = format!(
+        "{{\"suite\":\"serve\",\"requests\":{},\"concurrency\":{concurrency},\
+         \"elapsed_s\":{:.6},\"throughput_rps\":{:.3},\"errors\":{errors},\
+         \"latency_ms\":{{\"min\":{:.4},\"p50\":{:.4},\"p90\":{:.4},\"p99\":{:.4},\
+         \"max\":{:.4},\"mean\":{:.4}}},\"by_method\":{{",
+        samples.len(),
+        elapsed,
+        samples.len() as f64 / elapsed,
+        latencies.first().copied().unwrap_or(f64::NAN),
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        latencies.last().copied().unwrap_or(f64::NAN),
+        mean,
+    );
+    for (i, (method, count, errs)) in by_method.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\"{method}\":{{\"count\":{count},\"errors\":{errs}}}"
+        ));
+    }
+    json.push_str("}}");
+
+    println!(
+        "mixed load: {} requests, {concurrency} threads, {:.1} req/s, \
+         p50 {:.2} ms, p99 {:.2} ms, {errors} errors",
+        samples.len(),
+        samples.len() as f64 / elapsed,
+        q(0.50),
+        q(0.99),
+    );
+    if let Some(path) = out {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(file, "{json}").map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if errors > 0 {
+        return Err(format!("{errors} requests failed"));
+    }
+    Ok(())
+}
+
+/// Deterministic sweep-batching probe. Requires a `--workers 1`
+/// server: one `sleep` occupies the single worker, three
+/// bias-compatible `idvg` requests pile up behind it, and the worker
+/// must merge them into one executor pass on wake-up.
+fn run_batch_probe(addr: &str) -> Result<(), String> {
+    let counters_before = read_counters(addr)?;
+    let sleeper = {
+        let addr = addr.to_owned();
+        std::thread::spawn(move || {
+            Client::connect(addr.as_str())
+                .and_then(|mut c| c.call("sleep", r#"{"ms":600,"token":"batch-probe"}"#))
+        })
+    };
+    // Wait until the sleep actually occupies the worker.
+    wait_for_gauge(addr, "serve.inflight", 1.0, Duration::from_secs(5))?;
+    let probes: Vec<_> = [0.20, 0.25, 0.30]
+        .into_iter()
+        .map(|v| {
+            let addr = addr.to_owned();
+            std::thread::spawn(move || {
+                Client::connect(addr.as_str()).and_then(|mut c| {
+                    c.call(
+                        "idvg",
+                        &format!(r#"{{"node":"ref90","v_ds":0.05,"v_gs":[{v}]}}"#),
+                    )
+                })
+            })
+        })
+        .collect();
+    // All three must be queued before the sleeper releases the worker.
+    wait_for_gauge(addr, "serve.queue.depth", 3.0, Duration::from_secs(5))?;
+    for probe in probes {
+        let r = probe
+            .join()
+            .map_err(|_| "probe thread panicked".to_owned())
+            .and_then(|r| r.map_err(|e| e.to_string()))?;
+        if !r.ok {
+            return Err(format!("probe request failed: {}", r.raw));
+        }
+    }
+    sleeper
+        .join()
+        .map_err(|_| "sleeper thread panicked".to_owned())
+        .and_then(|r| r.map_err(|e| e.to_string()))?;
+    let counters_after = read_counters(addr)?;
+    let delta = |name: &str| -> i64 {
+        counters_after.get(name).copied().unwrap_or(0) as i64
+            - counters_before.get(name).copied().unwrap_or(0) as i64
+    };
+    let runs = delta("serve.batch.runs");
+    let merged = delta("serve.batch.merged");
+    if runs < 1 || merged < 2 {
+        return Err(format!(
+            "batching did not engage: batch.runs +{runs}, batch.merged +{merged}"
+        ));
+    }
+    println!("batch-probe: ok runs=+{runs} merged=+{merged}");
+    Ok(())
+}
+
+fn read_counters(addr: &str) -> Result<std::collections::BTreeMap<String, u64>, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let r = client.call("metrics", "{}").map_err(|e| e.to_string())?;
+    let json = r.result_json()?;
+    let mut out = std::collections::BTreeMap::new();
+    if let Some(Json::Obj(members)) = json.get("counters").cloned() {
+        for (name, value) in members {
+            if let Some(v) = value.as_u64() {
+                out.insert(name, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn wait_for_gauge(addr: &str, name: &str, want: f64, timeout: Duration) -> Result<(), String> {
+    let started = Instant::now();
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    loop {
+        let r = client.call("metrics", "{}").map_err(|e| e.to_string())?;
+        let json = r.result_json()?;
+        let got = json
+            .get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if got >= want {
+            return Ok(());
+        }
+        if started.elapsed() > timeout {
+            return Err(format!(
+                "timed out waiting for gauge {name} >= {want} (last {got})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

@@ -74,6 +74,22 @@ enum Slot {
     Ready(Arc<Vec<f64>>),
 }
 
+/// How a [`Cache::try_get_or_compute_outcome`] call was satisfied.
+///
+/// The distinction powers the serve layer's dedup accounting: a
+/// [`Lookup::Coalesced`] caller arrived while an identical request was
+/// already computing and paid only the wait, which is exactly the
+/// "N concurrent identical queries cost one compute" guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Served from a ready entry without waiting on a computer.
+    Hit,
+    /// Waited on another caller's in-flight compute of the same key.
+    Coalesced,
+    /// This caller ran the compute closure.
+    Computed,
+}
+
 struct CacheInner {
     map: HashMap<(u64, u64), Slot>,
     /// Namespace-hash → name, for persistence and stats.
@@ -137,11 +153,29 @@ impl Cache {
         key: u64,
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<V, E> {
+        self.try_get_or_compute_outcome(ns, key, compute).0
+    }
+
+    /// [`Cache::try_get_or_compute`] that also reports *how* the call
+    /// was satisfied — see [`Lookup`]. The result is identical to the
+    /// plain variant; only the accounting differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever `compute` returned; the cache adds no error
+    /// cases of its own.
+    pub fn try_get_or_compute_outcome<V: Blob, E>(
+        &self,
+        ns: &str,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> (Result<V, E>, Lookup) {
         let nsh = crate::KeyBuilder::new("ns").str(ns).finish();
         let id = (nsh, key);
         // Lookup latency includes any single-flight wait — that wait is
         // exactly the cost a caller pays for the lookup.
         let lookup_started = std::time::Instant::now();
+        let mut waited = false;
         {
             let mut inner = self.inner.lock().expect("cache lock");
             loop {
@@ -150,13 +184,19 @@ impl Cache {
                         if let Some(v) = V::decode(blob) {
                             drop(inner);
                             self.record(ns, true, lookup_started);
-                            return Ok(v);
+                            let how = if waited {
+                                Lookup::Coalesced
+                            } else {
+                                Lookup::Hit
+                            };
+                            return (Ok(v), how);
                         }
                         // Stale schema: recompute below.
                         inner.map.insert(id, Slot::InFlight);
                         break;
                     }
                     Some(Slot::InFlight) => {
+                        waited = true;
                         inner = self.filled.wait(inner).expect("cache wait");
                     }
                     None => {
@@ -183,7 +223,7 @@ impl Cache {
         drop(inner);
         self.filled.notify_all();
         match result {
-            Ok(r) => r,
+            Ok(r) => (r, Lookup::Computed),
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
@@ -442,10 +482,23 @@ fn line_crc(ns: &str, key: u64, bits: &[u64]) -> u64 {
 /// the holder's pid, for post-mortem debugging); the file is removed
 /// when the guard drops. `Ok(None)` means another process holds the
 /// lock — callers are expected to degrade gracefully (run without
-/// persisting, or skip the save) rather than fail.
+/// persisting, or skip the save) rather than fail. That degradation is
+/// never silent: the losing acquire publishes a
+/// `cache.<file-stem>.readonly` gauge (value 1) so a read-only process
+/// is visible in every drained trace and `/metrics` dump.
 #[derive(Debug)]
 pub struct CacheLock {
     path: PathBuf,
+}
+
+/// The metric name flagging read-only degradation for a cache path:
+/// `cache.<file-stem>.readonly`.
+pub fn readonly_gauge_name(cache_path: &Path) -> String {
+    let stem = cache_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "cache".to_owned());
+    format!("cache.{stem}.readonly")
 }
 
 impl CacheLock {
@@ -466,9 +519,13 @@ impl CacheLock {
         {
             Ok(mut f) => {
                 let _ = writeln!(f, "{}", std::process::id());
+                trace::gauge(&readonly_gauge_name(cache_path), 0.0);
                 Ok(Some(Self { path }))
             }
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                trace::gauge(&readonly_gauge_name(cache_path), 1.0);
+                Ok(None)
+            }
             Err(e) => Err(e),
         }
     }
@@ -769,6 +826,54 @@ mod tests {
         assert_eq!(report.quarantined, 0);
         assert_eq!(cache.get_or_compute("old", 10, || -1.0), 2.5);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lookup_outcomes_distinguish_compute_hit_and_coalesce() {
+        let cache = Arc::new(Cache::new());
+        let (r, how) = cache
+            .try_get_or_compute_outcome("outc", 1, || Ok::<f64, std::convert::Infallible>(2.0));
+        assert_eq!((r.unwrap(), how), (2.0, Lookup::Computed));
+        let (r, how) = cache
+            .try_get_or_compute_outcome("outc", 1, || Ok::<f64, std::convert::Infallible>(-1.0));
+        assert_eq!((r.unwrap(), how), (2.0, Lookup::Hit));
+
+        // Coalesced: a second thread arrives while the first computes.
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let c2 = Arc::clone(&cache);
+        let s2 = Arc::clone(&started);
+        let waiter = std::thread::spawn(move || {
+            s2.wait();
+            // Give the computer time to take the in-flight slot.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            c2.try_get_or_compute_outcome("outc", 2, || Ok::<f64, std::convert::Infallible>(-1.0))
+        });
+        let (r, how) = cache.try_get_or_compute_outcome("outc", 2, || {
+            started.wait();
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            Ok::<f64, std::convert::Infallible>(5.0)
+        });
+        assert_eq!((r.unwrap(), how), (5.0, Lookup::Computed));
+        let (r, how) = waiter.join().unwrap();
+        assert_eq!(r.unwrap(), 5.0);
+        assert_eq!(how, Lookup::Coalesced, "waiter must report coalescing");
+    }
+
+    #[test]
+    fn losing_lock_acquire_publishes_readonly_gauge() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-ro-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("degraded.jsonl");
+        let lock = CacheLock::acquire(&path).unwrap().expect("first acquire");
+        assert!(CacheLock::acquire(&path).unwrap().is_none());
+        let snap = trace::global().snapshot();
+        assert_eq!(
+            snap.gauges.get(&readonly_gauge_name(&path)).copied(),
+            Some(1.0),
+            "read-only degradation must be observable"
+        );
+        assert_eq!(readonly_gauge_name(&path), "cache.degraded.readonly");
+        drop(lock);
     }
 
     #[test]

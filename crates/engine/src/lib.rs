@@ -49,7 +49,7 @@ pub mod rng;
 pub mod supervisor;
 pub mod trace;
 
-pub use cache::{Blob, Cache, CacheStats};
+pub use cache::{Blob, Cache, CacheStats, Lookup};
 pub use executor::{Executor, JobHandle, JobPanic};
 pub use faultinject::{FaultPlan, FaultSite};
 pub use hash::{KeyBuilder, Keyed};

@@ -34,14 +34,29 @@ pub fn selected() -> Backend {
     *SELECTED.get_or_init(Backend::default)
 }
 
-/// The model instance experiments evaluate devices through. TCAD
-/// selections use the coarse-mesh anchored model, which pays for one
-/// anchor extraction and then runs design searches at analytic speed.
-pub fn model() -> &'static dyn DeviceModel {
-    match selected() {
+/// Resolves a backend selector to its model instance without touching
+/// the process-wide selection — the construction path shared by the
+/// `repro` CLI (through [`model`]) and the `subvt-serve` daemon (which
+/// resolves per request). TCAD maps to the coarse-mesh anchored model,
+/// which pays for one anchor extraction and then runs design searches
+/// at analytic speed.
+pub fn model_for(backend: Backend) -> &'static dyn DeviceModel {
+    match backend {
         Backend::Analytic => subvt_model::analytic(),
         Backend::Tcad => &subvt_tcad::model::TCAD_COARSE,
     }
+}
+
+/// Resolves a circuit-backend selector to its instance without touching
+/// the process-wide selection; the circuit-layer sibling of
+/// [`model_for`].
+pub fn circuit_for(kind: CircuitBackendKind) -> &'static dyn CircuitBackend {
+    kind.instance()
+}
+
+/// The model instance experiments evaluate devices through.
+pub fn model() -> &'static dyn DeviceModel {
+    model_for(selected())
 }
 
 /// Locks in the process-wide circuit backend. The first selection wins;
@@ -60,7 +75,7 @@ pub fn circuit_selected() -> CircuitBackendKind {
 /// The circuit backend experiments evaluate SNM, delay and chain-energy
 /// metrics through.
 pub fn circuit() -> &'static dyn CircuitBackend {
-    circuit_selected().instance()
+    circuit_for(circuit_selected())
 }
 
 /// A node's circuit-level device pair, characterized through the
@@ -104,6 +119,15 @@ mod tests {
     fn default_circuit_backend_is_analytic() {
         assert_eq!(circuit_selected(), CircuitBackendKind::Analytic);
         assert_eq!(circuit().cache_id(), "analytic");
+    }
+
+    #[test]
+    fn explicit_resolution_covers_every_backend() {
+        assert_eq!(model_for(Backend::Analytic).cache_id(), "analytic");
+        assert!(model_for(Backend::Tcad).cache_id().starts_with("tcad"));
+        for kind in CircuitBackendKind::ALL {
+            assert_eq!(circuit_for(kind).name(), kind.as_str());
+        }
     }
 
     #[test]

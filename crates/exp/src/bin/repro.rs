@@ -143,36 +143,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Advisory lock: concurrent `repro --cache` runs against the same
-    // file degrade to read-only cache use instead of clobbering it.
-    let mut cache_lock: Option<subvt_engine::cache::CacheLock> = None;
+    // Advisory lock + load, shared with `subvt-serve`: concurrent runs
+    // against the same file degrade to read-only cache use (with a
+    // warning and the readonly gauge) instead of clobbering it.
+    let mut cache_session: Option<subvt_exp::CacheSession> = None;
     if let Some(path) = &cache_path {
-        match subvt_engine::cache::CacheLock::acquire(path.as_ref()) {
-            Ok(Some(lock)) => cache_lock = Some(lock),
-            Ok(None) => {
-                eprintln!("cache file {path} is locked by another run; will not persist to it");
-            }
+        match subvt_exp::CacheSession::open(path.as_ref()) {
+            Ok(session) => cache_session = Some(session),
             Err(e) => {
-                eprintln!("cannot lock cache file {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        match subvt_engine::global_cache().load_jsonl_report(path.as_ref()) {
-            Ok(report) => {
-                eprintln!("loaded {} cached results from {path}", report.loaded);
-                if report.superseded > 0 {
-                    eprintln!("  ({} superseded entries dropped)", report.superseded);
-                }
-                if report.quarantined > 0 {
-                    eprintln!(
-                        "  ({} corrupted lines quarantined to {})",
-                        report.quarantined,
-                        subvt_engine::cache::quarantine_path(path.as_ref()).display()
-                    );
-                }
-            }
-            Err(e) => {
-                eprintln!("cannot read cache file {path}: {e}");
+                eprintln!("cannot open cache file {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -218,12 +197,11 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(path) = &cache_path {
-        if cache_lock.is_some() {
-            if let Err(e) = subvt_engine::global_cache().save_jsonl(path.as_ref()) {
-                eprintln!("cannot write cache file {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+    if let Some(session) = cache_session.take() {
+        if let Err(e) = session.close() {
+            let path = cache_path.as_deref().unwrap_or("?");
+            eprintln!("cannot write cache file {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if let Some(path) = &trace_path {
@@ -251,7 +229,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    drop(cache_lock);
     if failures.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,149 @@
+//! Shared persistent-cache session handling for long-lived processes.
+//!
+//! Both entry points that persist the engine's result cache — the
+//! one-shot `repro` CLI and the `subvt-serve` daemon — need the same
+//! open/close choreography: take the advisory [`CacheLock`], degrade to
+//! read-only (observably!) when another process holds it, load the
+//! JSON-lines file with quarantine accounting, and on clean shutdown
+//! rewrite the file through the atomic temp-file path, which also
+//! compacts superseded duplicate entries. [`CacheSession`] packages
+//! that choreography so the two binaries cannot drift apart.
+//!
+//! Read-only degradation is deliberately loud: the engine publishes a
+//! `cache.<file-stem>.readonly` gauge when the lock acquire loses, and
+//! [`CacheSession::open`] prints a one-line warning, so a degraded
+//! server is observable in `/metrics` and in its logs instead of
+//! silently not persisting.
+
+use std::path::{Path, PathBuf};
+
+use subvt_engine::cache::{quarantine_path, CacheLock, LoadReport};
+
+/// An open session against a persistent cache file: lock (or observable
+/// read-only degradation) plus the loaded entries.
+#[derive(Debug)]
+pub struct CacheSession {
+    path: PathBuf,
+    lock: Option<CacheLock>,
+    report: LoadReport,
+}
+
+impl CacheSession {
+    /// Opens `path` against the process-wide cache: acquires the
+    /// advisory lock (degrading to read-only with a warning and the
+    /// `cache.<stem>.readonly` gauge when another process holds it) and
+    /// loads every intact entry, logging the load summary to stderr.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the lock file or the cache file
+    /// (missing cache file is not an error — it loads empty).
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let lock = CacheLock::acquire(path)?;
+        if lock.is_none() {
+            eprintln!(
+                "warning: cache file {} is locked by another process; \
+                 running read-only (no results will be persisted)",
+                path.display()
+            );
+        }
+        let report = subvt_engine::global_cache().load_jsonl_report(path)?;
+        if report.loaded > 0 {
+            eprintln!(
+                "loaded {} cached results from {}",
+                report.loaded,
+                path.display()
+            );
+        }
+        if report.superseded > 0 {
+            eprintln!("  ({} superseded entries dropped)", report.superseded);
+        }
+        if report.quarantined > 0 {
+            eprintln!(
+                "  ({} corrupted lines quarantined to {})",
+                report.quarantined,
+                quarantine_path(path).display()
+            );
+        }
+        Ok(Self {
+            path: path.to_owned(),
+            lock,
+            report,
+        })
+    }
+
+    /// Whether this session lost the lock race and runs read-only.
+    pub fn read_only(&self) -> bool {
+        self.lock.is_none()
+    }
+
+    /// The cache file path this session manages.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// What the open-time load found.
+    pub fn load_report(&self) -> LoadReport {
+        self.report
+    }
+
+    /// Closes the session: a lock-holding session rewrites the file
+    /// (atomic temp-file + rename, compacting superseded duplicates)
+    /// and releases the lock; a read-only session only releases its
+    /// state. Returns the number of entries written (0 when
+    /// read-only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the save.
+    pub fn close(self) -> std::io::Result<usize> {
+        let written = match &self.lock {
+            Some(_) => subvt_engine::global_cache().save_jsonl(&self.path)?,
+            None => 0,
+        };
+        drop(self.lock);
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("subvt-exp-cachefile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.jsonl"))
+    }
+
+    #[test]
+    fn open_missing_file_is_writable_and_empty() {
+        let path = temp_path("fresh");
+        std::fs::remove_file(&path).ok();
+        let session = CacheSession::open(&path).unwrap();
+        assert!(!session.read_only());
+        assert_eq!(session.load_report(), LoadReport::default());
+        session.close().unwrap();
+        assert!(path.exists(), "close must persist the (compacted) file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn second_session_degrades_to_read_only() {
+        let path = temp_path("contended");
+        std::fs::remove_file(&path).ok();
+        let holder = CacheSession::open(&path).unwrap();
+        assert!(!holder.read_only());
+        let loser = CacheSession::open(&path).unwrap();
+        assert!(loser.read_only(), "losing the lock must degrade, not fail");
+        assert_eq!(loser.close().unwrap(), 0, "read-only close writes nothing");
+        let gauge = subvt_engine::trace::global()
+            .snapshot()
+            .gauges
+            .get(subvt_engine::cache::readonly_gauge_name(&path).as_str())
+            .copied();
+        assert_eq!(gauge, Some(1.0), "degradation must publish the gauge");
+        holder.close().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

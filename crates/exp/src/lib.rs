@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cachefile;
 pub mod codec;
 pub mod context;
 pub mod extensions;
@@ -31,6 +32,7 @@ pub mod table;
 pub mod tables;
 pub mod tracefmt;
 
+pub use cachefile::CacheSession;
 pub use context::StudyContext;
 pub use runner::{
     run, run_all, run_guarded, FigureFailure, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,

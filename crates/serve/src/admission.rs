@@ -1,0 +1,212 @@
+//! Admission control: a bounded job queue between connection threads
+//! and the worker pool.
+//!
+//! Bounding the queue is the daemon's overload story. A full queue
+//! rejects at submit time — the connection thread answers with a typed
+//! `overloaded` error in microseconds instead of parking the client on
+//! an unbounded backlog whose latency it cannot see. Closing the queue
+//! (shutdown) flushes everything still queued back to the caller so
+//! each admitted-but-unstarted request gets a typed `shutting_down`
+//! answer rather than a dropped connection.
+//!
+//! The queue depth is published to the metrics registry as the
+//! `serve.queue.depth` gauge on every transition.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use subvt_engine::trace;
+
+use crate::query::Query;
+
+/// One admitted request: everything a worker needs to compute and
+/// answer it.
+#[derive(Debug)]
+pub struct Job {
+    /// Request id, echoed in the response line.
+    pub id: String,
+    /// The parsed, canonical query.
+    pub query: Query,
+    /// Channel back to the connection thread; carries the full
+    /// response line.
+    pub reply: mpsc::Sender<String>,
+    /// When the job was admitted (for queue-wait accounting).
+    pub admitted: Instant,
+}
+
+/// Why a submission was refused. The job is handed back so the caller
+/// can answer on its connection.
+#[derive(Debug)]
+pub enum Rejected {
+    /// The queue is at capacity.
+    Full(Job),
+    /// The queue is closed for shutdown.
+    Closed(Job),
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    open: bool,
+}
+
+/// The bounded, closable admission queue.
+pub struct Admission {
+    capacity: usize,
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+impl Admission {
+    /// Creates an open queue holding at most `capacity` jobs
+    /// (clamped up to 1).
+    pub fn new(capacity: usize) -> Self {
+        trace::gauge("serve.queue.depth", 0.0);
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits a job, waking one worker.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Full`] at capacity, [`Rejected::Closed`] after
+    /// [`Admission::close`]; both return the job to the caller.
+    pub fn submit(&self, job: Job) -> Result<(), Rejected> {
+        let mut state = self.state.lock().expect("admission lock");
+        if !state.open {
+            return Err(Rejected::Closed(job));
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(Rejected::Full(job));
+        }
+        state.queue.push_back(job);
+        trace::gauge("serve.queue.depth", state.queue.len() as f64);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed (any
+    /// jobs still queued at close time were flushed, not handed out).
+    pub fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("admission lock");
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                trace::gauge("serve.queue.depth", state.queue.len() as f64);
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.ready.wait(state).expect("admission wait");
+        }
+    }
+
+    /// Removes and returns every queued job whose query shares
+    /// `group` as its [`Query::idvg_group`] — the sweep-batching
+    /// steal. Order is preserved.
+    pub fn steal_idvg_group(&self, group: u64) -> Vec<Job> {
+        let mut state = self.state.lock().expect("admission lock");
+        let mut stolen = Vec::new();
+        let mut rest = VecDeque::with_capacity(state.queue.len());
+        for job in state.queue.drain(..) {
+            if job.query.idvg_group() == Some(group) {
+                stolen.push(job);
+            } else {
+                rest.push_back(job);
+            }
+        }
+        state.queue = rest;
+        trace::gauge("serve.queue.depth", state.queue.len() as f64);
+        stolen
+    }
+
+    /// Closes the queue: subsequent submits are rejected, blocked
+    /// `pop` calls return `None`, and every job still queued is
+    /// returned for typed rejection.
+    pub fn close(&self) -> Vec<Job> {
+        let mut state = self.state.lock().expect("admission lock");
+        state.open = false;
+        let flushed: Vec<Job> = state.queue.drain(..).collect();
+        trace::gauge("serve.queue.depth", 0.0);
+        drop(state);
+        self.ready.notify_all();
+        flushed
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("admission lock").queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_exp::tracefmt::parse_json;
+
+    fn job(tag: &str, method: &str, params: &str) -> (Job, mpsc::Receiver<String>) {
+        let (tx, rx) = mpsc::channel();
+        let query = Query::from_request(method, &parse_json(params).unwrap()).unwrap();
+        (
+            Job {
+                id: tag.to_owned(),
+                query,
+                reply: tx,
+                admitted: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn full_queue_rejects_with_the_job() {
+        let adm = Admission::new(1);
+        let (a, _rxa) = job("a", "sleep", r#"{"ms":1}"#);
+        let (b, _rxb) = job("b", "sleep", r#"{"ms":1}"#);
+        adm.submit(a).unwrap();
+        match adm.submit(b) {
+            Err(Rejected::Full(j)) => assert_eq!(j.id, "b"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_flushes_queued_jobs_and_unblocks_pop() {
+        let adm = std::sync::Arc::new(Admission::new(8));
+        let (a, _rxa) = job("a", "sleep", r#"{"ms":1}"#);
+        adm.submit(a).unwrap();
+        let flushed = adm.close();
+        assert_eq!(flushed.len(), 1);
+        assert!(adm.pop().is_none(), "closed+empty pop must return None");
+        let (c, _rxc) = job("c", "sleep", r#"{"ms":1}"#);
+        assert!(matches!(adm.submit(c), Err(Rejected::Closed(_))));
+    }
+
+    #[test]
+    fn steal_takes_only_the_compatible_group() {
+        let adm = Admission::new(8);
+        let (a, _ra) = job("a", "idvg", r#"{"node":"ref90","v_ds":0.05,"v_gs":[0.1]}"#);
+        let (b, _rb) = job("b", "idvg", r#"{"node":"ref90","v_ds":0.05,"v_gs":[0.2]}"#);
+        let (c, _rc) = job("c", "idvg", r#"{"node":"ref90","v_ds":1.2,"v_gs":[0.2]}"#);
+        let (d, _rd) = job("d", "sleep", r#"{"ms":1}"#);
+        let group = a.query.idvg_group().unwrap();
+        for j in [a, b, c, d] {
+            adm.submit(j).unwrap();
+        }
+        let stolen = adm.steal_idvg_group(group);
+        assert_eq!(
+            stolen.iter().map(|j| j.id.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert_eq!(adm.depth(), 2);
+    }
+}

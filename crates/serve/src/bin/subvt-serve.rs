@@ -1,0 +1,181 @@
+//! The `subvt-serve` daemon binary.
+//!
+//! ```text
+//! subvt-serve                          # listen on 127.0.0.1:7171
+//! subvt-serve --addr 127.0.0.1:0       # free port (printed on stdout)
+//! subvt-serve --cache serve.jsonl      # persist the response/design cache
+//! subvt-serve --workers 4 --queue 128  # pool and admission sizing
+//! subvt-serve --deadline-ms 10000      # per-request compute deadline
+//! subvt-serve --backend tcad --circuit-backend spice
+//! ```
+//!
+//! The first stdout line is always `subvt-serve listening on <addr>`,
+//! so scripts can scrape the bound port. SIGTERM/ctrl-c (or the
+//! `shutdown` method) triggers a graceful drain: queued and new
+//! requests get typed `shutting_down` rejections, in-flight computes
+//! finish bounded by the deadline, and the cache is compacted to disk
+//! before exit.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use subvt_circuits::backend::CircuitBackendKind;
+use subvt_model::Backend;
+use subvt_serve::{signal, Config, Server};
+
+fn main() -> ExitCode {
+    let mut config = Config {
+        addr: "127.0.0.1:7171".to_owned(),
+        watch_signals: true,
+        ..Config::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(addr) = iter.next() else {
+                    eprintln!("--addr needs HOST:PORT");
+                    return ExitCode::FAILURE;
+                };
+                config.addr = addr.clone();
+            }
+            "--workers" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                else {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.workers = n;
+            }
+            "--queue" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                else {
+                    eprintln!("--queue needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.queue_capacity = n;
+            }
+            "--deadline-ms" => {
+                let Some(ms) = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--deadline-ms needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.deadline = Duration::from_millis(ms);
+            }
+            "--max-attempts" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--max-attempts needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.max_attempts = n;
+            }
+            "--cache" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--cache needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                config.cache_path = Some(path.into());
+            }
+            "--jobs" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if !subvt_engine::configure_jobs(n) {
+                    eprintln!("--jobs must come before any work is scheduled");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--backend" => {
+                let Some(b) = iter.next().and_then(|v| v.parse::<Backend>().ok()) else {
+                    eprintln!("--backend needs one of: analytic, tcad");
+                    return ExitCode::FAILURE;
+                };
+                if !subvt_exp::backend::configure(b) {
+                    eprintln!("--backend given twice with conflicting values");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--circuit-backend" => {
+                let Some(k) = iter
+                    .next()
+                    .and_then(|v| v.parse::<CircuitBackendKind>().ok())
+                else {
+                    eprintln!("--circuit-backend needs one of: analytic, spice");
+                    return ExitCode::FAILURE;
+                };
+                if !subvt_exp::backend::configure_circuit(k) {
+                    eprintln!("--circuit-backend given twice with conflicting values");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    signal::install();
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("subvt-serve listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+    match server.join() {
+        Ok(()) => {
+            eprintln!("subvt-serve: graceful shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    eprintln!("usage: subvt-serve [options]");
+    eprintln!();
+    eprintln!("options:");
+    eprintln!("  --addr HOST:PORT     bind address (default 127.0.0.1:7171; port 0 = free port)");
+    eprintln!("  --workers N          compute worker threads (default 2)");
+    eprintln!("  --queue N            admission queue capacity (default 64)");
+    eprintln!("  --deadline-ms N      per-request compute deadline (default 30000)");
+    eprintln!("  --max-attempts N     supervisor attempts before quarantine (default 1)");
+    eprintln!("  --cache PATH         persist the response/design cache across restarts");
+    eprintln!("  --jobs N             engine worker threads (default: cores, or $SUBVT_JOBS)");
+    eprintln!("  --backend B          device backend for `experiment`: analytic | tcad");
+    eprintln!("  --circuit-backend B  circuit backend for `experiment`: analytic | spice");
+    eprintln!();
+    eprintln!("Protocol: newline-framed JSON over TCP, plus GET /metrics and");
+    eprintln!("GET /healthz over the same port. See DESIGN.md section 8.");
+}

@@ -1,0 +1,643 @@
+//! The daemon: accept loop, worker pool, sweep batching, metrics
+//! export, and graceful shutdown.
+//!
+//! Threading model — three kinds of threads, decoupled by the
+//! [`Admission`] queue:
+//!
+//! * The **accept loop** (one thread) hands each TCP connection to a
+//!   detached connection thread and watches the shutdown flag.
+//! * **Connection threads** (one per client) parse request lines,
+//!   answer admin methods inline (`ping`, `metrics`, `healthz`,
+//!   `shutdown`), and submit compute methods to the admission queue —
+//!   answering `overloaded` / `shutting_down` immediately when the
+//!   queue refuses. One request is in flight per connection; responses
+//!   stay in request order.
+//! * **Worker threads** (a small fixed pool) pop jobs, steal
+//!   batch-compatible `idvg` requests queued behind them, and run each
+//!   compute under the engine [`Supervisor`] with a per-request
+//!   deadline, answering through the job's reply channel.
+//!
+//! Dedup happens between the worker and the compute: the response
+//! payload is keyed by [`Query::key`] in the engine cache's
+//! `serve.resp` namespace, so concurrent identical requests
+//! single-flight (one compute, N answers) and — with `--cache` — warm
+//! restarts answer from disk without recomputing anything.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use subvt_engine::supervisor::{JobError, RetryPolicy, Supervisor};
+use subvt_engine::{trace, KeyBuilder, Lookup};
+use subvt_exp::CacheSession;
+
+use crate::admission::{Admission, Job, Rejected};
+use crate::proto::{self, ErrorCode};
+use crate::query::{self, Query, TextBlob};
+use crate::signal;
+
+/// Cache namespace holding rendered response payloads.
+pub const RESPONSE_NS: &str = "serve.resp";
+
+/// Latency histogram bounds, milliseconds.
+const MS_BOUNDS: [f64; 14] = [
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0, 15000.0,
+];
+
+/// Server configuration. `Default` is tuned for tests and local use.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads serving computes.
+    pub workers: usize,
+    /// Admission queue capacity; beyond it requests are rejected
+    /// `overloaded`.
+    pub queue_capacity: usize,
+    /// Per-request compute deadline.
+    pub deadline: Duration,
+    /// Supervisor attempts per request (1 = quarantine on first
+    /// panic).
+    pub max_attempts: u32,
+    /// Extra wall-clock allowance past `deadline` when draining
+    /// workers at shutdown.
+    pub drain_grace: Duration,
+    /// Persistent response/design cache file (loaded at start, saved
+    /// compacted at shutdown).
+    pub cache_path: Option<PathBuf>,
+    /// Also honor the process-wide SIGTERM/SIGINT flag (the binary
+    /// sets this; in-process tests leave it off).
+    pub watch_signals: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(30),
+            max_attempts: 1,
+            drain_grace: Duration::from_secs(2),
+            cache_path: None,
+            watch_signals: false,
+        }
+    }
+}
+
+struct Shared {
+    admission: Admission,
+    supervisor: Supervisor,
+    shutdown: AtomicBool,
+    inflight: AtomicI64,
+    deadline: Duration,
+}
+
+impl Shared {
+    fn shutting_down(&self, watch_signals: bool) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || (watch_signals && signal::shutdown_requested())
+    }
+
+    fn inflight_delta(&self, delta: i64) {
+        let now = self.inflight.fetch_add(delta, Ordering::SeqCst) + delta;
+        trace::gauge("serve.inflight", now as f64);
+    }
+}
+
+/// A running daemon. Dropping it without [`Server::join`] leaves
+/// threads running; always join (the binary does) or at least
+/// [`Server::shutdown`] first.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    cache: Mutex<Option<CacheSession>>,
+    drain_grace: Duration,
+}
+
+impl Server {
+    /// Binds, loads the persistent cache (if configured), and spawns
+    /// the accept loop and worker pool. Returns once the socket is
+    /// listening.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the bind or from opening the cache file.
+    pub fn start(config: Config) -> std::io::Result<Server> {
+        let cache = match &config.cache_path {
+            Some(path) => Some(CacheSession::open(path)?),
+            None => None,
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            admission: Admission::new(config.queue_capacity),
+            supervisor: Supervisor::new(RetryPolicy {
+                max_attempts: config.max_attempts,
+                deadline: Some(config.deadline),
+            }),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicI64::new(0),
+            deadline: config.deadline,
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let watch_signals = config.watch_signals;
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, watch_signals))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            cache: Mutex::new(cache),
+            drain_grace: config.drain_grace,
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown: stop accepting, reject queued and
+    /// new work with `shutting_down`, drain in-flight computes.
+    /// Returns immediately; [`Server::join`] completes the drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server exits (signal, `shutdown` method, or
+    /// [`Server::shutdown`]), drains the workers bounded by
+    /// `deadline + drain_grace`, then saves and compacts the
+    /// persistent cache.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the final cache save.
+    pub fn join(mut self) -> std::io::Result<()> {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // In-flight computes are bounded by the supervisor deadline;
+        // wait that long plus the grace, then abandon stragglers (the
+        // executor's catch_unwind keeps them from taking the process
+        // down with us).
+        let patience = self.shared.deadline + self.drain_grace;
+        let waited = Instant::now();
+        for worker in self.workers.drain(..) {
+            loop {
+                if worker.is_finished() {
+                    let _ = worker.join();
+                    break;
+                }
+                if waited.elapsed() > patience {
+                    trace::add("serve.drain.abandoned", 1);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        trace::gauge("serve.inflight", 0.0);
+        if let Some(session) = self.cache.lock().expect("cache lock").take() {
+            let written = session.close()?;
+            eprintln!("cache compacted ({written} entries written)");
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, watch_signals: bool) {
+    loop {
+        if shared.shutting_down(watch_signals) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".to_owned())
+                    .spawn(move || {
+                        let _ = handle_conn(&shared, stream);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    // Typed rejection for everything admitted but not yet started —
+    // the drain bound stays `deadline`, not `queue × deadline`.
+    for job in shared.admission.close() {
+        trace::add("serve.rejected.shutdown", 1);
+        let _ = job.reply.send(proto::error_line(
+            &job.id,
+            ErrorCode::ShuttingDown,
+            "server is shutting down; request was not started",
+        ));
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if line.starts_with("GET ") || line.starts_with("HEAD ") {
+            return handle_http(&mut reader, &mut writer, &line);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(shared, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Serves one JSON request line to one response line (inline admin
+/// methods; queued compute methods).
+fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
+    let req = match proto::parse_request(line) {
+        Ok(req) => req,
+        Err(msg) => {
+            trace::add("serve.errors.bad_request", 1);
+            return proto::error_line("", ErrorCode::BadRequest, &msg);
+        }
+    };
+    match req.method.as_str() {
+        // Admin methods answer inline: they must work under overload
+        // and during drain, so they never touch the queue.
+        "ping" => proto::ok_line(&req.id, None, "{\"pong\":true}"),
+        "healthz" => proto::ok_line(&req.id, None, "{\"status\":\"ok\"}"),
+        "metrics" => proto::ok_line(&req.id, None, &metrics_json()),
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            signal::request_shutdown();
+            proto::ok_line(&req.id, None, "{\"shutting_down\":true}")
+        }
+        method => {
+            let query = match Query::from_request(method, &req.params) {
+                Ok(q) => q,
+                Err((code, msg)) => {
+                    trace::add(&format!("serve.errors.{}", code.as_str()), 1);
+                    return proto::error_line(&req.id, code, &msg);
+                }
+            };
+            let (reply, rx) = mpsc::channel();
+            let job = Job {
+                id: req.id.clone(),
+                query,
+                reply,
+                admitted: Instant::now(),
+            };
+            match shared.admission.submit(job) {
+                Ok(()) => match rx.recv() {
+                    Ok(response) => response,
+                    Err(_) => proto::error_line(
+                        &req.id,
+                        ErrorCode::ShuttingDown,
+                        "server shut down before the request completed",
+                    ),
+                },
+                Err(Rejected::Full(job)) => {
+                    trace::add("serve.rejected.overload", 1);
+                    proto::error_line(
+                        &job.id,
+                        ErrorCode::Overloaded,
+                        "admission queue is full; retry later",
+                    )
+                }
+                Err(Rejected::Closed(job)) => {
+                    trace::add("serve.rejected.shutdown", 1);
+                    proto::error_line(
+                        &job.id,
+                        ErrorCode::ShuttingDown,
+                        "server is shutting down; no new work admitted",
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.admission.pop() {
+        match job.query.idvg_group() {
+            Some(group) => {
+                let mut batch = vec![job];
+                batch.extend(shared.admission.steal_idvg_group(group));
+                if batch.len() > 1 {
+                    serve_idvg_batch(shared, batch);
+                } else {
+                    serve_one(shared, batch.remove(0));
+                }
+            }
+            None => serve_one(shared, job),
+        }
+    }
+}
+
+/// Runs `query` under the supervisor with the request deadline,
+/// mapping every failure to its typed protocol error.
+fn run_supervised(shared: &Shared, key: u64, query: &Query) -> Result<String, (ErrorCode, String)> {
+    let body = query.clone();
+    match shared
+        .supervisor
+        .run(subvt_engine::global(), key, query.method(), move || {
+            query::compute(&body)
+        }) {
+        Ok(Ok(payload)) => Ok(payload),
+        Ok(Err(msg)) => Err((ErrorCode::ComputeFailed, msg)),
+        Err(JobError::Panicked { message, attempts }) => Err((
+            ErrorCode::ComputePanicked,
+            format!("compute panicked ({attempts} attempts): {message}"),
+        )),
+        Err(JobError::DeadlineExceeded { deadline, .. }) => Err((
+            ErrorCode::DeadlineExceeded,
+            format!("compute exceeded its {deadline:?} deadline"),
+        )),
+        Err(JobError::Quarantined) => Err((
+            ErrorCode::Quarantined,
+            "request key is quarantined by an earlier failure".to_owned(),
+        )),
+    }
+}
+
+fn count_lookup(outcome: Lookup) -> &'static str {
+    match outcome {
+        Lookup::Hit => {
+            trace::add("serve.dedup.hits", 1);
+            "hit"
+        }
+        Lookup::Coalesced => {
+            trace::add("serve.dedup.coalesced", 1);
+            "coalesced"
+        }
+        Lookup::Computed => {
+            trace::add("serve.computed", 1);
+            "computed"
+        }
+    }
+}
+
+fn finish(job: &Job, method: &str, started: Instant, line: String) {
+    trace::observe_with(
+        &format!("serve.latency.{method}"),
+        started.elapsed().as_secs_f64() * 1e3,
+        &MS_BOUNDS,
+    );
+    trace::observe_with(
+        "serve.queue.wait_ms",
+        (started - job.admitted).as_secs_f64() * 1e3,
+        &MS_BOUNDS,
+    );
+    let _ = job.reply.send(line);
+}
+
+fn serve_one(shared: &Arc<Shared>, job: Job) {
+    let method = job.query.method();
+    let started = Instant::now();
+    trace::add(&format!("serve.req.{method}"), 1);
+    shared.inflight_delta(1);
+    let line = if job.query.cacheable() {
+        let key = job.query.key();
+        let (result, outcome) =
+            subvt_engine::global_cache().try_get_or_compute_outcome(RESPONSE_NS, key, || {
+                run_supervised(shared, key, &job.query).map(TextBlob)
+            });
+        match result {
+            Ok(TextBlob(payload)) => proto::ok_line(&job.id, Some(count_lookup(outcome)), &payload),
+            Err((code, msg)) => {
+                trace::add(&format!("serve.errors.{}", code.as_str()), 1);
+                proto::error_line(&job.id, code, &msg)
+            }
+        }
+    } else {
+        match run_supervised(shared, job.query.key(), &job.query) {
+            Ok(payload) => proto::ok_line(&job.id, None, &payload),
+            Err((code, msg)) => {
+                trace::add(&format!("serve.errors.{}", code.as_str()), 1);
+                proto::error_line(&job.id, code, &msg)
+            }
+        }
+    };
+    finish(&job, method, started, line);
+    shared.inflight_delta(-1);
+}
+
+/// Serves a stolen batch of bias-compatible `idvg` requests: one
+/// supervised union sweep over the engine pool, then one cache insert
+/// and reply per member.
+fn serve_idvg_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    let started = Instant::now();
+    let members = batch.len() as i64;
+    trace::add("serve.batch.runs", 1);
+    trace::add("serve.batch.merged", (batch.len() - 1) as u64);
+    for job in &batch {
+        trace::add(&format!("serve.req.{}", job.query.method()), 1);
+    }
+    shared.inflight_delta(members);
+
+    let Query::IdVg {
+        sel, backend, v_ds, ..
+    } = batch[0].query
+    else {
+        unreachable!("idvg_group only matches IdVg queries");
+    };
+
+    // Union of every member's bias points, deduped bit-exactly,
+    // ascending; one executor pass computes them all.
+    let mut union: Vec<f64> = batch
+        .iter()
+        .flat_map(|job| match &job.query {
+            Query::IdVg { v_gs, .. } => v_gs.as_slice(),
+            _ => &[],
+        })
+        .copied()
+        .collect();
+    union.sort_by(f64::total_cmp);
+    union.dedup_by(|a, b| a.to_bits() == b.to_bits());
+
+    let batch_key = KeyBuilder::new("serve.batch.run")
+        .u64(batch[0].query.idvg_group().unwrap_or(0))
+        .f64s(&union)
+        .finish();
+    let points = union.clone();
+    let swept =
+        match shared
+            .supervisor
+            .run(subvt_engine::global(), batch_key, "idvg.batch", move || {
+                query::idvg_currents(sel, backend, v_ds, &points)
+            }) {
+            Ok(Ok(currents)) => Ok(currents),
+            Ok(Err(msg)) => Err((ErrorCode::ComputeFailed, msg)),
+            Err(JobError::Panicked { message, attempts }) => Err((
+                ErrorCode::ComputePanicked,
+                format!("compute panicked ({attempts} attempts): {message}"),
+            )),
+            Err(JobError::DeadlineExceeded { deadline, .. }) => Err((
+                ErrorCode::DeadlineExceeded,
+                format!("compute exceeded its {deadline:?} deadline"),
+            )),
+            Err(JobError::Quarantined) => Err((
+                ErrorCode::Quarantined,
+                "request key is quarantined by an earlier failure".to_owned(),
+            )),
+        };
+
+    match swept {
+        Ok(currents) => {
+            let lookup: std::collections::HashMap<u64, f64> = union
+                .iter()
+                .zip(&currents)
+                .map(|(v, i)| (v.to_bits(), *i))
+                .collect();
+            for job in batch {
+                let Query::IdVg { ref v_gs, .. } = job.query else {
+                    unreachable!();
+                };
+                let i_d: Vec<f64> = v_gs.iter().map(|v| lookup[&v.to_bits()]).collect();
+                let payload = query::idvg_payload(v_gs, &i_d);
+                let key = job.query.key();
+                let (result, outcome) = subvt_engine::global_cache()
+                    .try_get_or_compute_outcome::<TextBlob, std::convert::Infallible>(
+                        RESPONSE_NS,
+                        key,
+                        || Ok(TextBlob(payload.clone())),
+                    );
+                let cached = count_lookup(outcome);
+                let text = match result {
+                    Ok(TextBlob(text)) => text,
+                    Err(never) => match never {},
+                };
+                let line = proto::ok_line(&job.id, Some(cached), &text);
+                finish(&job, "idvg", started, line);
+            }
+        }
+        Err((code, msg)) => {
+            for job in batch {
+                trace::add(&format!("serve.errors.{}", code.as_str()), 1);
+                let line = proto::error_line(&job.id, code, &msg);
+                finish(&job, "idvg", started, line);
+            }
+        }
+    }
+    shared.inflight_delta(-members);
+}
+
+/// JSON metrics payload for the `metrics` protocol method: counters
+/// and gauges only (histograms live in `/metrics`).
+fn metrics_json() -> String {
+    let snap = trace::global().drain();
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{value}", proto::json_str(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}:{}",
+            proto::json_str(name),
+            proto::fmt_f64(*value)
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Plain-text exposition for `GET /metrics`: one line per counter,
+/// gauge, and histogram statistic, in a stable grep-friendly format.
+fn metrics_text() -> String {
+    let snap = trace::global().drain();
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("subvt_counter{{name=\"{name}\"}} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!("subvt_gauge{{name=\"{name}\"}} {value}\n"));
+    }
+    for (name, hist) in &snap.hists {
+        let stats = [
+            ("count", hist.count as f64),
+            ("sum", hist.sum),
+            ("mean", hist.mean()),
+            ("min", hist.min),
+            ("max", hist.max),
+            ("p50", hist.quantile(0.5)),
+            ("p90", hist.quantile(0.9)),
+            ("p99", hist.quantile(0.99)),
+        ];
+        for (stat, v) in stats {
+            out.push_str(&format!(
+                "subvt_hist{{name=\"{name}\",stat=\"{stat}\"}} {v}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Minimal HTTP/1.1 responder for `GET /metrics` and `GET /healthz`.
+fn handle_http(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &str,
+) -> std::io::Result<()> {
+    // Drain the header block; we need nothing from it.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = match path {
+        "/healthz" => ("200 OK", "ok\n".to_owned()),
+        "/metrics" => ("200 OK", metrics_text()),
+        _ => ("404 Not Found", "not found\n".to_owned()),
+    };
+    let head_only = request_line.starts_with("HEAD ");
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    if !head_only {
+        writer.write_all(body.as_bytes())?;
+    }
+    writer.flush()
+}

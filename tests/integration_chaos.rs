@@ -214,17 +214,31 @@ fn cache_lock_degrades_to_read_only_use() {
         .unwrap()
         .expect("lock is free");
 
-    let out = run_ok(repro().arg("--cache").arg(&cache).arg("table1"));
+    let trace = dir.join("trace.jsonl");
+    let out = run_ok(
+        repro()
+            .arg("--cache")
+            .arg(&cache)
+            .arg("--trace")
+            .arg(&trace)
+            .arg("table1"),
+    );
     assert_eq!(
         out.status.code(),
         Some(0),
         "a held lock must not fail the run"
     );
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("locked by another run"), "{stderr}");
+    assert!(stderr.contains("locked by another process"), "{stderr}");
+    assert!(stderr.contains("running read-only"), "{stderr}");
     assert!(
         !cache.exists(),
         "a run without the lock must not write the cache file"
+    );
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(
+        trace_text.contains("\"name\":\"cache.cache.readonly\""),
+        "read-only degradation must publish the cache.<stem>.readonly gauge"
     );
 
     std::fs::remove_dir_all(&dir).ok();

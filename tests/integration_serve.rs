@@ -1,0 +1,371 @@
+//! Integration suite for the `subvt-serve` daemon (DESIGN.md §8):
+//! request dedup through the single-flight cache, typed overload
+//! rejection, poison-request quarantine, graceful shutdown, the
+//! HTTP metrics shim, and — via the real binary — warm restart from
+//! the persistent cache with zero new misses.
+//!
+//! The metric assertions read the process-global tracer, so every
+//! test takes the serial lock and works in counter deltas.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use subvt_serve::client::{http_get, Client};
+use subvt_serve::{signal, Config, Server};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn counters() -> BTreeMap<String, u64> {
+    subvt_engine::trace::global().snapshot().counters
+}
+
+fn delta(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>, name: &str) -> u64 {
+    after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+}
+
+fn start(config: Config) -> Server {
+    signal::reset_for_tests();
+    Server::start(config).expect("server start")
+}
+
+#[test]
+fn n_identical_concurrent_requests_compute_exactly_once() {
+    let _guard = serial();
+    let server = start(Config {
+        workers: 3,
+        ..Config::default()
+    });
+    let addr = server.addr();
+    let before = counters();
+
+    const N: usize = 6;
+    // Unusual bias points so no other test can have warmed this key.
+    let params = r#"{"node":"ref90","v_ds":0.05,"v_gs":[0.111,0.222,0.333,0.444]}"#;
+    let responses: Vec<_> = (0..N)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.call("idvg", params).expect("call")
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("thread"))
+        .collect();
+
+    let payload = responses[0].result.clone().expect("payload");
+    for r in &responses {
+        assert!(r.ok, "every duplicate must succeed: {}", r.raw);
+        assert_eq!(
+            r.result.as_deref(),
+            Some(payload.as_str()),
+            "duplicates must answer byte-identically"
+        );
+    }
+    let after = counters();
+    assert_eq!(
+        delta(&before, &after, "serve.computed"),
+        1,
+        "N identical concurrent requests must compute exactly once"
+    );
+    let shared = delta(&before, &after, "serve.dedup.hits")
+        + delta(&before, &after, "serve.dedup.coalesced");
+    assert_eq!(shared, (N - 1) as u64, "the other N-1 must be deduped");
+
+    server.shutdown();
+    server.join().expect("join");
+}
+
+#[test]
+fn overload_is_a_typed_rejection_not_a_hang() {
+    let _guard = serial();
+    let server = start(Config {
+        workers: 1,
+        queue_capacity: 1,
+        ..Config::default()
+    });
+    let addr = server.addr();
+    let before = counters();
+
+    // Occupy the only worker...
+    let occupant = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .call("sleep", r#"{"ms":800,"token":"overload-occupant"}"#)
+            .expect("occupant call")
+    });
+    wait_for_gauge(addr, "serve.inflight", 1.0);
+    // ...fill the queue...
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .call("sleep", r#"{"ms":1,"token":"overload-queued"}"#)
+            .expect("queued call")
+    });
+    wait_for_gauge(addr, "serve.queue.depth", 1.0);
+
+    // ...and the next request must bounce immediately.
+    let started = Instant::now();
+    let mut client = Client::connect(addr).expect("connect");
+    let rejected = client
+        .call("fo1", r#"{"node":"ref90","v_dd":0.32}"#)
+        .expect("rejected call");
+    assert!(!rejected.ok);
+    assert_eq!(rejected.error_code.as_deref(), Some("overloaded"));
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "overload rejection must not wait for the queue: {:?}",
+        started.elapsed()
+    );
+
+    assert!(occupant.join().expect("occupant").ok);
+    assert!(queued.join().expect("queued").ok);
+    let after = counters();
+    assert!(delta(&before, &after, "serve.rejected.overload") >= 1);
+
+    server.shutdown();
+    server.join().expect("join");
+}
+
+#[test]
+fn poison_requests_are_quarantined_while_the_server_keeps_serving() {
+    let _guard = serial();
+    let server = start(Config {
+        workers: 2,
+        ..Config::default()
+    });
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let first = client
+        .call("panic", r#"{"token":"poison-1"}"#)
+        .expect("first poison");
+    assert!(!first.ok);
+    assert_eq!(first.error_code.as_deref(), Some("compute_panicked"));
+
+    let second = client
+        .call("panic", r#"{"token":"poison-1"}"#)
+        .expect("second poison");
+    assert!(!second.ok);
+    assert_eq!(
+        second.error_code.as_deref(),
+        Some("quarantined"),
+        "a repeated poison key must be refused without re-running"
+    );
+
+    // The worker that caught the panic must still serve real work.
+    let alive = client
+        .call("params", r#"{"node":"ref90"}"#)
+        .expect("post-poison call");
+    assert!(alive.ok, "server must keep serving after a poison request");
+
+    server.shutdown();
+    server.join().expect("join");
+}
+
+#[test]
+fn graceful_shutdown_rejects_new_work_and_persists_the_cache() {
+    let _guard = serial();
+    let cache_path =
+        std::env::temp_dir().join(format!("subvt-serve-shutdown-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&cache_path).ok();
+    let server = start(Config {
+        workers: 2,
+        cache_path: Some(cache_path.clone()),
+        ..Config::default()
+    });
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let warm = client
+        .call("fo1", r#"{"node":"ref90","v_dd":0.33}"#)
+        .expect("warm call");
+    assert!(warm.ok);
+
+    let ack = client.call("shutdown", "{}").expect("shutdown call");
+    assert!(ack.ok, "shutdown must acknowledge");
+
+    // Once the accept loop closes admission, compute methods get a
+    // typed shutting_down; admin methods keep answering inline.
+    let rejected = wait_until(Duration::from_secs(3), || {
+        let r = client.call("fo1", r#"{"node":"ref90","v_dd":0.34}"#).ok()?;
+        (!r.ok).then_some(r)
+    });
+    assert_eq!(rejected.error_code.as_deref(), Some("shutting_down"));
+
+    server.join().expect("join");
+    assert!(
+        cache_path.exists(),
+        "graceful shutdown must compact the cache to disk"
+    );
+    std::fs::remove_file(&cache_path).ok();
+    signal::reset_for_tests();
+}
+
+#[test]
+fn http_shim_serves_healthz_and_metrics() {
+    let _guard = serial();
+    let server = start(Config::default());
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.call("ping", "{}").expect("ping").ok);
+
+    assert_eq!(http_get(addr, "/healthz").expect("healthz"), "ok\n");
+    let metrics = http_get(addr, "/metrics").expect("metrics");
+    assert!(
+        metrics.contains("subvt_gauge{name=\"serve.queue.depth\"}"),
+        "metrics must export the queue-depth gauge:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("subvt_counter"),
+        "metrics must export counters"
+    );
+    assert!(http_get(addr, "/nope").is_err(), "unknown paths are 404");
+
+    server.shutdown();
+    server.join().expect("join");
+}
+
+/// Spawned-binary test: a warm restart must answer from the persisted
+/// cache with zero new misses in the `serve.resp` namespace.
+#[test]
+fn warm_restart_answers_from_cache_with_zero_new_misses() {
+    let _guard = serial();
+    let cache_path =
+        std::env::temp_dir().join(format!("subvt-serve-warm-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&cache_path).ok();
+    let params = r#"{"node":"ref90","v_dd":0.29}"#;
+
+    // Cold run: compute and persist.
+    {
+        let mut child = spawn_daemon(&cache_path);
+        let mut client =
+            Client::connect_ready(child.addr.as_str(), Duration::from_secs(10)).expect("ready");
+        let cold = client.call("fo1", params).expect("cold call");
+        assert!(cold.ok);
+        assert_eq!(cold.cached.as_deref(), Some("computed"));
+        client.call("shutdown", "{}").expect("shutdown");
+        child.wait_success();
+    }
+
+    // Warm run: same request must be a disk hit, not a recompute.
+    {
+        let mut child = spawn_daemon(&cache_path);
+        let mut client =
+            Client::connect_ready(child.addr.as_str(), Duration::from_secs(10)).expect("ready");
+        let warm = client.call("fo1", params).expect("warm call");
+        assert!(warm.ok);
+        assert_eq!(
+            warm.cached.as_deref(),
+            Some("hit"),
+            "restart must answer from the persisted cache: {}",
+            warm.raw
+        );
+        let metrics = client.call("metrics", "{}").expect("metrics");
+        let json = metrics.result_json().expect("metrics json");
+        let counter = |name: &str| -> f64 {
+            json.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(subvt_exp::tracefmt::Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        assert_eq!(
+            counter("cache.serve.resp.miss"),
+            0.0,
+            "warm restart must introduce zero new response-cache misses"
+        );
+        assert_eq!(counter("serve.computed"), 0.0, "nothing may recompute");
+        client.call("shutdown", "{}").expect("shutdown");
+        child.wait_success();
+    }
+    std::fs::remove_file(&cache_path).ok();
+}
+
+// ---------------------------------------------------------------- helpers
+
+struct Daemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn wait_success(&mut self) {
+        let status = self.child.wait().expect("daemon wait");
+        assert!(status.success(), "daemon must exit 0, got {status}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(cache_path: &std::path::Path) -> Daemon {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_subvt-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache",
+            cache_path.to_str().expect("utf8 path"),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn subvt-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon banner")
+        .expect("daemon banner read");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .to_owned();
+    assert!(
+        banner.starts_with("subvt-serve listening on"),
+        "unexpected banner: {banner}"
+    );
+    Daemon { child, addr }
+}
+
+fn wait_for_gauge(addr: std::net::SocketAddr, name: &str, want: f64) {
+    let mut client = Client::connect(addr).expect("connect");
+    wait_until(Duration::from_secs(5), || {
+        let r = client.call("metrics", "{}").ok()?;
+        let json = r.result_json().ok()?;
+        let got = json
+            .get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(subvt_exp::tracefmt::Json::as_f64)
+            .unwrap_or(0.0);
+        (got >= want).then_some(())
+    });
+}
+
+fn wait_until<T>(timeout: Duration, mut probe: impl FnMut() -> Option<T>) -> T {
+    let started = Instant::now();
+    loop {
+        if let Some(value) = probe() {
+            return value;
+        }
+        assert!(
+            started.elapsed() < timeout,
+            "condition not met within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
