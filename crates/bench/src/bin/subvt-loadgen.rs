@@ -204,8 +204,10 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// The deterministic request mix: mostly cheap ref90 queries, with
-/// deliberate duplicates so dedup counters move under load.
-const MIX: [(&str, &str); 8] = [
+/// deliberate duplicates so dedup counters move under load, plus
+/// topology-layer requests (gate library, ring oscillator) so the
+/// compiled-netlist caches see mixed traffic too.
+const MIX: [(&str, &str); 11] = [
     (
         "idvg",
         r#"{"node":"ref90","v_ds":0.05,"v_gs":{"start":0.0,"stop":1.2,"points":25}}"#,
@@ -222,6 +224,18 @@ const MIX: [(&str, &str); 8] = [
     (
         "idvg",
         r#"{"node":"ref90","v_ds":1.2,"v_gs":{"start":0.0,"stop":1.2,"points":25}}"#,
+    ),
+    (
+        "topology",
+        r#"{"op":"gate_snm","gate":"nand2","node":"ref90","v_dd":0.25,"points":41}"#,
+    ),
+    (
+        "topology",
+        r#"{"op":"ring_freq","node":"ref90","v_dd":0.25,"stages":5,"steps":600}"#,
+    ),
+    (
+        "topology",
+        r#"{"op":"gate_snm","gate":"nand2","node":"ref90","v_dd":0.25,"points":41}"#,
     ),
 ];
 

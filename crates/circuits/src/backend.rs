@@ -21,22 +21,21 @@
 //!   content hash) and instrumented with trace spans plus Newton- and
 //!   transient-step histograms, like the TCAD device path.
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell as StdCell, RefCell};
 use std::fmt;
 use std::str::FromStr;
 
-use subvt_engine::{global_cache, trace, KeyBuilder};
-use subvt_physics::device::DeviceKind;
+use subvt_engine::{global_cache, trace};
 use subvt_physics::math::{golden_section, linspace};
 use subvt_spice::measure::supply_energy;
-use subvt_spice::mna::{dc_operating_point, dc_sweep, SpiceError};
-use subvt_spice::netlist::{Element, Netlist, Waveform};
-use subvt_spice::transient::{transient, Integrator, TransientSpec};
+use subvt_spice::mna::{dc_sweep, SpiceError};
 use subvt_units::{Joules, Seconds, Volts};
 
 use crate::chain::{EnergyPoint, InverterChain, MinimumEnergyPoint};
-use crate::delay::{analytic_fo1_delay, measure_fo1, spice_fo1_delay, Fo1Delay, Fo1Fixture};
+use crate::delay::{fo1_bench, spice_fo1_delay, Fo1Delay};
+use crate::gates::OtherInput;
 use crate::inverter::{CmosPair, Inverter, Vtc};
+use crate::topology::{CellSpec, InputVector, Load, MeasurePlan, Stimulus, Testbench};
 
 /// Transient resolution of the analytic backend's FO1 measurement — the
 /// step count `figs_circuit` has always used, kept here so routing the
@@ -234,142 +233,57 @@ impl CircuitBackend for AnalyticCircuit {
     }
 }
 
-/// Folds a waveform's defining values into a cache key.
-fn keyed_waveform(kb: KeyBuilder, w: &Waveform) -> KeyBuilder {
-    match w {
-        Waveform::Dc(v) => kb.str("dc").f64(*v),
-        Waveform::Pulse {
-            v0,
-            v1,
-            delay,
-            rise,
-            fall,
-            width,
-            period,
-        } => kb
-            .str("pulse")
-            .f64(*v0)
-            .f64(*v1)
-            .f64(*delay)
-            .f64(*rise)
-            .f64(*fall)
-            .f64(*width)
-            .f64(*period),
-        Waveform::Pwl(points) => {
-            let mut kb = kb.str("pwl").u64(points.len() as u64);
-            for (t, v) in points {
-                kb = kb.f64(*t).f64(*v);
-            }
-            kb
-        }
-    }
-}
-
-/// Folds the full content of a netlist — topology, element values and
-/// every compact-model parameter — into a cache key, so any change to
-/// the deck or to the devices behind it changes the key.
-fn keyed_netlist(mut kb: KeyBuilder, net: &Netlist) -> KeyBuilder {
-    kb = kb
-        .u64(net.node_count() as u64)
-        .u64(net.elements().len() as u64);
-    for e in net.elements() {
-        kb = kb.str(&e.name);
-        kb = match &e.element {
-            Element::Resistor { a, b, ohms } => {
-                kb.str("R").u64(*a as u64).u64(*b as u64).f64(*ohms)
-            }
-            Element::Capacitor { a, b, farads } => {
-                kb.str("C").u64(*a as u64).u64(*b as u64).f64(*farads)
-            }
-            Element::VSource { pos, neg, waveform } => {
-                keyed_waveform(kb.str("V").u64(*pos as u64).u64(*neg as u64), waveform)
-            }
-            Element::ISource { pos, neg, waveform } => {
-                keyed_waveform(kb.str("I").u64(*pos as u64).u64(*neg as u64), waveform)
-            }
-            Element::Mosfet(m) => kb
-                .str("M")
-                .u64(m.drain as u64)
-                .u64(m.gate as u64)
-                .u64(m.source as u64)
-                .f64(m.width_um)
-                .str(match m.model.kind {
-                    DeviceKind::Nfet => "n",
-                    DeviceKind::Pfet => "p",
-                })
-                .f64(m.model.v_th_lin.as_volts())
-                .f64(m.model.dibl)
-                .f64(m.model.m)
-                .f64(m.model.i0.get())
-                .f64(m.model.mu0)
-                .f64(m.model.c_ox_f_per_cm2)
-                .f64(m.model.l_eff.get())
-                .f64(m.model.t_ox.get())
-                .f64(m.model.v_t)
-                .f64(m.model.v_ds_ref.as_volts()),
-        };
-    }
-    kb
-}
-
 impl SpiceCircuit {
     /// Measured per-stage switching energy (joules per output transition,
     /// by supply-current integration over a falling-input pulse) and DC
     /// leakage current (amps, the two static input states averaged) of an
     /// FO1-terminated inverter. Cached under `spice.tran`.
     fn stage_metrics(&self, pair: &CmosPair, v_dd: Volts) -> Result<[f64; 2], CircuitError> {
-        let pair = pair.at_supply(v_dd);
-        let inv = Inverter::new(pair);
+        let spec = CellSpec {
+            cell: crate::topology::Cell::Inverter,
+            pair: *pair,
+            load: Load::Fanout(1.0),
+        };
         let vdd = v_dd.as_volts();
-        let tp0 = analytic_fo1_delay(&pair, v_dd).get().max(1e-15);
-
         // Input starts high (output low) and falls once: the rising
         // output edge draws the switching charge from the supply.
-        let build = |input: Waveform| -> (Netlist, usize) {
-            let mut net = Netlist::new();
-            let vdd_node = net.node("vdd");
-            let vin = net.node("in");
-            let vout = net.node("out");
-            net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
-            net.vsource("VIN", vin, Netlist::GROUND, input);
-            inv.wire(&mut net, "X1", vin, vout, vdd_node);
-            net.capacitor("CL", vout, Netlist::GROUND, pair.input_capacitance());
-            (net, vdd_node)
+        let bench = spec
+            .compile(&Testbench::Transient {
+                v_dd,
+                stimulus: Stimulus::EnergyPulse,
+                steps: SPICE_ENERGY_STEPS,
+            })
+            .expect("inverters always compile an energy bench");
+        let MeasurePlan::SupplyEnergy {
+            t_stop,
+            supply: vdd_node,
+            ..
+        } = bench.plan
+        else {
+            unreachable!("energy benches carry a supply-energy plan");
         };
-        let pulse = Waveform::Pulse {
-            v0: vdd,
-            v1: 0.0,
-            delay: 4.0 * tp0,
-            rise: tp0,
-            fall: tp0,
-            width: 40.0 * tp0,
-            period: f64::INFINITY,
-        };
-        let (net, vdd_node) = build(pulse);
-        let t_stop = 24.0 * tp0;
-
-        let key = keyed_netlist(KeyBuilder::new("stage").str(&pair.model().cache_id()), &net)
-            .f64(t_stop)
-            .u64(SPICE_ENERGY_STEPS as u64)
-            .finish();
+        let key = bench.key("stage", &pair.model().cache_id());
         let rec = global_cache().try_get_or_compute::<Vec<f64>, CircuitError>(
             SPICE_TRAN_NS,
             key,
             || {
                 // DC leakage: mean supply draw over the two input states.
                 let mut i_leak = 0.0;
-                for v_in in [0.0, vdd] {
-                    let (dc_net, _) = build(Waveform::Dc(v_in));
-                    let sol = dc_operating_point(&dc_net)?;
+                for high in [false, true] {
+                    let dc_bench = spec
+                        .compile(&Testbench::Leakage {
+                            v_dd,
+                            inputs: InputVector::One(high),
+                        })
+                        .expect("inverters always compile a leakage bench");
+                    let sol = dc_bench.run_operating_point()?;
                     trace::add("spice.dc.solves", 1);
                     trace::observe("spice.newton.iterations", sol.iterations as f64);
                     // Branch 0 is VDD; delivered current is −i_branch.
                     i_leak += 0.5 * -sol.branch_currents[0];
                 }
 
-                let spec =
-                    TransientSpec::with_steps(t_stop, SPICE_ENERGY_STEPS, Integrator::Trapezoidal);
-                let res = transient(&net, spec)?;
+                let res = bench.run_transient()?;
                 trace::add("spice.tran.runs", 1);
                 trace::observe("spice.tran.steps", res.newton_iterations.len() as f64);
                 for &iters in &res.newton_iterations {
@@ -401,22 +315,28 @@ impl CircuitBackend for SpiceCircuit {
         let _span = trace::span("spice.backend.vtc")
             .attr("points", points)
             .attr("v_dd", v_dd.as_volts());
-        let (net, vout) = Inverter::new(*pair).vtc_netlist(v_dd);
+        let bench = CellSpec::inverter(*pair)
+            .compile(&Testbench::Vtc {
+                v_dd,
+                points,
+                other: OtherInput::Low,
+            })
+            .expect("inverters always compile a VTC bench");
+        let MeasurePlan::DcTransfer { source, output, .. } = bench.plan else {
+            unreachable!("VTC benches carry a transfer plan");
+        };
         let sweep = linspace(0.0, v_dd.as_volts(), points);
-        let key = keyed_netlist(KeyBuilder::new("vtc").str(&pair.model().cache_id()), &net)
-            .u64(points as u64)
-            .f64(v_dd.as_volts())
-            .finish();
+        let key = bench.key("vtc", &pair.model().cache_id());
         let v_out = global_cache().try_get_or_compute::<Vec<f64>, CircuitError>(
             SPICE_VTC_NS,
             key,
             || {
-                let sols = dc_sweep(&net, "VIN", &sweep)?;
+                let sols = dc_sweep(&bench.net, source, &sweep)?;
                 trace::add("spice.dc.solves", sols.len() as u64);
                 for s in &sols {
                     trace::observe("spice.newton.iterations", s.iterations as f64);
                 }
-                Ok(sols.iter().map(|s| s.node_voltages[vout]).collect())
+                Ok(sols.iter().map(|s| s.node_voltages[output]).collect())
             },
         )?;
         Ok(Vtc {
@@ -428,33 +348,21 @@ impl CircuitBackend for SpiceCircuit {
 
     fn fo1_delay(&self, pair: &CmosPair, v_dd: Volts) -> Result<Fo1Delay, CircuitError> {
         let _span = trace::span("spice.backend.fo1").attr("v_dd", v_dd.as_volts());
-        let fixture = Fo1Fixture::new(pair, v_dd);
-        let key = keyed_netlist(
-            KeyBuilder::new("fo1").str(&pair.model().cache_id()),
-            &fixture.net,
-        )
-        .f64(fixture.t_stop)
-        .u64(SPICE_FO1_STEPS as u64)
-        .finish();
+        let bench = fo1_bench(pair, v_dd, SPICE_FO1_STEPS);
+        let key = bench.key("fo1", &pair.model().cache_id());
         let rec = global_cache().try_get_or_compute::<Vec<f64>, CircuitError>(
             SPICE_TRAN_NS,
             key,
             || {
-                let spec = TransientSpec::with_steps(
-                    fixture.t_stop,
-                    SPICE_FO1_STEPS,
-                    Integrator::Trapezoidal,
-                );
-                let res = transient(&fixture.net, spec)?;
+                let res = bench.run_transient()?;
                 trace::add("spice.tran.runs", 1);
                 trace::observe("spice.tran.steps", res.newton_iterations.len() as f64);
                 for &iters in &res.newton_iterations {
                     trace::observe("spice.newton.iterations", iters as f64);
                 }
-                let d = measure_fo1(&res, fixture.stage_in, fixture.stage_out, v_dd.as_volts())
-                    .ok_or_else(|| {
-                        CircuitError::Measurement("FO1 half-swing crossings not found".to_owned())
-                    })?;
+                let d = bench.measure_edges(&res).ok_or_else(|| {
+                    CircuitError::Measurement("FO1 half-swing crossings not found".to_owned())
+                })?;
                 Ok(vec![d.tp_hl.get(), d.tp_lh.get()])
             },
         )?;
@@ -500,7 +408,7 @@ impl CircuitBackend for SpiceCircuit {
         // transient + two DC solves on a miss. The probe sequence is a
         // pure function of the bounds, so a warm re-run replays the same
         // supplies and hits the cache throughout.
-        let probes = Cell::new(0u64);
+        let probes = StdCell::new(0u64);
         let failure: RefCell<Option<CircuitError>> = RefCell::new(None);
         let min = golden_section(
             |v| {
@@ -590,10 +498,12 @@ mod tests {
 
     #[test]
     fn netlist_key_tracks_content() {
+        use subvt_engine::KeyBuilder;
+        use subvt_spice::netlist::Netlist;
         let p = pair();
         let (net_a, _) = Inverter::new(p).vtc_netlist(Volts::new(0.25));
         let (net_b, _) = Inverter::new(p).vtc_netlist(Volts::new(0.25));
-        let key = |net: &Netlist| keyed_netlist(KeyBuilder::new("t"), net).finish();
+        let key = |net: &Netlist| KeyBuilder::new("t").keyed(net).finish();
         assert_eq!(key(&net_a), key(&net_b), "same deck, same key");
         let (net_c, _) = Inverter::new(p).vtc_netlist(Volts::new(0.30));
         assert_ne!(key(&net_a), key(&net_c), "different supply, new key");

@@ -3,11 +3,10 @@
 
 use subvt_spice::measure::{propagation_delay, Edge};
 use subvt_spice::mna::SpiceError;
-use subvt_spice::netlist::{Netlist, Waveform};
-use subvt_spice::transient::{transient, Integrator, TransientSpec};
 use subvt_units::{Seconds, Volts};
 
-use crate::inverter::{CmosPair, Inverter};
+use crate::inverter::CmosPair;
+use crate::topology::{Cell, CellSpec, CompiledBench, Load, Stimulus, Testbench};
 
 /// Analytic FO1 propagation delay — paper Eq. 4 with `k_d = ln 2` and the
 /// effective drive current evaluated at the half-swing point:
@@ -64,76 +63,30 @@ impl Fo1Delay {
 /// heuristics derive the time scale from the analytic delay, so this is
 /// rare).
 pub fn spice_fo1_delay(pair: &CmosPair, v_dd: Volts, steps: usize) -> Result<Fo1Delay, SpiceError> {
-    let fixture = Fo1Fixture::new(pair, v_dd);
-    let spec = TransientSpec::with_steps(fixture.t_stop, steps.max(200), Integrator::Trapezoidal);
-    let res = transient(&fixture.net, spec)?;
-    measure_fo1(&res, fixture.stage_in, fixture.stage_out, v_dd.as_volts()).ok_or(
-        SpiceError::NoConvergence {
-            iterations: 0,
-            residual: f64::NAN,
-        },
-    )
+    let bench = fo1_bench(pair, v_dd, steps);
+    let res = bench.run_transient()?;
+    bench
+        .measure_edges(&res)
+        .ok_or(crate::topology::MEASUREMENT_FAILED)
 }
 
-/// The FO1 delay test bench: shaping stage → device under test → load
-/// stage, FO1-terminated, driven by one full pulse whose timing is
-/// derived from the analytic delay estimate. Shared by
-/// [`spice_fo1_delay`] and the circuit backends so both measure the same
-/// deck.
-pub(crate) struct Fo1Fixture {
-    /// The assembled netlist.
-    pub net: Netlist,
-    /// Input node of the measured (middle) stage.
-    pub stage_in: usize,
-    /// Output node of the measured stage.
-    pub stage_out: usize,
-    /// Transient window covering both edges.
-    pub t_stop: f64,
-}
-
-impl Fo1Fixture {
-    pub fn new(pair: &CmosPair, v_dd: Volts) -> Self {
-        let pair = pair.at_supply(v_dd);
-        let inv = Inverter::new(pair);
-        let tp0 = analytic_fo1_delay(&pair, v_dd).get().max(1e-15);
-        let vdd = v_dd.as_volts();
-
-        let mut net = Netlist::new();
-        let vdd_node = net.node("vdd");
-        let a = net.node("a");
-        let b = net.node("b");
-        let c = net.node("c");
-        let d = net.node("d");
-        net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
-        // One full pulse: rising edge then falling edge, both measured.
-        let period = f64::INFINITY;
-        net.vsource(
-            "VIN",
-            a,
-            Netlist::GROUND,
-            Waveform::Pulse {
-                v0: 0.0,
-                v1: vdd,
-                delay: 4.0 * tp0,
-                rise: tp0,
-                fall: tp0,
-                width: 16.0 * tp0,
-                period,
-            },
-        );
-        inv.wire(&mut net, "X1", a, b, vdd_node);
-        inv.wire(&mut net, "X2", b, c, vdd_node);
-        inv.wire(&mut net, "X3", c, d, vdd_node);
-        // FO1 termination: the last stage sees one inverter input of load.
-        net.capacitor("CL", d, Netlist::GROUND, pair.input_capacitance());
-
-        Self {
-            net,
-            stage_in: b,
-            stage_out: c,
-            t_stop: 40.0 * tp0,
-        }
+/// The FO1 delay test bench compiled from the topology layer: shaping
+/// stage → device under test → load stage, FO1-terminated, driven by one
+/// full pulse whose timing is derived from the analytic delay estimate.
+/// Shared by [`spice_fo1_delay`] and the circuit backends so both
+/// measure the same deck.
+pub(crate) fn fo1_bench(pair: &CmosPair, v_dd: Volts, steps: usize) -> CompiledBench {
+    CellSpec {
+        cell: Cell::InverterChain(3),
+        pair: *pair,
+        load: Load::Fanout(1.0),
     }
+    .compile(&Testbench::Transient {
+        v_dd,
+        stimulus: Stimulus::DelayPulse,
+        steps,
+    })
+    .expect("inverter chains always compile a delay bench")
 }
 
 /// Reads both propagation delays of the measured stage off a transient

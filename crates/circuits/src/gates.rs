@@ -7,12 +7,12 @@
 //! the gates from the same [`CmosPair`] devices and measures worst-case
 //! transfer curves and delay.
 
-use subvt_physics::math::linspace;
-use subvt_spice::mna::{dc_sweep, SpiceError};
-use subvt_spice::netlist::{Netlist, NodeId, Waveform};
+use subvt_spice::mna::SpiceError;
+use subvt_spice::netlist::{Netlist, NodeId};
 use subvt_units::Volts;
 
 use crate::inverter::{CmosPair, Vtc};
+use crate::topology::{CellSpec, Testbench};
 
 /// Two-input gate flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,31 +137,14 @@ impl Gate2 {
     ///
     /// Propagates [`SpiceError`] from the solver.
     pub fn vtc(&self, v_dd: Volts, other: OtherInput, points: usize) -> Result<Vtc, SpiceError> {
-        let gate = Gate2 {
-            pair: self.pair.at_supply(v_dd),
-            kind: self.kind,
-        };
-        let vdd = v_dd.as_volts();
-        let mut net = Netlist::new();
-        let vdd_node = net.node("vdd");
-        let a = net.node("a");
-        let out = net.node("out");
-        net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
-        net.vsource("VA", a, Netlist::GROUND, Waveform::Dc(0.0));
-        let b = match other {
-            OtherInput::Common => a,
-            OtherInput::High => vdd_node,
-            OtherInput::Low => Netlist::GROUND,
-        };
-        gate.wire(&mut net, "X1", a, b, out, vdd_node);
-
-        let sweep = linspace(0.0, vdd, points.max(2));
-        let sols = dc_sweep(&net, "VA", &sweep)?;
-        Ok(Vtc {
-            v_in: sweep,
-            v_out: sols.iter().map(|s| s.node_voltages[out]).collect(),
-            v_dd: vdd,
-        })
+        CellSpec::gate(self.kind, self.pair)
+            .compile(&Testbench::Vtc {
+                v_dd,
+                points,
+                other,
+            })
+            .expect("gate cells always compile a VTC bench")
+            .run_transfer()
     }
 
     /// Worst-case static noise margin over the standard input vectors

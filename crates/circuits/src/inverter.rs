@@ -9,13 +9,14 @@
 //!   currents (valid for sub-V_th supplies), used to cross-check the
 //!   simulator.
 
+use crate::topology::{CellSpec, MeasurePlan, Testbench};
 use subvt_engine::trace;
 use subvt_model::{DeviceModel, ModelError};
 use subvt_physics::device::{DeviceCharacteristics, DeviceKind, DeviceParams};
 use subvt_physics::iv::MosModel;
 use subvt_physics::math::{bisect, linspace};
-use subvt_spice::mna::{dc_sweep, SpiceError};
-use subvt_spice::netlist::{Netlist, NodeId, Waveform};
+use subvt_spice::mna::SpiceError;
+use subvt_spice::netlist::{Netlist, NodeId};
 use subvt_units::Volts;
 
 /// A complementary device pair with widths — the unit cell every analysis
@@ -357,21 +358,18 @@ impl Inverter {
     /// by [`Inverter::vtc`] and the circuit backends, so the deck a DC
     /// sweep solves is identical however the curve is requested.
     pub fn vtc_netlist(&self, v_dd: Volts) -> (Netlist, NodeId) {
-        let pair = self.pair.at_supply(v_dd);
-        let inv = Inverter::new(pair);
-        let mut net = Netlist::new();
-        let vdd_node = net.node("vdd");
-        let vin = net.node("in");
-        let vout = net.node("out");
-        net.vsource(
-            "VDD",
-            vdd_node,
-            Netlist::GROUND,
-            Waveform::Dc(v_dd.as_volts()),
-        );
-        net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0));
-        inv.wire(&mut net, "X1", vin, vout, vdd_node);
-        (net, vout)
+        let bench = CellSpec::inverter(self.pair)
+            .compile(&Testbench::Vtc {
+                v_dd,
+                // Points only parameterize the sweep plan, not the deck.
+                points: 2,
+                other: crate::gates::OtherInput::Low,
+            })
+            .expect("inverters always compile a VTC bench");
+        let MeasurePlan::DcTransfer { output, .. } = bench.plan else {
+            unreachable!("VTC benches carry a transfer plan");
+        };
+        (bench.net, output)
     }
 
     /// Traces the VTC by a SPICE DC sweep with `points` samples at supply
@@ -381,14 +379,14 @@ impl Inverter {
     ///
     /// Propagates [`SpiceError`] from the solver.
     pub fn vtc(&self, v_dd: Volts, points: usize) -> Result<Vtc, SpiceError> {
-        let (net, vout) = self.vtc_netlist(v_dd);
-        let sweep = linspace(0.0, v_dd.as_volts(), points.max(2));
-        let sols = dc_sweep(&net, "VIN", &sweep)?;
-        Ok(Vtc {
-            v_in: sweep,
-            v_out: sols.iter().map(|s| s.node_voltages[vout]).collect(),
-            v_dd: v_dd.as_volts(),
-        })
+        CellSpec::inverter(self.pair)
+            .compile(&Testbench::Vtc {
+                v_dd,
+                points,
+                other: crate::gates::OtherInput::Low,
+            })
+            .expect("inverters always compile a VTC bench")
+            .run_transfer()
     }
 }
 

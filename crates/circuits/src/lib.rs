@@ -37,6 +37,7 @@ pub mod ring;
 pub mod rng;
 pub mod snm;
 pub mod sram;
+pub mod topology;
 
 pub use backend::{
     analytic_circuit, spice_circuit, CircuitBackend, CircuitBackendKind, CircuitError,

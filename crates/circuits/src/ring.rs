@@ -1,14 +1,11 @@
 //! Ring-oscillator analysis (extension beyond the paper's figures, used
 //! as an independent delay cross-check: `f_osc = 1/(2·N·t_p)`).
 
-use subvt_spice::measure::{crossing_time, Edge};
 use subvt_spice::mna::SpiceError;
-use subvt_spice::netlist::{Netlist, Waveform};
-use subvt_spice::transient::{transient_from, Integrator, TransientSpec};
 use subvt_units::{Seconds, Volts};
 
-use crate::delay::analytic_fo1_delay;
-use crate::inverter::{CmosPair, Inverter};
+use crate::inverter::CmosPair;
+use crate::topology::{Cell, CellSpec, Load, Testbench};
 
 /// Measured ring-oscillator behaviour.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,70 +37,23 @@ pub fn ring_oscillator(
         stages >= 3 && stages % 2 == 1,
         "ring needs an odd stage count >= 3"
     );
-    let pair = pair.at_supply(v_dd);
-    let inv = Inverter::new(pair);
-    let tp0 = analytic_fo1_delay(&pair, v_dd).get();
-    let vdd = v_dd.as_volts();
-
-    let mut net = Netlist::new();
-    let vdd_node = net.node("vdd");
-    net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
-    let nodes: Vec<_> = (0..stages).map(|i| net.node(&format!("n{i}"))).collect();
-    for i in 0..stages {
-        let input = nodes[i];
-        let output = nodes[(i + 1) % stages];
-        inv.wire(&mut net, &format!("X{i}"), input, output, vdd_node);
-        // Explicit wiring capacitance keeps every node dynamic.
-        net.capacitor(&format!("Cw{i}"), output, Netlist::GROUND, 0.1e-15);
+    let bench = CellSpec {
+        cell: Cell::RingOsc(stages),
+        pair: *pair,
+        load: Load::Farads(0.1e-15),
     }
-
-    // A DC operating point would settle at the metastable midpoint, so
-    // start from an asymmetric initial condition instead: alternate rails
-    // around the loop (any non-equilibrium start converges to the limit
-    // cycle).
-    let dim_nodes = net.node_count();
-    let mut x0 = subvt_spice::mna::DcSolution {
-        node_voltages: vec![0.0; dim_nodes],
-        branch_currents: vec![0.0; 1],
-        iterations: 0,
-    };
-    x0.node_voltages[vdd_node] = vdd;
-    for (i, &n) in nodes.iter().enumerate() {
-        x0.node_voltages[n] = if i % 2 == 0 { vdd } else { 0.0 };
-    }
-
-    let t_stop = 8.0 * stages as f64 * tp0;
-    let spec = TransientSpec::with_steps(t_stop, steps.max(500), Integrator::Trapezoidal);
-    let res = transient_from(&net, spec, &x0)?;
-
-    // Period: spacing between late rising crossings (skip the start-up
-    // transient by taking crossings near the end of the run).
-    let mut crossings = Vec::new();
-    let mut nth = 0;
-    while let Some(t) = crossing_time(&res, nodes[0], vdd / 2.0, Edge::Rising, nth) {
-        crossings.push(t);
-        nth += 1;
-        if nth > 256 {
-            break;
-        }
-    }
-    if crossings.len() < 3 {
-        return Err(SpiceError::NoConvergence {
-            iterations: 0,
-            residual: f64::NAN,
-        });
-    }
-    let k = crossings.len();
-    let period = crossings[k - 1] - crossings[k - 2];
-    Ok(RingOscillation {
-        period: Seconds::new(period),
-        stage_delay: Seconds::new(period / (2.0 * stages as f64)),
-    })
+    .compile(&Testbench::Oscillation { v_dd, steps })
+    .expect("odd rings always compile an oscillation bench");
+    let res = bench.run_transient()?;
+    bench
+        .measure_oscillation(&res)
+        .ok_or(crate::topology::MEASUREMENT_FAILED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delay::analytic_fo1_delay;
     use subvt_physics::device::DeviceParams;
 
     #[test]

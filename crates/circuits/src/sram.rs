@@ -5,13 +5,12 @@
 //! SRAM). This module provides hold- and read-mode butterfly SNM for a 6T
 //! cell built from the same device pair the logic analyses use.
 
-use subvt_physics::math::linspace;
-use subvt_spice::mna::{dc_sweep, SpiceError};
-use subvt_spice::netlist::{Netlist, Waveform};
+use subvt_spice::mna::SpiceError;
 use subvt_units::Volts;
 
 use crate::inverter::{CmosPair, Inverter, Vtc};
 use crate::snm::butterfly_snm;
+use crate::topology::{Cell, CellSpec, Load, Testbench};
 
 /// How a butterfly curve that cannot be inverted (NaN samples or
 /// non-monotone noise) surfaces through the `SpiceError`-typed SNM API —
@@ -92,37 +91,20 @@ impl SramCell {
     ///
     /// Propagates [`SpiceError`] from the solver.
     pub fn read_vtc(&self, v_dd: Volts, points: usize) -> Result<Vtc, SpiceError> {
-        let pair = self.pair.at_supply(v_dd);
-        let inv = Inverter::new(pair);
-        let vdd = v_dd.as_volts();
-
-        let mut net = Netlist::new();
-        let vdd_node = net.node("vdd");
-        let vin = net.node("in");
-        let vout = net.node("out");
-        let bitline = net.node("bl");
-        net.vsource("VDD", vdd_node, Netlist::GROUND, Waveform::Dc(vdd));
-        net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0));
-        net.vsource("VBL", bitline, Netlist::GROUND, Waveform::Dc(vdd));
-        inv.wire(&mut net, "X1", vin, vout, vdd_node);
-        // Access NFET: gate at the word-line (V_dd during read), wired
-        // between the storage node and the precharged bit-line.
-        net.mosfet(
-            "MA",
-            pair.nfet_model(),
-            self.w_access_um,
-            bitline,
-            vdd_node,
-            vout,
-        );
-
-        let sweep = linspace(0.0, vdd, points.max(2));
-        let sols = dc_sweep(&net, "VIN", &sweep)?;
-        Ok(Vtc {
-            v_in: sweep,
-            v_out: sols.iter().map(|s| s.node_voltages[vout]).collect(),
-            v_dd: vdd,
+        CellSpec {
+            cell: Cell::SramCell {
+                w_access_um: self.w_access_um,
+            },
+            pair: self.pair,
+            load: Load::None,
+        }
+        .compile(&Testbench::Vtc {
+            v_dd,
+            points,
+            other: crate::gates::OtherInput::Low,
         })
+        .expect("SRAM cells always compile a read-VTC bench")
+        .run_transfer()
     }
 }
 

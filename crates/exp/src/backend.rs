@@ -16,10 +16,11 @@ use subvt_circuits::inverter::CmosPair;
 use subvt_core::strategy::NodeDesign;
 use subvt_core::supervth::at_subthreshold_supply_with;
 use subvt_model::{Backend, DeviceModel};
-use subvt_units::Volts;
+use subvt_units::{Temperature, Volts};
 
 static SELECTED: OnceLock<Backend> = OnceLock::new();
 static CIRCUIT_SELECTED: OnceLock<CircuitBackendKind> = OnceLock::new();
+static TEMPERATURE: OnceLock<Temperature> = OnceLock::new();
 
 /// Locks in the process-wide backend. The first selection wins; returns
 /// `false` when a *different* backend was already locked (selecting the
@@ -78,10 +79,36 @@ pub fn circuit() -> &'static dyn CircuitBackend {
     circuit_for(circuit_selected())
 }
 
+/// Locks in the process-wide operating temperature (the `repro --temp`
+/// surface). The first selection wins; returns `false` when a
+/// *different* temperature was already locked (re-selecting the active
+/// temperature is a no-op success).
+pub fn configure_temperature(t: Temperature) -> bool {
+    *TEMPERATURE.get_or_init(|| t) == t
+}
+
+/// The selected operating temperature; defaults to
+/// [`Temperature::room`] when nothing was configured — the paper's
+/// fixed-temperature assumption.
+pub fn temperature() -> Temperature {
+    *TEMPERATURE.get_or_init(Temperature::room)
+}
+
 /// A node's circuit-level device pair, characterized through the
-/// selected backend.
+/// selected backend at the selected operating temperature.
 pub fn pair(design: &NodeDesign) -> CmosPair {
-    design.cmos_pair_with(model())
+    pair_at(design, temperature())
+}
+
+/// A node's circuit-level device pair at an explicit temperature —
+/// the building block of the `ext-temp` sweep (and of [`pair`], which
+/// passes the process-wide selection). Characterizations are lazy, so
+/// retagging the device parameters is all the plumbing required.
+pub fn pair_at(design: &NodeDesign, t: Temperature) -> CmosPair {
+    let mut p = design.cmos_pair_with(model());
+    p.nfet.temperature = t;
+    p.pfet.temperature = t;
+    p
 }
 
 /// Re-characterizes a design at a subthreshold supply through the

@@ -30,6 +30,7 @@ use subvt_exp::{
     run, run_guarded, tracefmt, FigureFailure, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
 };
 use subvt_model::Backend;
+use subvt_units::Temperature;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,6 +110,20 @@ fn main() -> ExitCode {
                 };
                 if !subvt_exp::backend::configure_circuit(kind) {
                     eprintln!("--circuit-backend given twice with conflicting values");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--temp" => {
+                let Some(kelvin) = iter
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|k| k.is_finite() && *k > 0.0)
+                else {
+                    eprintln!("--temp needs a positive temperature in kelvin");
+                    return ExitCode::FAILURE;
+                };
+                if !subvt_exp::backend::configure_temperature(Temperature::from_kelvin(kelvin)) {
+                    eprintln!("--temp given twice with conflicting values");
                     return ExitCode::FAILURE;
                 }
             }
@@ -294,6 +309,7 @@ fn print_help() {
     eprintln!("  --csv                CSV output instead of aligned text");
     eprintln!("  --backend <b>        device-model backend: analytic (default) | tcad");
     eprintln!("  --circuit-backend <b> circuit-metric backend: analytic (default) | spice");
+    eprintln!("  --temp <K>           operating temperature in kelvin (default: 300, room)");
     eprintln!("  --jobs <N>           engine worker threads (default: cores, or $SUBVT_JOBS)");
     eprintln!("  --trace <path>       write the run's trace on exit");
     eprintln!("  --trace-format <f>   trace sink: jsonl (default) | chrome (Perfetto)");

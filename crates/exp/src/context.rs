@@ -15,6 +15,7 @@ use subvt_core::strategy::{DesignError, NodeDesign, ScalingStrategy};
 use subvt_core::{SubVthStrategy, SuperVthStrategy};
 use subvt_engine::KeyBuilder;
 use subvt_model::DeviceModel;
+use subvt_units::Temperature;
 
 use crate::codec::DesignSet;
 
@@ -34,23 +35,51 @@ pub struct StudyContext {
 /// Cache key for the super-V_th flow: every strategy knob that shapes
 /// the designs, plus the evaluation backend. The tag is versioned
 /// against the [`DesignSet`] layout.
-fn supervth_key(s: &SuperVthStrategy, model: &dyn DeviceModel) -> u64 {
+fn supervth_key(s: &SuperVthStrategy, model: &dyn DeviceModel, t: Temperature) -> u64 {
     KeyBuilder::new("design.v1")
         .str("supervth")
         .str(&model.cache_id())
         .f64(s.t_ox_shrink_rate)
         .f64(s.i_leak_90nm_pa)
         .f64(s.i_leak_growth)
+        .f64(t.as_kelvin())
         .finish()
 }
 
 /// Cache key for the sub-V_th flow.
-fn subvth_key(s: &SubVthStrategy, model: &dyn DeviceModel) -> u64 {
+fn subvth_key(s: &SubVthStrategy, model: &dyn DeviceModel, t: Temperature) -> u64 {
     KeyBuilder::new("design.v1")
         .str("subvth")
         .str(&model.cache_id())
         .f64(s.i_off_target.get())
+        .f64(t.as_kelvin())
         .finish()
+}
+
+/// Re-tags every design's devices with the operating temperature and
+/// re-characterizes them, so downstream consumers (figure tables, pair
+/// construction, supply re-biasing) all see temperature-consistent
+/// characteristics. At room temperature this is the identity: the
+/// designs come out of the flows already characterized at
+/// [`Temperature::room`].
+fn at_temperature(
+    designs: Vec<NodeDesign>,
+    t: Temperature,
+    model: &dyn DeviceModel,
+) -> Result<Vec<NodeDesign>, DesignError> {
+    if t == Temperature::room() {
+        return Ok(designs);
+    }
+    designs
+        .into_iter()
+        .map(|mut d| {
+            d.nfet.temperature = t;
+            d.pfet.temperature = t;
+            d.nfet_chars = model.characterize(&d.nfet)?;
+            d.pfet_chars = model.characterize(&d.pfet)?;
+            Ok(d)
+        })
+        .collect()
 }
 
 fn design_cached(
@@ -86,17 +115,23 @@ impl StudyContext {
     ///
     /// Propagates [`DesignError`] from either flow.
     pub fn compute_with(model: &'static dyn DeviceModel) -> Result<Self, DesignError> {
-        // The two flows are independent; overlap them.
+        // The two flows are independent; overlap them. The process-wide
+        // operating temperature keys the cache entries and re-tags the
+        // designed devices, so `--temp` runs never collide with the
+        // paper's room-temperature records.
+        let t = crate::backend::temperature();
         let mut flows = subvt_engine::global().map(vec![true, false], move |is_super| {
             if is_super {
                 let s = SuperVthStrategy::default();
-                design_cached("supervth", supervth_key(&s, model), move || {
+                design_cached("supervth", supervth_key(&s, model, t), move || {
                     s.design_all_with(model)
+                        .and_then(|d| at_temperature(d, t, model))
                 })
             } else {
                 let s = SubVthStrategy::default();
-                design_cached("subvth", subvth_key(&s, model), move || {
+                design_cached("subvth", subvth_key(&s, model, t), move || {
                     s.design_all_with(model)
+                        .and_then(|d| at_temperature(d, t, model))
                 })
             }
         });
@@ -151,20 +186,53 @@ mod tests {
     #[test]
     fn strategy_knobs_change_the_cache_key() {
         let m = subvt_model::analytic();
-        let a = supervth_key(&SuperVthStrategy::default(), m);
+        let room = Temperature::room();
+        let a = supervth_key(&SuperVthStrategy::default(), m, room);
         let s = SuperVthStrategy {
             t_ox_shrink_rate: 0.30,
             ..Default::default()
         };
-        assert_ne!(a, supervth_key(&s, m));
-        assert_ne!(a, subvth_key(&SubVthStrategy::default(), m));
+        assert_ne!(a, supervth_key(&s, m, room));
+        assert_ne!(a, subvth_key(&SubVthStrategy::default(), m, room));
+        assert_ne!(
+            a,
+            supervth_key(
+                &SuperVthStrategy::default(),
+                m,
+                Temperature::from_kelvin(350.0)
+            ),
+            "temperature must key its own design entries"
+        );
     }
 
     #[test]
     fn backend_changes_the_cache_key() {
         let s = SuperVthStrategy::default();
-        let analytic = supervth_key(&s, subvt_model::analytic());
-        let tcad = supervth_key(&s, &subvt_tcad::model::TCAD_COARSE);
+        let room = Temperature::room();
+        let analytic = supervth_key(&s, subvt_model::analytic(), room);
+        let tcad = supervth_key(&s, &subvt_tcad::model::TCAD_COARSE, room);
         assert_ne!(analytic, tcad, "backends must not share design entries");
+    }
+
+    #[test]
+    fn room_temperature_retag_is_identity() {
+        let ctx = StudyContext::cached();
+        let again = at_temperature(
+            ctx.supervth.clone(),
+            Temperature::room(),
+            subvt_model::analytic(),
+        )
+        .unwrap();
+        assert_eq!(again, ctx.supervth);
+        let hot = at_temperature(
+            ctx.supervth.clone(),
+            Temperature::from_kelvin(350.0),
+            subvt_model::analytic(),
+        )
+        .unwrap();
+        assert!(
+            hot[0].nfet_chars.i_off.get() > ctx.supervth[0].nfet_chars.i_off.get(),
+            "leakage must grow with temperature"
+        );
     }
 }

@@ -5,9 +5,15 @@
 //! stacked-gate noise margins.
 
 use subvt_circuits::chain::InverterChain;
-use subvt_circuits::gates::Gate2;
+use subvt_circuits::delay::analytic_fo1_delay;
+use subvt_circuits::gates::GateKind;
+use subvt_circuits::inverter::analytic_vtc;
 use subvt_circuits::montecarlo::{delay_variability, snm_variability};
+use subvt_circuits::snm::noise_margins;
 use subvt_circuits::sram::SramCell;
+use subvt_circuits::topology::{
+    cached_gate_leakage, cached_gate_snm, cached_inverter_vtc, cached_ring_oscillation,
+};
 use subvt_core::{SuperVthStrategy, TechNode};
 use subvt_model::DeviceModel;
 use subvt_physics::device::{DeviceKind, DeviceParams};
@@ -160,36 +166,131 @@ pub fn ext_variability(ctx: &StudyContext) -> Table {
     t
 }
 
-/// Extension E — stacked gates: worst-case NAND2/NOR2 noise margins at
-/// 250 mV across the super-V_th nodes, alongside the inverter (Fig. 4's
-/// story extended to real logic).
+/// Extension E — stacked gates: worst-case NAND2/NOR2 noise margins and
+/// per-input-vector NAND2 leakage at 250 mV across the super-V_th nodes,
+/// alongside the inverter (Fig. 4's story extended to real logic).
+///
+/// The leakage columns quantify the subthreshold *stack effect*
+/// (Mukhopadhyay et al.): with both NAND inputs low the two series-off
+/// NFETs self-reverse-bias, so `I(00)` sits well below the single-off
+/// `I(01)` vector — the ratio is the stack factor.
 pub fn ext_gates(ctx: &StudyContext) -> Table {
     let v = Volts::new(V_SUBVT);
     let mut t = Table::new(
-        "Ext E: worst-case gate SNM at 250 mV (super-Vth scaling)",
+        "Ext E: gate library at 250 mV (super-Vth scaling)",
         &[
             "Node",
             "inverter SNM (mV)",
             "NAND2 SNM (mV)",
             "NOR2 SNM (mV)",
+            "NAND I(00) (pA)",
+            "NAND I(01) (pA)",
+            "stack factor",
         ],
     );
     for d in &ctx.supervth {
         let pair = backend::pair(d);
         let inv = crate::figs_circuit::snm_at(d, v) * 1e3;
-        let nand = Gate2::nand2(pair)
-            .worst_case_snm(v, 121)
+        let nand = cached_gate_snm(&pair, GateKind::Nand2, v, 121)
             .map(|s| s * 1e3)
             .unwrap_or(f64::NAN);
-        let nor = Gate2::nor2(pair)
-            .worst_case_snm(v, 121)
+        let nor = cached_gate_snm(&pair, GateKind::Nor2, v, 121)
             .map(|s| s * 1e3)
             .unwrap_or(f64::NAN);
+        let i00 =
+            cached_gate_leakage(&pair, GateKind::Nand2, v, (false, false)).unwrap_or(f64::NAN);
+        let i01 = cached_gate_leakage(&pair, GateKind::Nand2, v, (false, true)).unwrap_or(f64::NAN);
         t.push_row(vec![
             d.node.name().to_owned(),
             fmt(inv, 1),
             fmt(nand, 1),
             fmt(nor, 1),
+            fmt(i00 * 1e12, 2),
+            fmt(i01 * 1e12, 2),
+            fmt(i01 / i00, 2),
+        ]);
+    }
+    t
+}
+
+/// Extension G — ring oscillator: 5-stage ring frequency at 250 mV per
+/// super-V_th node as an independent cross-check of the FO1 delay chain
+/// (`f_osc = 1/(2·N·t_p)` ⇒ the implied stage delay should track the
+/// analytic Eq. 4 estimate within its loading factor).
+pub fn ext_ringosc(ctx: &StudyContext) -> Table {
+    const STAGES: usize = 5;
+    const STEPS: usize = 1500;
+    let v = Volts::new(V_SUBVT);
+    let mut t = Table::new(
+        "Ext G: 5-stage ring oscillator at 250 mV (super-Vth scaling)",
+        &[
+            "Node",
+            "f_osc (kHz)",
+            "stage delay (ns)",
+            "analytic FO1 (ns)",
+            "ratio",
+        ],
+    );
+    for d in &ctx.supervth {
+        let pair = backend::pair(d);
+        let tp_analytic = analytic_fo1_delay(&pair, v).get();
+        let (f_khz, stage_ns, ratio) = match cached_ring_oscillation(&pair, v, STAGES, STEPS) {
+            Ok(osc) => (
+                1e-3 / osc.period.get(),
+                osc.stage_delay.get() * 1e9,
+                osc.stage_delay.get() / tp_analytic,
+            ),
+            Err(_) => (f64::NAN, f64::NAN, f64::NAN),
+        };
+        t.push_row(vec![
+            d.node.name().to_owned(),
+            fmt(f_khz, 1),
+            fmt(stage_ns, 1),
+            fmt(tp_analytic * 1e9, 1),
+            fmt(ratio, 2),
+        ]);
+    }
+    t
+}
+
+/// Extension H — temperature sweep of the paper's core circuit metrics:
+/// the 90 nm super-V_th inverter's swing, SNM (SPICE and analytic
+/// Eq. 3(b), parity-checked side by side) and minimum-energy point from
+/// 250 K to 400 K. The paper holds temperature fixed; this opens the
+/// knob the physics layer always carried.
+pub fn ext_temp(ctx: &StudyContext) -> Table {
+    let v = Volts::new(V_SUBVT);
+    let d90 = &ctx.supervth[0];
+    let mut t = Table::new(
+        "Ext H: 90 nm super-Vth inverter vs temperature (250 mV)",
+        &[
+            "T (K)",
+            "S_S (mV/dec)",
+            "SNM spice (mV)",
+            "SNM analytic (mV)",
+            "V_min (mV)",
+            "E@Vmin (fJ)",
+        ],
+    );
+    for kelvin in [250.0, 275.0, 300.0, 325.0, 350.0, 375.0, 400.0] {
+        let pair = backend::pair_at(d90, Temperature::from_kelvin(kelvin));
+        let ss = pair.nfet_chars().s_s.get();
+        let snm_spice = cached_inverter_vtc(&pair, v, 121)
+            .ok()
+            .and_then(|vtc| noise_margins(&vtc))
+            .map(|nm| nm.snm() * 1e3)
+            .unwrap_or(f64::NAN);
+        let snm_analytic = noise_margins(&analytic_vtc(&pair, v, 121))
+            .map(|nm| nm.snm() * 1e3)
+            .unwrap_or(f64::NAN);
+        let mep = InverterChain::paper_chain(pair).minimum_energy_point();
+        t.push_row(vec![
+            fmt(kelvin, 0),
+            fmt(ss, 1),
+            fmt(snm_spice, 1),
+            fmt(snm_analytic, 1),
+            fmt(mep.v_min.as_millivolts(), 0),
+            fmt(mep.energy.as_femtojoules(), 3),
         ]);
     }
     t
@@ -295,6 +396,61 @@ mod tests {
         assert!(
             lowest > 3.0 * nominal,
             "sigma/mu at 200 mV ({lowest} %) must dwarf nominal ({nominal} %)"
+        );
+    }
+
+    #[test]
+    fn gate_library_shows_margin_ordering_and_stack_effect() {
+        let t = ext_gates(StudyContext::cached());
+        for row in &t.rows {
+            let inv: f64 = row[1].parse().unwrap();
+            let nand: f64 = row[2].parse().unwrap();
+            let nor: f64 = row[3].parse().unwrap();
+            assert!(
+                nand < nor && nor < inv,
+                "worst-case SNM must order NAND < NOR < inverter: {row:?}"
+            );
+            let stack: f64 = row[6].parse().unwrap();
+            assert!(
+                (1.5..=4.0).contains(&stack),
+                "stack factor out of subthreshold range: {stack}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_oscillator_tracks_analytic_fo1() {
+        let t = ext_ringosc(StudyContext::cached());
+        let mut f_prev = f64::INFINITY;
+        for row in &t.rows {
+            let f_khz: f64 = row[1].parse().unwrap();
+            assert!(f_khz < f_prev, "f_osc must fall with scaling: {row:?}");
+            f_prev = f_khz;
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(
+                (0.5..=3.0).contains(&ratio),
+                "measured/analytic stage-delay ratio out of range: {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn temperature_sweep_degrades_margins_and_raises_vmin() {
+        let t = ext_temp(StudyContext::cached());
+        let ss: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let snm: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let vmin: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(
+            ss.windows(2).all(|w| w[1] > w[0]),
+            "S_S rises with T: {ss:?}"
+        );
+        assert!(
+            snm.windows(2).all(|w| w[1] < w[0]),
+            "SNM falls with T: {snm:?}"
+        );
+        assert!(
+            vmin.windows(2).all(|w| w[1] > w[0]),
+            "V_min rises with T: {vmin:?}"
         );
     }
 }

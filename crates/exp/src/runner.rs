@@ -31,13 +31,15 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
 
 /// Extension studies beyond the paper's artefacts (run with `repro ext`
 /// or by id).
-pub const EXTENSION_EXPERIMENTS: [&str; 6] = [
+pub const EXTENSION_EXPERIMENTS: [&str; 8] = [
     "ext-temperature",
     "ext-oxide",
     "ext-sram",
     "ext-variability",
     "ext-gates",
     "ext-backends",
+    "ext-ringosc",
+    "ext-temp",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
@@ -75,6 +77,8 @@ pub fn run(id: &str) -> Option<Table> {
         "ext-variability" => extensions::ext_variability(&ctx()),
         "ext-gates" => extensions::ext_gates(&ctx()),
         "ext-backends" => extensions::ext_backends(),
+        "ext-ringosc" => extensions::ext_ringosc(&ctx()),
+        "ext-temp" => extensions::ext_temp(&ctx()),
         _ => return None,
     })
 }

@@ -6,9 +6,16 @@
 //! ```text
 //! → {"id":"r1","method":"fo1","params":{"node":"45nm","strategy":"subvth","v_dd":0.3}}
 //! ← {"id":"r1","ok":true,"cached":"computed","result":{"tp_hl_s":...,"tp_lh_s":...,"average_s":...}}
-//! → {"id":"r2","method":"nope"}
-//! ← {"id":"r2","ok":false,"error":{"code":"unknown_method","message":"unknown method `nope`"}}
+//! → {"id":"r2","method":"topology","params":{"op":"ring_freq","node":"ref90","v_dd":0.25,"stages":5}}
+//! ← {"id":"r2","ok":true,"cached":"computed","result":{"stages":5,...,"f_osc_hz":...,"period_s":...}}
+//! → {"id":"r3","method":"nope"}
+//! ← {"id":"r3","ok":false,"error":{"code":"unknown_method","message":"unknown method `nope`"}}
 //! ```
+//!
+//! Circuit methods (`vtc`, `snm`, `fo1`, `chain_energy`, `mep`,
+//! `topology`) accept an optional `temp_k` field (kelvin, default 300)
+//! mirroring `repro --temp`; `topology` dispatches on `op` ∈
+//! `gate_snm` | `ring_freq` | `temp_sweep`.
 //!
 //! `result` is always the **last** member of a success line, so the
 //! payload can be recovered byte-identically by slicing between

@@ -10,8 +10,13 @@
 
 use subvt_circuits::backend::CircuitBackendKind;
 use subvt_circuits::chain::InverterChain;
-use subvt_circuits::inverter::CmosPair;
+use subvt_circuits::delay::analytic_fo1_delay;
+use subvt_circuits::gates::GateKind;
+use subvt_circuits::inverter::{analytic_vtc, CmosPair};
 use subvt_circuits::snm::noise_margins;
+use subvt_circuits::topology::{
+    cached_gate_leakage, cached_gate_snm, cached_inverter_vtc, cached_ring_oscillation,
+};
 use subvt_core::roadmap::TechNode;
 use subvt_core::strategy::NodeDesign;
 use subvt_engine::cache::Blob;
@@ -22,13 +27,17 @@ use subvt_model::{Backend, DeviceModel};
 use subvt_physics::device::{DeviceCharacteristics, DeviceKind, DeviceParams};
 use subvt_physics::iv::MosModel;
 use subvt_physics::math::linspace;
-use subvt_units::Volts;
+use subvt_units::{Temperature, Volts};
 
 use crate::proto::{fmt_f64, fmt_f64s, json_str, ErrorCode};
 
 /// Largest accepted sweep/curve size; guards the daemon against a
 /// single request monopolizing the pool.
 pub const MAX_POINTS: usize = 100_000;
+
+/// Room temperature in kelvin — the default for every `temp_k` request
+/// field, matching the paper's fixed-temperature assumption.
+pub const ROOM_K: f64 = 300.0;
 
 /// Which design flow a node query resolves through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +82,70 @@ impl NodeSel {
     }
 }
 
+/// The measurement a [`Query::Topology`] request asks the declarative
+/// topology layer (`subvt_circuits::topology`) for. Every op runs off
+/// compiled cell/testbench netlists and is served from the engine's
+/// `spice.vtc` / `spice.tran` caches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyOp {
+    /// Worst-case static noise margin of a two-input gate, plus its
+    /// leakage over all four input vectors (the stack effect).
+    GateSnm {
+        /// Which gate from the library.
+        gate: GateKind,
+        /// Sample count along each VTC's input axis.
+        points: usize,
+    },
+    /// Ring-oscillator frequency from the transient limit cycle.
+    RingFreq {
+        /// Stage count (odd, >= 3).
+        stages: usize,
+        /// Transient step count.
+        steps: usize,
+    },
+    /// Subthreshold figures of merit swept over temperature.
+    TempSweep {
+        /// First temperature, kelvin.
+        t_start_k: f64,
+        /// Last temperature, kelvin.
+        t_stop_k: f64,
+        /// Temperature sample count.
+        points: usize,
+    },
+}
+
+impl TopologyOp {
+    /// Stable wire/cache-key name of the op.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TopologyOp::GateSnm { .. } => "gate_snm",
+            TopologyOp::RingFreq { .. } => "ring_freq",
+            TopologyOp::TempSweep { .. } => "temp_sweep",
+        }
+    }
+
+    fn absorb(self, kb: KeyBuilder) -> KeyBuilder {
+        let kb = kb.str(self.as_str());
+        match self {
+            TopologyOp::GateSnm { gate, points } => kb.str(gate_name(gate)).u64(points as u64),
+            TopologyOp::RingFreq { stages, steps } => kb.u64(stages as u64).u64(steps as u64),
+            TopologyOp::TempSweep {
+                t_start_k,
+                t_stop_k,
+                points,
+            } => kb.f64(t_start_k).f64(t_stop_k).u64(points as u64),
+        }
+    }
+}
+
+/// Stable wire name for a gate kind.
+fn gate_name(gate: GateKind) -> &'static str {
+    match gate {
+        GateKind::Nand2 => "nand2",
+        GateKind::Nor2 => "nor2",
+    }
+}
+
 /// A validated, canonical request body.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
@@ -113,6 +186,8 @@ pub enum Query {
         v_dd: f64,
         /// Sample count along the input axis.
         points: usize,
+        /// Operating temperature, kelvin.
+        temp_k: f64,
     },
     /// Static noise margins from the inverter VTC.
     Snm {
@@ -124,6 +199,8 @@ pub enum Query {
         circuit: CircuitBackendKind,
         /// Supply voltage.
         v_dd: f64,
+        /// Operating temperature, kelvin.
+        temp_k: f64,
     },
     /// FO1 propagation delay of the node's inverter.
     Fo1 {
@@ -135,6 +212,8 @@ pub enum Query {
         circuit: CircuitBackendKind,
         /// Supply voltage.
         v_dd: f64,
+        /// Operating temperature, kelvin.
+        temp_k: f64,
     },
     /// Per-cycle energy of the paper's 30-stage chain at one supply.
     ChainEnergy {
@@ -146,6 +225,8 @@ pub enum Query {
         circuit: CircuitBackendKind,
         /// Supply voltage.
         v_dd: f64,
+        /// Operating temperature, kelvin.
+        temp_k: f64,
     },
     /// Minimum-energy operating point of the paper's chain.
     Mep {
@@ -155,6 +236,24 @@ pub enum Query {
         backend: Backend,
         /// Circuit-metric backend.
         circuit: CircuitBackendKind,
+        /// Operating temperature, kelvin.
+        temp_k: f64,
+    },
+    /// A declarative-topology measurement: the gate-library,
+    /// ring-oscillator, and temperature workloads, compiled by
+    /// `subvt_circuits::topology` and recalled from the engine's
+    /// netlist-keyed caches.
+    Topology {
+        /// Device under test.
+        sel: NodeSel,
+        /// Device-model backend.
+        backend: Backend,
+        /// Which topology measurement.
+        op: TopologyOp,
+        /// Supply voltage.
+        v_dd: f64,
+        /// Operating temperature, kelvin (single-temperature ops only).
+        temp_k: f64,
     },
     /// A full `repro` experiment rendered exactly as the CLI prints it
     /// (text or CSV). Runs through the process-global backend seams the
@@ -237,6 +336,23 @@ fn parse_v_dd(params: &Json) -> Result<f64, ParseError> {
     Ok(v)
 }
 
+/// Parses an optional kelvin-valued field with a default; accepts
+/// (0, 1000] so the carrier physics stays in a sane regime.
+fn parse_kelvin(params: &Json, field: &str, default: f64) -> Result<f64, ParseError> {
+    let t = match params.get(field).and_then(Json::as_f64) {
+        None => return Ok(default),
+        Some(t) => t,
+    };
+    if !(t.is_finite() && t > 0.0 && t <= 1000.0) {
+        return Err(bad(format!("`{field}` must be in (0, 1000] kelvin")));
+    }
+    Ok(t)
+}
+
+fn parse_temp_k(params: &Json) -> Result<f64, ParseError> {
+    parse_kelvin(params, "temp_k", ROOM_K)
+}
+
 fn parse_v_gs(params: &Json) -> Result<Vec<f64>, ParseError> {
     let spec = match params.get("v_gs") {
         None => return Ok(linspace(0.0, 1.2, 25)),
@@ -310,30 +426,114 @@ impl Query {
                     }
                     n
                 },
+                temp_k: parse_temp_k(params)?,
             }),
             "snm" => Ok(Query::Snm {
                 sel: parse_sel(params)?,
                 backend: parse_backend(params)?,
                 circuit: parse_circuit(params)?,
                 v_dd: parse_v_dd(params)?,
+                temp_k: parse_temp_k(params)?,
             }),
             "fo1" => Ok(Query::Fo1 {
                 sel: parse_sel(params)?,
                 backend: parse_backend(params)?,
                 circuit: parse_circuit(params)?,
                 v_dd: parse_v_dd(params)?,
+                temp_k: parse_temp_k(params)?,
             }),
             "chain_energy" => Ok(Query::ChainEnergy {
                 sel: parse_sel(params)?,
                 backend: parse_backend(params)?,
                 circuit: parse_circuit(params)?,
                 v_dd: parse_v_dd(params)?,
+                temp_k: parse_temp_k(params)?,
             }),
             "mep" => Ok(Query::Mep {
                 sel: parse_sel(params)?,
                 backend: parse_backend(params)?,
                 circuit: parse_circuit(params)?,
+                temp_k: parse_temp_k(params)?,
             }),
+            "topology" => {
+                let op = match params.get("op").and_then(Json::as_str) {
+                    Some(s) => s,
+                    None => return Err(bad("missing string `op` (gate_snm|ring_freq|temp_sweep)")),
+                };
+                let op = match op {
+                    "gate_snm" => TopologyOp::GateSnm {
+                        gate: match params.get("gate").and_then(Json::as_str) {
+                            None | Some("nand2") => GateKind::Nand2,
+                            Some("nor2") => GateKind::Nor2,
+                            Some(other) => {
+                                return Err(bad(format!("unknown gate `{other}` (nand2|nor2)")))
+                            }
+                        },
+                        points: {
+                            let n =
+                                params.get("points").and_then(Json::as_u64).unwrap_or(121) as usize;
+                            if !(2..=MAX_POINTS).contains(&n) {
+                                return Err(bad(format!("`points` must be in 2..={MAX_POINTS}")));
+                            }
+                            n
+                        },
+                    },
+                    "ring_freq" => TopologyOp::RingFreq {
+                        stages: {
+                            let n =
+                                params.get("stages").and_then(Json::as_u64).unwrap_or(5) as usize;
+                            if !(3..=63).contains(&n) || n.is_multiple_of(2) {
+                                return Err(bad("`stages` must be odd and in 3..=63"));
+                            }
+                            n
+                        },
+                        steps: {
+                            let n =
+                                params.get("steps").and_then(Json::as_u64).unwrap_or(1500) as usize;
+                            if !(100..=20_000).contains(&n) {
+                                return Err(bad("`steps` must be in 100..=20000"));
+                            }
+                            n
+                        },
+                    },
+                    "temp_sweep" => {
+                        if params.get("temp_k").is_some() {
+                            return Err(bad(
+                                "`temp_sweep` takes `t_start_k`/`t_stop_k`, not `temp_k`",
+                            ));
+                        }
+                        let t_start_k = parse_kelvin(params, "t_start_k", 250.0)?;
+                        let t_stop_k = parse_kelvin(params, "t_stop_k", 400.0)?;
+                        if t_start_k >= t_stop_k {
+                            return Err(bad("`t_start_k` must be below `t_stop_k`"));
+                        }
+                        TopologyOp::TempSweep {
+                            t_start_k,
+                            t_stop_k,
+                            points: {
+                                let n = params.get("points").and_then(Json::as_u64).unwrap_or(7)
+                                    as usize;
+                                if !(2..=64).contains(&n) {
+                                    return Err(bad("`points` must be in 2..=64"));
+                                }
+                                n
+                            },
+                        }
+                    }
+                    other => {
+                        return Err(bad(format!(
+                            "unknown op `{other}` (gate_snm|ring_freq|temp_sweep)"
+                        )))
+                    }
+                };
+                Ok(Query::Topology {
+                    sel: parse_sel(params)?,
+                    backend: parse_backend(params)?,
+                    op,
+                    v_dd: parse_v_dd(params)?,
+                    temp_k: parse_temp_k(params)?,
+                })
+            }
             "experiment" => Ok(Query::Experiment {
                 id: params
                     .get("id")
@@ -385,6 +585,7 @@ impl Query {
             Query::Fo1 { .. } => "fo1",
             Query::ChainEnergy { .. } => "chain_energy",
             Query::Mep { .. } => "mep",
+            Query::Topology { .. } => "topology",
             Query::Experiment { .. } => "experiment",
             Query::Sleep { .. } => "sleep",
             Query::Panic { .. } => "panic",
@@ -422,44 +623,63 @@ impl Query {
                 circuit,
                 v_dd,
                 points,
+                temp_k,
             } => sel
                 .absorb(kb)
                 .str(backend.as_str())
                 .str(circuit.as_str())
                 .f64(*v_dd)
                 .u64(*points as u64)
+                .f64(*temp_k)
                 .finish(),
             Query::Snm {
                 sel,
                 backend,
                 circuit,
                 v_dd,
+                temp_k,
             }
             | Query::Fo1 {
                 sel,
                 backend,
                 circuit,
                 v_dd,
+                temp_k,
             }
             | Query::ChainEnergy {
                 sel,
                 backend,
                 circuit,
                 v_dd,
+                temp_k,
             } => sel
                 .absorb(kb)
                 .str(backend.as_str())
                 .str(circuit.as_str())
                 .f64(*v_dd)
+                .f64(*temp_k)
                 .finish(),
             Query::Mep {
                 sel,
                 backend,
                 circuit,
+                temp_k,
             } => sel
                 .absorb(kb)
                 .str(backend.as_str())
                 .str(circuit.as_str())
+                .f64(*temp_k)
+                .finish(),
+            Query::Topology {
+                sel,
+                backend,
+                op,
+                v_dd,
+                temp_k,
+            } => op
+                .absorb(sel.absorb(kb).str(backend.as_str()))
+                .f64(*v_dd)
+                .f64(*temp_k)
                 .finish(),
             Query::Experiment { id, csv } => kb
                 .str(id)
@@ -570,18 +790,35 @@ fn design(sel: NodeSel, model: &'static dyn DeviceModel) -> Result<NodeDesign, S
 }
 
 /// The inverter device pair for a node selection, characterized through
-/// `backend`.
+/// `backend` at room temperature.
 ///
 /// # Errors
 ///
 /// A human-readable message when the backend or a design flow fails.
 pub fn pair(sel: NodeSel, backend: Backend) -> Result<CmosPair, String> {
+    pair_at(sel, backend, ROOM_K)
+}
+
+/// Like [`pair`] but re-tagged to operate at `temp_k` kelvin. The pair
+/// is designed/balanced at room temperature (matching the design flows)
+/// and then its devices carry the operating temperature, so every
+/// downstream characterization — leakage, swing, VTC — is
+/// temperature-consistent. This mirrors `repro --temp`.
+///
+/// # Errors
+///
+/// A human-readable message when the backend or a design flow fails.
+pub fn pair_at(sel: NodeSel, backend: Backend, temp_k: f64) -> Result<CmosPair, String> {
     let model = subvt_exp::backend::model_for(backend);
-    match sel {
+    let mut p = match sel {
         NodeSel::Ref90 => CmosPair::balanced_with(model, DeviceParams::reference_90nm_nfet())
-            .map_err(|e| format!("characterization failed: {e}")),
-        NodeSel::Designed { .. } => Ok(design(sel, model)?.cmos_pair_with(model)),
-    }
+            .map_err(|e| format!("characterization failed: {e}"))?,
+        NodeSel::Designed { .. } => design(sel, model)?.cmos_pair_with(model),
+    };
+    let t = Temperature::from_kelvin(temp_k);
+    p.nfet.temperature = t;
+    p.pfet.temperature = t;
+    Ok(p)
 }
 
 /// Evaluates the drain current at every `v_gs` bias in one pass over
@@ -674,6 +911,116 @@ fn energy_payload(e: &subvt_circuits::chain::EnergyPoint) -> String {
     )
 }
 
+/// Renders a `[..]` JSON array where a missing measurement (e.g. no
+/// unity-gain points at this supply/temperature) becomes `null`.
+fn fmt_opt_f64s(vals: &[Option<f64>]) -> String {
+    let body: Vec<String> = vals
+        .iter()
+        .map(|v| v.map(fmt_f64).unwrap_or_else(|| "null".to_owned()))
+        .collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Body of the `topology` method: compiles the requested cell/testbench
+/// through `subvt_circuits::topology` and recalls the measurement from
+/// the engine's netlist-keyed caches.
+fn compute_topology(
+    sel: NodeSel,
+    backend: Backend,
+    op: TopologyOp,
+    v_dd: f64,
+    temp_k: f64,
+) -> Result<String, String> {
+    let v = Volts::new(v_dd);
+    match op {
+        TopologyOp::GateSnm { gate, points } => {
+            let pair = pair_at(sel, backend, temp_k)?;
+            let snm = cached_gate_snm(&pair, gate, v, points)
+                .map_err(|e| format!("gate snm failed: {e}"))?;
+            let vectors = [(false, false), (false, true), (true, false), (true, true)];
+            let mut leak = [0.0f64; 4];
+            for (slot, inputs) in leak.iter_mut().zip(vectors) {
+                *slot = cached_gate_leakage(&pair, gate, v, inputs)
+                    .map_err(|e| format!("gate leakage failed: {e}"))?;
+            }
+            // The stack effect: worst single-off vector over the
+            // both-off vector (series NFETs for NAND, series PFETs for
+            // NOR — the both-off state differs between them).
+            let both_off = match gate {
+                GateKind::Nand2 => leak[0],
+                GateKind::Nor2 => leak[3],
+            };
+            let single_off = leak[1].max(leak[2]);
+            Ok(format!(
+                "{{\"gate\":{},\"v_dd\":{},\"temp_k\":{},\"snm\":{},\
+                 \"i_leak_a\":{{\"00\":{},\"01\":{},\"10\":{},\"11\":{}}},\
+                 \"stack_factor\":{}}}",
+                json_str(gate_name(gate)),
+                fmt_f64(v_dd),
+                fmt_f64(temp_k),
+                fmt_f64(snm),
+                fmt_f64(leak[0]),
+                fmt_f64(leak[1]),
+                fmt_f64(leak[2]),
+                fmt_f64(leak[3]),
+                fmt_f64(single_off / both_off),
+            ))
+        }
+        TopologyOp::RingFreq { stages, steps } => {
+            let pair = pair_at(sel, backend, temp_k)?;
+            let osc = cached_ring_oscillation(&pair, v, stages, steps)
+                .map_err(|e| format!("ring oscillation failed: {e}"))?;
+            Ok(format!(
+                "{{\"stages\":{stages},\"v_dd\":{},\"temp_k\":{},\"f_osc_hz\":{},\
+                 \"period_s\":{},\"stage_delay_s\":{},\"analytic_fo1_s\":{}}}",
+                fmt_f64(v_dd),
+                fmt_f64(temp_k),
+                fmt_f64(osc.period.get().recip()),
+                fmt_f64(osc.period.get()),
+                fmt_f64(osc.stage_delay.get()),
+                fmt_f64(analytic_fo1_delay(&pair, v).get()),
+            ))
+        }
+        TopologyOp::TempSweep {
+            t_start_k,
+            t_stop_k,
+            points,
+        } => {
+            let temps = linspace(t_start_k, t_stop_k, points);
+            let mut s_s = Vec::with_capacity(temps.len());
+            let mut snm_spice = Vec::with_capacity(temps.len());
+            let mut snm_analytic = Vec::with_capacity(temps.len());
+            let mut v_min = Vec::with_capacity(temps.len());
+            let mut e_min = Vec::with_capacity(temps.len());
+            for &tk in &temps {
+                let pair = pair_at(sel, backend, tk)?;
+                s_s.push(pair.nfet_chars().s_s.get());
+                snm_spice.push(
+                    cached_inverter_vtc(&pair, v, 121)
+                        .ok()
+                        .and_then(|vtc| noise_margins(&vtc))
+                        .map(|nm| nm.snm()),
+                );
+                snm_analytic.push(noise_margins(&analytic_vtc(&pair, v, 121)).map(|nm| nm.snm()));
+                let mep = InverterChain::paper_chain(pair).minimum_energy_point();
+                v_min.push(mep.v_min.get());
+                e_min.push(mep.energy.get());
+            }
+            Ok(format!(
+                "{{\"v_dd\":{},\"t_k\":{},\"s_s_mv_dec\":{},\"snm_spice_v\":{},\
+                 \"snm_analytic_v\":{},\"v_min\":{},\"e_min_j\":{}}}",
+                fmt_f64(v_dd),
+                fmt_f64s(&temps),
+                fmt_f64s(&s_s),
+                fmt_opt_f64s(&snm_spice),
+                fmt_opt_f64s(&snm_analytic),
+                fmt_f64s(&v_min),
+                fmt_f64s(&e_min),
+            ))
+        }
+    }
+}
+
 /// Runs a query body to its JSON payload. This is the function the
 /// server supervises; it is deterministic for every cacheable query.
 ///
@@ -729,8 +1076,9 @@ pub fn compute(q: &Query) -> Result<String, String> {
             circuit,
             v_dd,
             points,
+            temp_k,
         } => {
-            let pair = pair(*sel, *backend)?;
+            let pair = pair_at(*sel, *backend, *temp_k)?;
             let vtc = subvt_exp::backend::circuit_for(*circuit)
                 .vtc(&pair, Volts::new(*v_dd), *points)
                 .map_err(|e| format!("vtc failed: {e}"))?;
@@ -746,8 +1094,9 @@ pub fn compute(q: &Query) -> Result<String, String> {
             backend,
             circuit,
             v_dd,
+            temp_k,
         } => {
-            let pair = pair(*sel, *backend)?;
+            let pair = pair_at(*sel, *backend, *temp_k)?;
             let vtc = subvt_exp::backend::circuit_for(*circuit)
                 .vtc(&pair, Volts::new(*v_dd), 161)
                 .map_err(|e| format!("vtc failed: {e}"))?;
@@ -769,8 +1118,9 @@ pub fn compute(q: &Query) -> Result<String, String> {
             backend,
             circuit,
             v_dd,
+            temp_k,
         } => {
-            let pair = pair(*sel, *backend)?;
+            let pair = pair_at(*sel, *backend, *temp_k)?;
             let d = subvt_exp::backend::circuit_for(*circuit)
                 .fo1_delay(&pair, Volts::new(*v_dd))
                 .map_err(|e| format!("fo1 failed: {e}"))?;
@@ -786,8 +1136,9 @@ pub fn compute(q: &Query) -> Result<String, String> {
             backend,
             circuit,
             v_dd,
+            temp_k,
         } => {
-            let chain = InverterChain::paper_chain(pair(*sel, *backend)?);
+            let chain = InverterChain::paper_chain(pair_at(*sel, *backend, *temp_k)?);
             let e = subvt_exp::backend::circuit_for(*circuit)
                 .chain_energy(&chain, Volts::new(*v_dd))
                 .map_err(|e| format!("chain_energy failed: {e}"))?;
@@ -797,8 +1148,9 @@ pub fn compute(q: &Query) -> Result<String, String> {
             sel,
             backend,
             circuit,
+            temp_k,
         } => {
-            let chain = InverterChain::paper_chain(pair(*sel, *backend)?);
+            let chain = InverterChain::paper_chain(pair_at(*sel, *backend, *temp_k)?);
             let mep = subvt_exp::backend::circuit_for(*circuit)
                 .minimum_energy_point(&chain)
                 .map_err(|e| format!("mep failed: {e}"))?;
@@ -809,6 +1161,13 @@ pub fn compute(q: &Query) -> Result<String, String> {
                 energy_payload(&mep.point),
             ))
         }
+        Query::Topology {
+            sel,
+            backend,
+            op,
+            v_dd,
+            temp_k,
+        } => compute_topology(*sel, *backend, *op, *v_dd, *temp_k),
         Query::Experiment { id, csv } => {
             let table = subvt_exp::run(id).ok_or_else(|| format!("unknown experiment `{id}`"))?;
             // Exactly what `repro` writes per experiment: `println!`
@@ -895,6 +1254,89 @@ mod tests {
         }
         let payload = idvg_payload(&v_gs, &i_d);
         assert!(parse_json(&payload).is_ok(), "payload must be valid JSON");
+    }
+
+    #[test]
+    fn topology_requests_parse_and_key_by_op() {
+        let a = q(
+            "topology",
+            r#"{"op":"gate_snm","node":"ref90","v_dd":0.25}"#,
+        )
+        .unwrap();
+        let b = q(
+            "topology",
+            r#"{"op":"gate_snm","gate":"nor2","node":"ref90","v_dd":0.25}"#,
+        )
+        .unwrap();
+        let c = q(
+            "topology",
+            r#"{"op":"ring_freq","node":"ref90","v_dd":0.25}"#,
+        )
+        .unwrap();
+        assert_eq!(a.method(), "topology");
+        assert!(a.cacheable());
+        assert_ne!(a.key(), b.key(), "gate kind must key the response");
+        assert_ne!(a.key(), c.key(), "op must key the response");
+        assert_eq!(
+            q("topology", r#"{"node":"ref90","v_dd":0.25}"#)
+                .unwrap_err()
+                .0,
+            ErrorCode::BadRequest,
+            "op is mandatory"
+        );
+        assert_eq!(
+            q(
+                "topology",
+                r#"{"op":"ring_freq","stages":4,"node":"ref90","v_dd":0.25}"#
+            )
+            .unwrap_err()
+            .0,
+            ErrorCode::BadRequest,
+            "even rings don't oscillate"
+        );
+        assert_eq!(
+            q(
+                "topology",
+                r#"{"op":"temp_sweep","temp_k":350,"node":"ref90","v_dd":0.25}"#
+            )
+            .unwrap_err()
+            .0,
+            ErrorCode::BadRequest,
+            "temp_sweep carries its own temperature axis"
+        );
+    }
+
+    #[test]
+    fn temp_k_keys_circuit_queries() {
+        let room = q("snm", r#"{"node":"ref90","v_dd":0.25}"#).unwrap();
+        let explicit = q("snm", r#"{"node":"ref90","v_dd":0.25,"temp_k":300}"#).unwrap();
+        let hot = q("snm", r#"{"node":"ref90","v_dd":0.25,"temp_k":350}"#).unwrap();
+        assert_eq!(room, explicit, "temp_k defaults to room");
+        assert_ne!(room.key(), hot.key(), "temperature must key the response");
+        assert_eq!(
+            q("snm", r#"{"node":"ref90","v_dd":0.25,"temp_k":-5}"#)
+                .unwrap_err()
+                .0,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn topology_gate_snm_computes_stack_effect() {
+        let qy = q(
+            "topology",
+            r#"{"op":"gate_snm","node":"ref90","v_dd":0.25,"points":41}"#,
+        )
+        .unwrap();
+        let payload = compute(&qy).unwrap();
+        let json = parse_json(&payload).unwrap();
+        let snm = json.get("snm").and_then(Json::as_f64).unwrap();
+        assert!(snm > 0.0 && snm < 0.125, "NAND2 SNM out of range: {snm}");
+        let sf = json.get("stack_factor").and_then(Json::as_f64).unwrap();
+        assert!(
+            sf > 1.0,
+            "stack effect must suppress both-off leakage: {sf}"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 use std::collections::HashMap;
 
+use subvt_engine::{KeyBuilder, Keyed};
+use subvt_physics::device::DeviceKind;
 use subvt_physics::MosModel;
 
 /// Index of a circuit node. `0` is ground.
@@ -182,7 +184,7 @@ pub struct NamedElement {
 }
 
 /// A flat circuit netlist.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Netlist {
     names: HashMap<String, NodeId>,
     node_count: usize,
@@ -379,6 +381,94 @@ impl Netlist {
             }),
         );
         self
+    }
+}
+
+impl Keyed for Waveform {
+    fn absorb(&self, kb: KeyBuilder) -> KeyBuilder {
+        match self {
+            Waveform::Dc(v) => kb.str("dc").f64(*v),
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => kb
+                .str("pulse")
+                .f64(*v0)
+                .f64(*v1)
+                .f64(*delay)
+                .f64(*rise)
+                .f64(*fall)
+                .f64(*width)
+                .f64(*period),
+            Waveform::Pwl(points) => {
+                let mut kb = kb.str("pwl").u64(points.len() as u64);
+                for (t, v) in points {
+                    kb = kb.f64(*t).f64(*v);
+                }
+                kb
+            }
+        }
+    }
+}
+
+/// The canonical cache-key field stream of a netlist: topology, element
+/// values and every compact-model parameter, so any change to the deck
+/// or to the devices behind it changes the key. This is the single
+/// content hash shared by every consumer — the circuit backends, the
+/// topology compiler and the serve-layer dedup all absorb a netlist
+/// through this impl instead of re-listing its fields.
+impl Keyed for Netlist {
+    fn absorb(&self, kb: KeyBuilder) -> KeyBuilder {
+        let mut kb = kb
+            .u64(self.node_count() as u64)
+            .u64(self.elements().len() as u64);
+        for e in self.elements() {
+            kb = kb.str(&e.name);
+            kb = match &e.element {
+                Element::Resistor { a, b, ohms } => {
+                    kb.str("R").u64(*a as u64).u64(*b as u64).f64(*ohms)
+                }
+                Element::Capacitor { a, b, farads } => {
+                    kb.str("C").u64(*a as u64).u64(*b as u64).f64(*farads)
+                }
+                Element::VSource { pos, neg, waveform } => kb
+                    .str("V")
+                    .u64(*pos as u64)
+                    .u64(*neg as u64)
+                    .keyed(waveform),
+                Element::ISource { pos, neg, waveform } => kb
+                    .str("I")
+                    .u64(*pos as u64)
+                    .u64(*neg as u64)
+                    .keyed(waveform),
+                Element::Mosfet(m) => kb
+                    .str("M")
+                    .u64(m.drain as u64)
+                    .u64(m.gate as u64)
+                    .u64(m.source as u64)
+                    .f64(m.width_um)
+                    .str(match m.model.kind {
+                        DeviceKind::Nfet => "n",
+                        DeviceKind::Pfet => "p",
+                    })
+                    .f64(m.model.v_th_lin.as_volts())
+                    .f64(m.model.dibl)
+                    .f64(m.model.m)
+                    .f64(m.model.i0.get())
+                    .f64(m.model.mu0)
+                    .f64(m.model.c_ox_f_per_cm2)
+                    .f64(m.model.l_eff.get())
+                    .f64(m.model.t_ox.get())
+                    .f64(m.model.v_t)
+                    .f64(m.model.v_ds_ref.as_volts()),
+            };
+        }
+        kb
     }
 }
 

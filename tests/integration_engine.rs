@@ -61,9 +61,10 @@ fn design_cache_round_trips_through_disk_without_recompute() {
 
 /// Mirrors the `design` namespace keys of `subvt_exp::context` for the
 /// default strategies (the flows' own parameters, the device-model
-/// backend's cache id, tag `design.v1`).
+/// backend's cache id, the operating temperature, tag `design.v1`).
 fn design_key(flow: &str) -> u64 {
     let backend = subvt_model::analytic().cache_id();
+    let room = subvt_units::Temperature::room().as_kelvin();
     match flow {
         "supervth" => subvt_engine::KeyBuilder::new("design.v1")
             .str("supervth")
@@ -71,11 +72,13 @@ fn design_key(flow: &str) -> u64 {
             .f64(0.10)
             .f64(100.0)
             .f64(1.25)
+            .f64(room)
             .finish(),
         "subvth" => subvt_engine::KeyBuilder::new("design.v1")
             .str("subvth")
             .str(&backend)
             .f64(subvt_units::AmpsPerMicron::from_picoamps(100.0).get())
+            .f64(room)
             .finish(),
         _ => unreachable!(),
     }
