@@ -5,6 +5,7 @@
 //! subvt-loadgen --addr A --call fo1 --params '{"node":"ref90","v_dd":0.3}'
 //! subvt-loadgen --addr A --call experiment --params '{"id":"fig2","format":"csv"}' --print payload
 //! subvt-loadgen --addr A --mixed 200 --concurrency 8 --out BENCH_serve.json
+//! subvt-loadgen --addr A --mixed 50 --trace client-trace.json --trace-format chrome
 //! subvt-loadgen --addr A --batch-probe      # needs a --workers 1 server
 //! subvt-loadgen --addr A --metrics          # dump GET /metrics
 //! subvt-loadgen --addr A --shutdown         # graceful drain
@@ -12,10 +13,15 @@
 //!
 //! `--mixed` drives a deterministic mixed workload (device sweeps,
 //! circuit metrics, deliberate duplicates for dedup) and writes a
-//! `BENCH_serve.json` artifact with throughput and latency quantiles.
-//! `--print payload` prints the *decoded* result payload — for the
-//! `experiment` method that is byte-identical to `repro` stdout, which
-//! CI checks with `cmp`.
+//! `BENCH_serve.json` artifact stamped with schema version, git rev,
+//! and UTC timestamp, carrying throughput and latency quantiles.
+//! Every mixed request opens a `client.request` span and propagates
+//! its trace id + span id on the wire, so the daemon's request spans
+//! parent onto the client's — `--trace` writes the client-side tree,
+//! and `repro trace-stitch` merges it with the server's into one
+//! timeline. `--print payload` prints the *decoded* result payload —
+//! for the `experiment` method that is byte-identical to `repro`
+//! stdout, which CI checks with `cmp`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -23,13 +29,22 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use subvt_engine::trace;
 use subvt_exp::tracefmt::Json;
 use subvt_serve::client::{http_get, Client};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
 
 struct Options {
     addr: String,
     wait_ready_ms: u64,
     action: Action,
+    trace: Option<String>,
+    trace_format: TraceFormat,
 }
 
 enum Action {
@@ -57,6 +72,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Keep client span ids disjoint from the server's so a stitched
+    // trace never collides (the daemon allocates from 1 upward).
+    trace::raise_id_floor(1 << 32);
     if opts.wait_ready_ms > 0 {
         let timeout = Duration::from_millis(opts.wait_ready_ms);
         if let Err(e) = Client::connect_ready(opts.addr.as_str(), timeout) {
@@ -113,13 +131,32 @@ fn main() -> ExitCode {
             Action::BatchProbe => run_batch_probe(&opts.addr),
         }
     };
-    match run() {
+    let outcome = run();
+    if let Some(path) = &opts.trace {
+        if let Err(msg) = write_trace(path, opts.trace_format) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn write_trace(path: &str, format: TraceFormat) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    let tracer = trace::global();
+    match format {
+        TraceFormat::Jsonl => tracer.write_jsonl(&mut out),
+        TraceFormat::Chrome => tracer.write_chrome(&mut out),
+    }
+    .and_then(|()| out.flush())
+    .map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn client(opts: &Options) -> Result<Client, String> {
@@ -137,6 +174,8 @@ fn parse_args() -> Result<Options, String> {
     let mut mixed_requests: Option<usize> = None;
     let mut concurrency = 4usize;
     let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut trace_format = TraceFormat::Jsonl;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -174,8 +213,16 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--concurrency needs a positive integer")?;
             }
             "--out" => out = Some(iter.next().ok_or("--out needs a path")?.clone()),
+            "--trace" => trace = Some(iter.next().ok_or("--trace needs a path")?.clone()),
+            "--trace-format" => {
+                trace_format = match iter.next().map(String::as_str) {
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("chrome") => TraceFormat::Chrome,
+                    _ => return Err("--trace-format needs one of: jsonl, chrome".to_owned()),
+                };
+            }
             "--help" | "-h" => {
-                return Err("see module docs: subvt-loadgen --addr A [--call|--mixed|--metrics|--batch-probe|--shutdown]".to_owned());
+                return Err("see module docs: subvt-loadgen --addr A [--call|--mixed|--metrics|--batch-probe|--shutdown] [--trace PATH --trace-format jsonl|chrome]".to_owned());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -200,6 +247,8 @@ fn parse_args() -> Result<Options, String> {
         addr,
         wait_ready_ms,
         action,
+        trace,
+        trace_format,
     })
 }
 
@@ -253,6 +302,7 @@ fn run_mixed(
 ) -> Result<(), String> {
     let next = Arc::new(AtomicUsize::new(0));
     let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::with_capacity(requests)));
+    let pid = std::process::id();
     let started = Instant::now();
     let threads: Vec<_> = (0..concurrency)
         .map(|_| {
@@ -268,8 +318,14 @@ fn run_mixed(
                         return Ok(());
                     }
                     let (method, params) = MIX[i % MIX.len()];
+                    let trace_id = format!("lg{pid:x}-{i:x}");
+                    let mut span = trace::span("client.request");
+                    span.set_attr("method", method);
+                    span.set_attr("trace_id", trace_id.as_str());
                     let call_started = Instant::now();
-                    let ok = match client.call(method, params) {
+                    let result = client.call_traced(method, params, Some((&trace_id, span.id())));
+                    drop(span);
+                    let ok = match result {
                         Ok(r) => r.ok,
                         Err(e) => return Err(format!("transport error on {method}: {e}")),
                     };
@@ -323,10 +379,11 @@ fn run_mixed(
     by_method.sort_by_key(|(m, _, _)| *m);
 
     let mut json = format!(
-        "{{\"suite\":\"serve\",\"requests\":{},\"concurrency\":{concurrency},\
+        "{{\"suite\":\"serve\",{},\"requests\":{},\"concurrency\":{concurrency},\
          \"elapsed_s\":{:.6},\"throughput_rps\":{:.3},\"errors\":{errors},\
          \"latency_ms\":{{\"min\":{:.4},\"p50\":{:.4},\"p90\":{:.4},\"p99\":{:.4},\
          \"max\":{:.4},\"mean\":{:.4}}},\"by_method\":{{",
+        subvt_bench::benchjson::provenance_fragment(),
         samples.len(),
         elapsed,
         samples.len() as f64 / elapsed,

@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchjson;
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

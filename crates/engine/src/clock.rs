@@ -1,0 +1,69 @@
+//! Minimal UTC wall-clock helpers (std-only; the workspace has no
+//! registry access, so `chrono`/`time` are out of reach).
+//!
+//! Used wherever an artifact needs a human-readable timestamp: the
+//! daemon's structured access log and the stamped `BENCH_serve.json`
+//! benchmark trajectory. Only whole-second ISO-8601 (`Z`-suffixed) is
+//! supported — enough for provenance, nowhere near a datetime library.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Seconds since the Unix epoch (0 if the system clock is before it).
+pub fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Formats seconds-since-epoch as `YYYY-MM-DDTHH:MM:SSZ` (proleptic
+/// Gregorian, UTC). Uses the civil-from-days algorithm, exact for the
+/// whole `u64` second range we can encounter.
+pub fn iso8601_utc(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let secs_of_day = unix_secs % 86_400;
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        secs_of_day / 3600,
+        (secs_of_day % 3600) / 60,
+        secs_of_day % 60
+    )
+}
+
+/// Days-since-epoch → (year, month, day), after Howard Hinnant's
+/// `civil_from_days`.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_instants_format_correctly() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(86_399), "1970-01-01T23:59:59Z");
+        // 2000-02-29 (leap day) 12:00:00 UTC.
+        assert_eq!(iso8601_utc(951_825_600), "2000-02-29T12:00:00Z");
+        // 2026-08-08 00:00:00 UTC.
+        assert_eq!(iso8601_utc(1_786_147_200), "2026-08-08T00:00:00Z");
+        // 2038 rollover is a non-event for u64 seconds.
+        assert_eq!(iso8601_utc(2_147_483_648), "2038-01-19T03:14:08Z");
+    }
+
+    #[test]
+    fn unix_now_is_after_2020() {
+        assert!(unix_now() > 1_577_836_800, "system clock before 2020?");
+    }
+}

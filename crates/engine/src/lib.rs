@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod clock;
 pub mod executor;
 pub mod faultinject;
 pub mod hash;

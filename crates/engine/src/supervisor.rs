@@ -152,7 +152,14 @@ impl Supervisor {
             }
             let body = f.clone();
             let deadline = self.policy.deadline;
+            let job_label = label.to_owned();
             let handle = executor.spawn(move || {
+                // The job span parents onto the spawn site's span (the
+                // executor propagates it), so a request trace shows the
+                // executor jobs it fanned into.
+                let _span = trace::span("exec.job")
+                    .attr("label", job_label.as_str())
+                    .attr("attempt", u64::from(attempt));
                 // Injection points fire before the body runs, so a
                 // retried attempt reproduces the fault-free result
                 // exactly.
@@ -238,6 +245,28 @@ mod tests {
         assert_eq!(out.unwrap(), 99);
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert!(sup.quarantined_keys().is_empty());
+    }
+
+    #[test]
+    fn supervised_jobs_record_an_exec_job_span_under_the_caller() {
+        let sup = Supervisor::new(RetryPolicy::default());
+        let ex = executor();
+        let root_id;
+        {
+            let root = trace::span("sup.span.root");
+            root_id = root.id();
+            assert_eq!(sup.run(&ex, 4242, "sup-span-test", || 7).unwrap(), 7);
+        }
+        let snap = trace::global().snapshot();
+        let job = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "exec.job" && s.parent == Some(root_id))
+            .expect("supervised job must record an exec.job span under the caller");
+        assert!(job
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "label" && format!("{v:?}").contains("sup-span-test")));
     }
 
     #[test]

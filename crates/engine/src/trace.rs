@@ -293,6 +293,18 @@ pub fn current_span_id() -> Option<u64> {
     SPAN_STACK.with(|s| s.borrow().last().copied())
 }
 
+/// Raises the process-wide span-id counter to at least `floor`.
+///
+/// Client processes that stamp their span ids onto wire requests (see
+/// `subvt-serve`'s trace-context propagation) call this with a high
+/// base (e.g. `1 << 32`) so their ids can never collide with the ids a
+/// server process allocates from 1 — a requirement for stitching the
+/// two traces into one parent-linked tree. Monotone: a floor below the
+/// current counter is a no-op.
+pub fn raise_id_floor(floor: u64) {
+    NEXT_SPAN_ID.fetch_max(floor, Ordering::Relaxed);
+}
+
 /// Tags the current thread with its executor lane. Called by the
 /// executor's worker loop; anything else should leave the default 0.
 pub fn set_worker_lane(lane: u32) {
@@ -850,6 +862,21 @@ mod tests {
         assert_eq!(in_task.parent, Some(outer_id));
         let after = snap.spans.iter().find(|s| s.name == "after-task").unwrap();
         assert_eq!(after.parent, Some(outer_id), "context must be restored");
+    }
+
+    #[test]
+    fn raise_id_floor_reserves_a_high_range() {
+        let tracer = Tracer::new();
+        raise_id_floor(1 << 20);
+        let span = tracer.span("floored");
+        assert!(span.id() >= 1 << 20);
+        let first = span.id();
+        drop(span);
+        // A lower floor never rolls the counter back.
+        raise_id_floor(1);
+        let span = tracer.span("still-floored");
+        assert!(span.id() > first);
+        drop(span);
     }
 
     #[test]

@@ -41,6 +41,9 @@ fn main() -> ExitCode {
         };
         return trace_report(path);
     }
+    if args.first().map(String::as_str) == Some("trace-stitch") {
+        return trace_stitch(&args[1..]);
+    }
 
     let mut csv = false;
     let mut keep_going = false;
@@ -267,6 +270,19 @@ fn trace_report(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if text.trim_start().starts_with("{\"ts\":") && text.contains("\"trace_id\"") {
+        // The daemon's JSONL access log (one request per line).
+        return match tracefmt::parse_access_log(&text) {
+            Ok(records) => {
+                print!("{}", tracefmt::render_access_report(&records));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("malformed access log {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if text.trim_start().starts_with("{\"v\":") {
         // A run manifest, not a trace.
         return match tracefmt::parse_json(text.trim()) {
@@ -300,9 +316,78 @@ fn trace_report(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Loads a trace in either sink format (sniffed from the content).
+fn load_trace(path: &str) -> Result<tracefmt::TraceFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = if text.trim_start().starts_with("{\"traceEvents\"") {
+        tracefmt::parse_chrome(&text).map(|events| tracefmt::trace_from_chrome(&events))
+    } else {
+        tracefmt::parse_jsonl(&text)
+    };
+    parsed.map_err(|e| format!("malformed trace {path}: {e}"))
+}
+
+/// Stitches a client-side trace onto a server-side trace via the
+/// wire-propagated `client_span` attributes, prints the combined span
+/// tree, and (with `--out`) writes one Perfetto-loadable Chrome trace.
+fn trace_stitch(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut out_path: Option<&String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--out" {
+            match iter.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [client_path, server_path] = paths[..] else {
+        eprintln!("usage: repro trace-stitch <client-trace> <server-trace> [--out <chrome.json>]");
+        return ExitCode::FAILURE;
+    };
+    let (client, server) = match (load_trace(client_path), load_trace(server_path)) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stitched = match tracefmt::stitch(&client, &server) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot stitch {client_path} + {server_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = tracefmt::validate(&stitched) {
+        eprintln!("stitched trace is invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = out_path {
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(path)?;
+            tracefmt::write_chrome_from(&stitched, &mut file)
+        };
+        if let Err(e) = write() {
+            eprintln!("cannot write stitched trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote stitched Chrome trace to {path}");
+    }
+    print!("{}", tracefmt::render_report(&stitched));
+    ExitCode::SUCCESS
+}
+
 fn print_help() {
     eprintln!("usage: repro [options] <experiment...|all|ext|everything>");
-    eprintln!("       repro trace-report <trace-file>");
+    eprintln!("       repro trace-report <trace-file|access-log|manifest>");
+    eprintln!("       repro trace-stitch <client-trace> <server-trace> [--out <chrome.json>]");
     eprintln!("       repro --list");
     eprintln!();
     eprintln!("options:");

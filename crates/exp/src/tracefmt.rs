@@ -265,6 +265,26 @@ pub struct TraceSpan {
     pub dur_us: u64,
     /// Executor lane (`tid` in the Chrome form).
     pub worker: u32,
+    /// Typed attributes (the JSONL `attrs` object / the Chrome `args`
+    /// members other than `id`/`parent`), in source order.
+    pub attrs: Vec<(String, Json)>,
+}
+
+impl TraceSpan {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&Json> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// An attribute as a non-negative integer.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        self.attr(key).and_then(Json::as_u64)
+    }
+
+    /// An attribute as a string.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attr(key).and_then(Json::as_str)
+    }
 }
 
 /// One histogram read back from the JSONL sink.
@@ -342,6 +362,10 @@ pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
                 start_us: value.get("start_us").and_then(Json::as_u64).unwrap_or(0),
                 dur_us: value.get("dur_us").and_then(Json::as_u64).unwrap_or(0),
                 worker: value.get("worker").and_then(Json::as_u64).unwrap_or(0) as u32,
+                attrs: match value.get("attrs") {
+                    Some(Json::Obj(members)) => members.clone(),
+                    _ => Vec::new(),
+                },
             }),
             "counter" => {
                 let v = value
@@ -472,6 +496,14 @@ pub fn trace_from_chrome(events: &[ChromeEvent]) -> TraceFile {
                 start_us: ev.ts,
                 dur_us: ev.dur,
                 worker: ev.tid as u32,
+                attrs: match &ev.args {
+                    Some(Json::Obj(members)) => members
+                        .iter()
+                        .filter(|(k, _)| k != "id" && k != "parent")
+                        .cloned()
+                        .collect(),
+                    _ => Vec::new(),
+                },
             }),
             "C" => {
                 let v = ev
@@ -546,6 +578,390 @@ pub fn validate(trace: &TraceFile) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Serializes a [`Json`] value back to compact JSON text.
+pub fn render_json(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_owned(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(v) => {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        Json::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}:{}", render_json(&Json::Str(k.clone())), render_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Worker-lane offset applied to server spans by [`stitch`], so the
+/// stitched Chrome export renders client and server rows separately.
+pub const STITCH_SERVER_LANE_BASE: u32 = 100;
+
+/// Stitches a client-side trace and a server-side trace into one
+/// parent-linked tree.
+///
+/// The wire protocol propagates trace context: the client stamps each
+/// request with its open span id, and the server records that id as the
+/// `client_span` attribute of its per-request root span (keeping each
+/// per-process trace self-contained and valid on its own). Stitching
+/// re-parents every such server root onto the named client span, shifts
+/// the server timeline by the median offset that centers each server
+/// request span inside its client span (the two processes have
+/// unrelated trace epochs; the residual is the symmetric network/queue
+/// delay), moves server spans onto lanes
+/// `worker + STITCH_SERVER_LANE_BASE`, and merges the metric registries
+/// (counters sum; a server histogram or gauge whose name collides with
+/// a client one is kept under a `server.` prefix).
+///
+/// # Errors
+///
+/// When the two traces share span ids (the client must reserve a high
+/// id range via `subvt_engine::trace::raise_id_floor`), or when no
+/// server span references a client span (nothing to stitch).
+pub fn stitch(client: &TraceFile, server: &TraceFile) -> Result<TraceFile, String> {
+    let client_ids: HashSet<u64> = client.spans.iter().map(|s| s.id).collect();
+    for s in &server.spans {
+        if client_ids.contains(&s.id) {
+            return Err(format!(
+                "span id {} appears in both traces; the client must reserve \
+                 a disjoint id range (trace::raise_id_floor)",
+                s.id
+            ));
+        }
+    }
+    let client_by_id: HashMap<u64, &TraceSpan> = client.spans.iter().map(|s| (s.id, s)).collect();
+
+    // Matched pairs: server request roots naming a client span.
+    let mut offsets: Vec<i128> = Vec::new();
+    let mut reparent: HashMap<u64, u64> = HashMap::new();
+    for s in &server.spans {
+        if s.parent.is_some() {
+            continue;
+        }
+        let Some(client_span) = s.attr_u64("client_span") else {
+            continue;
+        };
+        let Some(c) = client_by_id.get(&client_span) else {
+            continue;
+        };
+        reparent.insert(s.id, client_span);
+        let client_mid = i128::from(c.start_us) * 2 + i128::from(c.dur_us);
+        let server_mid = i128::from(s.start_us) * 2 + i128::from(s.dur_us);
+        offsets.push((client_mid - server_mid) / 2);
+    }
+    if offsets.is_empty() {
+        return Err(
+            "no server span carries a `client_span` attribute matching a client span; \
+             nothing to stitch"
+                .to_owned(),
+        );
+    }
+    offsets.sort_unstable();
+    let offset = offsets[offsets.len() / 2];
+
+    let mut out = client.clone();
+    out.v = client.v.max(server.v);
+    for s in &server.spans {
+        let mut merged = s.clone();
+        merged.start_us = (i128::from(s.start_us) + offset).max(0) as u64;
+        merged.worker = s.worker + STITCH_SERVER_LANE_BASE;
+        if let Some(&new_parent) = reparent.get(&s.id) {
+            merged.parent = Some(new_parent);
+        }
+        out.wall_us = out.wall_us.max(merged.start_us + merged.dur_us);
+        out.spans.push(merged);
+    }
+    for (name, value) in &server.counters {
+        *out.counters.entry(name.clone()).or_insert(0) += value;
+    }
+    for (name, value) in &server.gauges {
+        if out.gauges.contains_key(name) {
+            out.gauges.insert(format!("server.{name}"), *value);
+        } else {
+            out.gauges.insert(name.clone(), *value);
+        }
+    }
+    for (name, hist) in &server.hists {
+        let key = if out.hists.contains_key(name) {
+            format!("server.{name}")
+        } else {
+            name.clone()
+        };
+        let mut hist = hist.clone();
+        hist.name = key.clone();
+        out.hists.insert(key, hist);
+    }
+    Ok(out)
+}
+
+/// Writes a parsed (e.g. stitched) [`TraceFile`] as Chrome trace-event
+/// JSON — the same shape the engine's native sink emits, so Perfetto
+/// and [`parse_chrome`] both accept it. Lanes at or above
+/// [`STITCH_SERVER_LANE_BASE`] are labelled as server lanes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_from(trace: &TraceFile, w: &mut impl std::io::Write) -> std::io::Result<()> {
+    write!(w, "{{\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut dyn std::io::Write, first: &mut bool| -> std::io::Result<()> {
+        if *first {
+            *first = false;
+            writeln!(w)
+        } else {
+            writeln!(w, ",")
+        }
+    };
+    sep(w, &mut first)?;
+    write!(
+        w,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":0,\"args\":{{\"name\":\"subvt-stitched\"}}}}"
+    )?;
+    let mut lanes: Vec<u32> = trace.spans.iter().map(|s| s.worker).collect();
+    lanes.push(0);
+    lanes.sort_unstable();
+    lanes.dedup();
+    for lane in &lanes {
+        let label = if *lane == 0 {
+            "client".to_owned()
+        } else if *lane < STITCH_SERVER_LANE_BASE {
+            format!("client-worker-{}", lane - 1)
+        } else if *lane == STITCH_SERVER_LANE_BASE {
+            "server".to_owned()
+        } else {
+            format!("server-worker-{}", lane - STITCH_SERVER_LANE_BASE - 1)
+        };
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"ts\":0,\"dur\":0,\"args\":{{\"name\":{}}}}}",
+            render_json(&Json::Str(label))
+        )?;
+    }
+    for s in &trace.spans {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":{},\"cat\":\"subvt\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{}",
+            render_json(&Json::Str(s.name.clone())),
+            s.worker,
+            s.start_us,
+            s.dur_us,
+            s.id,
+            match s.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_owned(),
+            }
+        )?;
+        for (k, v) in &s.attrs {
+            write!(
+                w,
+                ",{}:{}",
+                render_json(&Json::Str(k.clone())),
+                render_json(v)
+            )?;
+        }
+        write!(w, "}}}}")?;
+    }
+    for (name, value) in &trace.counters {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":{},\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"dur\":0,\"args\":{{\"value\":{}}}}}",
+            render_json(&Json::Str(name.clone())),
+            trace.wall_us,
+            value
+        )?;
+    }
+    writeln!(w)?;
+    writeln!(w, "],\"displayTimeUnit\":\"ms\"}}")
+}
+
+/// One line of the daemon's structured JSONL access log (`--access-log`;
+/// schema in DESIGN.md §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessRecord {
+    /// UTC timestamp (`YYYY-MM-DDTHH:MM:SSZ`).
+    pub ts: String,
+    /// Wire-propagated trace id (or the server-synthesized `srv-…` id
+    /// when the client sent none).
+    pub trace_id: String,
+    /// Echoed request id.
+    pub id: String,
+    /// Request method.
+    pub method: String,
+    /// `ok` or the protocol error code.
+    pub outcome: String,
+    /// Cache provenance (`hit|coalesced|computed`) when applicable.
+    pub cached: Option<String>,
+    /// Server request-span id (0 for pre-admission rejections).
+    pub span: u64,
+    /// Per-phase durations in µs, in pipeline order.
+    pub phases: Vec<(String, u64)>,
+    /// End-to-end server-side duration, µs.
+    pub total_us: u64,
+}
+
+/// Parses a JSONL access log.
+///
+/// # Errors
+///
+/// Reports the first malformed line (number + reason).
+pub fn parse_access_log(text: &str) -> Result<Vec<AccessRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let str_of = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or(format!("line {}: missing string `{key}`", lineno + 1))
+        };
+        let phases = match value.get("phases") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .filter_map(|(k, v)| v.as_u64().map(|us| (k.clone(), us)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.push(AccessRecord {
+            ts: str_of("ts")?,
+            trace_id: str_of("trace_id")?,
+            id: value
+                .get("id")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            method: str_of("method")?,
+            outcome: str_of("outcome")?,
+            cached: value
+                .get("cached")
+                .and_then(Json::as_str)
+                .map(str::to_owned),
+            span: value.get("span").and_then(Json::as_u64).unwrap_or(0),
+            phases,
+            total_us: value.get("total_us").and_then(Json::as_u64).unwrap_or(0),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders an access log as a per-method summary: request counts,
+/// outcomes, cache provenance, and latency/phase breakdowns. Used by
+/// `repro trace-report` when it sniffs an access-log file.
+pub fn render_access_report(records: &[AccessRecord]) -> String {
+    let mut out = String::new();
+    let errors = records.iter().filter(|r| r.outcome != "ok").count();
+    let _ = writeln!(
+        out,
+        "access log: {} requests, {} errors",
+        records.len(),
+        errors
+    );
+    if records.is_empty() {
+        return out;
+    }
+
+    let mut methods: Vec<&str> = records.iter().map(|r| r.method.as_str()).collect();
+    methods.sort_unstable();
+    methods.dedup();
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>6} {:>6} {:>5} {:>9} {:>5} {:>10} {:>10} {:>10}",
+        "method", "count", "errors", "hit", "coalesced", "comp", "mean", "p99", "max"
+    );
+    for method in methods {
+        let rows: Vec<&AccessRecord> = records.iter().filter(|r| r.method == method).collect();
+        let errs = rows.iter().filter(|r| r.outcome != "ok").count();
+        let provenance = |kind: &str| {
+            rows.iter()
+                .filter(|r| r.cached.as_deref() == Some(kind))
+                .count()
+        };
+        let mut totals: Vec<u64> = rows.iter().map(|r| r.total_us).collect();
+        totals.sort_unstable();
+        let mean = totals.iter().sum::<u64>() as f64 / totals.len() as f64;
+        let p99 = totals[((totals.len() as f64 * 0.99).ceil() as usize).clamp(1, totals.len()) - 1];
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>6} {:>6} {:>5} {:>9} {:>5} {:>10} {:>10} {:>10}",
+            method,
+            rows.len(),
+            errs,
+            provenance("hit"),
+            provenance("coalesced"),
+            provenance("computed"),
+            format_us(mean as u64),
+            format_us(p99),
+            format_us(*totals.last().unwrap_or(&0))
+        );
+    }
+
+    // Mean time per pipeline phase, across everything that ran.
+    let mut phase_totals: Vec<(String, u64, u64)> = Vec::new(); // (name, sum, n)
+    for r in records {
+        for (name, us) in &r.phases {
+            match phase_totals.iter_mut().find(|(n, _, _)| n == name) {
+                Some(entry) => {
+                    entry.1 += us;
+                    entry.2 += 1;
+                }
+                None => phase_totals.push((name.clone(), *us, 1)),
+            }
+        }
+    }
+    if !phase_totals.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  {:<14} {:>10} {:>10}", "phase", "mean", "total");
+        for (name, sum, n) in &phase_totals {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10} {:>10}",
+                name,
+                format_us(sum / n.max(&1)),
+                format_us(*sum)
+            );
+        }
+    }
+    out
 }
 
 /// Aggregated node of the report's span tree: spans with the same name
@@ -917,6 +1333,7 @@ mod tests {
             start_us: 0,
             dur_us: 1,
             worker: 0,
+            attrs: Vec::new(),
         });
         assert!(validate(&t).unwrap_err().contains("unresolved"));
 
@@ -928,6 +1345,7 @@ mod tests {
             start_us: 0,
             dur_us: 1,
             worker: 0,
+            attrs: Vec::new(),
         });
         t.spans.push(TraceSpan {
             id: 2,
@@ -936,6 +1354,7 @@ mod tests {
             start_us: 0,
             dur_us: 1,
             worker: 0,
+            attrs: Vec::new(),
         });
         assert!(validate(&t).unwrap_err().contains("cycle"));
 
@@ -976,5 +1395,148 @@ mod tests {
         // The two design.sub spans aggregate to one row with count 2.
         let sub_line = report.lines().find(|l| l.contains("design.sub")).unwrap();
         assert!(sub_line.contains(" 2 "), "{sub_line}");
+    }
+
+    #[test]
+    fn render_json_round_trips_through_the_parser() {
+        let value = Json::Obj(vec![
+            ("s".into(), Json::Str("a\"b\\c\nd\u{1}".into())),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(-2.5)]),
+            ),
+            ("n".into(), Json::Num(42.0)),
+        ]);
+        let text = render_json(&value);
+        assert_eq!(parse_json(&text).unwrap(), value);
+    }
+
+    fn span(id: u64, parent: Option<u64>, name: &str, start_us: u64, dur_us: u64) -> TraceSpan {
+        TraceSpan {
+            id,
+            parent,
+            name: name.into(),
+            start_us,
+            dur_us,
+            worker: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn stitch_fixture() -> (TraceFile, TraceFile) {
+        let mut client = TraceFile {
+            v: 2,
+            ..TraceFile::default()
+        };
+        // Client epoch starts at 10_000µs; request span covers the wire
+        // round-trip.
+        client
+            .spans
+            .push(span(1 << 32, None, "client.request", 10_000, 2_000));
+        client.wall_us = 12_000;
+        client.counters.insert("loadgen.sent".into(), 1);
+
+        let mut server = TraceFile {
+            v: 2,
+            ..TraceFile::default()
+        };
+        // Server epoch is unrelated: its 500µs request span sits at
+        // 777_000µs of its own trace.
+        let mut req = span(7, None, "serve.request", 777_000, 500);
+        req.attrs
+            .push(("client_span".into(), Json::Num((1u64 << 32) as f64)));
+        req.attrs
+            .push(("trace_id".into(), Json::Str("lg-1".into())));
+        server.spans.push(req);
+        server.spans.push(span(8, Some(7), "compute", 777_100, 300));
+        server.wall_us = 777_500;
+        server.counters.insert("serve.accepted".into(), 1);
+        (client, server)
+    }
+
+    #[test]
+    fn stitch_reparents_and_realigns_server_spans() {
+        let (client, server) = stitch_fixture();
+        let stitched = stitch(&client, &server).unwrap();
+        validate(&stitched).unwrap();
+        assert_eq!(stitched.spans.len(), 3);
+        let req = stitched.spans.iter().find(|s| s.id == 7).unwrap();
+        // Re-parented onto the client span and centered inside it:
+        // client mid 11_000 − server half-width 250 = 10_750.
+        assert_eq!(req.parent, Some(1 << 32));
+        assert_eq!(req.start_us, 10_750);
+        assert_eq!(req.worker, STITCH_SERVER_LANE_BASE);
+        // The child moved by the same offset and kept its parent.
+        let compute = stitched.spans.iter().find(|s| s.id == 8).unwrap();
+        assert_eq!(compute.parent, Some(7));
+        assert_eq!(compute.start_us, 10_850);
+        // Registries merged.
+        assert_eq!(stitched.counters["loadgen.sent"], 1);
+        assert_eq!(stitched.counters["serve.accepted"], 1);
+    }
+
+    #[test]
+    fn stitch_rejects_id_collisions_and_unmatched_traces() {
+        let (client, server) = stitch_fixture();
+        let mut colliding = server.clone();
+        colliding.spans[0].id = 1 << 32;
+        assert!(stitch(&client, &colliding)
+            .unwrap_err()
+            .contains("both traces"));
+
+        let mut unmatched = server.clone();
+        unmatched.spans[0].attrs.clear();
+        assert!(stitch(&client, &unmatched)
+            .unwrap_err()
+            .contains("nothing to stitch"));
+    }
+
+    #[test]
+    fn stitched_chrome_export_round_trips() {
+        let (client, server) = stitch_fixture();
+        let stitched = stitch(&client, &server).unwrap();
+        let mut buf = Vec::new();
+        write_chrome_from(&stitched, &mut buf).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+        let events = parse_chrome(text).unwrap();
+        let reparsed = trace_from_chrome(&events);
+        validate(&reparsed).unwrap();
+        assert_eq!(reparsed.spans.len(), stitched.spans.len());
+        let req = reparsed.spans.iter().find(|s| s.id == 7).unwrap();
+        assert_eq!(req.parent, Some(1 << 32));
+        assert_eq!(req.attr_str("trace_id"), Some("lg-1"));
+        assert_eq!(reparsed.counters["serve.accepted"], 1);
+    }
+
+    #[test]
+    fn access_log_parses_and_renders() {
+        let text = concat!(
+            "{\"ts\":\"2026-08-08T00:00:00Z\",\"trace_id\":\"lg-1\",\"id\":\"c1\",",
+            "\"method\":\"vtc\",\"outcome\":\"ok\",\"cached\":\"computed\",\"span\":7,",
+            "\"phases\":{\"queue_us\":10,\"compute_us\":200,\"serialize_us\":5},",
+            "\"total_us\":215}\n",
+            "{\"ts\":\"2026-08-08T00:00:01Z\",\"trace_id\":\"lg-2\",\"id\":\"c2\",",
+            "\"method\":\"vtc\",\"outcome\":\"ok\",\"cached\":\"hit\",\"span\":9,",
+            "\"phases\":{\"queue_us\":2,\"compute_us\":1,\"serialize_us\":3},",
+            "\"total_us\":6}\n",
+            "{\"ts\":\"2026-08-08T00:00:02Z\",\"trace_id\":\"lg-3\",\"id\":\"c3\",",
+            "\"method\":\"isub\",\"outcome\":\"overloaded\",\"span\":0,\"total_us\":1}\n",
+        );
+        let records = parse_access_log(text).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].cached.as_deref(), Some("computed"));
+        assert_eq!(records[0].phases.len(), 3);
+        assert_eq!(records[2].outcome, "overloaded");
+        assert_eq!(records[2].cached, None);
+
+        let report = render_access_report(&records);
+        assert!(report.contains("3 requests, 1 errors"), "{report}");
+        assert!(report.contains("vtc"), "{report}");
+        assert!(report.contains("isub"), "{report}");
+        assert!(report.contains("compute_us"), "{report}");
+
+        assert!(parse_access_log("{\"ts\":\"x\"}")
+            .unwrap_err()
+            .contains("line 1"));
     }
 }

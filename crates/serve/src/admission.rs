@@ -34,6 +34,12 @@ pub struct Job {
     pub reply: mpsc::Sender<String>,
     /// When the job was admitted (for queue-wait accounting).
     pub admitted: Instant,
+    /// End-to-end trace id (wire-propagated, or server-synthesized).
+    pub trace_id: String,
+    /// The request span opened on the connection thread; workers
+    /// parent their phase spans (`dedup`, `compute`, `serialize`)
+    /// under it so the whole pipeline renders as one tree.
+    pub request_span: u64,
 }
 
 /// Why a submission was refused. The job is handed back so the caller
@@ -79,6 +85,10 @@ impl Admission {
     ///
     /// [`Rejected::Full`] at capacity, [`Rejected::Closed`] after
     /// [`Admission::close`]; both return the job to the caller.
+    // Rejected deliberately carries the whole Job back so the caller can
+    // answer on its own connection; boxing would add an allocation to
+    // every rejection on the overload path.
+    #[allow(clippy::result_large_err)]
     pub fn submit(&self, job: Job) -> Result<(), Rejected> {
         let mut state = self.state.lock().expect("admission lock");
         if !state.open {
@@ -162,6 +172,8 @@ mod tests {
                 query,
                 reply: tx,
                 admitted: Instant::now(),
+                trace_id: format!("t-{tag}"),
+                request_span: 0,
             },
             rx,
         )

@@ -7,6 +7,8 @@
 //! subvt-serve --workers 4 --queue 128  # pool and admission sizing
 //! subvt-serve --deadline-ms 10000      # per-request compute deadline
 //! subvt-serve --backend tcad --circuit-backend spice
+//! subvt-serve --slo vtc=p99:50 --access-log access.jsonl
+//! subvt-serve --trace serve-trace.json --trace-format chrome
 //! ```
 //!
 //! The first stdout line is always `subvt-serve listening on <addr>`,
@@ -22,7 +24,13 @@ use std::time::Duration;
 
 use subvt_circuits::backend::CircuitBackendKind;
 use subvt_model::Backend;
-use subvt_serve::{signal, Config, Server};
+use subvt_serve::{signal, Config, Server, SloRule};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
 
 fn main() -> ExitCode {
     let mut config = Config {
@@ -30,6 +38,8 @@ fn main() -> ExitCode {
         watch_signals: true,
         ..Config::default()
     };
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut trace_format = TraceFormat::Jsonl;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -129,6 +139,55 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "--slo" => {
+                let Some(spec) = iter.next() else {
+                    eprintln!("--slo needs METHOD=QUANTILE:MS (e.g. vtc=p99:50)");
+                    return ExitCode::FAILURE;
+                };
+                match SloRule::parse(spec) {
+                    Ok(rule) => config.slos.push(rule),
+                    Err(e) => {
+                        eprintln!("bad --slo `{spec}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--access-log" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--access-log needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                config.access_log = Some(path.into());
+            }
+            "--window-secs" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--window-secs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.window_secs = n;
+            }
+            "--trace" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--trace needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(path.into());
+            }
+            "--trace-format" => {
+                let format = match iter.next().map(String::as_str) {
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("chrome") => TraceFormat::Chrome,
+                    _ => {
+                        eprintln!("--trace-format needs one of: jsonl, chrome");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                trace_format = format;
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -150,7 +209,13 @@ fn main() -> ExitCode {
     };
     println!("subvt-serve listening on {}", server.addr());
     std::io::stdout().flush().ok();
-    match server.join() {
+    let joined = server.join();
+    if let Some(path) = &trace_path {
+        if let Err(e) = write_trace(path, trace_format) {
+            eprintln!("cannot write trace {}: {e}", path.display());
+        }
+    }
+    match joined {
         Ok(()) => {
             eprintln!("subvt-serve: graceful shutdown complete");
             ExitCode::SUCCESS
@@ -160,6 +225,16 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn write_trace(path: &std::path::Path, format: TraceFormat) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let tracer = subvt_engine::trace::global();
+    match format {
+        TraceFormat::Jsonl => tracer.write_jsonl(&mut out)?,
+        TraceFormat::Chrome => tracer.write_chrome(&mut out)?,
+    }
+    out.flush()
 }
 
 fn print_help() {
@@ -175,6 +250,11 @@ fn print_help() {
     eprintln!("  --jobs N             engine worker threads (default: cores, or $SUBVT_JOBS)");
     eprintln!("  --backend B          device backend for `experiment`: analytic | tcad");
     eprintln!("  --circuit-backend B  circuit backend for `experiment`: analytic | spice");
+    eprintln!("  --slo M=Q:MS         latency SLO, repeatable (e.g. vtc=p99:50; Q: p50|p95|p99)");
+    eprintln!("  --access-log PATH    append one JSONL line per request (DESIGN.md section 6)");
+    eprintln!("  --window-secs N      rolling latency/SLO window (default 60)");
+    eprintln!("  --trace PATH         write the request span tree on shutdown");
+    eprintln!("  --trace-format F     trace file format: jsonl (default) | chrome");
     eprintln!();
     eprintln!("Protocol: newline-framed JSON over TCP, plus GET /metrics and");
     eprintln!("GET /healthz over the same port. See DESIGN.md section 8.");

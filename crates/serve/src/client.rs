@@ -163,11 +163,31 @@ impl Client {
     /// I/O errors, or `InvalidData` when the response line does not
     /// parse.
     pub fn call(&mut self, method: &str, params: &str) -> std::io::Result<Response> {
+        self.call_traced(method, params, None)
+    }
+
+    /// Like [`Client::call`], but stamps a wire trace context
+    /// (`trace_id`, parent span id) so the daemon's per-request span
+    /// tree can be stitched under the caller's open span. Callers that
+    /// propagate span ids should reserve a high id range first
+    /// (`subvt_engine::trace::raise_id_floor(1 << 32)`), keeping them
+    /// disjoint from the server's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call`].
+    pub fn call_traced(
+        &mut self,
+        method: &str,
+        params: &str,
+        trace: Option<(&str, u64)>,
+    ) -> std::io::Result<Response> {
         self.next_id += 1;
         let line = format!(
-            "{{\"id\":\"c{}\",\"method\":{},\"params\":{params}}}",
+            "{{\"id\":\"c{}\",\"method\":{},\"params\":{params}{}}}",
             self.next_id,
             crate::proto::json_str(method),
+            crate::proto::trace_fragment(trace),
         );
         let response = self.call_raw(&line)?;
         Response::parse(&response)

@@ -29,9 +29,16 @@
 //!   [`subvt_engine::Supervisor`] with a per-request deadline; a
 //!   panicking (poison) request is quarantined and subsequently refused
 //!   with a typed error while the server keeps serving.
-//! * **Observability**: queue depth, in-flight gauge, dedup/batch
-//!   counters and per-endpoint latency histograms land in the engine's
-//!   metrics registry and are exported through `GET /metrics`.
+//! * **Observability** ([`observatory`], [`accesslog`]): queue depth,
+//!   in-flight gauge, dedup/batch counters and per-endpoint latency
+//!   histograms land in the engine's metrics registry and are exported
+//!   through `GET /metrics` as conformant Prometheus text, alongside
+//!   rolling-window (last N seconds) latency quantiles and `--slo`
+//!   error-budget burn rates. Each request runs under a per-request
+//!   span tree (`serve.request` → `admission`/`dedup`/`batch.merge`/
+//!   `compute`/`serialize`) that parents onto the client's span when
+//!   the request carries wire trace context ([`proto::TraceContext`]),
+//!   and `--access-log` appends one structured JSONL line per request.
 //!
 //! Graceful shutdown (SIGTERM / ctrl-c / the `shutdown` method) stops
 //! accepting, rejects still-queued and new work with `shutting_down`,
@@ -41,14 +48,17 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accesslog;
 pub mod admission;
 pub mod client;
+pub mod observatory;
 pub mod proto;
 pub mod query;
 pub mod server;
 pub mod signal;
 
 pub use client::{Client, Response};
+pub use observatory::SloRule;
 pub use proto::ErrorCode;
 pub use query::Query;
 pub use server::{Config, Server};

@@ -1,0 +1,387 @@
+//! Rolling-window latency observatory and SLO tracking.
+//!
+//! Lifetime histograms (the `serve.latency.*` families in the trace
+//! registry) answer "how has this daemon done since boot"; operations
+//! needs "how is it doing *now*". The observatory keeps, per method, a
+//! ring of per-second buckets over the last `window_secs` seconds and
+//! answers rolling p50/p95/p99 from only the live slots — a restart-free
+//! sliding window with O(window) memory per method and no timestamps
+//! stored per sample.
+//!
+//! SLO rules (`--slo method=p99:ms`) ride on the same samples. A rule
+//! like `vtc=p99:15` allows 1% of `vtc` requests over 15 ms; every
+//! request over the threshold consumes error budget. The **burn rate**
+//! is the standard SRE ratio: observed violation fraction over the
+//! window divided by the allowed fraction (`1 − quantile`), so burn 1.0
+//! means "spending budget exactly as fast as the SLO allows", and
+//! anything sustained above 1.0 eventually violates the SLO. Breaches
+//! also bump the `serve.slo.breach.<method>` counter in the trace
+//! registry so they show up in traces and `metrics` snapshots.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use subvt_engine::trace::{self, Histogram};
+
+/// Latency histogram bounds, milliseconds — shared by the lifetime
+/// `serve.latency.*` histograms and the observatory's rolling slots.
+pub const MS_BOUNDS: [f64; 14] = [
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0, 15000.0,
+];
+
+/// The quantile an SLO rule constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantile {
+    /// Median.
+    P50,
+    /// 95th percentile.
+    P95,
+    /// 99th percentile.
+    P99,
+}
+
+impl Quantile {
+    /// The rank as a fraction (`P99` → 0.99).
+    pub fn fraction(self) -> f64 {
+        match self {
+            Quantile::P50 => 0.50,
+            Quantile::P95 => 0.95,
+            Quantile::P99 => 0.99,
+        }
+    }
+
+    /// The stable label string (`"p99"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Quantile::P50 => "p50",
+            Quantile::P95 => "p95",
+            Quantile::P99 => "p99",
+        }
+    }
+}
+
+/// One SLO rule: "this `method`'s `quantile` stays under
+/// `threshold_ms`".
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// The method the rule constrains.
+    pub method: String,
+    /// Which quantile the threshold applies to.
+    pub quantile: Quantile,
+    /// Latency threshold, milliseconds.
+    pub threshold_ms: f64,
+}
+
+impl SloRule {
+    /// Parses the `--slo` flag syntax: `method=p99:ms`, e.g.
+    /// `vtc=p99:15` or `idvg=p50:2.5`.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the offending part.
+    pub fn parse(spec: &str) -> Result<SloRule, String> {
+        let (method, rest) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("`{spec}`: expected method=p50|p95|p99:ms"))?;
+        let (quantile, ms) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("`{spec}`: expected a `:ms` threshold after the quantile"))?;
+        let quantile = match quantile {
+            "p50" => Quantile::P50,
+            "p95" => Quantile::P95,
+            "p99" => Quantile::P99,
+            other => return Err(format!("`{spec}`: unknown quantile `{other}`")),
+        };
+        let threshold_ms = ms
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("`{spec}`: threshold must be a positive number of ms"))?;
+        if method.is_empty() {
+            return Err(format!("`{spec}`: empty method name"));
+        }
+        Ok(SloRule {
+            method: method.to_owned(),
+            quantile,
+            threshold_ms,
+        })
+    }
+}
+
+/// One second of one method's samples. `sec` stamps which wall second
+/// the slot currently holds; a slot whose stamp has fallen out of the
+/// window is dead and gets reset on reuse.
+struct Slot {
+    sec: u64,
+    hist: Histogram,
+    /// Violations per rule index (only rules matching the method).
+    violations: Vec<u64>,
+}
+
+struct MethodRing {
+    method: String,
+    /// Indices into `Observatory::rules` that constrain this method.
+    rule_idx: Vec<usize>,
+    slots: Vec<Slot>,
+}
+
+struct ObsState {
+    rings: Vec<MethodRing>,
+    /// Lifetime breach count per rule.
+    breach_total: Vec<u64>,
+}
+
+/// The rolling-window collector. One per server; see the module docs.
+pub struct Observatory {
+    epoch: Instant,
+    window_secs: u64,
+    rules: Vec<SloRule>,
+    state: Mutex<ObsState>,
+}
+
+/// One method's rolling-window summary.
+#[derive(Debug, Clone)]
+pub struct MethodWindow {
+    /// Method name.
+    pub method: String,
+    /// Samples inside the window.
+    pub count: u64,
+    /// Rolling quantiles, milliseconds (`NaN` when `count` is 0).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// One SLO rule's live status.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    /// The rule being reported.
+    pub rule: SloRule,
+    /// The constrained quantile's current rolling value, ms.
+    pub current_ms: f64,
+    /// Lifetime count of requests over the threshold.
+    pub breach_total: u64,
+    /// Error-budget burn rate over the window (see module docs);
+    /// `NaN` with no samples.
+    pub burn_rate: f64,
+}
+
+/// Everything `/metrics` needs from the observatory, captured at once.
+#[derive(Debug, Clone)]
+pub struct ObsSnapshot {
+    /// The configured window length, seconds.
+    pub window_secs: u64,
+    /// Per-method rolling summaries, method-sorted.
+    pub methods: Vec<MethodWindow>,
+    /// Per-rule SLO statuses, in `--slo` order.
+    pub slos: Vec<SloStatus>,
+}
+
+impl Observatory {
+    /// Creates an observatory with the given window and rules.
+    /// `window_secs` is clamped up to 1.
+    pub fn new(window_secs: u64, rules: Vec<SloRule>) -> Self {
+        let breach_total = vec![0; rules.len()];
+        Self {
+            epoch: Instant::now(),
+            window_secs: window_secs.max(1),
+            rules,
+            state: Mutex::new(ObsState {
+                rings: Vec::new(),
+                breach_total,
+            }),
+        }
+    }
+
+    fn now_sec(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Records one request latency for `method`.
+    pub fn record(&self, method: &str, ms: f64) {
+        self.record_at(method, ms, self.now_sec());
+    }
+
+    fn record_at(&self, method: &str, ms: f64, sec: u64) {
+        let mut state = self.state.lock().expect("observatory lock");
+        let state = &mut *state;
+        let ring_pos = match state.rings.iter().position(|r| r.method == method) {
+            Some(pos) => pos,
+            None => {
+                let rule_idx = self
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.method == method)
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>();
+                let slots = (0..self.window_secs)
+                    .map(|_| Slot {
+                        sec: u64::MAX,
+                        hist: Histogram::new(&MS_BOUNDS),
+                        violations: vec![0; rule_idx.len()],
+                    })
+                    .collect();
+                state.rings.push(MethodRing {
+                    method: method.to_owned(),
+                    rule_idx,
+                    slots,
+                });
+                state.rings.len() - 1
+            }
+        };
+        let ring = &mut state.rings[ring_pos];
+        let slot = &mut ring.slots[(sec % self.window_secs) as usize];
+        if slot.sec != sec {
+            slot.sec = sec;
+            slot.hist = Histogram::new(&MS_BOUNDS);
+            slot.violations.iter_mut().for_each(|v| *v = 0);
+        }
+        slot.hist.record(ms);
+        for (local, &rule) in ring.rule_idx.iter().enumerate() {
+            if ms > self.rules[rule].threshold_ms {
+                slot.violations[local] += 1;
+                state.breach_total[rule] += 1;
+                trace::add(&format!("serve.slo.breach.{method}"), 1);
+            }
+        }
+    }
+
+    /// Captures the rolling summaries and SLO statuses.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        self.snapshot_at(self.now_sec())
+    }
+
+    fn snapshot_at(&self, now_sec: u64) -> ObsSnapshot {
+        let state = self.state.lock().expect("observatory lock");
+        let live = |slot: &Slot| slot.sec <= now_sec && now_sec - slot.sec < self.window_secs;
+        let mut methods = Vec::with_capacity(state.rings.len());
+        let mut slos: Vec<Option<SloStatus>> = vec![None; self.rules.len()];
+        for ring in &state.rings {
+            // Merge the live slots into one window histogram.
+            let mut merged = Histogram::new(&MS_BOUNDS);
+            let mut violations = vec![0u64; ring.rule_idx.len()];
+            for slot in ring.slots.iter().filter(|s| live(s)) {
+                for (m, c) in merged.counts.iter_mut().zip(&slot.hist.counts) {
+                    *m += c;
+                }
+                merged.count += slot.hist.count;
+                merged.sum += slot.hist.sum;
+                merged.min = merged.min.min(slot.hist.min);
+                merged.max = merged.max.max(slot.hist.max);
+                for (v, s) in violations.iter_mut().zip(&slot.violations) {
+                    *v += s;
+                }
+            }
+            for (local, &rule) in ring.rule_idx.iter().enumerate() {
+                let q = self.rules[rule].quantile;
+                let allowed = 1.0 - q.fraction();
+                let burn = if merged.count == 0 {
+                    f64::NAN
+                } else {
+                    (violations[local] as f64 / merged.count as f64) / allowed
+                };
+                slos[rule] = Some(SloStatus {
+                    rule: self.rules[rule].clone(),
+                    current_ms: merged.quantile(q.fraction()),
+                    breach_total: state.breach_total[rule],
+                    burn_rate: burn,
+                });
+            }
+            methods.push(MethodWindow {
+                method: ring.method.clone(),
+                count: merged.count,
+                p50: merged.quantile(0.50),
+                p95: merged.quantile(0.95),
+                p99: merged.quantile(0.99),
+            });
+        }
+        // Rules whose method has seen no traffic at all still report.
+        for (i, slot) in slos.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(SloStatus {
+                    rule: self.rules[i].clone(),
+                    current_ms: f64::NAN,
+                    breach_total: state.breach_total[i],
+                    burn_rate: f64::NAN,
+                });
+            }
+        }
+        methods.sort_by(|a, b| a.method.cmp(&b.method));
+        ObsSnapshot {
+            window_secs: self.window_secs,
+            methods,
+            slos: slos.into_iter().flatten().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_specs_parse_and_reject() {
+        let rule = SloRule::parse("vtc=p99:15").unwrap();
+        assert_eq!(rule.method, "vtc");
+        assert_eq!(rule.quantile, Quantile::P99);
+        assert_eq!(rule.threshold_ms, 15.0);
+        assert_eq!(SloRule::parse("idvg=p50:2.5").unwrap().threshold_ms, 2.5);
+        for bad in ["vtc", "vtc=p98:1", "vtc=p99", "vtc=p99:-1", "=p99:1"] {
+            assert!(SloRule::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rolling_quantiles_track_only_the_window() {
+        let obs = Observatory::new(10, Vec::new());
+        // Seconds 0..5: slow requests. Seconds 20..25: fast ones.
+        for sec in 0..5 {
+            obs.record_at("vtc", 200.0, sec);
+        }
+        // At t=4 only the slow ones exist.
+        let early = obs.snapshot_at(4);
+        assert_eq!(early.methods[0].count, 5);
+        assert!(early.methods[0].p50 >= 100.0);
+        for sec in 20..25 {
+            obs.record_at("vtc", 1.0, sec);
+        }
+        // At t=24 the slow samples are >10 s old: evicted.
+        let snap = obs.snapshot_at(24);
+        let vtc = &snap.methods[0];
+        assert_eq!(vtc.count, 5);
+        assert!(vtc.p99 <= 1.0, "stale slow samples leaked: {}", vtc.p99);
+    }
+
+    #[test]
+    fn slo_breaches_count_and_burn() {
+        let obs = Observatory::new(60, vec![SloRule::parse("vtc=p95:10").unwrap()]);
+        // 100 samples, 10 over threshold → violation fraction 0.10,
+        // allowed 0.05 → burn 2.0.
+        for i in 0..100u64 {
+            let ms = if i < 10 { 50.0 } else { 1.0 };
+            obs.record_at("vtc", ms, i % 30);
+        }
+        let snap = obs.snapshot_at(30);
+        assert_eq!(snap.slos.len(), 1);
+        let slo = &snap.slos[0];
+        assert_eq!(slo.breach_total, 10);
+        assert!((slo.burn_rate - 2.0).abs() < 1e-9, "{}", slo.burn_rate);
+        assert!(slo.current_ms > 10.0, "{}", slo.current_ms);
+        // Untouched methods don't appear; unmatched rules still do.
+        assert_eq!(snap.methods.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_rules_report_nan_until_traffic() {
+        let obs = Observatory::new(5, vec![SloRule::parse("snm=p50:5").unwrap()]);
+        obs.record_at("vtc", 1.0, 0);
+        let snap = obs.snapshot_at(0);
+        let slo = &snap.slos[0];
+        assert_eq!(slo.rule.method, "snm");
+        assert!(slo.current_ms.is_nan());
+        assert_eq!(slo.breach_total, 0);
+    }
+}

@@ -70,8 +70,30 @@ impl core::fmt::Display for ErrorCode {
     }
 }
 
+/// Wire-propagated trace context: the optional `trace` member of a
+/// request line.
+///
+/// ```text
+/// {"id":"c1","method":"vtc","params":{...},"trace":{"id":"lg1f3a-7","parent":4294967296}}
+/// ```
+///
+/// `id` names the client's end-to-end trace (free-form, logged
+/// verbatim in the access log); `parent` is the client-side span id
+/// the daemon's per-request span tree should hang under when the two
+/// traces are stitched (`repro trace-stitch`). Clients reserve a high
+/// span-id range (`subvt_engine::trace::raise_id_floor`) so `parent`
+/// can never collide with the ids the server allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-chosen trace id, echoed into the access log.
+    pub id: String,
+    /// Client-side span id to parent the server's request span onto.
+    pub parent: u64,
+}
+
 /// A parsed request envelope: the caller's echo id, the method name,
-/// and the (possibly absent) params object.
+/// the (possibly absent) params object, and the (possibly absent)
+/// trace context.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Caller-chosen id echoed verbatim in the response.
@@ -80,6 +102,8 @@ pub struct Request {
     pub method: String,
     /// The `params` member (`Json::Null` when absent).
     pub params: Json,
+    /// The `trace` member (`None` when absent).
+    pub trace: Option<TraceContext>,
 }
 
 /// Parses one request line.
@@ -102,7 +126,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         _ => return Err("missing string `method`".to_owned()),
     };
     let params = json.get("params").cloned().unwrap_or(Json::Null);
-    Ok(Request { id, method, params })
+    let trace = match json.get("trace") {
+        None | Some(Json::Null) => None,
+        Some(t) => {
+            let trace_id = match t.get("id") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => return Err("`trace.id` must be a string".to_owned()),
+            };
+            let parent = match t.get("parent").and_then(Json::as_u64) {
+                Some(p) => p,
+                None => return Err("`trace.parent` must be a non-negative integer".to_owned()),
+            };
+            Some(TraceContext {
+                id: trace_id,
+                parent,
+            })
+        }
+    };
+    Ok(Request {
+        id,
+        method,
+        params,
+        trace,
+    })
+}
+
+/// Renders the `,"trace":{...}` request-line fragment for a context
+/// (empty string for `None`). Shared by [`crate::Client`] and
+/// `subvt-loadgen` so both stamp the same wire shape.
+pub fn trace_fragment(trace: Option<(&str, u64)>) -> String {
+    match trace {
+        Some((id, parent)) => format!(",\"trace\":{{\"id\":{},\"parent\":{parent}}}", json_str(id)),
+        None => String::new(),
+    }
 }
 
 /// Renders a success response line. `payload` must already be valid
@@ -205,6 +261,28 @@ mod tests {
         assert!(parse_request(r#"{"id":"x"}"#)
             .unwrap_err()
             .contains("method"));
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let r = parse_request(r#"{"id":"a","method":"ping"}"#).unwrap();
+        assert_eq!(r.trace, None);
+
+        let line = format!(
+            "{{\"id\":\"a\",\"method\":\"ping\",\"params\":{{}}{}}}",
+            trace_fragment(Some(("lg-1", 1 << 32)))
+        );
+        let r = parse_request(&line).unwrap();
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.id, "lg-1");
+        assert_eq!(trace.parent, 1 << 32);
+        assert_eq!(trace_fragment(None), "");
+
+        let err = parse_request(r#"{"id":"a","method":"ping","trace":{"id":5}}"#).unwrap_err();
+        assert!(err.contains("trace.id"), "{err}");
+        let err = parse_request(r#"{"id":"a","method":"ping","trace":{"id":"t","parent":-1}}"#)
+            .unwrap_err();
+        assert!(err.contains("trace.parent"), "{err}");
     }
 
     #[test]

@@ -34,7 +34,9 @@ use subvt_engine::supervisor::{JobError, RetryPolicy, Supervisor};
 use subvt_engine::{trace, KeyBuilder, Lookup};
 use subvt_exp::CacheSession;
 
+use crate::accesslog::{AccessEntry, AccessLog};
 use crate::admission::{Admission, Job, Rejected};
+use crate::observatory::{Observatory, SloRule, MS_BOUNDS};
 use crate::proto::{self, ErrorCode};
 use crate::query::{self, Query, TextBlob};
 use crate::signal;
@@ -42,10 +44,15 @@ use crate::signal;
 /// Cache namespace holding rendered response payloads.
 pub const RESPONSE_NS: &str = "serve.resp";
 
-/// Latency histogram bounds, milliseconds.
-const MS_BOUNDS: [f64; 14] = [
-    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0, 15000.0,
-];
+/// Upper bound on one protocol request line (JSON params can be large
+/// — `idvg` bias arrays — but not unbounded).
+const MAX_PROTO_LINE: usize = 1 << 20;
+
+/// Upper bound on one HTTP request/header line.
+const MAX_HTTP_LINE: usize = 8 << 10;
+
+/// Upper bound on the number of HTTP header lines drained.
+const MAX_HTTP_HEADERS: usize = 100;
 
 /// Server configuration. `Default` is tuned for tests and local use.
 #[derive(Debug, Clone)]
@@ -71,6 +78,18 @@ pub struct Config {
     /// Also honor the process-wide SIGTERM/SIGINT flag (the binary
     /// sets this; in-process tests leave it off).
     pub watch_signals: bool,
+    /// Structured JSONL access log (one line per compute-path
+    /// request); `None` disables logging.
+    pub access_log: Option<PathBuf>,
+    /// SLO rules (`--slo method=p99:ms`) tracked by the observatory.
+    pub slos: Vec<SloRule>,
+    /// Rolling-window length for the latency observatory, seconds.
+    pub window_secs: u64,
+    /// How long an idle new connection (or a stalled HTTP header
+    /// block) may sit before it is timed out — the half-open guard.
+    /// Cleared after a connection's first protocol request, so
+    /// long-lived idle protocol clients are unaffected.
+    pub http_timeout: Duration,
 }
 
 impl Default for Config {
@@ -84,6 +103,10 @@ impl Default for Config {
             drain_grace: Duration::from_secs(2),
             cache_path: None,
             watch_signals: false,
+            access_log: None,
+            slos: Vec::new(),
+            window_secs: 60,
+            http_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -94,6 +117,9 @@ struct Shared {
     shutdown: AtomicBool,
     inflight: AtomicI64,
     deadline: Duration,
+    observatory: Observatory,
+    access_log: Option<AccessLog>,
+    http_timeout: Duration,
 }
 
 impl Shared {
@@ -104,6 +130,12 @@ impl Shared {
     fn inflight_delta(&self, delta: i64) {
         let now = self.inflight.fetch_add(delta, Ordering::SeqCst) + delta;
         trace::gauge("serve.inflight", now as f64);
+    }
+
+    fn log_access(&self, entry: &AccessEntry<'_>) {
+        if let Some(log) = &self.access_log {
+            log.write(entry);
+        }
     }
 }
 
@@ -132,6 +164,10 @@ impl Server {
             Some(path) => Some(CacheSession::open(path)?),
             None => None,
         };
+        let access_log = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path)?),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -145,6 +181,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             inflight: AtomicI64::new(0),
             deadline: config.deadline,
+            observatory: Observatory::new(config.window_secs, config.slos.clone()),
+            access_log,
+            http_timeout: config.http_timeout,
         });
 
         let workers = (0..config.workers.max(1))
@@ -252,6 +291,16 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, watch_signals: bool
     // the drain bound stays `deadline`, not `queue × deadline`.
     for job in shared.admission.close() {
         trace::add("serve.rejected.shutdown", 1);
+        shared.log_access(&AccessEntry {
+            trace_id: &job.trace_id,
+            id: &job.id,
+            method: job.query.method(),
+            outcome: ErrorCode::ShuttingDown.as_str(),
+            cached: None,
+            span: job.request_span,
+            phases: &[],
+            total_us: job.admitted.elapsed().as_micros() as u64,
+        });
         let _ = job.reply.send(proto::error_line(
             &job.id,
             ErrorCode::ShuttingDown,
@@ -260,20 +309,127 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, watch_signals: bool
     }
 }
 
+/// Outcome of one bounded line read.
+enum BoundedLine {
+    /// A complete line (terminator included when present).
+    Line(String),
+    /// Clean end of stream with nothing buffered.
+    Eof,
+    /// The line outgrew the cap; carries the first bytes for protocol
+    /// sniffing. The connection must be closed — the rest of the line
+    /// is unread.
+    TooLong(String),
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `cap` bytes — the guard against a client streaming an unbounded
+/// "line". A read timeout set on the socket surfaces as `Err`.
+fn read_line_bounded(reader: &mut impl BufRead, cap: usize) -> std::io::Result<BoundedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                BoundedLine::Eof
+            } else {
+                BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = match newline {
+            Some(pos) => pos + 1,
+            None => chunk.len(),
+        };
+        if buf.len() + take > cap {
+            let keep = chunk[..take.min(64)].to_vec();
+            reader.consume(take);
+            buf.extend_from_slice(&keep);
+            let head = &buf[..buf.len().min(64)];
+            return Ok(BoundedLine::TooLong(
+                String::from_utf8_lossy(head).into_owned(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(BoundedLine::Line(
+                String::from_utf8_lossy(&buf).into_owned(),
+            ));
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// The HTTP verb opening `line`, if any — used to discriminate HTTP
+/// requests from protocol JSON (which always starts with `{`).
+fn http_verb(line: &str) -> Option<&'static str> {
+    const VERBS: [&str; 9] = [
+        "GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH", "TRACE", "CONNECT",
+    ];
+    VERBS.into_iter().find(|verb| {
+        line.strip_prefix(verb)
+            .is_some_and(|rest| rest.starts_with(' '))
+    })
+}
+
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
+    // Half-open guard: the first request (and any HTTP header block)
+    // must arrive within the timeout; cleared once the connection
+    // proves to be a protocol client.
+    stream.set_read_timeout(Some(shared.http_timeout)).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let mut first = true;
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client closed
-        }
-        if line.starts_with("GET ") || line.starts_with("HEAD ") {
-            return handle_http(&mut reader, &mut writer, &line);
+        let line = match read_line_bounded(&mut reader, MAX_PROTO_LINE) {
+            Ok(BoundedLine::Line(line)) => line,
+            Ok(BoundedLine::Eof) => return Ok(()), // client closed
+            Ok(BoundedLine::TooLong(head)) => {
+                trace::add("serve.errors.bad_request", 1);
+                if http_verb(&head).is_some() {
+                    return http_respond(
+                        &mut writer,
+                        "431 Request Header Fields Too Large",
+                        &[],
+                        "request line too long\n",
+                        false,
+                    );
+                }
+                let response = proto::error_line(
+                    "",
+                    ErrorCode::BadRequest,
+                    &format!("request line exceeds {MAX_PROTO_LINE} bytes"),
+                );
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                return writer.flush();
+            }
+            Err(e) if is_timeout(&e) => {
+                // Half-open or stalled client: close instead of
+                // holding the connection thread forever.
+                trace::add("serve.conn.timeouts", 1);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(verb) = http_verb(&line) {
+            return handle_http(shared, &mut reader, &mut writer, &line, verb);
         }
         if line.trim().is_empty() {
             continue;
+        }
+        if first {
+            // A real protocol client; idle gaps between requests are
+            // its business.
+            writer.set_read_timeout(None).ok();
+            first = false;
         }
         let response = handle_line(shared, &line);
         writer.write_all(response.as_bytes())?;
@@ -304,11 +460,52 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
             proto::ok_line(&req.id, None, "{\"shutting_down\":true}")
         }
         method => {
+            // The per-request span stays open on this thread until the
+            // response is in hand, so its duration covers the whole
+            // server-side pipeline; worker threads hang the phase
+            // spans under it via the id carried in the job. When the
+            // request carries wire trace context, the client's span id
+            // is recorded as the `client_span` attribute (NOT as the
+            // local parent — each per-process trace must stay valid on
+            // its own) for `repro trace-stitch` to re-link.
+            let started = Instant::now();
+            let mut span = trace::span("serve.request");
+            span.set_attr("method", method);
+            let trace_id = match &req.trace {
+                Some(ctx) => {
+                    span.set_attr("client_span", ctx.parent);
+                    ctx.id.clone()
+                }
+                None => format!("srv-{:x}", span.id()),
+            };
+            span.set_attr("trace_id", trace_id.as_str());
+            let request_span = span.id();
+
+            // Rejections short-circuit here: logged and measured, with
+            // the request span already in the trace so the access-log
+            // line still resolves to a span tree.
+            let reject = |code: ErrorCode, msg: &str| {
+                shared.log_access(&AccessEntry {
+                    trace_id: &trace_id,
+                    id: &req.id,
+                    method,
+                    outcome: code.as_str(),
+                    cached: None,
+                    span: request_span,
+                    phases: &[],
+                    total_us: started.elapsed().as_micros() as u64,
+                });
+                shared
+                    .observatory
+                    .record(method, started.elapsed().as_secs_f64() * 1e3);
+                proto::error_line(&req.id, code, msg)
+            };
+
             let query = match Query::from_request(method, &req.params) {
                 Ok(q) => q,
                 Err((code, msg)) => {
                     trace::add(&format!("serve.errors.{}", code.as_str()), 1);
-                    return proto::error_line(&req.id, code, &msg);
+                    return reject(code, &msg);
                 }
             };
             let (reply, rx) = mpsc::channel();
@@ -317,28 +514,31 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
                 query,
                 reply,
                 admitted: Instant::now(),
+                trace_id: trace_id.clone(),
+                request_span,
             };
-            match shared.admission.submit(job) {
+            let submitted = {
+                let _admission = trace::span("admission");
+                shared.admission.submit(job)
+            };
+            match submitted {
                 Ok(()) => match rx.recv() {
                     Ok(response) => response,
-                    Err(_) => proto::error_line(
-                        &req.id,
+                    Err(_) => reject(
                         ErrorCode::ShuttingDown,
                         "server shut down before the request completed",
                     ),
                 },
-                Err(Rejected::Full(job)) => {
+                Err(Rejected::Full(_)) => {
                     trace::add("serve.rejected.overload", 1);
-                    proto::error_line(
-                        &job.id,
+                    reject(
                         ErrorCode::Overloaded,
                         "admission queue is full; retry later",
                     )
                 }
-                Err(Rejected::Closed(job)) => {
+                Err(Rejected::Closed(_)) => {
                     trace::add("serve.rejected.shutdown", 1);
-                    proto::error_line(
-                        &job.id,
+                    reject(
                         ErrorCode::ShuttingDown,
                         "server is shutting down; no new work admitted",
                     )
@@ -408,7 +608,28 @@ fn count_lookup(outcome: Lookup) -> &'static str {
     }
 }
 
-fn finish(job: &Job, method: &str, started: Instant, line: String) {
+/// Per-phase worker-side durations for the access log, µs.
+struct Phases {
+    queue_us: u64,
+    compute_us: u64,
+    serialize_us: u64,
+}
+
+/// Records the latency histograms, the rolling-window observatory
+/// sample, and the access-log line, then answers the connection
+/// thread.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    shared: &Shared,
+    job: &Job,
+    method: &str,
+    started: Instant,
+    outcome: &str,
+    cached: Option<&'static str>,
+    phases: Phases,
+    line: String,
+) {
+    let total = job.admitted.elapsed();
     trace::observe_with(
         &format!("serve.latency.{method}"),
         started.elapsed().as_secs_f64() * 1e3,
@@ -419,6 +640,21 @@ fn finish(job: &Job, method: &str, started: Instant, line: String) {
         (started - job.admitted).as_secs_f64() * 1e3,
         &MS_BOUNDS,
     );
+    shared.observatory.record(method, total.as_secs_f64() * 1e3);
+    shared.log_access(&AccessEntry {
+        trace_id: &job.trace_id,
+        id: &job.id,
+        method,
+        outcome,
+        cached,
+        span: job.request_span,
+        phases: &[
+            ("queue_us", phases.queue_us),
+            ("compute_us", phases.compute_us),
+            ("serialize_us", phases.serialize_us),
+        ],
+        total_us: total.as_micros() as u64,
+    });
     let _ = job.reply.send(line);
 }
 
@@ -427,29 +663,51 @@ fn serve_one(shared: &Arc<Shared>, job: Job) {
     let started = Instant::now();
     trace::add(&format!("serve.req.{method}"), 1);
     shared.inflight_delta(1);
-    let line = if job.query.cacheable() {
+    // Re-root this thread's span stack at the request span the
+    // connection thread opened, so the phase spans (and the executor
+    // jobs the compute fans into) hang under it.
+    let _ctx = trace::task_context((job.request_span != 0).then_some(job.request_span));
+    let queue_us = (started - job.admitted).as_micros() as u64;
+
+    let compute_us = std::cell::Cell::new(0u64);
+    let run_timed = |key: u64| {
+        let _compute = trace::span("compute");
+        let compute_started = Instant::now();
+        let result = run_supervised(shared, key, &job.query);
+        compute_us.set(compute_started.elapsed().as_micros() as u64);
+        result
+    };
+    let (computed, cached) = if job.query.cacheable() {
         let key = job.query.key();
+        let _dedup = trace::span("dedup");
         let (result, outcome) =
-            subvt_engine::global_cache().try_get_or_compute_outcome(RESPONSE_NS, key, || {
-                run_supervised(shared, key, &job.query).map(TextBlob)
-            });
+            subvt_engine::global_cache()
+                .try_get_or_compute_outcome(RESPONSE_NS, key, || run_timed(key).map(TextBlob));
         match result {
-            Ok(TextBlob(payload)) => proto::ok_line(&job.id, Some(count_lookup(outcome)), &payload),
-            Err((code, msg)) => {
-                trace::add(&format!("serve.errors.{}", code.as_str()), 1);
-                proto::error_line(&job.id, code, &msg)
-            }
+            Ok(TextBlob(payload)) => (Ok(payload), Some(count_lookup(outcome))),
+            Err(e) => (Err(e), None),
         }
     } else {
-        match run_supervised(shared, job.query.key(), &job.query) {
-            Ok(payload) => proto::ok_line(&job.id, None, &payload),
+        (run_timed(job.query.key()), None)
+    };
+
+    let serialize_started = Instant::now();
+    let (line, outcome) = {
+        let _serialize = trace::span("serialize");
+        match computed {
+            Ok(payload) => (proto::ok_line(&job.id, cached, &payload), "ok"),
             Err((code, msg)) => {
                 trace::add(&format!("serve.errors.{}", code.as_str()), 1);
-                proto::error_line(&job.id, code, &msg)
+                (proto::error_line(&job.id, code, &msg), code.as_str())
             }
         }
     };
-    finish(&job, method, started, line);
+    let phases = Phases {
+        queue_us,
+        compute_us: compute_us.get(),
+        serialize_us: serialize_started.elapsed().as_micros() as u64,
+    };
+    finish(shared, &job, method, started, outcome, cached, phases, line);
     shared.inflight_delta(-1);
 }
 
@@ -491,7 +749,18 @@ fn serve_idvg_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         .f64s(&union)
         .finish();
     let points = union.clone();
-    let swept =
+    // The union sweep runs under the *leader's* request span: one
+    // `batch.merge` phase span (annotated with member and point
+    // counts) wrapping the shared `compute`. Each member gets its own
+    // `serialize` span under its own request span below.
+    let leader_span = batch[0].request_span;
+    let compute_started = Instant::now();
+    let swept = {
+        let _ctx = trace::task_context((leader_span != 0).then_some(leader_span));
+        let mut merge = trace::span("batch.merge");
+        merge.set_attr("members", batch.len() as u64);
+        merge.set_attr("points", union.len() as u64);
+        let _compute = trace::span("compute");
         match shared
             .supervisor
             .run(subvt_engine::global(), batch_key, "idvg.batch", move || {
@@ -511,7 +780,14 @@ fn serve_idvg_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                 ErrorCode::Quarantined,
                 "request key is quarantined by an earlier failure".to_owned(),
             )),
-        };
+        }
+    };
+    let compute_us = compute_started.elapsed().as_micros() as u64;
+    let phases_of = |job: &Job, serialize_us: u64| Phases {
+        queue_us: (started - job.admitted).as_micros() as u64,
+        compute_us,
+        serialize_us,
+    };
 
     match swept {
         Ok(currents) => {
@@ -521,32 +797,58 @@ fn serve_idvg_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                 .map(|(v, i)| (v.to_bits(), *i))
                 .collect();
             for job in batch {
-                let Query::IdVg { ref v_gs, .. } = job.query else {
-                    unreachable!();
+                let _ctx = trace::task_context((job.request_span != 0).then_some(job.request_span));
+                let serialize_started = Instant::now();
+                let (line, cached) = {
+                    let _serialize = trace::span("serialize");
+                    let Query::IdVg { ref v_gs, .. } = job.query else {
+                        unreachable!();
+                    };
+                    let i_d: Vec<f64> = v_gs.iter().map(|v| lookup[&v.to_bits()]).collect();
+                    let payload = query::idvg_payload(v_gs, &i_d);
+                    let key = job.query.key();
+                    let (result, outcome) = subvt_engine::global_cache()
+                        .try_get_or_compute_outcome::<TextBlob, std::convert::Infallible>(
+                            RESPONSE_NS,
+                            key,
+                            || Ok(TextBlob(payload.clone())),
+                        );
+                    let cached = count_lookup(outcome);
+                    let text = match result {
+                        Ok(TextBlob(text)) => text,
+                        Err(never) => match never {},
+                    };
+                    (proto::ok_line(&job.id, Some(cached), &text), cached)
                 };
-                let i_d: Vec<f64> = v_gs.iter().map(|v| lookup[&v.to_bits()]).collect();
-                let payload = query::idvg_payload(v_gs, &i_d);
-                let key = job.query.key();
-                let (result, outcome) = subvt_engine::global_cache()
-                    .try_get_or_compute_outcome::<TextBlob, std::convert::Infallible>(
-                        RESPONSE_NS,
-                        key,
-                        || Ok(TextBlob(payload.clone())),
-                    );
-                let cached = count_lookup(outcome);
-                let text = match result {
-                    Ok(TextBlob(text)) => text,
-                    Err(never) => match never {},
-                };
-                let line = proto::ok_line(&job.id, Some(cached), &text);
-                finish(&job, "idvg", started, line);
+                let phases = phases_of(&job, serialize_started.elapsed().as_micros() as u64);
+                finish(
+                    shared,
+                    &job,
+                    "idvg",
+                    started,
+                    "ok",
+                    Some(cached),
+                    phases,
+                    line,
+                );
             }
         }
         Err((code, msg)) => {
             for job in batch {
+                let _ctx = trace::task_context((job.request_span != 0).then_some(job.request_span));
                 trace::add(&format!("serve.errors.{}", code.as_str()), 1);
                 let line = proto::error_line(&job.id, code, &msg);
-                finish(&job, "idvg", started, line);
+                let phases = phases_of(&job, 0);
+                finish(
+                    shared,
+                    &job,
+                    "idvg",
+                    started,
+                    code.as_str(),
+                    None,
+                    phases,
+                    line,
+                );
             }
         }
     }
@@ -579,65 +881,417 @@ fn metrics_json() -> String {
     out
 }
 
-/// Plain-text exposition for `GET /metrics`: one line per counter,
-/// gauge, and histogram statistic, in a stable grep-friendly format.
-fn metrics_text() -> String {
-    let snap = trace::global().drain();
-    let mut out = String::new();
-    for (name, value) in &snap.counters {
-        out.push_str(&format!("subvt_counter{{name=\"{name}\"}} {value}\n"));
-    }
-    for (name, value) in &snap.gauges {
-        out.push_str(&format!("subvt_gauge{{name=\"{name}\"}} {value}\n"));
-    }
-    for (name, hist) in &snap.hists {
-        let stats = [
-            ("count", hist.count as f64),
-            ("sum", hist.sum),
-            ("mean", hist.mean()),
-            ("min", hist.min),
-            ("max", hist.max),
-            ("p50", hist.quantile(0.5)),
-            ("p90", hist.quantile(0.9)),
-            ("p99", hist.quantile(0.99)),
-        ];
-        for (stat, v) in stats {
-            out.push_str(&format!(
-                "subvt_hist{{name=\"{name}\",stat=\"{stat}\"}} {v}\n"
-            ));
+/// Escapes a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n` (the three escapes the text exposition format defines).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
         }
     }
     out
 }
 
-/// Minimal HTTP/1.1 responder for `GET /metrics` and `GET /healthz`.
-fn handle_http(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
-    request_line: &str,
-) -> std::io::Result<()> {
-    // Drain the header block; we need nothing from it.
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
-            break;
+/// Formats a sample value for the text exposition (`NaN`/`+Inf`/`-Inf`
+/// spellings are part of the format).
+fn fmt_sample(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Plain-text exposition for `GET /metrics`, Prometheus-conformant:
+/// `# HELP`/`# TYPE` once per family, escaped label values, histogram
+/// families as cumulative `_bucket{le=...}`/`_sum`/`_count`, and a
+/// trailing newline. Counters and gauges keep the grep-stable
+/// `subvt_counter{name="..."}`/`subvt_gauge{name="..."}` shape the CI
+/// smoke jobs assert on; rolling-window quantiles and SLO status come
+/// from the [`Observatory`].
+fn metrics_text(shared: &Shared) -> String {
+    let snap = trace::global().drain();
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("# HELP subvt_counter Monotonic event counters from the trace registry.\n");
+        out.push_str("# TYPE subvt_counter counter\n");
+        for (name, value) in &snap.counters {
+            out.push_str(&format!(
+                "subvt_counter{{name=\"{}\"}} {value}\n",
+                escape_label(name)
+            ));
         }
     }
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = match path {
-        "/healthz" => ("200 OK", "ok\n".to_owned()),
-        "/metrics" => ("200 OK", metrics_text()),
-        _ => ("404 Not Found", "not found\n".to_owned()),
-    };
-    let head_only = request_line.starts_with("HEAD ");
+    if !snap.gauges.is_empty() {
+        out.push_str("# HELP subvt_gauge Last-write-wins gauges from the trace registry.\n");
+        out.push_str("# TYPE subvt_gauge gauge\n");
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!(
+                "subvt_gauge{{name=\"{}\"}} {}\n",
+                escape_label(name),
+                fmt_sample(*value)
+            ));
+        }
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("# HELP subvt_hist Lifetime value distributions (fixed buckets).\n");
+        out.push_str("# TYPE subvt_hist histogram\n");
+        for (name, hist) in &snap.hists {
+            let name = escape_label(name);
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "subvt_hist_bucket{{name=\"{name}\",le=\"{}\"}} {cumulative}\n",
+                    fmt_sample(*bound)
+                ));
+            }
+            out.push_str(&format!(
+                "subvt_hist_bucket{{name=\"{name}\",le=\"+Inf\"}} {}\n",
+                hist.count
+            ));
+            out.push_str(&format!(
+                "subvt_hist_sum{{name=\"{name}\"}} {}\n",
+                fmt_sample(hist.sum)
+            ));
+            out.push_str(&format!(
+                "subvt_hist_count{{name=\"{name}\"}} {}\n",
+                hist.count
+            ));
+        }
+    }
+
+    let obs = shared.observatory.snapshot();
+    if !obs.methods.is_empty() {
+        out.push_str(&format!(
+            "# HELP subvt_rolling_ms Latency quantiles over the last {} s, milliseconds.\n",
+            obs.window_secs
+        ));
+        out.push_str("# TYPE subvt_rolling_ms gauge\n");
+        for m in &obs.methods {
+            for (quantile, v) in [("p50", m.p50), ("p95", m.p95), ("p99", m.p99)] {
+                out.push_str(&format!(
+                    "subvt_rolling_ms{{method=\"{}\",quantile=\"{quantile}\",window_s=\"{}\"}} {}\n",
+                    escape_label(&m.method),
+                    obs.window_secs,
+                    fmt_sample(v)
+                ));
+            }
+        }
+        out.push_str("# HELP subvt_rolling_count Requests inside the rolling window.\n");
+        out.push_str("# TYPE subvt_rolling_count gauge\n");
+        for m in &obs.methods {
+            out.push_str(&format!(
+                "subvt_rolling_count{{method=\"{}\",window_s=\"{}\"}} {}\n",
+                escape_label(&m.method),
+                obs.window_secs,
+                m.count
+            ));
+        }
+    }
+    if !obs.slos.is_empty() {
+        out.push_str("# HELP subvt_slo_target_ms Configured SLO latency threshold.\n");
+        out.push_str("# TYPE subvt_slo_target_ms gauge\n");
+        for s in &obs.slos {
+            out.push_str(&format!(
+                "subvt_slo_target_ms{{method=\"{}\",quantile=\"{}\"}} {}\n",
+                escape_label(&s.rule.method),
+                s.rule.quantile.as_str(),
+                fmt_sample(s.rule.threshold_ms)
+            ));
+        }
+        out.push_str("# HELP subvt_slo_current_ms The constrained quantile's rolling value.\n");
+        out.push_str("# TYPE subvt_slo_current_ms gauge\n");
+        for s in &obs.slos {
+            out.push_str(&format!(
+                "subvt_slo_current_ms{{method=\"{}\",quantile=\"{}\"}} {}\n",
+                escape_label(&s.rule.method),
+                s.rule.quantile.as_str(),
+                fmt_sample(s.current_ms)
+            ));
+        }
+        out.push_str("# HELP subvt_slo_breach_total Requests ever over their SLO threshold.\n");
+        out.push_str("# TYPE subvt_slo_breach_total counter\n");
+        for s in &obs.slos {
+            out.push_str(&format!(
+                "subvt_slo_breach_total{{method=\"{}\",quantile=\"{}\"}} {}\n",
+                escape_label(&s.rule.method),
+                s.rule.quantile.as_str(),
+                s.breach_total
+            ));
+        }
+        out.push_str(
+            "# HELP subvt_slo_burn_rate Error-budget burn over the window (1.0 = at budget).\n",
+        );
+        out.push_str("# TYPE subvt_slo_burn_rate gauge\n");
+        for s in &obs.slos {
+            out.push_str(&format!(
+                "subvt_slo_burn_rate{{method=\"{}\",quantile=\"{}\"}} {}\n",
+                escape_label(&s.rule.method),
+                s.rule.quantile.as_str(),
+                fmt_sample(s.burn_rate)
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes one HTTP/1.1 response and closes the exchange.
+fn http_respond(
+    writer: &mut TcpStream,
+    status: &str,
+    extra_headers: &[&str],
+    body: &str,
+    head_only: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
         "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for header in extra_headers {
+        write!(writer, "{header}\r\n")?;
+    }
+    write!(writer, "\r\n")?;
     if !head_only {
         writer.write_all(body.as_bytes())?;
     }
     writer.flush()
+}
+
+/// Minimal HTTP/1.1 responder: `GET|HEAD /metrics` and `/healthz`,
+/// with typed errors for everything else — 405 on other verbs, 404 on
+/// unknown paths, 408 when the header block stalls past the timeout,
+/// 431 on oversized request/header lines, never a hang.
+fn handle_http(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &str,
+    verb: &str,
+) -> std::io::Result<()> {
+    if request_line.len() > MAX_HTTP_LINE {
+        return http_respond(
+            writer,
+            "431 Request Header Fields Too Large",
+            &[],
+            "request line too long\n",
+            false,
+        );
+    }
+    // Drain the header block (nothing in it is needed), bounded in
+    // line length, header count, and wall time.
+    let mut complete = false;
+    for _ in 0..MAX_HTTP_HEADERS {
+        match read_line_bounded(reader, MAX_HTTP_LINE) {
+            Ok(BoundedLine::Line(header)) => {
+                if header.trim().is_empty() {
+                    complete = true;
+                    break;
+                }
+            }
+            Ok(BoundedLine::Eof) => {
+                return http_respond(
+                    writer,
+                    "400 Bad Request",
+                    &[],
+                    "incomplete request\n",
+                    false,
+                )
+            }
+            Ok(BoundedLine::TooLong(_)) => {
+                return http_respond(
+                    writer,
+                    "431 Request Header Fields Too Large",
+                    &[],
+                    "header line too long\n",
+                    false,
+                )
+            }
+            Err(e) if is_timeout(&e) => {
+                trace::add("serve.conn.timeouts", 1);
+                return http_respond(
+                    writer,
+                    "408 Request Timeout",
+                    &[],
+                    "timed out reading headers\n",
+                    false,
+                );
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if !complete {
+        return http_respond(
+            writer,
+            "431 Request Header Fields Too Large",
+            &[],
+            "too many headers\n",
+            false,
+        );
+    }
+    if verb != "GET" && verb != "HEAD" {
+        trace::add("serve.http.rejected", 1);
+        return http_respond(
+            writer,
+            "405 Method Not Allowed",
+            &["Allow: GET, HEAD"],
+            "method not allowed\n",
+            false,
+        );
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = match path {
+        "/healthz" => ("200 OK", "ok\n".to_owned()),
+        "/metrics" => ("200 OK", metrics_text(shared)),
+        _ => ("404 Not Found", "not found\n".to_owned()),
+    };
+    http_respond(writer, status, &[], &body, verb == "HEAD")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared(slos: Vec<SloRule>) -> Shared {
+        Shared {
+            admission: Admission::new(4),
+            supervisor: Supervisor::new(RetryPolicy {
+                max_attempts: 1,
+                deadline: None,
+            }),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicI64::new(0),
+            deadline: Duration::from_secs(1),
+            observatory: Observatory::new(30, slos),
+            access_log: None,
+            http_timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        assert_eq!(escape_label(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+        assert_eq!(fmt_sample(f64::NAN), "NaN");
+        assert_eq!(fmt_sample(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_sample(1.5), "1.5");
+    }
+
+    /// The conformance contract for the satellite task: HELP/TYPE once
+    /// per family, every sample line shaped `name{labels} value`,
+    /// cumulative buckets ending at `+Inf` == `_count`, and a trailing
+    /// newline.
+    #[test]
+    fn metrics_exposition_is_conformant() {
+        let shared = test_shared(vec![SloRule::parse("vtc=p99:10").unwrap()]);
+        trace::add("serve.test.conformance", 2);
+        trace::gauge("serve.test.depth", 3.0);
+        trace::observe_with("serve.test.latency", 4.2, &MS_BOUNDS);
+        shared.observatory.record("vtc", 1.0);
+        shared.observatory.record("vtc", 50.0);
+        let text = metrics_text(&shared);
+
+        assert!(text.ends_with('\n'), "missing trailing newline");
+        let mut seen_type: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split(' ').next().unwrap();
+                assert!(!seen_type.contains(&family), "duplicate TYPE for {family}");
+                seen_type.push(family);
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            // name{label="v",...} value
+            let (name_labels, value) = line.rsplit_once(' ').expect(line);
+            assert!(
+                name_labels.ends_with('}') && name_labels.contains('{'),
+                "bad sample shape: {line}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad sample value: {line}"
+            );
+        }
+        for family in [
+            "subvt_counter",
+            "subvt_gauge",
+            "subvt_hist",
+            "subvt_rolling_ms",
+            "subvt_slo_burn_rate",
+        ] {
+            assert!(seen_type.contains(&family), "missing TYPE for {family}");
+        }
+
+        // Histogram family: cumulative, +Inf bucket equals _count.
+        let hist_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("subvt_hist_bucket{name=\"serve.test.latency\""))
+            .collect();
+        assert_eq!(hist_lines.len(), MS_BOUNDS.len() + 1);
+        let mut prev = 0u64;
+        for line in &hist_lines {
+            let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= prev, "buckets must be cumulative: {line}");
+            prev = v;
+        }
+        assert!(hist_lines.last().unwrap().contains("le=\"+Inf\""));
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("subvt_hist_count{name=\"serve.test.latency\""))
+            .unwrap();
+        assert_eq!(count_line.rsplit_once(' ').unwrap().1, prev.to_string());
+
+        // The grep contracts the CI smoke jobs rely on.
+        assert!(text.contains("subvt_counter{name=\"serve.test.conformance\"} 2"));
+        assert!(text.contains("subvt_gauge{name=\"serve.test.depth\"} 3"));
+        // Observatory families.
+        assert!(text.contains("subvt_rolling_ms{method=\"vtc\",quantile=\"p99\",window_s=\"30\"}"));
+        assert!(text.contains("subvt_slo_target_ms{method=\"vtc\",quantile=\"p99\"} 10"));
+        assert!(text.contains("subvt_slo_breach_total{method=\"vtc\",quantile=\"p99\"} 1"));
+    }
+
+    #[test]
+    fn bounded_reads_cap_runaway_lines() {
+        let data = [b'x'; 200];
+        let mut reader = std::io::BufReader::new(&data[..]);
+        match read_line_bounded(&mut reader, 100) {
+            Ok(BoundedLine::TooLong(head)) => assert!(head.starts_with("xx")),
+            other => panic!(
+                "expected TooLong, got {:?}",
+                std::mem::discriminant(&other.unwrap())
+            ),
+        }
+        let mut reader = std::io::BufReader::new(&b"abc\ndef"[..]);
+        match read_line_bounded(&mut reader, 100) {
+            Ok(BoundedLine::Line(l)) => assert_eq!(l, "abc\n"),
+            _ => panic!("expected Line"),
+        }
+        match read_line_bounded(&mut reader, 100) {
+            Ok(BoundedLine::Line(l)) => assert_eq!(l, "def"),
+            _ => panic!("expected unterminated tail as Line"),
+        }
+        match read_line_bounded(&mut reader, 100) {
+            Ok(BoundedLine::Eof) => {}
+            _ => panic!("expected Eof"),
+        }
+        assert_eq!(http_verb("GET /metrics HTTP/1.1"), Some("GET"));
+        assert_eq!(http_verb("POST / HTTP/1.1"), Some("POST"));
+        assert_eq!(http_verb("{\"id\":\"x\"}"), None);
+        assert_eq!(http_verb("GETX /"), None);
+    }
 }

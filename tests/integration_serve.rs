@@ -289,7 +289,213 @@ fn warm_restart_answers_from_cache_with_zero_new_misses() {
     std::fs::remove_file(&cache_path).ok();
 }
 
+#[test]
+fn http_shim_error_paths_answer_typed_statuses_without_hanging() {
+    let _guard = serial();
+    let server = start(Config {
+        http_timeout: Duration::from_millis(400),
+        ..Config::default()
+    });
+    let addr = server.addr();
+
+    let resp = raw_http(addr, b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405"), "non-GET must 405: {resp}");
+    assert!(
+        resp.contains("Allow: GET, HEAD"),
+        "405 must advertise: {resp}"
+    );
+
+    let resp = raw_http(addr, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 404"), "unknown path: {resp}");
+
+    let resp = raw_http(addr, b"HEAD /healthz HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200"), "HEAD must work: {resp}");
+    assert!(
+        resp.ends_with("\r\n\r\n"),
+        "HEAD must carry no body: {resp:?}"
+    );
+
+    let mut long = b"GET /".to_vec();
+    long.resize(long.len() + 9000, b'a');
+    long.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let resp = raw_http(addr, &long);
+    assert!(
+        resp.starts_with("HTTP/1.1 431"),
+        "over-long request line must 431: {resp}"
+    );
+
+    // A half-open connection (nothing ever sent) must be closed by the
+    // server's read timeout — never parked forever.
+    let started = Instant::now();
+    let mut idle = std::net::TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut buf = [0u8; 16];
+    let n = std::io::Read::read(&mut idle, &mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server must close a half-open connection silently");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "half-open close must honor http_timeout: {:?}",
+        started.elapsed()
+    );
+
+    server.shutdown();
+    server.join().expect("join");
+}
+
+/// Spawned-binary test for the tentpole: wire trace context makes one
+/// parent-linked tree. The test acts as the client (high span-id range,
+/// `client.request` spans, trace context on the wire), the daemon
+/// writes its Chrome trace and access log on shutdown, and the
+/// tracefmt stitcher must re-parent every server request span onto the
+/// client span that issued it.
+#[test]
+fn wire_trace_context_stitches_into_one_parent_linked_tree() {
+    use subvt_exp::tracefmt;
+
+    let _guard = serial();
+    let dir = std::env::temp_dir().join(format!("subvt-serve-stitch-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let access_path = dir.join("access.jsonl");
+    let trace_path = dir.join("server-trace.json");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_subvt-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--slo",
+            "vtc=p99:5000",
+            "--access-log",
+            access_path.to_str().expect("utf8"),
+            "--trace",
+            trace_path.to_str().expect("utf8"),
+            "--trace-format",
+            "chrome",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn subvt-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let banner = BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("banner")
+        .expect("banner read");
+    let addr = banner.rsplit(' ').next().expect("addr").to_owned();
+    let mut daemon = Daemon { child, addr };
+
+    // Client side: reserve a disjoint span-id range, then issue traced
+    // requests under client.request spans.
+    subvt_engine::trace::raise_id_floor(1 << 32);
+    let mut client =
+        Client::connect_ready(daemon.addr.as_str(), Duration::from_secs(10)).expect("ready");
+    let calls = [
+        ("vtc", r#"{"node":"ref90","v_dd":0.31,"points":11}"#),
+        ("snm", r#"{"node":"ref90","v_dd":0.31}"#),
+        ("vtc", r#"{"node":"ref90","v_dd":0.31,"points":11}"#),
+    ];
+    let mut client_span_ids = Vec::new();
+    for (i, (method, params)) in calls.iter().enumerate() {
+        let trace_id = format!("it-stitch-{i}");
+        let mut span = subvt_engine::trace::global().span("client.request");
+        span.set_attr("method", *method);
+        span.set_attr("trace_id", trace_id.as_str());
+        client_span_ids.push(span.id());
+        let r = client
+            .call_traced(method, params, Some((&trace_id, span.id())))
+            .expect("traced call");
+        assert!(r.ok, "traced request must succeed: {}", r.raw);
+    }
+    client.call("shutdown", "{}").expect("shutdown");
+    daemon.wait_success();
+
+    // Every access-log trace_id must resolve to a request span in the
+    // daemon's emitted Chrome trace.
+    let access_text = std::fs::read_to_string(&access_path).expect("access log");
+    let records = tracefmt::parse_access_log(&access_text).expect("access log parses");
+    assert_eq!(records.len(), calls.len(), "one line per compute request");
+    let server_text = std::fs::read_to_string(&trace_path).expect("server trace");
+    let events = tracefmt::parse_chrome(&server_text).expect("server trace parses");
+    let server = tracefmt::trace_from_chrome(&events);
+    for rec in &records {
+        let span = server
+            .spans
+            .iter()
+            .find(|s| s.id == rec.span)
+            .unwrap_or_else(|| panic!("access-log span {} not in trace", rec.span));
+        assert_eq!(
+            span.attr_str("trace_id"),
+            Some(rec.trace_id.as_str()),
+            "access-log trace_id must match its span"
+        );
+    }
+
+    // Build the client-side trace file from this process's tracer,
+    // keeping only this test's spans (the suite shares the tracer).
+    let mut client_trace = tracefmt::TraceFile::default();
+    let snap = subvt_engine::trace::global().snapshot();
+    for s in &snap.spans {
+        if client_span_ids.contains(&s.id) {
+            client_trace.spans.push(tracefmt::TraceSpan {
+                id: s.id,
+                parent: None,
+                name: s.name.clone(),
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+                worker: s.worker,
+                attrs: Vec::new(),
+            });
+        }
+    }
+    assert_eq!(client_trace.spans.len(), calls.len());
+
+    let stitched = tracefmt::stitch(&client_trace, &server).expect("stitch");
+    tracefmt::validate(&stitched).expect("stitched trace validates");
+    for rec in &records {
+        let req = stitched
+            .spans
+            .iter()
+            .find(|s| s.id == rec.span)
+            .expect("request span survives stitching");
+        let call_idx: usize = rec
+            .trace_id
+            .strip_prefix("it-stitch-")
+            .and_then(|n| n.parse().ok())
+            .expect("wire trace_id round-trips into the access log");
+        let expect_parent = client_span_ids[call_idx];
+        assert_eq!(
+            req.parent,
+            Some(expect_parent),
+            "server request span must parent onto its client span"
+        );
+        assert!(
+            req.worker >= tracefmt::STITCH_SERVER_LANE_BASE,
+            "server spans move to the server lane block"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ---------------------------------------------------------------- helpers
+
+/// Sends raw bytes, half-closes the write side, and returns everything
+/// the server answers before closing.
+fn raw_http(addr: std::net::SocketAddr, request: &[u8]) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream.write_all(request).expect("write");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    String::from_utf8_lossy(&buf).into_owned()
+}
 
 struct Daemon {
     child: std::process::Child,
