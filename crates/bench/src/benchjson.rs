@@ -16,36 +16,21 @@
 
 use subvt_exp::tracefmt::{parse_json, Json};
 
-/// Schema version stamped into `BENCH_serve.json`.
-pub const BENCH_SCHEMA: u64 = 1;
+// The provenance helpers live in `subvt_exp::report` (so `repro --bench`
+// can stamp `BENCH_spice.json` without a dependency cycle) and are
+// re-exported here for the serve-side writers.
+pub use subvt_exp::report::{git_rev, provenance_fragment, BENCH_SCHEMA};
 
-/// `git rev-parse --short=12 HEAD`, or `"unknown"` outside a checkout
-/// (artifacts must still be writable from an exported tarball).
-pub fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_owned())
-}
+/// The benchmark suites whose artifacts the trajectory gate recognises.
+pub const KNOWN_SUITES: [&str; 2] = ["serve", "spice"];
 
-/// The provenance members, rendered as a JSON fragment (no braces,
-/// no trailing comma): `"schema":1,"rev":"…","generated_utc":"…"`.
-pub fn provenance_fragment() -> String {
-    format!(
-        "\"schema\":{BENCH_SCHEMA},\"rev\":\"{}\",\"generated_utc\":\"{}\"",
-        git_rev(),
-        subvt_engine::clock::iso8601_utc(subvt_engine::clock::unix_now()),
-    )
-}
-
-/// One parsed `BENCH_serve.json` artifact — just the fields the
-/// trajectory gate compares.
+/// One parsed bench artifact (`BENCH_serve.json` / `BENCH_spice.json`)
+/// — just the fields the trajectory gate compares.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchSummary {
+    /// Which suite produced the artifact (`"serve"` or `"spice"`);
+    /// baselines are only comparable within a suite.
+    pub suite: String,
     /// Schema version (0 for pre-stamping artifacts).
     pub schema: u64,
     /// Git revision the artifact was measured at (`"unknown"` when
@@ -65,21 +50,25 @@ pub struct BenchSummary {
 /// Latency fields compared by [`diff`], in report order.
 const LATENCY_KEYS: [&str; 5] = ["p50", "p90", "p99", "mean", "max"];
 
-/// Parses one `BENCH_serve.json` artifact.
+/// Parses one bench artifact.
 ///
 /// # Errors
 ///
-/// Returns a message when the text is not JSON, is not a serve-suite
-/// artifact, or lacks the latency object.
+/// Returns a message when the text is not JSON, is not from a known
+/// suite ([`KNOWN_SUITES`]), or lacks the latency object.
 pub fn parse_bench(text: &str) -> Result<BenchSummary, String> {
     let json = parse_json(text.trim()).map_err(|e| format!("bad JSON: {e}"))?;
-    match json.get("suite").and_then(|s| match s {
+    let suite = match json.get("suite").and_then(|s| match s {
         Json::Str(s) => Some(s.as_str()),
         _ => None,
     }) {
-        Some("serve") => {}
-        other => return Err(format!("not a serve benchmark artifact (suite={other:?})")),
-    }
+        Some(s) if KNOWN_SUITES.contains(&s) => s.to_owned(),
+        other => {
+            return Err(format!(
+                "not a recognised benchmark artifact (suite={other:?})"
+            ))
+        }
+    };
     let latency = json
         .get("latency_ms")
         .ok_or("missing latency_ms object")?
@@ -93,6 +82,7 @@ pub fn parse_bench(text: &str) -> Result<BenchSummary, String> {
         latency_ms.push((key, v));
     }
     Ok(BenchSummary {
+        suite,
         schema: json.get("schema").and_then(Json::as_u64).unwrap_or(0),
         rev: match json.get("rev") {
             Some(Json::Str(s)) => s.clone(),
@@ -282,8 +272,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_a_spice_artifact_and_rejects_unknown_suites() {
+        let spice = "{\"suite\":\"spice\",\"schema\":1,\"rev\":\"abcdef123456\",\
+                     \"generated_utc\":\"2026-08-08T00:00:00Z\",\"requests\":1800,\
+                     \"errors\":0,\"elapsed_s\":0.9,\"throughput_rps\":2000.0,\
+                     \"latency_ms\":{\"min\":0.002,\"p50\":0.01,\"p90\":0.05,\
+                     \"p99\":0.2,\"max\":1.5,\"mean\":0.03},\
+                     \"analytic_ms\":120.0,\"spice_ms\":900.0,\
+                     \"spice_over_analytic\":7.5,\
+                     \"counters\":{\"spice.lu.factor\":12}}";
+        let s = parse_bench(spice).unwrap();
+        assert_eq!(s.suite, "spice");
+        assert_eq!(s.requests, 1800);
+        assert_eq!(s.latency_ms[2], ("p99", 0.2));
+        let unknown = spice.replace("\"suite\":\"spice\"", "\"suite\":\"tcad\"");
+        assert!(parse_bench(&unknown)
+            .unwrap_err()
+            .contains("not a recognised"));
+    }
+
+    #[test]
     fn parses_a_stamped_artifact() {
         let s = parse_bench(&artifact(20.0, 100.0, 0)).unwrap();
+        assert_eq!(s.suite, "serve");
         assert_eq!(s.schema, 1);
         assert_eq!(s.rev, "abcdef123456");
         assert_eq!(s.requests, 200);

@@ -75,9 +75,18 @@ fn run() -> Result<bool, String> {
         );
     };
 
-    let baseline_path = resolve_baseline(Path::new(baseline_arg))?;
-    let baseline = load(&baseline_path)?;
     let current = load(Path::new(current_arg))?;
+    let baseline_path = resolve_baseline(Path::new(baseline_arg), &current.suite)?;
+    let baseline = load(&baseline_path)?;
+    if baseline.suite != current.suite {
+        return Err(format!(
+            "suite mismatch: baseline {} is `{}`, current {} is `{}`",
+            baseline_path.display(),
+            baseline.suite,
+            current_arg,
+            current.suite
+        ));
+    }
 
     let regressions = diff(&baseline, &current, cfg);
     print!(
@@ -102,8 +111,9 @@ fn run() -> Result<bool, String> {
 }
 
 /// A file is used as-is; a directory resolves to its lexicographically
-/// latest `*.json` entry.
-fn resolve_baseline(path: &Path) -> Result<PathBuf, String> {
+/// latest `*.json` entry *of the current artifact's suite*, so serve
+/// and spice trajectories can share one baselines directory.
+fn resolve_baseline(path: &Path, suite: &str) -> Result<PathBuf, String> {
     if !path.is_dir() {
         return Ok(path.to_path_buf());
     }
@@ -114,12 +124,13 @@ fn resolve_baseline(path: &Path) -> Result<PathBuf, String> {
         let entry = entry.map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let p = entry.path();
         if p.extension().is_some_and(|ext| ext == "json")
+            && load(&p).is_ok_and(|b| b.suite == suite)
             && latest.as_ref().is_none_or(|best| p > *best)
         {
             latest = Some(p);
         }
     }
-    latest.ok_or_else(|| format!("no *.json baselines in {}", path.display()))
+    latest.ok_or_else(|| format!("no `{suite}`-suite *.json baselines in {}", path.display()))
 }
 
 fn load(path: &Path) -> Result<BenchSummary, String> {

@@ -35,6 +35,7 @@ use crate::chain::{EnergyPoint, InverterChain, MinimumEnergyPoint};
 use crate::delay::{fo1_bench, spice_fo1_delay, Fo1Delay};
 use crate::gates::OtherInput;
 use crate::inverter::{CmosPair, Inverter, Vtc};
+use crate::montecarlo::{self, DelayStatistics, SnmStatistics};
 use crate::topology::{CellSpec, InputVector, Load, MeasurePlan, Stimulus, Testbench};
 
 /// Transient resolution of the analytic backend's FO1 measurement — the
@@ -180,6 +181,38 @@ pub trait CircuitBackend: Send + Sync + fmt::Debug {
         &self,
         chain: &InverterChain,
     ) -> Result<MinimumEnergyPoint, CircuitError>;
+
+    /// Monte-Carlo FO1 delay variability under Pelgrom `V_th` mismatch,
+    /// plus per-sample wall-clock milliseconds (empty when the backend
+    /// does not time samples). Wall times are machine-dependent and must
+    /// only feed bench artifacts, never deterministic output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] when the nominal solve fails.
+    fn delay_variability(
+        &self,
+        pair: &CmosPair,
+        v_dd: Volts,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(DelayStatistics, Vec<f64>), CircuitError>;
+
+    /// Monte-Carlo inverter SNM variability under Pelgrom `V_th`
+    /// mismatch, plus per-sample wall-clock milliseconds (empty when the
+    /// backend does not time samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] when the solve fails outright (per-sample
+    /// failures are folded into `failure_fraction` instead).
+    fn snm_variability(
+        &self,
+        pair: &CmosPair,
+        v_dd: Volts,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(SnmStatistics, Vec<f64>), CircuitError>;
 }
 
 /// The compact fast path — exactly the calls the figures made before the
@@ -230,6 +263,32 @@ impl CircuitBackend for AnalyticCircuit {
         chain: &InverterChain,
     ) -> Result<MinimumEnergyPoint, CircuitError> {
         Ok(chain.minimum_energy_point())
+    }
+
+    fn delay_variability(
+        &self,
+        pair: &CmosPair,
+        v_dd: Volts,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(DelayStatistics, Vec<f64>), CircuitError> {
+        Ok((
+            montecarlo::delay_variability(pair, v_dd, samples, seed),
+            Vec::new(),
+        ))
+    }
+
+    fn snm_variability(
+        &self,
+        pair: &CmosPair,
+        v_dd: Volts,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(SnmStatistics, Vec<f64>), CircuitError> {
+        Ok((
+            montecarlo::snm_variability(pair, v_dd, samples, seed),
+            Vec::new(),
+        ))
     }
 }
 
@@ -441,6 +500,34 @@ impl CircuitBackend for SpiceCircuit {
             point,
         })
     }
+
+    fn delay_variability(
+        &self,
+        pair: &CmosPair,
+        v_dd: Volts,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(DelayStatistics, Vec<f64>), CircuitError> {
+        let _span = trace::span("spice.backend.montecarlo.delay")
+            .attr("samples", samples)
+            .attr("v_dd", v_dd.as_volts());
+        Ok(montecarlo::spice_delay_variability(
+            pair, v_dd, samples, seed,
+        )?)
+    }
+
+    fn snm_variability(
+        &self,
+        pair: &CmosPair,
+        v_dd: Volts,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(SnmStatistics, Vec<f64>), CircuitError> {
+        let _span = trace::span("spice.backend.montecarlo.snm")
+            .attr("samples", samples)
+            .attr("v_dd", v_dd.as_volts());
+        Ok(montecarlo::spice_snm_variability(pair, v_dd, samples, seed))
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +537,26 @@ mod tests {
 
     fn pair() -> CmosPair {
         CmosPair::balanced(DeviceParams::reference_90nm_nfet())
+    }
+
+    #[test]
+    fn montecarlo_backends_agree_on_variability() {
+        // The spice MC re-solves the same perturbed bias points the
+        // analytic sweep evaluates in closed form, so σ/µ must agree
+        // tightly; only GMIN-scale leakage separates the populations.
+        let p = pair();
+        let v = Volts::new(0.25);
+        let (a, a_wall) = analytic_circuit().delay_variability(&p, v, 40, 5).unwrap();
+        let (s, s_wall) = spice_circuit().delay_variability(&p, v, 40, 5).unwrap();
+        assert!(a_wall.is_empty(), "analytic backend does not time samples");
+        assert_eq!(s_wall.len(), 40);
+        let rel = (a.sigma_over_mu - s.sigma_over_mu).abs() / a.sigma_over_mu;
+        assert!(
+            rel < 0.05,
+            "sigma/mu analytic {} vs spice {}",
+            a.sigma_over_mu,
+            s.sigma_over_mu
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Gate delay: SPICE-measured FO1 inverter delay and the analytic
 //! effective-current estimate (paper Eq. 4/Eq. 5).
 
+use subvt_physics::device::DeviceKind;
+use subvt_physics::MosModel;
 use subvt_spice::measure::{propagation_delay, Edge};
 use subvt_spice::mna::SpiceError;
+use subvt_spice::netlist::{Netlist, Waveform};
 use subvt_units::{Seconds, Volts};
 
 use crate::inverter::CmosPair;
@@ -31,6 +34,38 @@ pub fn analytic_fo1_delay(pair: &CmosPair, v_dd: Volts) -> Seconds {
     let tp_hl = c_l * v_dd.as_volts() / i_n;
     let tp_lh = c_l * v_dd.as_volts() / i_p;
     Seconds::new(core::f64::consts::LN_2 * 0.5 * (tp_hl + tp_lh))
+}
+
+/// Branch index of the drain source `VD` inside a
+/// [`drive_current_deck`] — the second voltage source of either
+/// polarity's deck, so the drive current is `|branch_currents[1]|`.
+pub(crate) const DRIVE_DECK_DRAIN_BRANCH: usize = 1;
+
+/// Single-device deck biased at the Eq. 4 drive point
+/// (`|V_gs| = V_dd`, `|V_ds| = V_dd/2`). Every terminal is pinned by a
+/// voltage source, so Newton converges in a couple of iterations and the
+/// drive current is read directly off the drain source's branch
+/// ([`DRIVE_DECK_DRAIN_BRANCH`]). The spice-backed Monte-Carlo sweep
+/// clones and re-thresholds this deck per sample.
+pub(crate) fn drive_current_deck(model: MosModel, width_um: f64, v_dd: f64) -> Netlist {
+    let mut net = Netlist::new();
+    let d = net.node("d");
+    let g = net.node("g");
+    match model.kind {
+        DeviceKind::Nfet => {
+            net.vsource("VG", g, Netlist::GROUND, Waveform::Dc(v_dd));
+            net.vsource("VD", d, Netlist::GROUND, Waveform::Dc(v_dd / 2.0));
+            net.mosfet("M1", model, width_um, d, g, Netlist::GROUND);
+        }
+        DeviceKind::Pfet => {
+            let s = net.node("s");
+            net.vsource("VG", g, Netlist::GROUND, Waveform::Dc(0.0));
+            net.vsource("VD", d, Netlist::GROUND, Waveform::Dc(v_dd / 2.0));
+            net.vsource("VS", s, Netlist::GROUND, Waveform::Dc(v_dd));
+            net.mosfet("M1", model, width_um, d, g, s);
+        }
+    }
+    net
 }
 
 /// Result of a SPICE FO1 delay measurement.

@@ -44,4 +44,4 @@ pub use backend::{
 };
 pub use chain::{InverterChain, MinimumEnergyPoint};
 pub use inverter::{CmosPair, Inverter, Vtc};
-pub use snm::{butterfly_snm, noise_margins, NoiseMargins};
+pub use snm::{butterfly_snm, noise_margins, snm_sample, NoiseMargins};

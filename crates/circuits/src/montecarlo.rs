@@ -12,6 +12,10 @@
 //! many workers execute the sweep.
 
 use subvt_engine::trace;
+use subvt_physics::device::DeviceKind;
+use subvt_spice::mna::SpiceError;
+use subvt_spice::mna::{dc_operating_point, dc_operating_point_from, dc_sweep, DcSolution};
+use subvt_spice::netlist::Netlist;
 use subvt_units::{Seconds, Volts};
 
 use crate::inverter::CmosPair;
@@ -32,9 +36,10 @@ pub fn sigma_vth(t_ox_nm: f64, w_um: f64, l_um: f64) -> Volts {
 /// Splits `samples` into contiguous index ranges, one per engine job
 /// (a few per worker so stealing can balance uneven chunks), and maps
 /// `per_sample` over every index in parallel, preserving order.
-fn parallel_samples<F>(samples: usize, per_sample: F) -> Vec<f64>
+fn parallel_samples<T, F>(samples: usize, per_sample: F) -> Vec<T>
 where
-    F: Fn(u64) -> f64 + Send + Sync + 'static,
+    T: Send + 'static,
+    F: Fn(u64) -> T + Send + Sync + 'static,
 {
     let executor = subvt_engine::global();
     let chunk = samples.div_ceil(executor.workers() * 4).max(16);
@@ -43,13 +48,13 @@ where
         .map(|start| (start as u64, samples.min(start + chunk) as u64))
         .collect();
     let chunks = executor.map(ranges, move |(start, end)| {
-        let out = (start..end).map(&per_sample).collect::<Vec<f64>>();
+        let out = (start..end).map(&per_sample).collect::<Vec<T>>();
         // Per-batch progress: long sweeps stay observable mid-flight.
         trace::add("montecarlo.batches", 1);
         trace::add("montecarlo.samples", end - start);
         out
     });
-    chunks.concat()
+    chunks.into_iter().flatten().collect()
 }
 
 /// Summary statistics of a Monte-Carlo delay population.
@@ -119,6 +124,109 @@ pub fn delay_variability(
         sigma_over_mu: std_dev / mean,
         samples: delays,
     }
+}
+
+/// Solves one perturbed drive deck warm-started from the nominal
+/// operating point (cold fallback) and reads the drive-current magnitude
+/// off the drain source's branch. `None` marks a solver failure; the
+/// caller counts it as a failed sample.
+fn perturbed_drive(template: &Netlist, nominal: &DcSolution, d_vth: f64) -> Option<f64> {
+    let mut net = template.clone();
+    net.for_each_mosfet_mut(|_, inst| {
+        inst.model.v_th_lin = Volts::new(inst.model.v_th_lin.as_volts() + d_vth);
+    });
+    dc_operating_point_from(&net, nominal)
+        .or_else(|_| dc_operating_point(&net))
+        .ok()
+        .map(|sol| sol.branch_currents[crate::delay::DRIVE_DECK_DRAIN_BRANCH].abs())
+}
+
+/// Spice-backed Monte-Carlo FO1 delay variability: the same Pelgrom
+/// perturbations and Eq. 4 delay formula as [`delay_variability`], but
+/// with each sample's drive currents solved by the MNA engine on a
+/// per-polarity [drive deck](crate::delay) instead of evaluated from the
+/// compact I–V directly.
+///
+/// Every sample warm-starts Newton from the *nominal* (unperturbed)
+/// operating point — not from a neighboring sample — so each sample stays
+/// a pure function of `(seed, index)` regardless of how the executor
+/// chunks the range. Failed samples (either polarity refusing to
+/// converge) are dropped from the statistics; the caller can recover the
+/// failure count as `samples − stats.samples.len()`.
+///
+/// Returns the statistics plus per-sample wall-clock milliseconds, in
+/// sample order, for bench latency quantiles. Wall times are
+/// machine-dependent and must never reach deterministic output streams.
+///
+/// # Errors
+///
+/// Returns [`SpiceError`] only if the nominal decks themselves fail to
+/// solve.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn spice_delay_variability(
+    pair: &CmosPair,
+    v_dd: Volts,
+    samples: usize,
+    seed: u64,
+) -> Result<(DelayStatistics, Vec<f64>), SpiceError> {
+    assert!(samples > 0, "need at least one sample");
+    let _span = trace::span("montecarlo.spice.delay")
+        .attr("samples", samples)
+        .attr("v_dd", v_dd.as_volts());
+    let pair = pair.at_supply(v_dd);
+    let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
+    let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
+    let sig_p = sigma_vth(pair.pfet.geometry.t_ox.get(), pair.wp_um, l_um).as_volts();
+    let c_l = pair.input_capacitance() + pair.output_capacitance();
+    let vdd = v_dd.as_volts();
+
+    let deck_n = crate::delay::drive_current_deck(pair.nfet_model(), pair.wn_um, vdd);
+    let deck_p = crate::delay::drive_current_deck(pair.pfet_model(), pair.wp_um, vdd);
+    // One cold nominal solve per polarity; all samples warm-start here.
+    let nominal_n = dc_operating_point(&deck_n)?;
+    let nominal_p = dc_operating_point(&deck_p)?;
+
+    let outcomes = parallel_samples(samples, move |i| {
+        let t0 = std::time::Instant::now();
+        // Identical draw order to the analytic sweep: dn then dp.
+        let mut rng = SplitMix64::stream(seed, i);
+        let dn = rng.next_gaussian() * sig_n;
+        let dp = rng.next_gaussian() * sig_p;
+        let i_n = perturbed_drive(&deck_n, &nominal_n, dn);
+        let i_p = perturbed_drive(&deck_p, &nominal_p, dp);
+        let delay = match (i_n, i_p) {
+            (Some(i_n), Some(i_p)) => {
+                core::f64::consts::LN_2 * 0.5 * (c_l * vdd / i_n + c_l * vdd / i_p)
+            }
+            _ => f64::NAN,
+        };
+        (delay, t0.elapsed().as_secs_f64() * 1e3)
+    });
+
+    let mut wall_ms = Vec::with_capacity(outcomes.len());
+    let mut delays = Vec::with_capacity(outcomes.len());
+    for (delay, ms) in outcomes {
+        wall_ms.push(ms);
+        if delay.is_finite() {
+            delays.push(delay);
+        }
+    }
+    let n = delays.len().max(1) as f64;
+    let mean = delays.iter().sum::<f64>() / n;
+    let var = delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+    let std_dev = var.sqrt();
+    Ok((
+        DelayStatistics {
+            mean: Seconds::new(mean),
+            std_dev: Seconds::new(std_dev),
+            sigma_over_mu: std_dev / mean,
+            samples: delays,
+        },
+        wall_ms,
+    ))
 }
 
 /// Summary statistics of a Monte-Carlo SNM population.
@@ -194,10 +302,7 @@ pub fn snm_variability(pair: &CmosPair, v_dd: Volts, samples: usize, seed: u64) 
             v_out,
             v_dd: vdd,
         };
-        match crate::snm::noise_margins(&vtc) {
-            Some(nm) if nm.snm() > 0.0 => nm.snm(),
-            _ => f64::NAN,
-        }
+        crate::snm::snm_sample(&vtc)
     });
 
     let vals: Vec<f64> = outcomes.iter().copied().filter(|v| v.is_finite()).collect();
@@ -211,6 +316,118 @@ pub fn snm_variability(pair: &CmosPair, v_dd: Volts, samples: usize, seed: u64) 
         failure_fraction: failures as f64 / samples as f64,
         samples: vals,
     }
+}
+
+/// VTC sweep resolution of the spice-backed SNM samples: enough points
+/// for the gain = −1 interpolation of [`crate::snm::noise_margins`] to
+/// land within a millivolt, small enough that a sample stays a few dozen
+/// warm-started Newton solves.
+const SPICE_SNM_VTC_POINTS: usize = 61;
+
+/// Spice-backed Monte-Carlo inverter SNM: per sample, the compiled VTC
+/// deck is re-thresholded (NFET and PFET drawn independently, same order
+/// as [`snm_variability`]) and swept by the MNA engine; the margins come
+/// off the solved curve via [`crate::snm::snm_sample`].
+///
+/// Unlike [`snm_variability`] — which inverts the closed-form Eq. 3(a)
+/// balance — this path exercises the full compact model, so DIBL and
+/// mobility degradation shape the sampled curves. A sample whose sweep
+/// fails to converge counts toward `failure_fraction` like a
+/// margin-less curve.
+///
+/// Returns the statistics plus per-sample wall-clock milliseconds, in
+/// sample order (machine-dependent; bench artifacts only).
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn spice_snm_variability(
+    pair: &CmosPair,
+    v_dd: Volts,
+    samples: usize,
+    seed: u64,
+) -> (SnmStatistics, Vec<f64>) {
+    use crate::gates::OtherInput;
+    use crate::inverter::Vtc;
+    use crate::topology::{CellSpec, MeasurePlan, Testbench};
+    use subvt_physics::math::linspace;
+
+    assert!(samples > 0, "need at least one sample");
+    let _span = trace::span("montecarlo.spice.snm")
+        .attr("samples", samples)
+        .attr("v_dd", v_dd.as_volts());
+    let pair = pair.at_supply(v_dd);
+    let l_um = pair.nfet.geometry.l_poly.get() * 1e-3;
+    let sig_n = sigma_vth(pair.nfet.geometry.t_ox.get(), pair.wn_um, l_um).as_volts();
+    let sig_p = sigma_vth(pair.pfet.geometry.t_ox.get(), pair.wp_um, l_um).as_volts();
+
+    let bench = CellSpec::inverter(pair)
+        .compile(&Testbench::Vtc {
+            v_dd,
+            points: SPICE_SNM_VTC_POINTS,
+            other: OtherInput::Low,
+        })
+        .expect("inverter VTC always compiles");
+    let MeasurePlan::DcTransfer {
+        source,
+        v_stop,
+        points,
+        output,
+    } = bench.plan
+    else {
+        unreachable!("VTC bench compiles to a DC transfer plan");
+    };
+    let template = bench.net;
+    let sweep = linspace(0.0, v_stop, points);
+
+    let outcomes = parallel_samples(samples, move |i| {
+        let t0 = std::time::Instant::now();
+        let mut rng = SplitMix64::stream(seed, i);
+        let dn = rng.next_gaussian() * sig_n;
+        let dp = rng.next_gaussian() * sig_p;
+        let mut net = template.clone();
+        net.for_each_mosfet_mut(|_, inst| {
+            let d = match inst.model.kind {
+                DeviceKind::Nfet => dn,
+                DeviceKind::Pfet => dp,
+            };
+            inst.model.v_th_lin = Volts::new(inst.model.v_th_lin.as_volts() + d);
+        });
+        let snm = match dc_sweep(&net, source, &sweep) {
+            Ok(sols) => {
+                let vtc = Vtc {
+                    v_in: sweep.clone(),
+                    v_out: sols.iter().map(|s| s.node_voltages[output]).collect(),
+                    v_dd: v_stop,
+                };
+                crate::snm::snm_sample(&vtc)
+            }
+            Err(_) => f64::NAN,
+        };
+        (snm, t0.elapsed().as_secs_f64() * 1e3)
+    });
+
+    let mut wall_ms = Vec::with_capacity(outcomes.len());
+    let mut vals = Vec::with_capacity(outcomes.len());
+    for (snm, ms) in outcomes {
+        wall_ms.push(ms);
+        if snm.is_finite() {
+            vals.push(snm);
+        }
+    }
+    let failures = samples - vals.len();
+    let count = vals.len().max(1) as f64;
+    let mean = vals.iter().sum::<f64>() / count;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count;
+    (
+        SnmStatistics {
+            mean: Volts::new(mean),
+            std_dev: Volts::new(var.sqrt()),
+            failure_fraction: failures as f64 / samples as f64,
+            samples: vals,
+        },
+        wall_ms,
+    )
 }
 
 #[cfg(test)]
@@ -278,6 +495,54 @@ mod tests {
         assert!(
             rel_lo > rel_hi,
             "relative SNM spread must grow at low V_dd: {rel_lo} vs {rel_hi}"
+        );
+    }
+
+    #[test]
+    fn spice_delay_matches_analytic_per_sample() {
+        // Same seed → same perturbations; the spice drive deck pins every
+        // terminal, so each sample's current differs from the compact
+        // model only by the GMIN leakage at the drain node (~1e-4
+        // relative in deep subthreshold).
+        let p = pair();
+        let v = Volts::new(0.25);
+        let analytic = delay_variability(&p, v, 48, 42);
+        let (spice, wall_ms) = spice_delay_variability(&p, v, 48, 42).unwrap();
+        assert_eq!(spice.samples.len(), 48, "no sample may fail");
+        assert_eq!(wall_ms.len(), 48);
+        for (a, s) in analytic.samples.iter().zip(&spice.samples) {
+            assert!(
+                ((a - s) / a).abs() < 1e-2,
+                "analytic {a:.6e} vs spice {s:.6e}"
+            );
+        }
+    }
+
+    #[test]
+    fn spice_delay_deterministic_for_fixed_seed() {
+        let p = pair();
+        let (a, _) = spice_delay_variability(&p, Volts::new(0.3), 40, 7).unwrap();
+        let (b, _) = spice_delay_variability(&p, Volts::new(0.3), 40, 7).unwrap();
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn spice_snm_deterministic_and_close_to_analytic() {
+        let p = pair();
+        let v = Volts::new(0.25);
+        let (spice, wall_ms) = spice_snm_variability(&p, v, 24, 3);
+        let (again, _) = spice_snm_variability(&p, v, 24, 3);
+        assert_eq!(spice.samples, again.samples);
+        assert_eq!(wall_ms.len(), 24);
+        assert!(spice.std_dev.as_volts() > 0.0);
+        // Eq. 3(a) and the full compact model agree on the margin scale.
+        let analytic = snm_variability(&p, v, 24, 3);
+        let ratio = spice.mean.as_volts() / analytic.mean.as_volts();
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "spice {} vs analytic {} (ratio {ratio})",
+            spice.mean.as_volts(),
+            analytic.mean.as_volts()
         );
     }
 

@@ -33,6 +33,17 @@ impl NoiseMargins {
     }
 }
 
+/// SNM of a transfer curve as a plain sample value: the positive
+/// noise-margin minimum, or `NaN` when the curve has no restoring margin
+/// — the Monte-Carlo failure marker shared by the analytic and spice
+/// variability sweeps.
+pub fn snm_sample(vtc: &Vtc) -> f64 {
+    match noise_margins(vtc) {
+        Some(nm) if nm.snm() > 0.0 => nm.snm(),
+        _ => f64::NAN,
+    }
+}
+
 /// Extracts gain = −1 noise margins from a sampled VTC.
 ///
 /// Returns `None` when the curve never reaches unity gain (a VTC with

@@ -15,6 +15,8 @@
 //!                           # Chrome trace-event JSON (load in Perfetto)
 //! repro --manifest m.json all
 //!                           # per-run summary: timings, cache, solvers
+//! repro --circuit-backend spice --bench BENCH_spice.json montecarlo
+//!                           # spice-backed Monte Carlo + latency artifact
 //! repro --cache c.jsonl all # persist the result cache across runs
 //! repro --keep-going all    # isolate failures; report them, keep sweeping
 //! repro trace-report t.jsonl
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut trace_chrome = false;
     let mut manifest_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
     let mut cache_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
@@ -92,6 +95,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 manifest_path = Some(path.clone());
+            }
+            "--bench" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--bench needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                bench_path = Some(path.clone());
             }
             "--backend" => {
                 let Some(backend) = iter.next().and_then(|v| v.parse::<Backend>().ok()) else {
@@ -235,6 +245,23 @@ fn main() -> ExitCode {
         if let Err(e) = write() {
             eprintln!("cannot write trace file {path}: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &bench_path {
+        // Snapshot (not drain): the manifest writer below still needs
+        // the counters this artifact summarises.
+        let snap = subvt_engine::trace::global().snapshot();
+        match subvt_exp::report::render_spice_bench(&snap) {
+            Ok(artifact) => {
+                if let Err(e) = std::fs::write(path, artifact + "\n") {
+                    eprintln!("cannot write bench file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(msg) => {
+                eprintln!("cannot produce bench file {path}: {msg}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let Some(path) = &manifest_path {
@@ -399,6 +426,8 @@ fn print_help() {
     eprintln!("  --trace <path>       write the run's trace on exit");
     eprintln!("  --trace-format <f>   trace sink: jsonl (default) | chrome (Perfetto)");
     eprintln!("  --manifest <path>    write a per-run summary manifest (JSON)");
+    eprintln!("  --bench <path>       write a BENCH_spice.json artifact (needs a");
+    eprintln!("                       `montecarlo --circuit-backend spice` run)");
     eprintln!("  --cache <path>       load the result cache before, persist it after");
     eprintln!("  --keep-going         isolate experiment failures: report each in the");
     eprintln!("                       manifest's failures block, run the full sweep, and");

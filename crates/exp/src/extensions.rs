@@ -166,6 +166,102 @@ pub fn ext_variability(ctx: &StudyContext) -> Table {
     t
 }
 
+/// Monte-Carlo variability routed through the circuit-backend seam:
+/// `--circuit-backend spice` re-solves every Pelgrom-perturbed sample
+/// with the MNA engine (warm-started from the nominal operating point),
+/// while the default analytic path evaluates the same populations in
+/// closed form. Reduced sample counts versus Ext D keep the spice path
+/// interactive.
+///
+/// Wall-clock is a side channel only: total per-backend runtimes land in
+/// the `montecarlo.spice_ms` / `montecarlo.analytic_ms` gauges and the
+/// spice path's per-sample solve latencies in the
+/// `montecarlo.sample_ms` histogram (the source of `BENCH_spice.json`)
+/// — the table itself is a deterministic function of `(backend, seed)`,
+/// so warm- and cold-started runs stay byte-identical.
+pub fn montecarlo(ctx: &StudyContext) -> Table {
+    const DELAY_SAMPLES: usize = 200;
+    const SNM_SAMPLES: usize = 100;
+    const SEED: u64 = 2007;
+    let circuit = backend::circuit();
+    let title = format!(
+        "Monte Carlo via `{}` circuit backend ({DELAY_SAMPLES} delay / {SNM_SAMPLES} SNM samples, seed {SEED})",
+        circuit.cache_id()
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "V_dd (mV)",
+            "delay mean (ns)",
+            "delay sigma/mu (%)",
+            "SNM mean (mV)",
+            "SNM sigma (mV)",
+            "SNM fail (%)",
+        ],
+    );
+    let pair = backend::pair(&ctx.supervth[0]);
+    let supplies = [250.0, 300.0, 400.0];
+    let mut primary_ms = 0.0;
+    let mut failures = 0u64;
+    for mv in supplies {
+        let v = Volts::from_millivolts(mv);
+        let t0 = std::time::Instant::now();
+        let (d, d_wall) = circuit
+            .delay_variability(&pair, v, DELAY_SAMPLES, SEED)
+            .expect("Monte-Carlo delay sweep");
+        let (s, s_wall) = circuit
+            .snm_variability(&pair, v, SNM_SAMPLES, SEED)
+            .expect("Monte-Carlo SNM sweep");
+        primary_ms += t0.elapsed().as_secs_f64() * 1e3;
+        // Millisecond-scale bucket ladder: the default trace buckets
+        // start at 1.0 and would flatten the sub-millisecond solve
+        // latencies into one bucket.
+        const SAMPLE_MS_BUCKETS: [f64; 16] = [
+            0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+            100.0,
+        ];
+        for ms in d_wall.iter().chain(&s_wall) {
+            subvt_engine::trace::observe_with("montecarlo.sample_ms", *ms, &SAMPLE_MS_BUCKETS);
+        }
+        failures += (DELAY_SAMPLES - d.samples.len()) as u64;
+        failures += (SNM_SAMPLES - s.samples.len()) as u64;
+        t.push_row(vec![
+            fmt(mv, 0),
+            fmt(d.mean.get() * 1e9, 2),
+            fmt(d.sigma_over_mu * 100.0, 1),
+            fmt(s.mean.as_millivolts(), 1),
+            fmt(s.std_dev.as_millivolts(), 1),
+            fmt(s.failure_fraction * 100.0, 1),
+        ]);
+    }
+    subvt_engine::trace::add("montecarlo.failures", failures);
+    if backend::circuit_selected() == subvt_circuits::CircuitBackendKind::Spice {
+        subvt_engine::trace::gauge("montecarlo.spice_ms", primary_ms);
+        // Time the identical workload on the analytic backend so the
+        // bench artifact can record the spice-over-analytic cost ratio.
+        let reference = backend::circuit_for(subvt_circuits::CircuitBackendKind::Analytic);
+        let t0 = std::time::Instant::now();
+        for mv in supplies {
+            let v = Volts::from_millivolts(mv);
+            reference
+                .delay_variability(&pair, v, DELAY_SAMPLES, SEED)
+                .expect("analytic reference delay sweep");
+            reference
+                .snm_variability(&pair, v, SNM_SAMPLES, SEED)
+                .expect("analytic reference SNM sweep");
+        }
+        let analytic_ms = t0.elapsed().as_secs_f64() * 1e3;
+        subvt_engine::trace::gauge("montecarlo.analytic_ms", analytic_ms);
+        subvt_engine::trace::gauge(
+            "montecarlo.spice_over_analytic",
+            primary_ms / analytic_ms.max(f64::MIN_POSITIVE),
+        );
+    } else {
+        subvt_engine::trace::gauge("montecarlo.analytic_ms", primary_ms);
+    }
+    t
+}
+
 /// Extension E — stacked gates: worst-case NAND2/NOR2 noise margins and
 /// per-input-vector NAND2 leakage at 250 mV across the super-V_th nodes,
 /// alongside the inverter (Fig. 4's story extended to real logic).
@@ -397,6 +493,18 @@ mod tests {
             lowest > 3.0 * nominal,
             "sigma/mu at 200 mV ({lowest} %) must dwarf nominal ({nominal} %)"
         );
+    }
+
+    #[test]
+    fn montecarlo_experiment_tracks_backend_and_supply() {
+        let t = montecarlo(StudyContext::cached());
+        assert!(t.title.contains("analytic"), "default backend: {}", t.title);
+        assert_eq!(t.rows.len(), 3);
+        // Delay variability falls and SNM mean grows as V_dd rises.
+        let sig: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(sig.windows(2).all(|w| w[1] < w[0]), "sigma/mu {sig:?}");
+        let snm: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(snm.windows(2).all(|w| w[1] > w[0]), "snm {snm:?}");
     }
 
     #[test]

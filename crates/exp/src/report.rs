@@ -47,6 +47,34 @@ use subvt_engine::trace::{self, TraceSnapshot};
 
 use crate::runner::FigureFailure;
 
+/// Schema version stamped into bench artifacts (`BENCH_serve.json`,
+/// `BENCH_spice.json`).
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// `git rev-parse --short=12 HEAD`, or `"unknown"` outside a checkout
+/// (artifacts must still be writable from an exported tarball).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// The provenance members every bench artifact carries, rendered as a
+/// JSON fragment (no braces, no trailing comma):
+/// `"schema":1,"rev":"…","generated_utc":"…"`.
+pub fn provenance_fragment() -> String {
+    format!(
+        "\"schema\":{BENCH_SCHEMA},\"rev\":\"{}\",\"generated_utc\":\"{}\"",
+        git_rev(),
+        subvt_engine::clock::iso8601_utc(subvt_engine::clock::unix_now()),
+    )
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -214,6 +242,60 @@ pub fn render_manifest(
     out
 }
 
+/// Renders the `BENCH_spice.json` artifact from a trace snapshot of a
+/// spice-backed `montecarlo` run: per-sample solve latencies (the
+/// `montecarlo.sample_ms` histogram), the spice-over-analytic wall
+/// ratio, failed samples, and the factor-reuse Newton counters. The
+/// shape mirrors `BENCH_serve.json` (same provenance header and
+/// `latency_ms` block) so `subvt-bench-diff` gates both trajectories.
+///
+/// # Errors
+///
+/// Returns a message when the snapshot holds no spice Monte-Carlo
+/// samples — the run was analytic-backed or did not include the
+/// `montecarlo` experiment.
+pub fn render_spice_bench(snap: &TraceSnapshot) -> Result<String, String> {
+    let hist = snap
+        .hists
+        .get("montecarlo.sample_ms")
+        .filter(|h| h.count > 0)
+        .ok_or(
+            "no spice Monte-Carlo samples traced; \
+             run `repro montecarlo --circuit-backend spice --bench <path>`",
+        )?;
+    let gauge = |name: &str| snap.gauges.get(name).copied().unwrap_or(f64::NAN);
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let spice_ms = gauge("montecarlo.spice_ms");
+    let elapsed_s = spice_ms / 1e3;
+    let throughput = hist.count as f64 / elapsed_s.max(f64::MIN_POSITIVE);
+    Ok(format!(
+        "{{\"suite\":\"spice\",{},\"requests\":{},\"errors\":{},\
+         \"elapsed_s\":{},\"throughput_rps\":{},\
+         \"latency_ms\":{{\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{}}},\
+         \"analytic_ms\":{},\"spice_ms\":{},\"spice_over_analytic\":{},\
+         \"counters\":{{\"spice.lu.factor\":{},\"spice.lu.resolve\":{},\
+         \"spice.newton.warm_start\":{},\"spice.dc.solves\":{}}}}}",
+        provenance_fragment(),
+        hist.count,
+        counter("montecarlo.failures"),
+        json_f64(elapsed_s),
+        json_f64(throughput),
+        json_f64(hist.min),
+        json_f64(hist.quantile(0.5)),
+        json_f64(hist.quantile(0.9)),
+        json_f64(hist.quantile(0.99)),
+        json_f64(hist.max),
+        json_f64(hist.mean()),
+        json_f64(gauge("montecarlo.analytic_ms")),
+        json_f64(spice_ms),
+        json_f64(gauge("montecarlo.spice_over_analytic")),
+        counter("spice.lu.factor"),
+        counter("spice.lu.resolve"),
+        counter("spice.newton.warm_start"),
+        counter("spice.dc.solves"),
+    ))
+}
+
 /// Drains the global tracer (running cache-stats flush hooks) and the
 /// global recovery log, and writes the manifest for the current process:
 /// global cache stats, the configured backend's cache id, the engine
@@ -336,6 +418,40 @@ mod tests {
             .unwrap();
         assert_eq!(gummel.get("count").unwrap().as_u64(), Some(1));
         assert!(gummel.get("p50").unwrap().as_f64().unwrap() >= 9.0);
+    }
+
+    #[test]
+    fn spice_bench_artifact_renders_and_requires_samples() {
+        let tracer = trace::Tracer::new();
+        assert!(render_spice_bench(&tracer.snapshot())
+            .unwrap_err()
+            .contains("no spice Monte-Carlo samples"));
+        for ms in [0.004, 0.008, 0.015, 0.04, 0.4] {
+            tracer.observe_with("montecarlo.sample_ms", ms, &[0.005, 0.01, 0.05, 0.1, 1.0]);
+        }
+        tracer.gauge("montecarlo.spice_ms", 500.0);
+        tracer.gauge("montecarlo.analytic_ms", 100.0);
+        tracer.gauge("montecarlo.spice_over_analytic", 5.0);
+        tracer.add("montecarlo.failures", 2);
+        tracer.add("spice.lu.factor", 7);
+        tracer.add("spice.lu.resolve", 93);
+        tracer.add("spice.newton.warm_start", 50);
+        let text = render_spice_bench(&tracer.snapshot()).unwrap();
+        let v = tracefmt::parse_json(&text).expect("artifact parses");
+        assert_eq!(v.get("suite").unwrap().as_str(), Some("spice"));
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(BENCH_SCHEMA));
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("errors").unwrap().as_u64(), Some(2));
+        let lat = v.get("latency_ms").unwrap();
+        for key in ["min", "p50", "p90", "p99", "max", "mean"] {
+            assert!(
+                lat.get(key).unwrap().as_f64().unwrap().is_finite(),
+                "latency_ms.{key}"
+            );
+        }
+        assert_eq!(v.get("spice_over_analytic").unwrap().as_f64(), Some(5.0));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("spice.lu.resolve").unwrap().as_u64(), Some(93));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
 
 /// Extension studies beyond the paper's artefacts (run with `repro ext`
 /// or by id).
-pub const EXTENSION_EXPERIMENTS: [&str; 8] = [
+pub const EXTENSION_EXPERIMENTS: [&str; 9] = [
     "ext-temperature",
     "ext-oxide",
     "ext-sram",
@@ -40,6 +40,7 @@ pub const EXTENSION_EXPERIMENTS: [&str; 8] = [
     "ext-backends",
     "ext-ringosc",
     "ext-temp",
+    "montecarlo",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
@@ -79,6 +80,7 @@ pub fn run(id: &str) -> Option<Table> {
         "ext-backends" => extensions::ext_backends(),
         "ext-ringosc" => extensions::ext_ringosc(&ctx()),
         "ext-temp" => extensions::ext_temp(&ctx()),
+        "montecarlo" => extensions::montecarlo(&ctx()),
         _ => return None,
     })
 }
@@ -175,6 +177,9 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         assert_eq!(ALL_EXPERIMENTS.len(), 14);
+        // Extensions: Ext A-H plus the backend-routed Monte Carlo.
+        assert_eq!(EXTENSION_EXPERIMENTS.len(), 9);
+        assert!(EXTENSION_EXPERIMENTS.contains(&"montecarlo"));
         // 3 tables + 11 figures (Fig. 2 through Fig. 12).
         assert_eq!(
             ALL_EXPERIMENTS

@@ -14,8 +14,8 @@
 use subvt_units::{AmpsPerMicron, Nanometers, Volts};
 
 use crate::device::{DeviceCharacteristics, DeviceKind, DeviceParams};
-use crate::math::ekv_f;
-use crate::mobility::{effective_mobility, saturation_velocity};
+use crate::math::{ekv_f, ekv_f_prime};
+use crate::mobility::{effective_mobility, mobility_theta, saturation_velocity};
 
 /// All-region MOSFET I–V model, width-normalized.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,6 +119,98 @@ impl MosModel {
         AmpsPerMicron::new(i_dd * f_sat)
     }
 
+    /// Drain current plus its analytic partial derivatives
+    /// `(I, ∂I/∂V_gs, ∂I/∂V_ds)` at magnitude-frame biases.
+    ///
+    /// The current is computed through the exact operation sequence of
+    /// [`MosModel::drain_current`], so the value component is bit-for-bit
+    /// identical to it — circuit residuals assembled from either entry
+    /// point agree exactly. The derivatives are the chain rule applied to
+    /// every smooth factor; at the model's kinks (the `max`/`min` clamps
+    /// on DIBL, overdrive, and `V_dsat`) the one-sided derivative of the
+    /// active branch is returned, matching what a forward difference
+    /// converges to from inside the branch.
+    pub fn drain_current_and_derivs(&self, v_gs: Volts, v_ds: Volts) -> (AmpsPerMicron, f64, f64) {
+        if v_ds.as_volts() < 0.0 {
+            // Source/drain symmetry: I(g, d) = −J(g − d, −d), so
+            // ∂I/∂g = −J_g and ∂I/∂d = J_g + J_d.
+            let (swapped, j_g, j_d) = self.drain_current_and_derivs(
+                Volts::new(v_gs.as_volts() - v_ds.as_volts()),
+                Volts::new(-v_ds.as_volts()),
+            );
+            return (AmpsPerMicron::new(-swapped.get()), -j_g, j_g + j_d);
+        }
+
+        // Value path: identical expressions, in identical order, to
+        // `drain_current`.
+        let v_th = self.v_th(v_ds).as_volts();
+        let delta = self.anchor_shift();
+        let mvt = self.m * self.v_t;
+        let u_f = (v_gs.as_volts() - v_th - delta) / mvt;
+        let u_r = u_f - v_ds.as_volts() / self.v_t;
+        let overdrive = (v_gs.as_volts() - v_th).max(0.0);
+        let mu_eff = effective_mobility(self.mu0, Volts::new(overdrive), self.t_ox);
+        let i_spec_eff = self.i_spec() * mu_eff / self.mu0;
+        let i_dd = i_spec_eff * (ekv_f(u_f) - ekv_f(u_r));
+        let v_sat = saturation_velocity(self.kind);
+        let e_c_l = 2.0 * v_sat / mu_eff * self.l_eff.as_cm();
+        let v_dsat = overdrive / (1.0 + overdrive / e_c_l);
+        let v_ds_eff = v_ds.as_volts().min(v_dsat);
+        let f_sat = 1.0 / (1.0 + (v_ds_eff / e_c_l).max(0.0));
+        let current = AmpsPerMicron::new(i_dd * f_sat);
+
+        // Derivative path (pure chain rule; does not perturb the value
+        // computation above).
+        let dref = self.v_ds_ref.as_volts();
+        // V_th(V_ds) = V_th,lin − DIBL·max(V_ds − V_ds,ref, 0).
+        let dvth_dd = if v_ds.as_volts() > dref {
+            -self.dibl
+        } else {
+            0.0
+        };
+        let uf_g = 1.0 / mvt;
+        let uf_d = -dvth_dd / mvt;
+        let ur_g = uf_g;
+        let ur_d = uf_d - 1.0 / self.v_t;
+        // Overdrive clamp: derivative active only above threshold.
+        let ov_active = v_gs.as_volts() - v_th > 0.0;
+        let ov_g = if ov_active { 1.0 } else { 0.0 };
+        let ov_d = if ov_active { -dvth_dd } else { 0.0 };
+        // μ_eff = μ₀/D with D = 1 + θ·overdrive.
+        let theta = mobility_theta(self.t_ox);
+        let denom = 1.0 + theta * overdrive;
+        let ispec = self.i_spec();
+        let ispec_eff_g = -ispec * theta * ov_g / (denom * denom);
+        let ispec_eff_d = -ispec * theta * ov_d / (denom * denom);
+        let ff = ekv_f(u_f);
+        let fr = ekv_f(u_r);
+        let ffp = ekv_f_prime(u_f);
+        let frp = ekv_f_prime(u_r);
+        let i_dd_g = ispec_eff_g * (ff - fr) + i_spec_eff * (ffp * uf_g - frp * ur_g);
+        let i_dd_d = ispec_eff_d * (ff - fr) + i_spec_eff * (ffp * uf_d - frp * ur_d);
+        // E_c·L = E0·D grows as mobility degrades.
+        let e0 = 2.0 * v_sat * self.l_eff.as_cm() / self.mu0;
+        let ecl_g = e0 * theta * ov_g;
+        let ecl_d = e0 * theta * ov_d;
+        // V_dsat = ov·E/(E + ov) → quotient rule.
+        let sum = e_c_l + overdrive;
+        let vdsat_g = (ov_g * e_c_l * e_c_l + overdrive * overdrive * ecl_g) / (sum * sum);
+        let vdsat_d = (ov_d * e_c_l * e_c_l + overdrive * overdrive * ecl_d) / (sum * sum);
+        // V_ds,eff = min(V_ds, V_dsat): whichever branch is active wins.
+        let (veff_g, veff_d) = if v_ds.as_volts() < v_dsat {
+            (0.0, 1.0)
+        } else {
+            (vdsat_g, vdsat_d)
+        };
+        // f_sat = 1/S with S = 1 + V_ds,eff/E_c·L (V_ds,eff ≥ 0 here).
+        let s = 1.0 + v_ds_eff / e_c_l;
+        let fsat_g = -(veff_g * e_c_l - v_ds_eff * ecl_g) / (e_c_l * e_c_l) / (s * s);
+        let fsat_d = -(veff_d * e_c_l - v_ds_eff * ecl_d) / (e_c_l * e_c_l) / (s * s);
+        let di_dg = i_dd_g * f_sat + i_dd * fsat_g;
+        let di_dd = i_dd_d * f_sat + i_dd * fsat_d;
+        (current, di_dg, di_dd)
+    }
+
     /// Transconductance `∂I_d/∂V_gs` by central difference, A/(µm·V).
     pub fn gm(&self, v_gs: Volts, v_ds: Volts) -> f64 {
         let h = 1.0e-5;
@@ -214,6 +306,76 @@ mod tests {
         let g_lin = m.gds(Volts::new(1.2), Volts::new(0.05));
         let g_sat = m.gds(Volts::new(1.2), Volts::new(1.0));
         assert!(g_sat < 0.3 * g_lin);
+    }
+
+    #[test]
+    fn derivs_value_is_bitwise_identical_to_drain_current() {
+        let m = model();
+        let p = DeviceParams::reference_90nm_nfet();
+        let pm = MosModel::from_device(
+            &DeviceParams {
+                kind: DeviceKind::Pfet,
+                ..p
+            },
+            &DeviceParams {
+                kind: DeviceKind::Pfet,
+                ..p
+            }
+            .characterize(),
+        );
+        for model in [&m, &pm] {
+            for vgs in [-0.2, 0.0, 0.15, 0.25, 0.4, 0.8, 1.2] {
+                for vds in [-1.2, -0.3, 0.0, 0.05, 0.125, 0.25, 0.6, 1.2] {
+                    let plain = model.drain_current(Volts::new(vgs), Volts::new(vds));
+                    let (with_derivs, _, _) =
+                        model.drain_current_and_derivs(Volts::new(vgs), Volts::new(vds));
+                    assert_eq!(
+                        plain.get().to_bits(),
+                        with_derivs.get().to_bits(),
+                        "vgs={vgs} vds={vds}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_derivs_match_central_differences() {
+        // Validate the chain rule against the existing central-difference
+        // gm/gds across weak inversion, moderate inversion, strong
+        // inversion, triode, saturation, and the reversed-channel branch.
+        // Bias points sit away from the model's clamp kinks, where the
+        // one-sided analytic derivative and a symmetric difference would
+        // legitimately disagree.
+        let m = model();
+        for (vgs, vds) in [
+            (0.1, 0.25),
+            (0.2, 0.07),
+            (0.25, 0.3),
+            (0.45, 0.6),
+            (0.8, 0.04),
+            (0.8, 0.9),
+            (1.2, 0.3),
+            (1.2, 1.2),
+            (0.2, -0.2),
+            (0.9, -0.5),
+        ] {
+            let (i, di_dg, di_dd) = m.drain_current_and_derivs(Volts::new(vgs), Volts::new(vds));
+            let gm = m.gm(Volts::new(vgs), Volts::new(vds));
+            let gds = m.gds(Volts::new(vgs), Volts::new(vds));
+            // Central differences carry O(h²) truncation plus cancellation
+            // noise relative to the local conductance scale.
+            let scale = gm.abs().max(gds.abs()).max(1e-12);
+            assert!(
+                (di_dg - gm).abs() <= 1e-4 * scale + 1e-12,
+                "gm at vgs={vgs} vds={vds}: analytic {di_dg:e} vs numeric {gm:e} (I={:e})",
+                i.get()
+            );
+            assert!(
+                (di_dd - gds).abs() <= 1e-4 * scale + 1e-12,
+                "gds at vgs={vgs} vds={vds}: analytic {di_dd:e} vs numeric {gds:e}"
+            );
+        }
     }
 
     #[cfg(feature = "proptest")]

@@ -51,6 +51,24 @@ pub fn ekv_f(v: f64) -> f64 {
     s * s
 }
 
+/// Numerically safe logistic `σ(x) = 1 / (1 + e^{−x})`, evaluated through
+/// the non-overflowing branch for each sign.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative `F'(v)` of [`ekv_f`]: since `F(v) = s(v/2)²` with `s` the
+/// softplus and `s'(x) = σ(x)`, `F'(v) = s(v/2)·σ(v/2)`. Tends to `e^v`
+/// in weak inversion and `v/2` in strong inversion.
+pub fn ekv_f_prime(v: f64) -> f64 {
+    softplus(v / 2.0) * sigmoid(v / 2.0)
+}
+
 /// Result of a bracketing root search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Root {
@@ -381,6 +399,30 @@ mod tests {
         // Strong inversion: F(v) → (v/2)².
         let v = 40.0;
         assert!((ekv_f(v) / (v / 2.0_f64).powi(2) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_limits() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!((sigmoid(40.0) - 1.0).abs() < 1e-15);
+        assert!(sigmoid(-745.0) >= 0.0); // no underflow panic, stays finite
+        for x in [-8.0, -1.5, 0.0, 0.3, 2.0, 9.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-14, "σ({x})");
+        }
+    }
+
+    #[test]
+    fn ekv_f_prime_matches_central_difference() {
+        let h = 1e-6;
+        for v in [-30.0, -8.0, -1.0, 0.0, 0.5, 2.0, 10.0, 60.0] {
+            let num = (ekv_f(v + h) - ekv_f(v - h)) / (2.0 * h);
+            let ana = ekv_f_prime(v);
+            let scale = num.abs().max(1e-12);
+            assert!(
+                ((ana - num) / scale).abs() < 1e-6,
+                "F'({v}): analytic {ana} vs numeric {num}"
+            );
+        }
     }
 
     #[test]

@@ -65,8 +65,15 @@ pub fn low_field_mobility_at(
 /// 1.5–2.5 nm oxides. Irrelevant in subthreshold (overdrive ≤ 0) where it
 /// returns `μ₀` unchanged.
 pub fn effective_mobility(mu0: f64, overdrive: Volts, t_ox: Nanometers) -> f64 {
-    let theta = 0.3 / t_ox.get().max(0.5);
+    let theta = mobility_theta(t_ox);
     mu0 / (1.0 + theta * overdrive.as_volts().max(0.0))
+}
+
+/// The vertical-field degradation coefficient `θ = 0.3 / max(T_ox, 0.5 nm)`
+/// used by [`effective_mobility`] — exposed so analytic Jacobians can
+/// differentiate the degradation term without re-deriving the constant.
+pub fn mobility_theta(t_ox: Nanometers) -> f64 {
+    0.3 / t_ox.get().max(0.5)
 }
 
 /// Saturation velocity in cm/s for the carrier type of `kind`.

@@ -4,6 +4,15 @@
 //! dense LU with partial pivoting is both the simplest and the fastest
 //! appropriate choice. The sparse machinery for large PDE systems lives in
 //! `subvt-tcad`, not here.
+//!
+//! The factorization is split out as [`LuFactors`] so Newton iterations
+//! and sweep/sample points can reuse work: factor once, re-solve for any
+//! number of right-hand sides, and — because consecutive solves share the
+//! matrix *structure* and change only values — re-factor with the cached
+//! pivot order instead of searching for pivots again. A cached-pivot
+//! refactorization is rejected (so the caller falls back to a full
+//! factorization) whenever a remembered pivot no longer dominates its
+//! column, which keeps the reuse numerically safe.
 
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the textbook algorithms
 
@@ -56,12 +65,25 @@ impl DenseMatrix {
     pub fn clear(&mut self) {
         self.data.fill(0.0);
     }
+
+    /// Copies another matrix of the same dimension into this one without
+    /// reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.n, other.n, "dimension mismatch in copy_from");
+        self.data.copy_from_slice(&other.data);
+    }
 }
 
 /// Error from a singular (or numerically singular) system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SingularMatrixError {
-    /// Elimination column at which no usable pivot was found.
+    /// Elimination column at which no usable pivot was found. Columns are
+    /// not permuted, so this is also the index of the unknown whose
+    /// equation set has no independent pivot.
     pub column: usize,
 }
 
@@ -77,8 +99,216 @@ impl core::fmt::Display for SingularMatrixError {
 
 impl std::error::Error for SingularMatrixError {}
 
-/// Solves `A·x = b` in place by LU decomposition with partial pivoting.
-/// `a` and `b` are consumed (overwritten with factorization scratch).
+/// Pivots below this magnitude are treated as numerically singular.
+const PIVOT_MIN_ABS: f64 = 1e-300;
+
+/// A cached pivot must be at least this fraction of its column's largest
+/// remaining entry for a value-only refactorization to be accepted
+/// (threshold pivoting — the classic fast-SPICE reuse guard).
+const CACHED_PIVOT_MIN_RATIO: f64 = 0.1;
+
+/// A reusable LU factorization with partial (row) pivoting.
+///
+/// Three entry points, in decreasing cost order:
+///
+/// 1. [`LuFactors::factor`] — full factorization with a fresh pivot
+///    search (what [`solve_in_place`] always did).
+/// 2. [`LuFactors::refactor_cached`] — value-only refactorization
+///    reusing the pivot permutation cached by the last successful
+///    [`LuFactors::factor`]; rejected when a cached pivot is degenerate.
+/// 3. [`LuFactors::solve`] — forward/back substitution for a new
+///    right-hand side against the current factors.
+///
+/// The elimination arithmetic is identical, operation for operation, to
+/// the historical one-shot `solve_in_place`, so factoring once and
+/// solving is bitwise-identical to the fused solve.
+#[derive(Debug, Clone, Default)]
+pub struct LuFactors {
+    n: usize,
+    /// Combined storage: `U` on and above the diagonal (in permuted row
+    /// order), the `L` multipliers strictly below it.
+    lu: DenseMatrix,
+    /// `perm[col]` is the original row index eliminated at column `col`.
+    perm: Vec<usize>,
+    factored: bool,
+}
+
+impl Default for DenseMatrix {
+    fn default() -> Self {
+        DenseMatrix::zeros(0)
+    }
+}
+
+impl LuFactors {
+    /// Creates an empty workspace; the first [`LuFactors::factor`] sizes
+    /// it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a factorization is currently held.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Dimension of the held factorization (0 before the first factor).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the workspace is empty (no factorization sized yet).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Copies `a` into the workspace, resizing if the dimension changed.
+    fn load(&mut self, a: &DenseMatrix) {
+        if self.n != a.len() {
+            self.n = a.len();
+            self.lu = a.clone();
+            self.perm = (0..self.n).collect();
+        } else {
+            self.lu.copy_from(a);
+        }
+    }
+
+    /// Eliminates column `col` using pivot row `perm[col]`, storing the
+    /// multipliers in place of the eliminated entries. The arithmetic and
+    /// traversal order mirror the historical `solve_in_place` exactly.
+    fn eliminate(&mut self, col: usize) {
+        let n = self.n;
+        let prow = self.perm[col];
+        let pivot = self.lu.get(prow, col);
+        for r in (col + 1)..n {
+            let row = self.perm[r];
+            let factor = self.lu.get(row, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            self.lu.set(row, col, factor);
+            for k in (col + 1)..n {
+                let v = self.lu.get(row, k) - factor * self.lu.get(prow, k);
+                self.lu.set(row, k, v);
+            }
+        }
+    }
+
+    /// Full factorization of `a` with a fresh partial-pivot search. The
+    /// pivot permutation is cached for later
+    /// [`LuFactors::refactor_cached`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot below `1e-300` is
+    /// encountered; the workspace is left unfactored.
+    pub fn factor(&mut self, a: &DenseMatrix) -> Result<(), SingularMatrixError> {
+        self.load(a);
+        self.factored = false;
+        let n = self.n;
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        for col in 0..n {
+            let mut best = col;
+            let mut best_val = self.lu.get(self.perm[col], col).abs();
+            for (r, &p) in self.perm.iter().enumerate().skip(col + 1) {
+                let v = self.lu.get(p, col).abs();
+                if v > best_val {
+                    best = r;
+                    best_val = v;
+                }
+            }
+            if best_val < PIVOT_MIN_ABS {
+                return Err(SingularMatrixError { column: col });
+            }
+            self.perm.swap(col, best);
+            self.eliminate(col);
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Value-only refactorization reusing the cached pivot order.
+    ///
+    /// Intended for matrices that share structure with the last
+    /// [`LuFactors::factor`] call — consecutive Newton iterations, sweep
+    /// points, Monte-Carlo samples — where values drift but the dominant
+    /// entries stay put. The pivot *search* (and its data movement) is
+    /// skipped entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when no factorization is cached,
+    /// the dimension changed, or a cached pivot no longer passes the
+    /// threshold-pivoting guard (it fell below `1e-300`, or below
+    /// [`CACHED_PIVOT_MIN_RATIO`] of its column's largest remaining
+    /// entry). Callers should respond with a full [`LuFactors::factor`].
+    pub fn refactor_cached(&mut self, a: &DenseMatrix) -> Result<(), SingularMatrixError> {
+        if !self.factored || self.n != a.len() {
+            return Err(SingularMatrixError { column: 0 });
+        }
+        self.lu.copy_from(a);
+        self.factored = false;
+        let n = self.n;
+        for col in 0..n {
+            let pivot = self.lu.get(self.perm[col], col).abs();
+            let mut col_max = pivot;
+            for r in (col + 1)..n {
+                col_max = col_max.max(self.lu.get(self.perm[r], col).abs());
+            }
+            if pivot < PIVOT_MIN_ABS || pivot < CACHED_PIVOT_MIN_RATIO * col_max {
+                return Err(SingularMatrixError { column: col });
+            }
+            self.eliminate(col);
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` against the held factors. `b` is overwritten with
+    /// forward-substitution scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no factorization is held or `b.len()` differs from the
+    /// factored dimension.
+    pub fn solve(&self, b: &mut [f64]) -> Vec<f64> {
+        assert!(self.factored, "solve() requires a successful factor()");
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+
+        // Forward substitution: replay the stored multipliers in the
+        // exact order the fused elimination applied them.
+        for col in 0..n {
+            let prow = self.perm[col];
+            for r in (col + 1)..n {
+                let row = self.perm[r];
+                let factor = self.lu.get(row, col);
+                if factor == 0.0 {
+                    continue;
+                }
+                b[row] -= factor * b[prow];
+            }
+        }
+
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for col in (0..n).rev() {
+            let row = self.perm[col];
+            let mut sum = b[row];
+            for k in (col + 1)..n {
+                sum -= self.lu.get(row, k) * x[k];
+            }
+            x[col] = sum / self.lu.get(row, col);
+        }
+        x
+    }
+}
+
+/// Solves `A·x = b` by LU decomposition with partial pivoting. `b` is
+/// overwritten with factorization scratch; `a` is read but no longer
+/// consumed. One-shot convenience over [`LuFactors`] — identical
+/// arithmetic, so results match the factored path bit for bit.
 ///
 /// # Errors
 ///
@@ -88,53 +318,11 @@ impl std::error::Error for SingularMatrixError {}
 /// # Panics
 ///
 /// Panics if `b.len()` differs from the matrix dimension.
-pub fn solve_in_place(a: &mut DenseMatrix, b: &mut [f64]) -> Result<Vec<f64>, SingularMatrixError> {
-    let n = a.len();
-    assert_eq!(b.len(), n, "rhs length must match matrix dimension");
-    let mut perm: Vec<usize> = (0..n).collect();
-
-    for col in 0..n {
-        // Partial pivot.
-        let mut best = col;
-        let mut best_val = a.get(perm[col], col).abs();
-        for (r, &p) in perm.iter().enumerate().skip(col + 1) {
-            let v = a.get(p, col).abs();
-            if v > best_val {
-                best = r;
-                best_val = v;
-            }
-        }
-        if best_val < 1e-300 {
-            return Err(SingularMatrixError { column: col });
-        }
-        perm.swap(col, best);
-        let prow = perm[col];
-        let pivot = a.get(prow, col);
-        for &row in perm.iter().skip(col + 1) {
-            let factor = a.get(row, col) / pivot;
-            if factor == 0.0 {
-                continue;
-            }
-            a.set(row, col, 0.0);
-            for k in (col + 1)..n {
-                let v = a.get(row, k) - factor * a.get(prow, k);
-                a.set(row, k, v);
-            }
-            b[row] -= factor * b[prow];
-        }
-    }
-
-    // Back substitution.
-    let mut x = vec![0.0; n];
-    for col in (0..n).rev() {
-        let row = perm[col];
-        let mut sum = b[row];
-        for k in (col + 1)..n {
-            sum -= a.get(row, k) * x[k];
-        }
-        x[col] = sum / a.get(row, col);
-    }
-    Ok(x)
+pub fn solve_in_place(a: &DenseMatrix, b: &mut [f64]) -> Result<Vec<f64>, SingularMatrixError> {
+    assert_eq!(b.len(), a.len(), "rhs length must match matrix dimension");
+    let mut lu = LuFactors::new();
+    lu.factor(a)?;
+    Ok(lu.solve(b))
 }
 
 #[cfg(test)]
@@ -155,29 +343,66 @@ mod tests {
         m
     }
 
+    /// SplitMix64 step — a tiny deterministic generator so the
+    /// property-style sweeps below need no external crate.
+    fn next_u64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [-1, 1).
+    fn next_f64(state: &mut u64) -> f64 {
+        (next_u64(state) >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+
+    /// A random diagonally-dominant matrix with an MNA-like shape: a
+    /// strongly dominant "conductance" block plus off-diagonal coupling.
+    fn mna_shaped(n: usize, state: &mut u64) -> DenseMatrix {
+        let mut a = DenseMatrix::zeros(n);
+        for i in 0..n {
+            let mut dominance = 1.0;
+            for j in 0..n {
+                if i != j {
+                    let v = next_f64(state);
+                    a.set(i, j, v);
+                    dominance += v.abs();
+                }
+            }
+            a.set(i, i, dominance);
+        }
+        a
+    }
+
+    fn rand_rhs(n: usize, state: &mut u64) -> Vec<f64> {
+        (0..n).map(|_| next_f64(state) * 10.0).collect()
+    }
+
     #[test]
     fn solves_identity() {
-        let mut a = from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let a = from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
         let mut b = vec![3.0, -4.0];
-        let x = solve_in_place(&mut a, &mut b).unwrap();
+        let x = solve_in_place(&a, &mut b).unwrap();
         assert_eq!(x, vec![3.0, -4.0]);
     }
 
     #[test]
     fn solves_2x2_requiring_pivot() {
         // First pivot is zero; partial pivoting must handle it.
-        let mut a = from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+        let a = from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
         let mut b = vec![4.0, 3.0];
-        let x = solve_in_place(&mut a, &mut b).unwrap();
+        let x = solve_in_place(&a, &mut b).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn solves_3x3_hand_case() {
-        let mut a = from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let a = from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let mut b = vec![8.0, -11.0, -3.0];
-        let x = solve_in_place(&mut a, &mut b).unwrap();
+        let x = solve_in_place(&a, &mut b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-10);
         assert!((x[1] - 3.0).abs() < 1e-10);
         assert!((x[2] + 1.0).abs() < 1e-10);
@@ -185,9 +410,12 @@ mod tests {
 
     #[test]
     fn rejects_singular() {
-        let mut a = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let a = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         let mut b = vec![1.0, 2.0];
-        assert!(solve_in_place(&mut a, &mut b).is_err());
+        assert!(solve_in_place(&a, &mut b).is_err());
+        let mut lu = LuFactors::new();
+        assert!(lu.factor(&a).is_err());
+        assert!(!lu.is_factored());
     }
 
     #[test]
@@ -196,6 +424,9 @@ mod tests {
         let m = DenseMatrix::zeros(3);
         assert!(!m.is_empty());
         assert_eq!(m.len(), 3);
+        let lu = LuFactors::new();
+        assert!(lu.is_empty());
+        assert_eq!(lu.len(), 0);
     }
 
     #[test]
@@ -206,6 +437,135 @@ mod tests {
         assert_eq!(m.get(0, 0), 3.5);
         m.clear();
         assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn factor_then_solve_is_bitwise_identical_to_solve_in_place() {
+        // Property sweep: over random general and MNA-shaped systems, the
+        // split factor/solve path must reproduce the fused solve exactly
+        // (same arithmetic in the same order → identical bits, which is
+        // stronger than the 1e-12 the spec asks for).
+        let mut state = 0x5eed_cafe_f00du64;
+        for trial in 0..40 {
+            let n = 1 + (trial % 9);
+            let a = if trial % 2 == 0 {
+                mna_shaped(n, &mut state)
+            } else {
+                // General (possibly pivot-requiring) random matrix.
+                let mut m = DenseMatrix::zeros(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        m.set(i, j, next_f64(&mut state) * 3.0);
+                    }
+                }
+                m
+            };
+            let rhs = rand_rhs(n, &mut state);
+
+            let mut b_fused = rhs.clone();
+            let fused = match solve_in_place(&a, &mut b_fused) {
+                Ok(x) => x,
+                Err(_) => continue, // random matrix degenerate — skip
+            };
+
+            let mut lu = LuFactors::new();
+            lu.factor(&a).unwrap();
+            let mut b_split = rhs.clone();
+            let split = lu.solve(&mut b_split);
+
+            for (f, s) in fused.iter().zip(&split) {
+                assert_eq!(f.to_bits(), s.to_bits(), "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_once_resolves_many_rhs() {
+        let mut state = 0xabcd_1234u64;
+        let n = 7;
+        let a = mna_shaped(n, &mut state);
+        let mut lu = LuFactors::new();
+        lu.factor(&a).unwrap();
+        for _ in 0..10 {
+            let rhs = rand_rhs(n, &mut state);
+            let mut b = rhs.clone();
+            let x = lu.solve(&mut b);
+            let mut b_ref = rhs.clone();
+            let x_ref = solve_in_place(&a, &mut b_ref).unwrap();
+            for (got, want) in x.iter().zip(&x_ref) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_pivot_refactor_matches_full_pivoting() {
+        // Diagonally-dominant MNA-shaped matrices keep their pivot order
+        // under value drift, so the cached-pivot refactorization must
+        // agree with a fresh full-pivoting factorization to 1e-12.
+        let mut state = 0x00c0_ffeeu64;
+        for trial in 0..25 {
+            let n = 2 + (trial % 7);
+            let a0 = mna_shaped(n, &mut state);
+            let mut lu = LuFactors::new();
+            lu.factor(&a0).unwrap();
+
+            // Drift every value by a few percent, preserving dominance.
+            let mut a1 = a0.clone();
+            for i in 0..n {
+                for j in 0..n {
+                    let scale = 1.0 + 0.05 * next_f64(&mut state);
+                    a1.set(i, j, a0.get(i, j) * scale);
+                }
+            }
+            lu.refactor_cached(&a1)
+                .expect("dominant pivots must be reusable");
+
+            let rhs = rand_rhs(n, &mut state);
+            let mut b = rhs.clone();
+            let x_cached = lu.solve(&mut b);
+            let mut b_ref = rhs.clone();
+            let x_full = solve_in_place(&a1, &mut b_ref).unwrap();
+            for (c, f) in x_cached.iter().zip(&x_full) {
+                let scale = f.abs().max(1.0);
+                assert!(
+                    (c - f).abs() <= 1e-12 * scale,
+                    "trial {trial}: cached {c} vs full {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_pivot_rejected_when_dominance_moves() {
+        // Factor with row 0 dominant in column 0, then hand the cached
+        // pivots a matrix where row 1 dominates: the threshold guard must
+        // reject the reuse instead of silently amplifying error.
+        let a0 = from_rows(&[&[10.0, 1.0], &[1.0, 10.0]]);
+        let mut lu = LuFactors::new();
+        lu.factor(&a0).unwrap();
+        let a1 = from_rows(&[&[0.01, 1.0], &[10.0, 10.0]]);
+        assert!(lu.refactor_cached(&a1).is_err());
+        // And a full factor recovers.
+        lu.factor(&a1).unwrap();
+        let mut b = vec![1.0, 2.0];
+        let x = lu.solve(&mut b);
+        assert!((0.01 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-10);
+        assert!((10.0 * x[0] + 10.0 * x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn refactor_without_factor_is_rejected() {
+        let a = from_rows(&[&[1.0]]);
+        let mut lu = LuFactors::new();
+        assert!(lu.refactor_cached(&a).is_err());
+        lu.factor(&a).unwrap();
+        // Dimension change also invalidates the cached pivots.
+        let bigger = from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(lu.refactor_cached(&bigger).is_err());
+        lu.factor(&bigger).unwrap();
+        let mut b = vec![5.0, 6.0];
+        assert_eq!(lu.solve(&mut b), vec![5.0, 6.0]);
     }
 
     #[cfg(feature = "proptest")]
@@ -228,13 +588,12 @@ mod tests {
                 }
                 a.set(i, i, diag);
             }
-            let a_copy = a.clone();
             let mut b = rhs.clone();
-            let x = solve_in_place(&mut a, &mut b).unwrap();
+            let x = solve_in_place(&a, &mut b).unwrap();
             for i in 0..n {
                 let mut ax = 0.0;
                 for j in 0..n {
-                    ax += a_copy.get(i, j) * x[j];
+                    ax += a.get(i, j) * x[j];
                 }
                 prop_assert!((ax - rhs[i]).abs() < 1e-8);
             }

@@ -7,10 +7,11 @@
 //! terminal *through the source* to `neg` (passive convention), so a
 //! supply delivering power has a negative branch current.
 
+use subvt_engine::trace;
 use subvt_physics::MosModel;
 use subvt_units::Volts;
 
-use crate::linalg::{solve_in_place, DenseMatrix};
+use crate::linalg::{DenseMatrix, LuFactors};
 use crate::netlist::{Element, MosInstance, Netlist};
 
 /// Minimum conductance from every node to ground, for convergence aid.
@@ -23,6 +24,10 @@ const VTOL: f64 = 1.0e-10;
 const ITOL: f64 = 1.0e-13;
 /// Maximum Newton iterations per solve.
 const MAX_NEWTON: usize = 200;
+/// Pre-clamp step magnitude beyond which Newton is declared divergent
+/// immediately — no damped walk can recover a 10¹² V excursion, so bail
+/// to the recovery ladder instead of burning [`MAX_NEWTON`] iterations.
+const DIVERGENCE_LIMIT: f64 = 1.0e12;
 
 /// Errors from circuit analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +37,9 @@ pub enum SpiceError {
     SingularMatrix {
         /// Elimination column where the failure occurred.
         column: usize,
+        /// The unknown that column solves for: the netlist node name, or
+        /// the voltage-source element name for branch-current columns.
+        unknown: String,
     },
     /// Newton failed to converge even with source stepping.
     NoConvergence {
@@ -62,8 +70,12 @@ pub enum SpiceError {
 impl core::fmt::Display for SpiceError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            SpiceError::SingularMatrix { column } => {
-                write!(f, "singular MNA matrix at column {column} (floating node?)")
+            SpiceError::SingularMatrix { column, unknown } => {
+                write!(
+                    f,
+                    "singular MNA matrix at column {column} \
+                     (`{unknown}`: floating node or voltage-source loop?)"
+                )
             }
             SpiceError::NoConvergence {
                 iterations,
@@ -140,6 +152,14 @@ pub(crate) struct Solver<'a> {
     /// raised temporarily during gmin stepping.
     pub(crate) gmin: f64,
     jac: DenseMatrix,
+    /// Persistent LU workspace: factors are reused across Newton
+    /// iterations (and, when threaded in from a sweep, across bias
+    /// points) via cached-pivot refactorization.
+    pub(crate) lu: LuFactors,
+    /// Largest |current| stamped into any KCL row during the last
+    /// [`Solver::assemble`] — the unit-correct scale for the relative
+    /// residual floor (branch rows are volt-valued and must not leak in).
+    kcl_scale: f64,
 }
 
 impl<'a> Solver<'a> {
@@ -155,6 +175,8 @@ impl<'a> Solver<'a> {
             time: 0.0,
             gmin: GMIN,
             jac: DenseMatrix::zeros(dim),
+            lu: LuFactors::new(),
+            kcl_scale: 0.0,
         }
     }
 
@@ -186,24 +208,41 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// MOSFET drain current (into the drain terminal) in the device's
-    /// magnitude frame, amps.
-    fn mos_current(inst: &MosInstance, vd: f64, vg: f64, vs: f64) -> f64 {
+    /// MOSFET drain current (into the drain terminal) and its partial
+    /// derivatives `(i_d, ∂i_d/∂v_d, ∂i_d/∂v_g)` in the node frame, amps
+    /// and siemens. `∂i_d/∂v_s = −(∂i_d/∂v_d + ∂i_d/∂v_g)` by charge
+    /// conservation, so it is not returned separately.
+    ///
+    /// The current value goes through
+    /// [`MosModel::drain_current_and_derivs`], whose value path is
+    /// bit-identical to [`MosModel::drain_current`]. For both polarities
+    /// the node-frame chain rule collapses to the same mapping:
+    /// `∂i_d/∂v_d = W·∂I/∂v_ds` and `∂i_d/∂v_g = W·∂I/∂v_gs` (the PFET's
+    /// leading `−1` cancels against its reversed magnitude frame).
+    fn mos_current_and_derivs(inst: &MosInstance, vd: f64, vg: f64, vs: f64) -> (f64, f64, f64) {
         let model: &MosModel = &inst.model;
         let (vgs, vds, sign) = match model.kind {
             subvt_physics::DeviceKind::Nfet => (vg - vs, vd - vs, 1.0),
             subvt_physics::DeviceKind::Pfet => (vs - vg, vs - vd, -1.0),
         };
-        sign * inst.width_um * model.drain_current(Volts::new(vgs), Volts::new(vds)).get()
+        let (i, di_dvgs, di_dvds) =
+            model.drain_current_and_derivs(Volts::new(vgs), Volts::new(vds));
+        let w = inst.width_um;
+        (sign * w * i.get(), w * di_dvds, w * di_dvgs)
     }
 
     /// Assembles the Newton residual `f` and Jacobian at state `x`.
-    /// Returns the residual; the Jacobian is left in `self.jac`.
+    /// Returns the residual; the Jacobian is left in `self.jac` and the
+    /// largest KCL current contribution in `self.kcl_scale`.
     pub(crate) fn assemble(&mut self, x: &[f64], caps: CapMode<'_>) -> Vec<f64> {
         let dim = self.dim();
         let mut f = vec![0.0; dim];
         self.jac.clear();
         let jac = &mut self.jac;
+        // Unit-correct scale for the relative residual floor: the largest
+        // |current| any element pushes into a KCL row. Branch (KVL) rows
+        // are volt-valued and deliberately excluded.
+        let mut scale = 0.0f64;
 
         // g_min to ground on every node.
         let gmin = self.gmin;
@@ -211,6 +250,7 @@ impl<'a> Solver<'a> {
             let i = n - 1;
             f[i] += gmin * x[i];
             jac.add(i, i, gmin);
+            scale = scale.max((gmin * x[i]).abs());
         }
 
         let mut branch = 0usize;
@@ -220,6 +260,7 @@ impl<'a> Solver<'a> {
                 Element::Resistor { a, b, ohms } => {
                     let g = 1.0 / ohms;
                     let i = g * (Self::v(x, *a) - Self::v(x, *b));
+                    scale = scale.max(i.abs());
                     if let Some(ia) = Self::vix(*a) {
                         f[ia] += i;
                         jac.add(ia, ia, g);
@@ -252,6 +293,7 @@ impl<'a> Solver<'a> {
                         // BE: i = (C/h)(v − v_prev); trapezoidal adds the
                         // previous current: i = (2C/h)(v − v_prev) − i_prev.
                         let i = g * (v_now - vp) - i_prev[cap_idx];
+                        scale = scale.max(i.abs());
                         if let Some(ia) = Self::vix(*a) {
                             f[ia] += i;
                             jac.add(ia, ia, g);
@@ -273,6 +315,7 @@ impl<'a> Solver<'a> {
                     let row = self.n_nodes - 1 + branch;
                     let value = self.source_scale * waveform.value_at(self.time);
                     let i_br = x[row];
+                    scale = scale.max(i_br.abs());
                     if let Some(ip) = Self::vix(*pos) {
                         f[ip] += i_br;
                         jac.add(ip, row, 1.0);
@@ -292,6 +335,7 @@ impl<'a> Solver<'a> {
                 }
                 Element::ISource { pos, neg, waveform } => {
                     let value = self.source_scale * waveform.value_at(self.time);
+                    scale = scale.max(value.abs());
                     // Current flows pos → neg through the source.
                     if let Some(ip) = Self::vix(*pos) {
                         f[ip] += value;
@@ -306,11 +350,12 @@ impl<'a> Solver<'a> {
                         Self::v(x, inst.gate),
                         Self::v(x, inst.source),
                     );
-                    let id = Self::mos_current(inst, vd, vg, vs);
-                    const H: f64 = 1.0e-6;
-                    let g_d = (Self::mos_current(inst, vd + H, vg, vs) - id) / H;
-                    let g_g = (Self::mos_current(inst, vd, vg + H, vs) - id) / H;
-                    let g_s = (Self::mos_current(inst, vd, vg, vs + H) - id) / H;
+                    // Analytic derivatives: one model evaluation per
+                    // device instead of the four a forward difference
+                    // needed, and exact conductances for Newton.
+                    let (id, g_d, g_g) = Self::mos_current_and_derivs(inst, vd, vg, vs);
+                    let g_s = -(g_d + g_g);
+                    scale = scale.max(id.abs());
                     // Current into drain leaves the drain node; the same
                     // current enters the source node.
                     if let Some(idr) = Self::vix(inst.drain) {
@@ -340,25 +385,71 @@ impl<'a> Solver<'a> {
                 }
             }
         }
+        self.kcl_scale = scale;
         f
     }
 
+    /// The KCL residual acceptance floor: [`ITOL`] or a 1 ppb fraction of
+    /// the largest current flowing anywhere in the circuit, whichever is
+    /// larger. Computed from KCL current contributions only — the old
+    /// formula scaled off the full residual vector, letting volt-valued
+    /// branch (KVL) rows inflate an amp-valued tolerance.
+    pub(crate) fn residual_floor(&self) -> f64 {
+        ITOL.max(1e-9 * self.kcl_scale)
+    }
+
+    /// Maps a singular elimination column to [`SpiceError::SingularMatrix`]
+    /// naming the unknown (node name, or voltage-source element name for
+    /// branch columns).
+    fn singular_error(&self, column: usize) -> SpiceError {
+        let n_v = self.n_nodes - 1;
+        let unknown = if column < n_v {
+            let node = column + 1;
+            self.net
+                .node_name(node)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("node #{node}"))
+        } else {
+            let branch = column - n_v;
+            self.vsrc_rows
+                .get(branch)
+                .map(|&i| format!("branch of {}", self.net.elements()[i].name))
+                .unwrap_or_else(|| format!("branch #{branch}"))
+        };
+        SpiceError::SingularMatrix { column, unknown }
+    }
+
     /// Runs Newton from `x0`, returning the converged unknown vector.
+    ///
+    /// The Jacobian is assembled in place into the persistent workspace
+    /// (no per-iteration clone), and the LU factors are reused through
+    /// cached-pivot refactorization whenever the pivot order stays
+    /// stable — only the first iteration (or a pivot-order change) pays
+    /// for a full pivot search.
     pub(crate) fn newton(
         &mut self,
         mut x: Vec<f64>,
         caps: CapMode<'_>,
     ) -> Result<(Vec<f64>, usize), SpiceError> {
+        let n_v = self.n_nodes - 1;
         for iter in 1..=MAX_NEWTON {
             let f = self.assemble(&x, caps);
             let mut rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-            let mut jac = self.jac.clone();
-            let dx = solve_in_place(&mut jac, &mut rhs)
-                .map_err(|e| SpiceError::SingularMatrix { column: e.column })?;
+            if self.lu.refactor_cached(&self.jac).is_ok() {
+                trace::add("spice.lu.resolve", 1);
+            } else {
+                self.lu
+                    .factor(&self.jac)
+                    .map_err(|e| self.singular_error(e.column))?;
+                trace::add("spice.lu.factor", 1);
+            }
+            let dx = self.lu.solve(&mut rhs);
 
-            // Damped update: clamp voltage steps.
-            let n_v = self.n_nodes - 1;
-            let mut max_dv: f64 = 0.0;
+            // Damped update: clamp voltage steps, tracking the *pre-clamp*
+            // norms — a step pinned at the clamp used to masquerade as
+            // progress, and branch-current blow-ups were invisible.
+            let mut max_dv_raw: f64 = 0.0;
+            let mut max_di: f64 = 0.0;
             for (i, d) in dx.iter().enumerate() {
                 let step = if i < n_v {
                     d.clamp(-MAX_DV, MAX_DV)
@@ -367,15 +458,34 @@ impl<'a> Solver<'a> {
                 };
                 x[i] += step;
                 if i < n_v {
-                    max_dv = max_dv.max(step.abs());
+                    max_dv_raw = max_dv_raw.max(d.abs());
+                } else {
+                    max_di = max_di.max(d.abs());
                 }
             }
 
-            if max_dv < VTOL {
+            // Divergence guard over the full (voltage + branch) step: a
+            // non-finite or astronomically large raw step cannot be walked
+            // back by damping — hand control to the recovery ladder now.
+            if !(max_dv_raw.is_finite() && max_di.is_finite())
+                || max_dv_raw > DIVERGENCE_LIMIT
+                || max_di > DIVERGENCE_LIMIT
+            {
+                return Err(SpiceError::NoConvergence {
+                    iterations: iter,
+                    residual: max_abs(&f),
+                });
+            }
+
+            // Branch currents converge when their step is small relative
+            // to the currents actually flowing (amps scale, same floor
+            // construction as the KCL residual check).
+            let branch_scale = x[n_v..].iter().fold(0.0f64, |acc, b| acc.max(b.abs()));
+            if max_dv_raw < VTOL && max_di <= ITOL.max(1e-9 * branch_scale) {
                 // Verify the KCL residual at the accepted point.
                 let f = self.assemble(&x, caps);
                 let res = f.iter().take(n_v).fold(0.0f64, |acc, v| acc.max(v.abs()));
-                if res < ITOL.max(1e-9 * max_abs(&f)) {
+                if res < self.residual_floor() {
                     return Ok((x, iter));
                 }
             }
@@ -528,13 +638,49 @@ fn gmin_stepping(solver: &mut Solver<'_>, x0: &[f64]) -> Result<DcSolution, Spic
     result
 }
 
+/// Whether `SUBVT_SPICE_COLD_START` forces every solve to start from
+/// zeros plus the recovery ladder, disabling warm starts and sweep
+/// continuation. Used by CI to verify warm-started results are identical
+/// to cold-started ones; read once per process.
+pub fn cold_start_forced() -> bool {
+    use std::sync::OnceLock;
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("SUBVT_SPICE_COLD_START")
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false)
+    })
+}
+
 /// Solves a DC operating point starting from a previous solution
-/// (continuation) — used by sweeps and the transient initial condition.
+/// (continuation) — used by sweeps, Monte-Carlo samples, and the
+/// transient initial condition.
+///
+/// Counts as a warm start (`spice.newton.warm_start`); when
+/// [`cold_start_forced`] is set the initial guess is ignored and the
+/// solve routes through the cold [`dc_operating_point`] path instead.
 pub fn dc_operating_point_from(
     net: &Netlist,
     initial: &DcSolution,
 ) -> Result<DcSolution, SpiceError> {
+    if cold_start_forced() {
+        return dc_operating_point(net);
+    }
+    let mut lu = LuFactors::new();
+    dc_operating_point_from_with(net, initial, &mut lu)
+}
+
+/// [`dc_operating_point_from`] with a caller-owned LU workspace, so
+/// consecutive solves over structurally identical matrices (sweep points,
+/// Monte-Carlo samples) can reuse the cached pivot order across calls.
+/// The workspace is returned to the caller even when the solve fails.
+pub(crate) fn dc_operating_point_from_with(
+    net: &Netlist,
+    initial: &DcSolution,
+    lu: &mut LuFactors,
+) -> Result<DcSolution, SpiceError> {
     let mut solver = Solver::new(net);
+    solver.lu = core::mem::take(lu);
     let n_v = net.node_count() - 1;
     let mut x0 = vec![0.0; solver.dim()];
     x0[..n_v].copy_from_slice(&initial.node_voltages[1..]);
@@ -543,12 +689,16 @@ pub fn dc_operating_point_from(
             x0[n_v + i] = b;
         }
     }
-    let (x, iters) = solver.newton(x0, CapMode::Open)?;
+    trace::add("spice.newton.warm_start", 1);
+    let result = solver.newton(x0, CapMode::Open);
+    *lu = core::mem::take(&mut solver.lu);
+    let (x, iters) = result?;
     Ok(solver.to_solution(&x, iters))
 }
 
 /// Sweeps the DC value of the named voltage source over `values`,
-/// re-solving with continuation from the previous point.
+/// re-solving with continuation from the previous point (and reusing the
+/// LU pivot order across points — the matrices share structure).
 ///
 /// # Errors
 ///
@@ -568,11 +718,13 @@ pub fn dc_sweep(
 
     let mut results = Vec::with_capacity(values.len());
     let mut prev: Option<DcSolution> = None;
+    let mut lu = LuFactors::new();
     for &value in values {
         set_vsource_dc(&mut work, idx, value);
         let sol = match &prev {
-            Some(p) => dc_operating_point_from(&work, p).or_else(|_| dc_operating_point(&work))?,
-            None => dc_operating_point(&work)?,
+            Some(p) if !cold_start_forced() => dc_operating_point_from_with(&work, p, &mut lu)
+                .or_else(|_| dc_operating_point(&work))?,
+            _ => dc_operating_point(&work)?,
         };
         prev = Some(sol.clone());
         results.push(sol);
@@ -690,6 +842,176 @@ mod tests {
         }
         let recs = subvt_engine::recovery::snapshot();
         assert!(recs.iter().any(|r| r.site == "spice.dc" && r.recovered));
+    }
+
+    #[test]
+    fn residual_floor_ignores_branch_voltage_rows() {
+        // Regression for the unit-mixing bug: the relative floor used to
+        // scale off max|f| over the FULL residual vector, so a megavolt
+        // branch (KVL) row turned the amp-valued tolerance into 1e-3 A —
+        // wide enough to accept a microamp circuit at garbage points.
+        let mut net = Netlist::new();
+        let a = net.node("hv");
+        net.vsource("VHV", a, Netlist::GROUND, Waveform::Dc(1.0e6));
+        net.resistor("RHV", a, Netlist::GROUND, 1.0e12); // ~1 µA flows
+        let mut solver = Solver::new(&net);
+        let x0 = vec![0.0; solver.dim()];
+        let f = solver.assemble(&x0, CapMode::Open);
+        // At x = 0 the branch row carries the full −1e6 V source value…
+        assert!(max_abs(&f) >= 1.0e6);
+        let old_floor = ITOL.max(1e-9 * max_abs(&f));
+        assert!(old_floor >= 1.0e-3, "old formula floor = {old_floor:e}");
+        // …but the KCL-scaled floor stays at the amp-valued tolerance.
+        assert!(
+            solver.residual_floor() <= 1.0e-12,
+            "floor = {:e}",
+            solver.residual_floor()
+        );
+
+        // End-to-end on a solvable deck: the accepted point must satisfy
+        // KCL at the strict amp-scaled floor, far below what the inflated
+        // formula would have demanded for the same source voltage.
+        let mut lo = Netlist::new();
+        let n = lo.node("mid");
+        lo.vsource("V1", n, Netlist::GROUND, Waveform::Dc(3.0));
+        lo.resistor("R1", n, Netlist::GROUND, 1.0e6); // 3 µA flows
+        let sol = dc_operating_point(&lo).unwrap();
+        let v = sol.node_voltages[n];
+        let kcl = (v / 1.0e6 + GMIN * v + sol.branch_currents[0]).abs();
+        assert!(kcl < 1.0e-12, "KCL imbalance {kcl:e}");
+        assert!((v - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_names_the_offending_node() {
+        // Two voltage sources in a loop across the same node pair make
+        // the branch equations linearly dependent.
+        let mut net = Netlist::new();
+        let a = net.node("looped");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0));
+        net.vsource("V2", a, Netlist::GROUND, Waveform::Dc(2.0));
+        let mut solver = Solver::new(&net);
+        let err = solver.newton(vec![0.0; solver.dim()], CapMode::Open);
+        match err {
+            Err(SpiceError::SingularMatrix { unknown, .. }) => {
+                assert!(
+                    unknown.contains("looped") || unknown.contains("V2") || unknown.contains("V1"),
+                    "unknown = {unknown}"
+                );
+                let msg = format!(
+                    "{}",
+                    SpiceError::SingularMatrix {
+                        column: 1,
+                        unknown: unknown.clone()
+                    }
+                );
+                assert!(msg.contains(&unknown), "message = {msg}");
+            }
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_guard_trips_on_nonfinite_step() {
+        // An f64::MAX current source into a 1 kΩ resistor demands a node
+        // step of ~1.8e311 V, which overflows to infinity; the guard must
+        // bail on iteration 1 instead of spinning MAX_NEWTON times with
+        // non-finite garbage accumulating in x.
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.isource("I1", Netlist::GROUND, a, Waveform::Dc(f64::MAX));
+        net.resistor("R1", a, Netlist::GROUND, 1_000.0);
+        let mut solver = Solver::new(&net);
+        match solver.newton(vec![0.0; solver.dim()], CapMode::Open) {
+            Err(SpiceError::NoConvergence { iterations, .. }) => {
+                assert_eq!(iterations, 1, "guard should fire on the first step");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_guard_trips_on_huge_branch_step() {
+        // A petavolt source demands a ~1e15 V node step; the damped walk
+        // (0.3 V/iter) can never get there, and the branch current blows
+        // up symmetrically. Previously Newton burned all 200 iterations;
+        // the pre-clamp guard now fails fast on iteration 1.
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0e15));
+        net.resistor("R1", a, Netlist::GROUND, 1.0);
+        let mut solver = Solver::new(&net);
+        match solver.newton(vec![0.0; solver.dim()], CapMode::Open) {
+            Err(SpiceError::NoConvergence { iterations, .. }) => {
+                assert_eq!(iterations, 1);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_closely() {
+        // Warm-starting from the converged solution itself must terminate
+        // immediately at a point equal to the cold solve within the
+        // solver tolerance (formatted outputs are compared bit-for-bit by
+        // the CI cmp gate; raw iterates agree to ~1e-9 relative).
+        use subvt_physics::{DeviceKind, DeviceParams};
+        let nfet = DeviceParams::reference_90nm_nfet();
+        let pfet = DeviceParams {
+            kind: DeviceKind::Pfet,
+            ..nfet
+        };
+        let nmod = nfet.mos_model();
+        let pmod = pfet.mos_model();
+
+        for vdd_mv in [200.0_f64, 250.0, 300.0, 400.0, 1200.0] {
+            let vdd_v = vdd_mv / 1000.0;
+            let mut net = Netlist::new();
+            let vdd = net.node("vdd");
+            let vin = net.node("in");
+            let vout = net.node("out");
+            net.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(vdd_v));
+            net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(vdd_v * 0.5));
+            net.mosfet("MP", pmod, 2.0, vout, vin, vdd);
+            net.mosfet("MN", nmod, 1.0, vout, vin, Netlist::GROUND);
+
+            let cold = dc_operating_point(&net).unwrap();
+            let warm = dc_operating_point_from(&net, &cold).unwrap();
+            for (c, w) in cold.node_voltages.iter().zip(&warm.node_voltages) {
+                let scale = c.abs().max(1e-6);
+                assert!(
+                    (c - w).abs() / scale < 1e-9,
+                    "vdd={vdd_mv} mV: cold {c} vs warm {w}"
+                );
+            }
+            for (c, w) in cold.branch_currents.iter().zip(&warm.branch_currents) {
+                let scale = c.abs().max(1e-15);
+                assert!(
+                    (c - w).abs() / scale < 1e-6,
+                    "vdd={vdd_mv} mV: cold {c} vs warm {w}"
+                );
+            }
+            // Warm start from the answer converges essentially instantly.
+            assert!(warm.iterations <= 3, "took {} iterations", warm.iterations);
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_lu_factors_and_matches_pointwise_solves() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.vsource("Vin", a, Netlist::GROUND, Waveform::Dc(0.0));
+        net.resistor("R1", a, b, 1_000.0);
+        net.resistor("R2", b, Netlist::GROUND, 1_000.0);
+        let values: Vec<f64> = (0..8).map(|i| i as f64 * 0.25).collect();
+        let swept = dc_sweep(&net, "Vin", &values).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            let mut point = net.clone();
+            set_vsource_dc(&mut point, 0, v);
+            let direct = dc_operating_point(&point).unwrap();
+            assert!((swept[i].node_voltages[b] - direct.node_voltages[b]).abs() < 1e-9);
+        }
     }
 
     #[test]

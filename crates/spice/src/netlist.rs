@@ -228,6 +228,28 @@ impl Netlist {
         self.node_count
     }
 
+    /// Name of a node, for diagnostics. When several names alias the same
+    /// node (ground is both `0` and `gnd`) the lexicographically smallest
+    /// is returned, so the answer is deterministic.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.names
+            .iter()
+            .filter(|(_, &id)| id == node)
+            .map(|(name, _)| name.as_str())
+            .min()
+    }
+
+    /// Applies `f` to every MOSFET instance as `(name, instance)`, in
+    /// insertion order — the Monte-Carlo patch point for per-sample
+    /// threshold perturbations on an already-compiled deck.
+    pub fn for_each_mosfet_mut(&mut self, mut f: impl FnMut(&str, &mut MosInstance)) {
+        for e in &mut self.elements {
+            if let Element::Mosfet(inst) = &mut e.element {
+                f(&e.name, inst);
+            }
+        }
+    }
+
     /// All elements in insertion order.
     pub fn elements(&self) -> &[NamedElement] {
         &self.elements
