@@ -35,9 +35,24 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use crate::trace;
+
+pub mod seg;
+
+/// Locks a mutex, recovering from poisoning instead of panicking.
+///
+/// Every map the cache guards is a plain value store that is mutated
+/// atomically under the lock (insert/remove of finished values), so a
+/// thread that panicked while holding the lock cannot have left it
+/// half-updated — the poison flag is noise here, and honouring it would
+/// turn one panicked compute thread into a process-wide denial of cache
+/// service for every later caller.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A value the cache can store: encodes to/from a flat `f64` record.
 pub trait Blob: Sized {
@@ -107,6 +122,9 @@ pub struct CacheStats {
     pub by_namespace: Vec<(String, u64, u64)>,
 }
 
+/// Write-through persistence callback; see [`Cache::set_persist`].
+pub type PersistHook = Arc<dyn Fn(&str, u64, &[f64]) + Send + Sync>;
+
 /// Content-addressed, single-flight result cache.
 pub struct Cache {
     inner: Mutex<CacheInner>,
@@ -114,6 +132,7 @@ pub struct Cache {
     hits: AtomicU64,
     misses: AtomicU64,
     ns_stats: Mutex<HashMap<String, (u64, u64)>>,
+    persist: Mutex<Option<PersistHook>>,
 }
 
 impl Cache {
@@ -128,6 +147,7 @@ impl Cache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             ns_stats: Mutex::new(HashMap::new()),
+            persist: Mutex::new(None),
         }
     }
 
@@ -177,7 +197,7 @@ impl Cache {
         let lookup_started = std::time::Instant::now();
         let mut waited = false;
         {
-            let mut inner = self.inner.lock().expect("cache lock");
+            let mut inner = lock_recover(&self.inner);
             loop {
                 match inner.map.get(&id) {
                     Some(Slot::Ready(blob)) => {
@@ -197,7 +217,10 @@ impl Cache {
                     }
                     Some(Slot::InFlight) => {
                         waited = true;
-                        inner = self.filled.wait(inner).expect("cache wait");
+                        inner = self
+                            .filled
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     None => {
                         inner.map.insert(id, Slot::InFlight);
@@ -210,28 +233,57 @@ impl Cache {
         self.record(ns, false, lookup_started);
         // The in-flight slot must be cleared on every exit path — a
         // panic or Err that left it in place would wedge later callers.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
-        let mut inner = self.inner.lock().expect("cache lock");
-        match &result {
-            Ok(Ok(v)) => {
-                inner.map.insert(id, Slot::Ready(Arc::new(v.encode())));
+        // `encode` runs inside the guarded region too: it is user code
+        // (a `Blob` impl), and user code must never run while the cache
+        // lock is held.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compute().map(|v| {
+                let bits = v.encode();
+                (v, bits)
+            })
+        }));
+        let mut inner = lock_recover(&self.inner);
+        let persisted = match &result {
+            Ok(Ok((_, bits))) => {
+                let blob = Arc::new(bits.clone());
+                inner.map.insert(id, Slot::Ready(Arc::clone(&blob)));
+                Some(blob)
             }
             _ => {
                 inner.map.remove(&id);
+                None
             }
-        }
+        };
         drop(inner);
         self.filled.notify_all();
+        if let Some(bits) = persisted {
+            // Write-through hook (segment appends): outside every lock,
+            // only for freshly computed entries.
+            let hook = lock_recover(&self.persist).clone();
+            if let Some(hook) = hook {
+                hook(ns, key, &bits);
+            }
+        }
         match result {
-            Ok(r) => (r, Lookup::Computed),
+            Ok(r) => (r.map(|(v, _)| v), Lookup::Computed),
             Err(payload) => std::panic::resume_unwind(payload),
         }
+    }
+
+    /// Installs (or clears) the write-through persistence hook: after
+    /// every freshly *computed* entry is published, the hook is invoked
+    /// with `(ns, key, bits)` outside all cache locks. Segment sessions
+    /// (see [`seg::SegmentSession`]) use this to append each new result
+    /// to a per-process segment file the moment it exists, so a crash
+    /// loses at most the entry being written — not the whole run.
+    pub fn set_persist(&self, hook: Option<PersistHook>) {
+        *lock_recover(&self.persist) = hook;
     }
 
     /// Returns the stored blob for `(ns, key)` without computing.
     pub fn peek(&self, ns: &str, key: u64) -> Option<Vec<f64>> {
         let nsh = crate::KeyBuilder::new("ns").str(ns).finish();
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = lock_recover(&self.inner);
         match inner.map.get(&(nsh, key)) {
             Some(Slot::Ready(blob)) => Some(blob.as_ref().clone()),
             _ => None,
@@ -240,7 +292,7 @@ impl Cache {
 
     /// Number of ready entries.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = lock_recover(&self.inner);
         inner
             .map
             .values()
@@ -255,7 +307,7 @@ impl Cache {
 
     /// Hit/miss statistics since construction.
     pub fn stats(&self) -> CacheStats {
-        let per = self.ns_stats.lock().expect("stats lock");
+        let per = lock_recover(&self.ns_stats);
         let mut by_namespace: Vec<(String, u64, u64)> = per
             .iter()
             .map(|(ns, (h, m))| (ns.clone(), *h, *m))
@@ -274,7 +326,7 @@ impl Cache {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        let mut per = self.ns_stats.lock().expect("stats lock");
+        let mut per = lock_recover(&self.ns_stats);
         let entry = per.entry(ns.to_owned()).or_insert((0, 0));
         if hit {
             entry.0 += 1;
@@ -338,6 +390,25 @@ impl Cache {
     /// Propagates I/O errors other than "file not found" (including
     /// failure to write the quarantine sidecar).
     pub fn load_jsonl_report(&self, path: &Path) -> std::io::Result<LoadReport> {
+        self.load_jsonl_impl(path, true)
+    }
+
+    /// [`Cache::load_jsonl_report`] without the quarantine sidecar:
+    /// damaged lines are counted but left in place and nothing is
+    /// written anywhere. This is the right load for files another
+    /// *live* process may still be appending to — a fleet peer's
+    /// segment, or a base file a primary is about to rewrite — where a
+    /// torn final line is expected (the peer is mid-append) and writing
+    /// a sidecar would race the owner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found".
+    pub fn load_jsonl_lenient(&self, path: &Path) -> std::io::Result<LoadReport> {
+        self.load_jsonl_impl(path, false)
+    }
+
+    fn load_jsonl_impl(&self, path: &Path, quarantine: bool) -> std::io::Result<LoadReport> {
         let file = match std::fs::File::open(path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LoadReport::default()),
@@ -355,23 +426,25 @@ impl Cache {
                 None => true, // legacy line, structurally intact
             });
             let Some((ns, key, bits, _)) = entry else {
-                let sidecar = match &mut sidecar {
-                    Some(f) => f,
-                    None => sidecar.insert(
-                        std::fs::OpenOptions::new()
-                            .create(true)
-                            .append(true)
-                            .open(quarantine_path(path))?,
-                    ),
-                };
-                writeln!(sidecar, "{line}")?;
+                if quarantine {
+                    let sidecar = match &mut sidecar {
+                        Some(f) => f,
+                        None => sidecar.insert(
+                            std::fs::OpenOptions::new()
+                                .create(true)
+                                .append(true)
+                                .open(quarantine_path(path))?,
+                        ),
+                    };
+                    writeln!(sidecar, "{line}")?;
+                    trace::add("cache.quarantined_lines", 1);
+                }
                 report.quarantined += 1;
-                trace::add("cache.quarantined_lines", 1);
                 continue;
             };
             let nsh = crate::KeyBuilder::new("ns").str(&ns).finish();
             let blob: Vec<f64> = bits.iter().map(|b| f64::from_bits(*b)).collect();
-            let mut inner = self.inner.lock().expect("cache lock");
+            let mut inner = lock_recover(&self.inner);
             if inner
                 .map
                 .insert((nsh, key), Slot::Ready(Arc::new(blob)))
@@ -404,7 +477,7 @@ impl Cache {
         let mut written = 0;
         {
             let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-            let inner = self.inner.lock().expect("cache lock");
+            let inner = lock_recover(&self.inner);
             let mut entries: Vec<(&str, u64, &Arc<Vec<f64>>)> = inner
                 .map
                 .iter()
@@ -417,21 +490,7 @@ impl Cache {
                 .collect();
             entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
             for (ns, key, blob) in entries {
-                let bits: Vec<u64> = blob.iter().map(|v| v.to_bits()).collect();
-                let mut line = format!(
-                    "{{\"ns\":{},\"key\":\"{key:016x}\",\"bits\":[",
-                    trace::json_str(ns)
-                );
-                for (i, b) in bits.iter().enumerate() {
-                    if i > 0 {
-                        line.push(',');
-                    }
-                    line.push_str(&b.to_string());
-                }
-                line.push_str(&format!(
-                    "],\"crc\":\"{:016x}\"}}",
-                    line_crc(ns, key, &bits)
-                ));
+                let mut line = format_line_f64(ns, key, blob);
                 // Chaos harness: simulates a torn write on this line
                 // (no-op unless a fault plan is armed).
                 crate::faultinject::corrupt_point(&mut line);
@@ -443,6 +502,29 @@ impl Cache {
         std::fs::rename(&tmp, path)?;
         Ok(written)
     }
+}
+
+/// Renders one persistence line (without trailing newline) for an
+/// entry's `f64` blob — the single format shared by [`Cache::save_jsonl`]
+/// rewrites and segment appends, so every writer produces byte-identical
+/// lines for identical entries.
+pub fn format_line_f64(ns: &str, key: u64, values: &[f64]) -> String {
+    let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+    let mut line = format!(
+        "{{\"ns\":{},\"key\":\"{key:016x}\",\"bits\":[",
+        trace::json_str(ns)
+    );
+    for (i, b) in bits.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&b.to_string());
+    }
+    line.push_str(&format!(
+        "],\"crc\":\"{:016x}\"}}",
+        line_crc(ns, key, &bits)
+    ));
+    line
 }
 
 /// Per-line accounting from [`Cache::load_jsonl_report`].
@@ -494,40 +576,113 @@ pub struct CacheLock {
 /// The metric name flagging read-only degradation for a cache path:
 /// `cache.<file-stem>.readonly`.
 pub fn readonly_gauge_name(cache_path: &Path) -> String {
-    let stem = cache_path
+    format!("cache.{}.readonly", cache_stem(cache_path))
+}
+
+/// The counter name for stale-lock reclaims on a cache path:
+/// `cache.<file-stem>.lock_reclaimed`.
+pub fn lock_reclaim_counter_name(cache_path: &Path) -> String {
+    format!("cache.{}.lock_reclaimed", cache_stem(cache_path))
+}
+
+pub(crate) fn cache_stem(cache_path: &Path) -> String {
+    cache_path
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "cache".to_owned());
-    format!("cache.{stem}.readonly")
+        .unwrap_or_else(|| "cache".to_owned())
+}
+
+/// Whether `pid` names a live process. On Linux this checks
+/// `/proc/<pid>`; elsewhere liveness cannot be probed without unsafe
+/// syscalls, so every recorded holder is conservatively assumed alive
+/// (stale locks then require manual removal, exactly the pre-reclaim
+/// behaviour).
+pub(crate) fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Grace period before an unreadable/unparseable lock or lease file is
+/// treated as abandoned: a holder that just won `create_new` may not
+/// have written its pid yet, so freshly created files are never
+/// reclaimed on content alone.
+pub(crate) const UNPARSEABLE_GRACE: Duration = Duration::from_secs(10);
+
+/// Whether the lock/lease file at `path` belongs to a dead holder.
+///
+/// A parseable pid line is authoritative: dead pid = stale. An empty or
+/// garbled file is stale only once it is older than
+/// [`UNPARSEABLE_GRACE`] (by mtime), which closes the race against a
+/// holder between `create_new` and its pid write. A file that vanished
+/// concurrently is not stale — someone else already cleaned it up and
+/// the caller should simply retry its `create_new`.
+pub(crate) fn holder_is_dead(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    match text
+        .lines()
+        .next()
+        .and_then(|l| l.trim().parse::<u32>().ok())
+    {
+        Some(pid) => !pid_alive(pid),
+        None => match std::fs::metadata(path).and_then(|m| m.modified()) {
+            Ok(mtime) => matches!(mtime.elapsed(), Ok(age) if age > UNPARSEABLE_GRACE),
+            Err(_) => false,
+        },
+    }
 }
 
 impl CacheLock {
-    /// Tries to take the lock for `cache_path`.
+    /// Tries to take the lock for `cache_path`, reclaiming it first if
+    /// the recorded holder is dead.
+    ///
+    /// A lock file whose pid no longer names a live process (crashed or
+    /// SIGKILL'd holder — `Drop` never ran) is removed and the acquire
+    /// retried, with a `cache.<stem>.lock_reclaimed` counter recording
+    /// the reclaim; a crashed holder therefore never leaves later runs
+    /// read-only. Only a *live* holder produces `Ok(None)`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors other than "already exists" (which maps to
-    /// `Ok(None)`).
+    /// `Ok(None)` when the holder is alive).
     pub fn acquire(cache_path: &Path) -> std::io::Result<Option<Self>> {
         let mut os = cache_path.as_os_str().to_owned();
         os.push(".lock");
         let path = PathBuf::from(os);
-        match std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-        {
-            Ok(mut f) => {
-                let _ = writeln!(f, "{}", std::process::id());
-                trace::gauge(&readonly_gauge_name(cache_path), 0.0);
-                Ok(Some(Self { path }))
+        // Bounded retries: each loop either wins the create_new, yields
+        // to a live holder, or removes a provably stale file. Two
+        // reclaimers racing is fine — remove_file losing the race just
+        // means the other one cleaned up.
+        for _ in 0..4 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    trace::gauge(&readonly_gauge_name(cache_path), 0.0);
+                    return Ok(Some(Self { path }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if holder_is_dead(&path) {
+                        let _ = std::fs::remove_file(&path);
+                        trace::add(&lock_reclaim_counter_name(cache_path), 1);
+                        continue;
+                    }
+                    trace::gauge(&readonly_gauge_name(cache_path), 1.0);
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                trace::gauge(&readonly_gauge_name(cache_path), 1.0);
-                Ok(None)
-            }
-            Err(e) => Err(e),
         }
+        trace::gauge(&readonly_gauge_name(cache_path), 1.0);
+        Ok(None)
     }
 
     /// The lock file's path.
@@ -929,5 +1084,122 @@ mod tests {
         cache.get_or_compute("t", 3, || vec![1.0, 2.0]);
         let v: f64 = cache.get_or_compute("t", 3, || 9.0);
         assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let cache = Arc::new(Cache::new());
+        cache.get_or_compute("poison", 1, || 5.0);
+        // Panic while holding the inner lock — the classic poisoning
+        // scenario a panicked compute thread used to cause.
+        let c2 = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.inner.lock().unwrap();
+            panic!("die holding the cache lock");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned(), "setup must have poisoned");
+        // Every later access recovers instead of cascading the panic.
+        assert_eq!(cache.get_or_compute("poison", 1, || -1.0), 5.0);
+        assert_eq!(cache.get_or_compute("poison", 2, || 6.0), 6.0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().hits >= 1);
+    }
+
+    struct PanickingEncode;
+    impl Blob for PanickingEncode {
+        fn encode(&self) -> Vec<f64> {
+            panic!("encode died");
+        }
+        fn decode(_record: &[f64]) -> Option<Self> {
+            Some(PanickingEncode)
+        }
+    }
+
+    #[test]
+    fn panic_in_encode_clears_slot_and_leaves_cache_usable() {
+        let cache = Cache::new();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute("enc", 4, || PanickingEncode)
+        }));
+        assert!(attempt.is_err());
+        // encode ran inside the guarded region: no lock was held, the
+        // in-flight slot was cleared, and the key is computable again.
+        assert_eq!(cache.get_or_compute("enc", 4, || 8.0), 8.0);
+    }
+
+    #[test]
+    fn persist_hook_fires_for_computes_only() {
+        let cache = Cache::new();
+        type Seen = Vec<(String, u64, Vec<f64>)>;
+        let seen: Arc<Mutex<Seen>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        cache.set_persist(Some(Arc::new(move |ns: &str, key: u64, bits: &[f64]| {
+            sink.lock()
+                .unwrap()
+                .push((ns.to_owned(), key, bits.to_vec()));
+        })));
+        cache.get_or_compute("ph", 7, || vec![1.0, 2.0]);
+        let _: Vec<f64> = cache.get_or_compute("ph", 7, || unreachable!("hit"));
+        cache.set_persist(None);
+        cache.get_or_compute("ph", 8, || 3.0);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1, "hook fires once: compute yes, hit no");
+        assert_eq!(seen[0], ("ph".to_owned(), 7, vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn stale_lock_from_dead_holder_is_reclaimed() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.jsonl");
+        // Fabricate a lock left by a crashed holder: a pid far above
+        // any real /proc entry stands in for a dead process.
+        let lock_path = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".lock");
+            PathBuf::from(os)
+        };
+        std::fs::write(&lock_path, "999999999\n").unwrap();
+        let before = trace::global()
+            .snapshot()
+            .counters
+            .get("cache.stale.lock_reclaimed")
+            .copied();
+        let lock = CacheLock::acquire(&path).unwrap();
+        assert!(
+            lock.is_some(),
+            "dead holder must be reclaimed, not honoured"
+        );
+        let after = trace::global()
+            .snapshot()
+            .counters
+            .get("cache.stale.lock_reclaimed")
+            .copied()
+            .unwrap_or(0);
+        assert!(after > before.unwrap_or(0), "reclaim must be counted");
+        let snap = trace::global().snapshot();
+        assert_eq!(snap.gauges.get("cache.stale.readonly").copied(), Some(0.0));
+        drop(lock);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_unparseable_lock_is_not_stolen() {
+        let dir = std::env::temp_dir().join(format!("subvt-cache-fresh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.jsonl");
+        let lock_path = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".lock");
+            PathBuf::from(os)
+        };
+        // A just-created empty lock models a holder that won create_new
+        // but has not written its pid yet: within the grace window it
+        // must be honoured, not reclaimed.
+        std::fs::write(&lock_path, "").unwrap();
+        assert!(!holder_is_dead(&lock_path));
+        assert!(CacheLock::acquire(&path).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

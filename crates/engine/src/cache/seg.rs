@@ -1,0 +1,798 @@
+//! Segmented shared-cache store: per-process append-only segments
+//! claimed by lease files.
+//!
+//! The base JSONL file (`<cache>.jsonl`) stays the canonical compacted
+//! store, guarded by the primary [`super::CacheLock`]. Around it, a
+//! sibling directory `<cache>.d/` holds one append-only segment per
+//! concurrent writer:
+//!
+//! ```text
+//! results.jsonl            # canonical store (primary lock holder)
+//! results.jsonl.lock       # advisory primary lock
+//! results.jsonl.d/
+//!   seg-0.jsonl            # worker 0's appends (same line format + CRC)
+//!   seg-0.lease            # {"pid":…,"acquired_utc":"…","acquired_unix":…,"ttl_secs":…}
+//!   seg-1.jsonl
+//!   seg-1.lease
+//! ```
+//!
+//! A segment is claimed by atomically creating its lease file. A lease
+//! is **reclaimable** when its holder pid is dead or its TTL has
+//! lapsed (and, as with the primary lock, an unparseable lease older
+//! than the grace window). Reclaiming a dead worker's segment first
+//! *scrubs* it: intact CRC'd lines are kept, the torn tail a crash can
+//! leave is quarantined through the same sidecar path the base store
+//! uses — so a partial append is never loaded and never silently lost.
+//!
+//! Writers append each freshly computed entry immediately (via
+//! [`super::Cache::set_persist`]), so a SIGKILL loses at most the line
+//! being written. On clean shutdown the fleet parent (or the next
+//! primary-lock holder) **compacts**: base + dead segments merge into
+//! one canonical JSONL, byte-identical to what a single process would
+//! have written, and the merged segments are removed.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use super::{
+    cache_stem, format_line_f64, line_crc, lock_recover, parse_entry, pid_alive, quarantine_path,
+    Cache, LoadReport, UNPARSEABLE_GRACE,
+};
+use crate::{clock, trace};
+
+/// Default lease TTL. Generous on purpose: TTL reclaim exists to clear
+/// leases whose holder is alive-but-wedged (or unkillable on a foreign
+/// machine), not to race healthy long-running workers. Liveness is
+/// normally decided by the pid check; the TTL is the backstop.
+pub const DEFAULT_TTL_SECS: u64 = 3600;
+
+/// The segment directory for a cache path: `<path>.d`.
+pub fn segment_dir(cache_path: &Path) -> PathBuf {
+    let mut os = cache_path.as_os_str().to_owned();
+    os.push(".d");
+    PathBuf::from(os)
+}
+
+/// The counter name for lease reclaims on a cache path:
+/// `cache.<file-stem>.lease_reclaimed`.
+pub fn lease_reclaim_counter_name(cache_path: &Path) -> String {
+    format!("cache.{}.lease_reclaimed", cache_stem(cache_path))
+}
+
+/// One lease file's decoded content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// Holder process id.
+    pub pid: u32,
+    /// Unix seconds at acquire (or last refresh).
+    pub acquired_unix: u64,
+    /// Seconds after `acquired_unix` at which the lease lapses.
+    pub ttl_secs: u64,
+}
+
+impl LeaseInfo {
+    /// Renders the lease file body (one JSON object + newline).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"pid\":{},\"acquired_utc\":{},\"acquired_unix\":{},\"ttl_secs\":{}}}\n",
+            self.pid,
+            trace::json_str(&clock::iso8601_utc(self.acquired_unix)),
+            self.acquired_unix,
+            self.ttl_secs
+        )
+    }
+
+    /// Parses a lease file body; `None` if any required field is
+    /// missing or malformed.
+    pub fn parse(text: &str) -> Option<Self> {
+        Some(Self {
+            pid: json_u64_field(text, "pid")? as u32,
+            acquired_unix: json_u64_field(text, "acquired_unix")?,
+            ttl_secs: json_u64_field(text, "ttl_secs")?,
+        })
+    }
+
+    /// Whether this lease no longer protects its segment: the holder
+    /// pid is dead, or the TTL has lapsed.
+    pub fn is_stale(&self, now_unix: u64) -> bool {
+        !pid_alive(self.pid) || now_unix > self.acquired_unix.saturating_add(self.ttl_secs)
+    }
+}
+
+/// Extracts an unsigned integer field `"name":123` from a flat JSON
+/// object without pulling in a parser.
+fn json_u64_field(text: &str, name: &str) -> Option<u64> {
+    let pat = format!("\"{name}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Whether the lease file at `path` is reclaimable right now.
+/// Missing file → not stale (nothing to reclaim; claim by `create_new`).
+fn lease_is_stale(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    match LeaseInfo::parse(&text) {
+        Some(info) => info.is_stale(clock::unix_now()),
+        None => match std::fs::metadata(path).and_then(|m| m.modified()) {
+            Ok(mtime) => matches!(mtime.elapsed(), Ok(age) if age > UNPARSEABLE_GRACE),
+            Err(_) => false,
+        },
+    }
+}
+
+/// An exclusive claim on one segment, backed by a lease file. Removed
+/// on drop; a crash leaves the file behind for the next claimant to
+/// reclaim via the staleness rules.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+    ttl_secs: u64,
+}
+
+impl Lease {
+    /// Claims the lease at `path`, reclaiming a stale holder first.
+    /// `Ok(None)` means a live holder owns it. `counter` is bumped once
+    /// per reclaimed stale lease.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "already exists".
+    pub fn claim(path: &Path, ttl_secs: u64, counter: &str) -> std::io::Result<Option<Self>> {
+        for _ in 0..4 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(path)
+            {
+                Ok(mut f) => {
+                    let info = LeaseInfo {
+                        pid: std::process::id(),
+                        acquired_unix: clock::unix_now(),
+                        ttl_secs,
+                    };
+                    let _ = f.write_all(info.render().as_bytes());
+                    return Ok(Some(Self {
+                        path: path.to_owned(),
+                        ttl_secs,
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lease_is_stale(path) {
+                        let _ = std::fs::remove_file(path);
+                        trace::add(counter, 1);
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Re-stamps the lease's acquire time, extending the TTL window.
+    /// Written through a sibling temp file + atomic rename so a reader
+    /// never sees a partial lease.
+    pub fn refresh(&self) {
+        let info = LeaseInfo {
+            pid: std::process::id(),
+            acquired_unix: clock::unix_now(),
+            ttl_secs: self.ttl_secs,
+        };
+        let tmp = self.path.with_extension("lease.tmp");
+        if std::fs::write(&tmp, info.render()).is_ok() {
+            let _ = std::fs::rename(&tmp, &self.path);
+        }
+    }
+
+    /// The lease file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// What [`scrub_segment`] did to one segment file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Intact lines kept in the rewritten segment.
+    pub kept: usize,
+    /// Damaged lines moved to the `<segment>.quarantine` sidecar.
+    pub quarantined: usize,
+}
+
+/// Rewrites a segment keeping only intact CRC'd lines; damaged lines
+/// (the torn tail a SIGKILL mid-append leaves) go to the segment's
+/// quarantine sidecar, counted and traced exactly like base-file
+/// quarantine. Missing segment → empty report. The rewrite goes
+/// through a temp file + atomic rename.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than "file not found".
+pub fn scrub_segment(seg_path: &Path) -> std::io::Result<ScrubReport> {
+    let text = match std::fs::read_to_string(seg_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ScrubReport::default()),
+        Err(e) => return Err(e),
+    };
+    let mut report = ScrubReport::default();
+    let mut kept = String::new();
+    let mut sidecar: Option<std::fs::File> = None;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let intact = parse_entry(line)
+            .map(|(ns, key, bits, crc)| match crc {
+                Some(crc) => crc == line_crc(&ns, key, &bits),
+                None => true,
+            })
+            .unwrap_or(false);
+        if intact {
+            kept.push_str(line);
+            kept.push('\n');
+            report.kept += 1;
+        } else {
+            let sidecar = match &mut sidecar {
+                Some(f) => f,
+                None => sidecar.insert(
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(quarantine_path(seg_path))?,
+                ),
+            };
+            writeln!(sidecar, "{line}")?;
+            report.quarantined += 1;
+            trace::add("cache.quarantined_lines", 1);
+        }
+    }
+    if report.quarantined > 0 {
+        let tmp = seg_path.with_extension("jsonl.scrub.tmp");
+        std::fs::write(&tmp, &kept)?;
+        std::fs::rename(&tmp, seg_path)?;
+    }
+    Ok(report)
+}
+
+/// A claimed, open segment: the writing side of the shared store.
+///
+/// Install [`SegmentSession::persist_hook`] on the in-memory cache and
+/// every freshly computed entry is appended (CRC'd, flushed) to this
+/// process's segment the moment it exists. Appends refresh the lease at
+/// most every `ttl/4` so a long-running writer is never TTL-reclaimed.
+pub struct SegmentSession {
+    cache_path: PathBuf,
+    seg_path: PathBuf,
+    lease: Mutex<Option<Lease>>,
+    file: Mutex<std::fs::File>,
+    appended: AtomicU64,
+    last_refresh: Mutex<Instant>,
+    ttl_secs: u64,
+    /// What the claim-time scrub of a previous incarnation's leftover
+    /// segment found (all zeros on a fresh segment).
+    pub scrub: ScrubReport,
+}
+
+impl SegmentSession {
+    /// Claims segment `name` under `cache_path`'s segment directory.
+    ///
+    /// Creates `<cache>.d/` if needed, claims `seg-<name>.lease`
+    /// (reclaiming a stale holder, which bumps
+    /// `cache.<stem>.lease_reclaimed`), scrubs any leftover
+    /// `seg-<name>.jsonl` from a crashed previous incarnation, and
+    /// opens the segment for append. `Ok(None)` = a live holder owns
+    /// this segment name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn claim(cache_path: &Path, name: &str, ttl_secs: u64) -> std::io::Result<Option<Self>> {
+        let dir = segment_dir(cache_path);
+        std::fs::create_dir_all(&dir)?;
+        let lease_path = dir.join(format!("seg-{name}.lease"));
+        let seg_path = dir.join(format!("seg-{name}.jsonl"));
+        let counter = lease_reclaim_counter_name(cache_path);
+        let Some(lease) = Lease::claim(&lease_path, ttl_secs, &counter)? else {
+            return Ok(None);
+        };
+        // A crashed previous holder of this name may have left a torn
+        // tail; quarantine it before we append after it.
+        let scrub = scrub_segment(&seg_path)?;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&seg_path)?;
+        Ok(Some(Self {
+            cache_path: cache_path.to_owned(),
+            seg_path,
+            lease: Mutex::new(Some(lease)),
+            file: Mutex::new(file),
+            appended: AtomicU64::new(0),
+            last_refresh: Mutex::new(Instant::now()),
+            ttl_secs,
+            scrub,
+        }))
+    }
+
+    /// The segment file's path.
+    pub fn path(&self) -> &Path {
+        &self.seg_path
+    }
+
+    /// The cache path this segment belongs to.
+    pub fn cache_path(&self) -> &Path {
+        &self.cache_path
+    }
+
+    /// Lines appended by this session so far.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Appends one entry (CRC'd line + flush). Append failures are
+    /// deliberately non-fatal — the entry is still in memory and the
+    /// run continues; the segment just loses write-through for it.
+    pub fn append(&self, ns: &str, key: u64, values: &[f64]) {
+        let mut line = format_line_f64(ns, key, values);
+        // Same chaos hook as base-file saves: a fault plan can tear a
+        // segment append too.
+        crate::faultinject::corrupt_point(&mut line);
+        {
+            let mut f = lock_recover(&self.file);
+            if writeln!(f, "{line}").and_then(|()| f.flush()).is_err() {
+                trace::add("cache.segment_append_errors", 1);
+                return;
+            }
+        }
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        self.maybe_refresh();
+    }
+
+    /// Refreshes the lease if more than `ttl/4` has passed since the
+    /// last refresh. Cheap enough to call per append.
+    pub fn maybe_refresh(&self) {
+        let min_gap = std::time::Duration::from_secs((self.ttl_secs / 4).max(1));
+        let mut last = lock_recover(&self.last_refresh);
+        if last.elapsed() < min_gap {
+            return;
+        }
+        *last = Instant::now();
+        drop(last);
+        if let Some(lease) = lock_recover(&self.lease).as_ref() {
+            lease.refresh();
+        }
+    }
+
+    /// Loads this session's own segment (scrubbed at claim time, so
+    /// every line is intact) into `cache`. Lenient load: no sidecar
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found".
+    pub fn load_into(&self, cache: &Cache) -> std::io::Result<LoadReport> {
+        cache.load_jsonl_lenient(&self.seg_path)
+    }
+
+    /// The persistence hook wiring this session to
+    /// [`Cache::set_persist`].
+    pub fn persist_hook(self: &std::sync::Arc<Self>) -> super::PersistHook {
+        let session = std::sync::Arc::clone(self);
+        std::sync::Arc::new(move |ns: &str, key: u64, bits: &[f64]| {
+            session.append(ns, key, bits);
+        })
+    }
+
+    /// Closes the session: flushes, removes an empty segment file, and
+    /// releases the lease. Idempotent. A non-empty segment is *kept* —
+    /// its entries merge into the canonical file at the next
+    /// compaction.
+    pub fn close(&self) {
+        {
+            let mut f = lock_recover(&self.file);
+            let _ = f.flush();
+        }
+        let lease = lock_recover(&self.lease).take();
+        if lease.is_some() && self.appended() == 0 && self.scrub.kept == 0 {
+            let _ = std::fs::remove_file(&self.seg_path);
+        }
+        drop(lease);
+    }
+}
+
+impl Drop for SegmentSession {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// What adopting orphaned segments found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdoptReport {
+    /// Segment files merged into the in-memory cache, ready for
+    /// removal once the merged state is durably saved.
+    pub adopted: Vec<PathBuf>,
+    /// Stale lease files belonging to adopted segments.
+    pub stale_leases: Vec<PathBuf>,
+    /// Entries loaded across all adopted segments.
+    pub loaded: usize,
+    /// Damaged lines quarantined across all adopted segments.
+    pub quarantined: usize,
+    /// Segments skipped because a live lease protects them.
+    pub skipped_live: usize,
+}
+
+/// Scans `<cache>.d/` for segments whose lease is absent or stale,
+/// scrubs each (torn tails → quarantine sidecar), and loads the intact
+/// entries into `cache`. Segments protected by a live lease are
+/// skipped. The caller decides when the adopted files may be removed —
+/// only after the merged state has been durably saved (see
+/// [`compact`] and the primary-session close path).
+///
+/// # Errors
+///
+/// Propagates I/O errors (a missing segment directory is an empty
+/// report, not an error).
+pub fn adopt_dead_segments(cache_path: &Path, cache: &Cache) -> std::io::Result<AdoptReport> {
+    let dir = segment_dir(cache_path);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(AdoptReport::default()),
+        Err(e) => return Err(e),
+    };
+    let mut seg_paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    // Deterministic merge order (later entries supersede earlier ones
+    // for duplicate keys, though duplicates are byte-identical here).
+    seg_paths.sort();
+    let mut report = AdoptReport::default();
+    for seg in seg_paths {
+        let lease = seg.with_extension("lease");
+        if lease.exists() && !lease_is_stale(&lease) {
+            report.skipped_live += 1;
+            continue;
+        }
+        let scrub = scrub_segment(&seg)?;
+        report.quarantined += scrub.quarantined;
+        let load = cache.load_jsonl_lenient(&seg)?;
+        report.loaded += load.loaded;
+        if lease.exists() {
+            report.stale_leases.push(lease);
+        }
+        report.adopted.push(seg);
+    }
+    Ok(report)
+}
+
+/// What [`compact`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Entries written to the canonical file.
+    pub written: usize,
+    /// Segment files merged and removed.
+    pub segments_merged: usize,
+    /// Damaged lines quarantined while merging.
+    pub quarantined: usize,
+    /// Segments left in place because a live lease protects them.
+    pub skipped_live: usize,
+}
+
+/// Merges the base file and every dead/unleased segment into one
+/// canonical JSONL at `cache_path`, then removes the merged segments
+/// (and their stale leases, and the segment directory if it ends up
+/// empty). Segment quarantine sidecars are folded into the base
+/// `<cache>.quarantine` sidecar so the evidence survives directory
+/// removal.
+///
+/// The caller must hold the primary [`super::CacheLock`]; live-leased
+/// segments are skipped, never stolen.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn compact(cache_path: &Path) -> std::io::Result<CompactReport> {
+    let cache = Cache::new();
+    let base = cache.load_jsonl_report(cache_path)?;
+    let adopt = adopt_dead_segments(cache_path, &cache)?;
+    let written = cache.save_jsonl(cache_path)?;
+    remove_adopted(cache_path, &adopt);
+    Ok(CompactReport {
+        written,
+        segments_merged: adopt.adopted.len(),
+        quarantined: base.quarantined + adopt.quarantined,
+        skipped_live: adopt.skipped_live,
+    })
+}
+
+/// Retires segments whose entries have been made durable elsewhere:
+/// folds their quarantine sidecars into the base `<cache>.quarantine`,
+/// removes the segment and stale lease files, and removes the segment
+/// directory if nothing (live segments, staged files) remains. All
+/// removals are best-effort — the entries are already durable, so a
+/// leftover file costs a redundant merge later, not correctness.
+pub fn remove_adopted(cache_path: &Path, adopt: &AdoptReport) {
+    let base_sidecar = quarantine_path(cache_path);
+    for seg in &adopt.adopted {
+        let _ = fold_sidecar(&quarantine_path(seg), &base_sidecar);
+        let _ = std::fs::remove_file(seg);
+    }
+    for lease in &adopt.stale_leases {
+        let _ = std::fs::remove_file(lease);
+    }
+    // A worker that quarantined its torn tail but then appended nothing
+    // removes its empty segment on close, orphaning the sidecar. Fold
+    // any sidecar whose segment is gone so the evidence still lands in
+    // the base quarantine and the directory can retire.
+    if let Ok(entries) = std::fs::read_dir(segment_dir(cache_path)) {
+        for path in entries.filter_map(|e| e.ok().map(|e| e.path())) {
+            let orphaned = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".jsonl.quarantine"))
+                && !path.with_extension("").exists();
+            if orphaned {
+                let _ = fold_sidecar(&path, &base_sidecar);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir(segment_dir(cache_path));
+}
+
+/// Appends `src` sidecar's lines to `dst` and removes `src`. Missing
+/// `src` is a no-op.
+fn fold_sidecar(src: &Path, dst: &Path) -> std::io::Result<()> {
+    let text = match std::fs::read_to_string(src) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if !text.is_empty() {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dst)?;
+        f.write_all(text.as_bytes())?;
+    }
+    std::fs::remove_file(src)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "subvt-seg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lease_info_round_trips_and_staleness_rules() {
+        let info = LeaseInfo {
+            pid: std::process::id(),
+            acquired_unix: 1_000_000,
+            ttl_secs: 600,
+        };
+        let text = info.render();
+        assert_eq!(LeaseInfo::parse(&text), Some(info));
+        // Live pid, inside TTL: not stale.
+        assert!(!info.is_stale(1_000_000 + 599));
+        // Live pid, TTL lapsed: stale.
+        assert!(info.is_stale(1_000_000 + 601));
+        // Dead pid: stale regardless of TTL.
+        let dead = LeaseInfo {
+            pid: 999_999_999,
+            ..info
+        };
+        assert!(dead.is_stale(1_000_000));
+        assert!(LeaseInfo::parse("{\"pid\":oops}").is_none());
+    }
+
+    #[test]
+    fn lease_claim_is_exclusive_released_on_drop_and_reclaims_dead() {
+        let dir = scratch("lease");
+        let path = dir.join("seg-a.lease");
+        let lease = Lease::claim(&path, 600, "t.reclaim").unwrap().unwrap();
+        assert!(path.exists());
+        assert!(
+            Lease::claim(&path, 600, "t.reclaim").unwrap().is_none(),
+            "live holder must be honoured"
+        );
+        drop(lease);
+        assert!(!path.exists(), "drop removes the lease");
+        // A dead holder's lease is reclaimed.
+        let dead = LeaseInfo {
+            pid: 999_999_999,
+            acquired_unix: clock::unix_now(),
+            ttl_secs: 600,
+        };
+        std::fs::write(&path, dead.render()).unwrap();
+        let lease = Lease::claim(&path, 600, "t.reclaim").unwrap();
+        assert!(lease.is_some(), "dead holder's lease must be reclaimable");
+        let n = trace::global()
+            .snapshot()
+            .counters
+            .get("t.reclaim")
+            .copied()
+            .unwrap_or(0);
+        assert!(n >= 1, "reclaim must be counted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lease_ttl_lapse_is_reclaimable() {
+        let dir = scratch("ttl");
+        let path = dir.join("seg-t.lease");
+        // Our own (live) pid, but a TTL that lapsed long ago.
+        let lapsed = LeaseInfo {
+            pid: std::process::id(),
+            acquired_unix: clock::unix_now().saturating_sub(10_000),
+            ttl_secs: 1,
+        };
+        std::fs::write(&path, lapsed.render()).unwrap();
+        assert!(Lease::claim(&path, 600, "t.ttl").unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_keeps_intact_lines_and_quarantines_torn_tail() {
+        let dir = scratch("scrub");
+        let seg = dir.join("seg-0.jsonl");
+        let good1 = format_line_f64("ns", 1, &[1.5, 2.5]);
+        let good2 = format_line_f64("ns", 2, &[3.5]);
+        // Torn tail: a partial line with no newline, as a SIGKILL
+        // mid-append leaves it.
+        let torn = &good2[..good2.len() / 2];
+        std::fs::write(&seg, format!("{good1}\n{good2}\n{torn}")).unwrap();
+        let report = scrub_segment(&seg).unwrap();
+        assert_eq!(
+            report,
+            ScrubReport {
+                kept: 2,
+                quarantined: 1
+            }
+        );
+        let rewritten = std::fs::read_to_string(&seg).unwrap();
+        assert_eq!(rewritten, format!("{good1}\n{good2}\n"));
+        let sidecar = std::fs::read_to_string(quarantine_path(&seg)).unwrap();
+        assert_eq!(sidecar.trim(), torn);
+        // Idempotent: a second scrub changes nothing.
+        assert_eq!(
+            scrub_segment(&seg).unwrap(),
+            ScrubReport {
+                kept: 2,
+                quarantined: 0
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_session_appends_loads_and_compacts() {
+        let dir = scratch("session");
+        let cache_path = dir.join("store.jsonl");
+        let session = Arc::new(
+            SegmentSession::claim(&cache_path, "0", 600)
+                .unwrap()
+                .expect("claim fresh segment"),
+        );
+        // Second claimant of the same name loses; another name wins.
+        assert!(SegmentSession::claim(&cache_path, "0", 600)
+            .unwrap()
+            .is_none());
+        let other = SegmentSession::claim(&cache_path, "1", 600)
+            .unwrap()
+            .expect("distinct name claims");
+
+        // Wire the hook to a cache: computes append, hits do not.
+        let cache = Cache::new();
+        cache.set_persist(Some(session.persist_hook()));
+        cache.get_or_compute("seg", 1, || vec![1.0, 2.0]);
+        cache.get_or_compute("seg", 2, || 7.5);
+        let _: f64 = cache.get_or_compute("seg", 2, || unreachable!("hit"));
+        assert_eq!(session.appended(), 2);
+        cache.set_persist(None);
+
+        // A sibling process (modelled by a fresh Cache) sees the
+        // appends via a lenient load.
+        let peer = Cache::new();
+        assert_eq!(peer.load_jsonl_lenient(session.path()).unwrap().loaded, 2);
+        assert_eq!(peer.get_or_compute("seg", 2, || -1.0), 7.5);
+
+        // Clean close keeps the non-empty segment, removes the empty
+        // one, releases both leases.
+        let seg0 = session.path().to_owned();
+        session.close();
+        other.close();
+        assert!(seg0.exists(), "non-empty segment survives close");
+        assert!(!other.path().exists(), "empty segment is removed");
+
+        // Compaction folds the segment into the canonical file and
+        // removes the directory.
+        let report = compact(&cache_path).unwrap();
+        assert_eq!(report.written, 2);
+        assert_eq!(report.segments_merged, 1);
+        assert!(!segment_dir(&cache_path).exists(), "empty dir removed");
+        let merged = Cache::new();
+        assert_eq!(merged.load_jsonl(&cache_path).unwrap(), 2);
+        assert_eq!(merged.get_or_compute("seg", 1, Vec::new), vec![1.0, 2.0]);
+
+        // Byte-identity: the compacted file equals a single-process
+        // save of the same entries.
+        let solo = Cache::new();
+        solo.get_or_compute("seg", 1, || vec![1.0, 2.0]);
+        solo.get_or_compute("seg", 2, || 7.5);
+        let solo_path = dir.join("solo.jsonl");
+        solo.save_jsonl(&solo_path).unwrap();
+        assert_eq!(
+            std::fs::read(&cache_path).unwrap(),
+            std::fs::read(&solo_path).unwrap(),
+            "compacted store must be byte-identical to a solo save"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adopt_skips_live_leases_and_quarantines_dead_tails() {
+        let dir = scratch("adopt");
+        let cache_path = dir.join("store.jsonl");
+        // A live session with one entry...
+        let live = SegmentSession::claim(&cache_path, "live", 600)
+            .unwrap()
+            .unwrap();
+        live.append("a", 1, &[1.0]);
+        // ...and a dead worker's segment: entries + torn tail, lease
+        // held by a dead pid.
+        let sd = segment_dir(&cache_path);
+        let dead_seg = sd.join("seg-dead.jsonl");
+        let good = format_line_f64("a", 2, &[2.0]);
+        std::fs::write(&dead_seg, format!("{good}\n{}", &good[..10])).unwrap();
+        let dead_lease = LeaseInfo {
+            pid: 999_999_999,
+            acquired_unix: clock::unix_now(),
+            ttl_secs: 600,
+        };
+        std::fs::write(sd.join("seg-dead.lease"), dead_lease.render()).unwrap();
+
+        let cache = Cache::new();
+        let report = adopt_dead_segments(&cache_path, &cache).unwrap();
+        assert_eq!(report.skipped_live, 1, "live lease must not be adopted");
+        assert_eq!(report.adopted, vec![dead_seg.clone()]);
+        assert_eq!((report.loaded, report.quarantined), (1, 1));
+        assert_eq!(cache.get_or_compute("a", 2, || -1.0), 2.0);
+        assert!(
+            cache.peek("a", 1).is_none(),
+            "live segment's entries stay private to its holder"
+        );
+        live.close();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -32,6 +32,13 @@
 //! plan armed and no failures, runs are byte-identical to a build
 //! without the layer.
 //!
+//! Above the single process, [`fleet`] plans deterministic key-range
+//! shards of a sweep matrix and supervises N worker processes over the
+//! segmented shared cache ([`cache::seg`]): per-worker append-only
+//! JSONL segments claimed by lease files, crash reclaim through the
+//! same CRC/quarantine path, and compaction back to one canonical
+//! file (DESIGN.md §10).
+//!
 //! The process-wide instances used by the experiment harness are
 //! [`global`] (sized by [`configure_jobs`], the `SUBVT_JOBS`
 //! environment variable, or the machine's parallelism) and
@@ -44,6 +51,7 @@ pub mod cache;
 pub mod clock;
 pub mod executor;
 pub mod faultinject;
+pub mod fleet;
 pub mod hash;
 pub mod recovery;
 pub mod rng;
@@ -53,6 +61,7 @@ pub mod trace;
 pub use cache::{Blob, Cache, CacheStats, Lookup};
 pub use executor::{Executor, JobHandle, JobPanic};
 pub use faultinject::{FaultPlan, FaultSite};
+pub use fleet::{FleetPolicy, FleetReport, Shard, ShardStrategy};
 pub use hash::{KeyBuilder, Keyed};
 pub use recovery::{RecoveryRecord, RecoveryStep};
 pub use supervisor::{JobError, RetryPolicy, Supervisor};

@@ -107,7 +107,7 @@ impl Supervisor {
     pub fn is_quarantined(&self, key: u64) -> bool {
         self.quarantine
             .lock()
-            .expect("quarantine lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .contains(&key)
     }
 
@@ -116,7 +116,7 @@ impl Supervisor {
         let mut keys: Vec<u64> = self
             .quarantine
             .lock()
-            .expect("quarantine lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .copied()
             .collect();
@@ -215,7 +215,10 @@ impl Supervisor {
                 }
             }
         }
-        self.quarantine.lock().expect("quarantine lock").insert(key);
+        self.quarantine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key);
         trace::add("supervisor.quarantined", 1);
         Err(last_error)
     }

@@ -46,6 +46,13 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("trace-stitch") {
         return trace_stitch(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("fleet") {
+        return fleet_main(&args[1..]);
+    }
+    // Hidden: one shard of a fleet, spawned by `repro fleet`.
+    if args.iter().any(|a| a == "--fleet-worker") {
+        return fleet_worker_main(&args);
+    }
 
     let mut csv = false;
     let mut keep_going = false;
@@ -171,9 +178,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Advisory lock + load, shared with `subvt-serve`: concurrent runs
-    // against the same file degrade to read-only cache use (with a
-    // warning and the readonly gauge) instead of clobbering it.
+    // Advisory lock + load, shared with `subvt-serve`: a concurrent run
+    // against the same file persists through a leased segment under
+    // `<cache>.d/` instead of clobbering the file (or losing its work),
+    // and a crashed holder's lock is reclaimed instead of wedging every
+    // later run read-only.
     let mut cache_session: Option<subvt_exp::CacheSession> = None;
     if let Some(path) = &cache_path {
         match subvt_exp::CacheSession::open(path.as_ref()) {
@@ -411,8 +420,558 @@ fn trace_stitch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Expands `all`/`ext`/`everything` tokens, collecting experiment ids.
+fn expand_ids(ids: &mut Vec<String>, token: &str) {
+    match token {
+        "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+        "ext" => ids.extend(EXTENSION_EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+        "everything" => {
+            ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()));
+            ids.extend(EXTENSION_EXPERIMENTS.iter().map(|s| (*s).to_owned()));
+        }
+        other => ids.push(other.to_owned()),
+    }
+}
+
+/// Extracts an integer counter `"name":123` from a rendered manifest.
+fn scan_counter(manifest: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let Some(start) = manifest.find(&pat) else {
+        return 0;
+    };
+    let rest = &manifest[start + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or(0)
+}
+
+/// The fleet driver: shards the sweep matrix across N worker
+/// processes over the segmented shared cache, supervises them with
+/// the retry/deadline ladder, merges their outputs and manifests in
+/// the original argument order, and compacts the cache segments into
+/// one canonical file on the way out.
+fn fleet_main(args: &[String]) -> ExitCode {
+    use std::path::PathBuf;
+    use std::time::Duration;
+    use subvt_engine::cache::{seg, CacheLock};
+    use subvt_engine::fleet::{plan, supervise, FleetPolicy, ShardStrategy};
+
+    let mut workers = 2usize;
+    let mut strategy = ShardStrategy::KeyRange;
+    let mut max_attempts = 3u32;
+    let mut deadline_secs: Option<u64> = None;
+    let mut csv = false;
+    let mut cache_arg: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                workers = n;
+            }
+            "--shard" => {
+                match iter.next().map(|v| v.parse::<ShardStrategy>()) {
+                    Some(Ok(s)) => strategy = s,
+                    other => {
+                        if let Some(Err(e)) = other {
+                            eprintln!("{e}");
+                        } else {
+                            eprintln!("--shard needs one of: key-range, round-robin");
+                        }
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--max-attempts" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--max-attempts needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                max_attempts = n;
+            }
+            "--deadline-secs" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--deadline-secs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                deadline_secs = Some(n);
+            }
+            "--csv" => csv = true,
+            "--cache" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--cache needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                cache_arg = Some(path.clone());
+            }
+            "--manifest" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--manifest needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                manifest_path = Some(path.clone());
+            }
+            "--backend" | "--circuit-backend" | "--temp" | "--jobs" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("{arg} needs a value");
+                    return ExitCode::FAILURE;
+                };
+                passthrough.push(arg.clone());
+                passthrough.push(value.clone());
+            }
+            "--help" | "-h" => {
+                print_fleet_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown fleet option {other} (try `repro fleet --help`)");
+                return ExitCode::FAILURE;
+            }
+            other => expand_ids(&mut ids, other),
+        }
+    }
+    if ids.is_empty() {
+        print_fleet_help();
+        return ExitCode::FAILURE;
+    }
+
+    // Without --cache the fleet still needs a shared store for its
+    // segments and staged outputs; use a scratch one and remove it at
+    // the end.
+    let scratch_dir: Option<PathBuf> = if cache_arg.is_none() {
+        Some(std::env::temp_dir().join(format!("subvt-fleet-{}", std::process::id())))
+    } else {
+        None
+    };
+    let cache_path: PathBuf = match (&cache_arg, &scratch_dir) {
+        (Some(p), _) => PathBuf::from(p),
+        (None, Some(dir)) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create scratch dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            dir.join("fleet-cache.jsonl")
+        }
+        (None, None) => unreachable!(),
+    };
+
+    // The parent holds the primary lock for the whole fleet run: a
+    // stale (dead-holder) lock is reclaimed, a live holder is an error
+    // — two fleets over one store must not interleave compactions.
+    let lock = match CacheLock::acquire(&cache_path) {
+        Ok(Some(lock)) => lock,
+        Ok(None) => {
+            eprintln!(
+                "cache file {} is held by a live process; \
+                 refusing to run a fleet over it",
+                cache_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("cannot lock cache file {}: {e}", cache_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let shards = plan(&ids, workers, strategy);
+    let outdir = seg::segment_dir(&cache_path);
+    if let Err(e) = std::fs::create_dir_all(&outdir) {
+        eprintln!("cannot create segment dir {}: {e}", outdir.display());
+        return ExitCode::FAILURE;
+    }
+    let active = shards.iter().filter(|s| !s.ids.is_empty()).count();
+    eprintln!(
+        "fleet: {} experiment(s) over {active} worker(s) ({strategy} sharding)",
+        ids.len()
+    );
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot resolve own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = FleetPolicy {
+        max_attempts,
+        deadline: deadline_secs.map(Duration::from_secs),
+        poll: Duration::from_millis(25),
+    };
+    let mut tail_quarantined = 0usize;
+    let report = supervise(
+        &shards,
+        &policy,
+        |shard, attempt| {
+            if attempt > 0 {
+                eprintln!(
+                    "fleet: re-running worker {} (attempt {})",
+                    shard.index,
+                    attempt + 1
+                );
+            }
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("--fleet-worker")
+                .arg(shard.index.to_string())
+                .arg("--cache")
+                .arg(&cache_path)
+                .args(&passthrough);
+            if csv {
+                cmd.arg("--csv");
+            }
+            cmd.args(&shard.ids)
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::inherit());
+            cmd.spawn()
+        },
+        |shard, reason| {
+            eprintln!(
+                "fleet: worker {} died ({reason}); scrubbing its segment tail",
+                shard.index
+            );
+            let seg_path = outdir.join(format!("seg-{}.jsonl", shard.index));
+            if let Ok(r) = seg::scrub_segment(&seg_path) {
+                tail_quarantined += r.quarantined;
+            }
+        },
+    );
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet supervision failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Merge staged outputs in the original argument order, so fleet
+    // stdout is byte-identical to the single-process run.
+    let ext = if csv { "csv" } else { "txt" };
+    let mut failures: Vec<FigureFailure> = Vec::new();
+    let mut merged = String::new();
+    for id in &ids {
+        let staged = outdir.join(format!("out-{id}.{ext}"));
+        match std::fs::read_to_string(&staged) {
+            Ok(text) => merged.push_str(&text),
+            Err(_) => {
+                eprintln!("FAILED {id}: no output from its fleet worker");
+                failures.push(FigureFailure {
+                    id: id.clone(),
+                    message: "no output from fleet worker (shard failed)".to_owned(),
+                });
+            }
+        }
+    }
+    print!("{merged}");
+
+    // Collect worker manifests (verbatim) and their reclaim counters.
+    let reclaim_counter = seg::lease_reclaim_counter_name(&cache_path);
+    let mut worker_manifests: Vec<String> = Vec::new();
+    let mut lease_reclaimed = 0u64;
+    for shard in &shards {
+        if shard.ids.is_empty() {
+            continue;
+        }
+        let path = outdir.join(format!("seg-{}-manifest.json", shard.index));
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            lease_reclaimed += scan_counter(&text, &reclaim_counter);
+            worker_manifests.push(text.trim().to_owned());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    if let Some(path) = &manifest_path {
+        let mut shards_json = String::new();
+        for (i, (shard, run)) in shards.iter().zip(&report.runs).enumerate() {
+            if i > 0 {
+                shards_json.push(',');
+            }
+            let mut id_list = String::new();
+            for (j, id) in shard.ids.iter().enumerate() {
+                if j > 0 {
+                    id_list.push(',');
+                }
+                id_list.push_str(&format!("\"{id}\""));
+            }
+            shards_json.push_str(&format!(
+                "{{\"index\":{},\"ids\":[{id_list}],\"key_lo\":\"{:016x}\",\
+                 \"key_hi\":\"{:016x}\",\"attempts\":{},\"failed\":{}}}",
+                shard.index, shard.key_lo, shard.key_hi, run.attempts, run.failed
+            ));
+        }
+        let fragment = format!(
+            "{{\"workers\":{workers},\"strategy\":\"{strategy}\",\"restarts\":{},\
+             \"shards_failed\":{},\"lease_reclaimed\":{lease_reclaimed},\
+             \"tail_quarantined\":{tail_quarantined},\"shards\":[{shards_json}]}}",
+            report.restarts, report.failed
+        );
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(path)?;
+            subvt_exp::report::write_fleet_manifest(
+                &mut file,
+                &failures,
+                &fragment,
+                &worker_manifests,
+            )
+        };
+        if let Err(e) = write() {
+            eprintln!("cannot write manifest file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Retire the staged outputs, then fold every worker segment into
+    // the canonical file.
+    for id in &ids {
+        std::fs::remove_file(outdir.join(format!("out-{id}.{ext}"))).ok();
+    }
+    match seg::compact(&cache_path) {
+        Ok(r) => eprintln!(
+            "fleet: compacted cache ({} entries, {} segment(s) merged)",
+            r.written, r.segments_merged
+        ),
+        Err(e) => {
+            eprintln!("cannot compact cache {}: {e}", cache_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    drop(lock);
+    if let Some(dir) = &scratch_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    if failures.is_empty() && report.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} of {} experiments failed (see above)",
+            failures.len(),
+            ids.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// One shard of a fleet: claims its segment, runs its ids, stages each
+/// rendered table atomically under `<cache>.d/`, and writes its own
+/// manifest for the parent's merge. Spawned by [`fleet_main`]; never
+/// invoked by hand.
+fn fleet_worker_main(args: &[String]) -> ExitCode {
+    use subvt_engine::cache::seg;
+
+    let mut worker_idx: Option<usize> = None;
+    let mut cache_arg: Option<String> = None;
+    let mut csv = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fleet-worker" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--fleet-worker needs a worker index");
+                    return ExitCode::FAILURE;
+                };
+                worker_idx = Some(n);
+            }
+            "--cache" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--cache needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                cache_arg = Some(path.clone());
+            }
+            "--csv" => csv = true,
+            "--jobs" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                subvt_engine::configure_jobs(n);
+            }
+            "--backend" => {
+                let Some(backend) = iter.next().and_then(|v| v.parse::<Backend>().ok()) else {
+                    eprintln!("--backend needs one of: analytic, tcad");
+                    return ExitCode::FAILURE;
+                };
+                subvt_exp::backend::configure(backend);
+            }
+            "--circuit-backend" => {
+                let Some(kind) = iter
+                    .next()
+                    .and_then(|v| v.parse::<CircuitBackendKind>().ok())
+                else {
+                    eprintln!("--circuit-backend needs one of: analytic, spice");
+                    return ExitCode::FAILURE;
+                };
+                subvt_exp::backend::configure_circuit(kind);
+            }
+            "--temp" => {
+                let Some(kelvin) = iter
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|k| k.is_finite() && *k > 0.0)
+                else {
+                    eprintln!("--temp needs a positive temperature in kelvin");
+                    return ExitCode::FAILURE;
+                };
+                subvt_exp::backend::configure_temperature(Temperature::from_kelvin(kelvin));
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown fleet-worker option {other}");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    let (Some(idx), Some(cache_arg)) = (worker_idx, cache_arg) else {
+        eprintln!("--fleet-worker requires --cache and a worker index");
+        return ExitCode::FAILURE;
+    };
+    let cache_path = std::path::Path::new(&cache_arg);
+
+    let session = match subvt_exp::CacheSession::open_segment(cache_path, &idx.to_string()) {
+        Ok(Some(session)) => session,
+        Ok(None) => {
+            eprintln!(
+                "fleet worker {idx}: segment is held by a live process; \
+                 refusing to double-run a shard"
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("fleet worker {idx}: cannot open cache segment: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outdir = seg::segment_dir(cache_path);
+    let ext = if csv { "csv" } else { "txt" };
+    let crash_marker = std::env::var_os("SUBVT_FLEET_CRASH_ONCE");
+
+    for (i, id) in ids.iter().enumerate() {
+        let Some(table) = run(id) else {
+            eprintln!("fleet worker {idx}: unknown experiment `{id}`");
+            return ExitCode::FAILURE;
+        };
+        let rendered = if csv {
+            table.to_csv()
+        } else {
+            format!("{}\n", table.to_text())
+        };
+        let staged = outdir.join(format!("out-{id}.{ext}"));
+        let tmp = outdir.join(format!("out-{id}.{ext}.tmp"));
+        let write = std::fs::write(&tmp, &rendered).and_then(|()| std::fs::rename(&tmp, &staged));
+        if let Err(e) = write {
+            eprintln!("fleet worker {idx}: cannot stage output for {id}: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Chaos hook for the integration/CI crash drills: the first
+        // worker (fleet-wide) to claim the marker file tears its
+        // segment tail and SIGKILLs itself after its first result —
+        // exactly one injected crash per fleet run.
+        if i == 0 {
+            if let Some(marker) = &crash_marker {
+                fleet_crash_once(std::path::Path::new(marker), &session);
+            }
+        }
+    }
+
+    // Stage this worker's manifest (atomically — a kill mid-write must
+    // not hand the parent a torn file).
+    let mut buf: Vec<u8> = Vec::new();
+    if let Err(e) = subvt_exp::report::write_manifest(&mut buf, &[]) {
+        eprintln!("fleet worker {idx}: cannot render manifest: {e}");
+        return ExitCode::FAILURE;
+    }
+    let manifest = outdir.join(format!("seg-{idx}-manifest.json"));
+    let tmp = outdir.join(format!("seg-{idx}-manifest.json.tmp"));
+    let write = std::fs::write(&tmp, &buf).and_then(|()| std::fs::rename(&tmp, &manifest));
+    if let Err(e) = write {
+        eprintln!("fleet worker {idx}: cannot stage manifest: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = session.close() {
+        eprintln!("fleet worker {idx}: cannot seal cache segment: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Injects one fleet-wide crash when `SUBVT_FLEET_CRASH_ONCE` is set:
+/// atomically claims the marker file (losers return and run on), tears
+/// the segment's tail mid-append, and SIGKILLs this process.
+fn fleet_crash_once(marker: &std::path::Path, session: &subvt_exp::CacheSession) {
+    if std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(marker)
+        .is_err()
+    {
+        return;
+    }
+    if let Some(seg_path) = session.segment_path() {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(seg_path) {
+            // A torn line: no newline, CRC impossible — what a real
+            // kill mid-append leaves behind.
+            let _ = f.write_all(b"{\"ns\":\"torn-by-injected-crash\",\"key\":\"00");
+            let _ = f.flush();
+        }
+    }
+    eprintln!("fleet: injecting SIGKILL crash (SUBVT_FLEET_CRASH_ONCE)");
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    // If an external `kill` is unavailable, abort() still dies
+    // abnormally (SIGABRT) — the supervisor treats both as a crash.
+    std::process::abort();
+}
+
+fn print_fleet_help() {
+    eprintln!("usage: repro fleet [options] <experiment...|all|ext|everything>");
+    eprintln!();
+    eprintln!("Shards the experiments across N worker processes over a shared,");
+    eprintln!("lease-segmented result cache; crashed workers are re-run and the");
+    eprintln!("merged output is byte-identical to the single-process run.");
+    eprintln!();
+    eprintln!("options:");
+    eprintln!("  --workers <N>        worker processes (default: 2)");
+    eprintln!("  --shard <s>          sharding: key-range (default) | round-robin");
+    eprintln!("  --max-attempts <N>   attempts per shard before giving up (default: 3)");
+    eprintln!("  --deadline-secs <N>  per-attempt wall-clock budget (default: none)");
+    eprintln!("  --cache <path>       shared cache file (default: a scratch file,");
+    eprintln!("                       removed after the run)");
+    eprintln!("  --manifest <path>    merged fleet manifest: parent summary, a `fleet`");
+    eprintln!("                       block (shards/restarts/reclaims), and every");
+    eprintln!("                       worker manifest verbatim");
+    eprintln!("  --csv                CSV output instead of aligned text");
+    eprintln!("  --backend/--circuit-backend/--temp/--jobs  forwarded to workers");
+}
+
 fn print_help() {
     eprintln!("usage: repro [options] <experiment...|all|ext|everything>");
+    eprintln!("       repro fleet --workers <N> [options] <experiment...>");
     eprintln!("       repro trace-report <trace-file|access-log|manifest>");
     eprintln!("       repro trace-stitch <client-trace> <server-trace> [--out <chrome.json>]");
     eprintln!("       repro --list");

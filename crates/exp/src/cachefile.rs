@@ -2,79 +2,219 @@
 //!
 //! Both entry points that persist the engine's result cache — the
 //! one-shot `repro` CLI and the `subvt-serve` daemon — need the same
-//! open/close choreography: take the advisory [`CacheLock`], degrade to
-//! read-only (observably!) when another process holds it, load the
-//! JSON-lines file with quarantine accounting, and on clean shutdown
-//! rewrite the file through the atomic temp-file path, which also
-//! compacts superseded duplicate entries. [`CacheSession`] packages
-//! that choreography so the two binaries cannot drift apart.
+//! open/close choreography, packaged as [`CacheSession`] so the two
+//! binaries cannot drift apart. A session opens in one of three modes:
 //!
-//! Read-only degradation is deliberately loud: the engine publishes a
-//! `cache.<file-stem>.readonly` gauge when the lock acquire loses, and
-//! [`CacheSession::open`] prints a one-line warning, so a degraded
-//! server is observable in `/metrics` and in its logs instead of
-//! silently not persisting.
+//! * **Primary** — won the advisory [`CacheLock`] (reclaiming it first
+//!   if the recorded holder is dead): loads the base file with
+//!   quarantine accounting, *adopts* any orphaned segments a crashed
+//!   fleet left under `<cache>.d/`, and on clean close rewrites the
+//!   canonical file through the atomic temp-file path (compacting
+//!   superseded duplicates and the adopted segments away).
+//! * **Segment** — a live process holds the primary lock, so this
+//!   session claims a leased per-process segment
+//!   (`<cache>.d/seg-p<pid>-<n>.jsonl`) instead of degrading: it loads
+//!   the base file and every peer segment leniently for warm hits, and
+//!   write-through appends each freshly computed entry to its own
+//!   segment. The next primary-lock holder compacts it in. Concurrent
+//!   runs therefore *all* persist — nobody loses their work to the
+//!   lock race anymore.
+//! * **ReadOnly** — the segment claim also failed (pathological);
+//!   loads what it can and persists nothing, loudly: the engine
+//!   publishes the `cache.<file-stem>.readonly` gauge and
+//!   [`CacheSession::open`] prints a one-line warning, so a degraded
+//!   process is observable in `/metrics` and in its logs instead of
+//!   silently not persisting.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use subvt_engine::cache::seg::{self, AdoptReport, SegmentSession};
 use subvt_engine::cache::{quarantine_path, CacheLock, LoadReport};
 
-/// An open session against a persistent cache file: lock (or observable
-/// read-only degradation) plus the loaded entries.
-#[derive(Debug)]
+/// Distinguishes sibling sessions opened by one process (tests, mostly)
+/// so their segment names cannot collide.
+static SESSION_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How an open [`CacheSession`] persists results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionMode {
+    /// Holds the primary lock; closes by rewriting the canonical file.
+    Primary,
+    /// Holds a leased segment; closes by sealing the segment for the
+    /// next compaction.
+    Segment,
+    /// Persists nothing.
+    ReadOnly,
+}
+
+enum State {
+    Primary {
+        lock: CacheLock,
+        adopted: AdoptReport,
+    },
+    Segment {
+        session: Arc<SegmentSession>,
+    },
+    ReadOnly,
+}
+
+/// An open session against a persistent cache file: a persistence mode
+/// (primary lock, leased segment, or observable read-only degradation)
+/// plus the loaded entries.
 pub struct CacheSession {
     path: PathBuf,
-    lock: Option<CacheLock>,
+    state: State,
     report: LoadReport,
 }
 
 impl CacheSession {
-    /// Opens `path` against the process-wide cache: acquires the
-    /// advisory lock (degrading to read-only with a warning and the
-    /// `cache.<stem>.readonly` gauge when another process holds it) and
-    /// loads every intact entry, logging the load summary to stderr.
+    /// Opens `path` against the process-wide cache. Mode selection and
+    /// loading are described on the module; every load summary goes to
+    /// stderr.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the lock file or the cache file
-    /// (missing cache file is not an error — it loads empty).
+    /// Propagates I/O errors from the lock/lease files or the cache
+    /// file (a missing cache file is not an error — it loads empty).
     pub fn open(path: &Path) -> std::io::Result<Self> {
-        let lock = CacheLock::acquire(path)?;
-        if lock.is_none() {
-            eprintln!(
-                "warning: cache file {} is locked by another process; \
-                 running read-only (no results will be persisted)",
-                path.display()
-            );
+        let cache = subvt_engine::global_cache();
+        if let Some(lock) = CacheLock::acquire(path)? {
+            let mut report = cache.load_jsonl_report(path)?;
+            let adopted = seg::adopt_dead_segments(path, cache)?;
+            if !adopted.adopted.is_empty() {
+                eprintln!(
+                    "adopted {} orphaned cache segment(s): {} entries, {} damaged lines quarantined",
+                    adopted.adopted.len(),
+                    adopted.loaded,
+                    adopted.quarantined
+                );
+            }
+            report.loaded += adopted.loaded;
+            report.quarantined += adopted.quarantined;
+            let session = Self {
+                path: path.to_owned(),
+                state: State::Primary { lock, adopted },
+                report,
+            };
+            session.log_load();
+            return Ok(session);
         }
-        let report = subvt_engine::global_cache().load_jsonl_report(path)?;
-        if report.loaded > 0 {
-            eprintln!(
-                "loaded {} cached results from {}",
-                report.loaded,
-                path.display()
-            );
+        // A live process holds the primary lock: claim a segment so
+        // this run still persists.
+        let name = format!(
+            "p{}-{}",
+            std::process::id(),
+            SESSION_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        match SegmentSession::claim(path, &name, seg::DEFAULT_TTL_SECS)? {
+            Some(session) => {
+                let session = Arc::new(session);
+                let mut report = cache.load_jsonl_lenient(path)?;
+                for peer in peer_segments(path, session.path())? {
+                    let r = cache.load_jsonl_lenient(&peer)?;
+                    report.loaded += r.loaded;
+                    report.superseded += r.superseded;
+                }
+                let own = session.load_into(cache)?;
+                report.loaded += own.loaded;
+                cache.set_persist(Some(session.persist_hook()));
+                // Not read-only: this session persists through its
+                // segment. Overwrite the gauge the losing lock acquire
+                // published.
+                subvt_engine::trace::gauge(&subvt_engine::cache::readonly_gauge_name(path), 0.0);
+                eprintln!(
+                    "cache file {} is held by another process; persisting to segment {}",
+                    path.display(),
+                    session.path().display()
+                );
+                let session = Self {
+                    path: path.to_owned(),
+                    state: State::Segment { session },
+                    report,
+                };
+                session.log_load();
+                Ok(session)
+            }
+            None => {
+                eprintln!(
+                    "warning: cache file {} is locked by another process; \
+                     running read-only (no results will be persisted)",
+                    path.display()
+                );
+                let report = cache.load_jsonl_lenient(path)?;
+                let session = Self {
+                    path: path.to_owned(),
+                    state: State::ReadOnly,
+                    report,
+                };
+                session.log_load();
+                Ok(session)
+            }
         }
-        if report.superseded > 0 {
-            eprintln!("  ({} superseded entries dropped)", report.superseded);
-        }
-        if report.quarantined > 0 {
-            eprintln!(
-                "  ({} corrupted lines quarantined to {})",
-                report.quarantined,
-                quarantine_path(path).display()
-            );
-        }
-        Ok(Self {
-            path: path.to_owned(),
-            lock,
-            report,
-        })
     }
 
-    /// Whether this session lost the lock race and runs read-only.
+    /// Opens an explicit *segment* session named `name` — the fleet
+    /// worker path. No primary-lock attempt, no peer-segment loads
+    /// (fleet shards are disjoint; each worker sees the base file plus
+    /// its own scrubbed leftovers). `Ok(None)` means a live process
+    /// already holds this segment name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn open_segment(path: &Path, name: &str) -> std::io::Result<Option<Self>> {
+        let cache = subvt_engine::global_cache();
+        let Some(session) = SegmentSession::claim(path, name, seg::DEFAULT_TTL_SECS)? else {
+            return Ok(None);
+        };
+        let session = Arc::new(session);
+        let mut report = cache.load_jsonl_lenient(path)?;
+        let own = session.load_into(cache)?;
+        report.loaded += own.loaded;
+        cache.set_persist(Some(session.persist_hook()));
+        Ok(Some(Self {
+            path: path.to_owned(),
+            state: State::Segment { session },
+            report,
+        }))
+    }
+
+    fn log_load(&self) {
+        if self.report.loaded > 0 {
+            eprintln!(
+                "loaded {} cached results from {}",
+                self.report.loaded,
+                self.path.display()
+            );
+        }
+        if self.report.superseded > 0 {
+            eprintln!("  ({} superseded entries dropped)", self.report.superseded);
+        }
+        if self.report.quarantined > 0 {
+            eprintln!(
+                "  ({} corrupted lines quarantined to {})",
+                self.report.quarantined,
+                quarantine_path(&self.path).display()
+            );
+        }
+    }
+
+    /// This session's persistence mode.
+    pub fn mode(&self) -> SessionMode {
+        match &self.state {
+            State::Primary { .. } => SessionMode::Primary,
+            State::Segment { .. } => SessionMode::Segment,
+            State::ReadOnly => SessionMode::ReadOnly,
+        }
+    }
+
+    /// Whether this session persists nothing. Note that losing the
+    /// primary lock no longer implies read-only — a segment session
+    /// persists through its segment.
     pub fn read_only(&self) -> bool {
-        self.lock.is_none()
+        matches!(self.state, State::ReadOnly)
     }
 
     /// The cache file path this session manages.
@@ -82,28 +222,72 @@ impl CacheSession {
         &self.path
     }
 
-    /// What the open-time load found.
+    /// The segment file this session appends to (segment mode only).
+    pub fn segment_path(&self) -> Option<&Path> {
+        match &self.state {
+            State::Segment { session } => Some(session.path()),
+            _ => None,
+        }
+    }
+
+    /// What the open-time load found (base file plus adopted or peer
+    /// segments, depending on mode).
     pub fn load_report(&self) -> LoadReport {
         self.report
     }
 
-    /// Closes the session: a lock-holding session rewrites the file
-    /// (atomic temp-file + rename, compacting superseded duplicates)
-    /// and releases the lock; a read-only session only releases its
-    /// state. Returns the number of entries written (0 when
-    /// read-only).
+    /// Closes the session. Primary: rewrites the canonical file
+    /// (atomic temp-file + rename, compacting superseded duplicates
+    /// and adopted segments) and releases the lock. Segment: seals the
+    /// segment (kept for the next compaction if non-empty) and
+    /// releases the lease. Returns the number of entries made durable
+    /// by *this* close (segment mode: lines this session appended;
+    /// read-only: 0).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the save.
     pub fn close(self) -> std::io::Result<usize> {
-        let written = match &self.lock {
-            Some(_) => subvt_engine::global_cache().save_jsonl(&self.path)?,
-            None => 0,
-        };
-        drop(self.lock);
-        Ok(written)
+        match self.state {
+            State::Primary { lock, adopted } => {
+                let written = subvt_engine::global_cache().save_jsonl(&self.path)?;
+                // The adopted segments' entries are durable in the
+                // canonical file now; retire the source files.
+                seg::remove_adopted(&self.path, &adopted);
+                drop(lock);
+                Ok(written)
+            }
+            State::Segment { session } => {
+                subvt_engine::global_cache().set_persist(None);
+                let appended = session.appended() as usize;
+                session.close();
+                Ok(appended)
+            }
+            State::ReadOnly => Ok(0),
+        }
     }
+}
+
+/// Every peer segment under `path`'s segment directory except `own`.
+/// Sorted for deterministic load order.
+fn peer_segments(path: &Path, own: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let dir = seg::segment_dir(path);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut peers: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p != own
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    peers.sort();
+    Ok(peers)
 }
 
 #[cfg(test)]
@@ -122,6 +306,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let session = CacheSession::open(&path).unwrap();
         assert!(!session.read_only());
+        assert_eq!(session.mode(), SessionMode::Primary);
         assert_eq!(session.load_report(), LoadReport::default());
         session.close().unwrap();
         assert!(path.exists(), "close must persist the (compacted) file");
@@ -129,21 +314,53 @@ mod tests {
     }
 
     #[test]
-    fn second_session_degrades_to_read_only() {
+    fn second_session_persists_through_a_segment() {
         let path = temp_path("contended");
         std::fs::remove_file(&path).ok();
         let holder = CacheSession::open(&path).unwrap();
-        assert!(!holder.read_only());
-        let loser = CacheSession::open(&path).unwrap();
-        assert!(loser.read_only(), "losing the lock must degrade, not fail");
-        assert_eq!(loser.close().unwrap(), 0, "read-only close writes nothing");
+        assert_eq!(holder.mode(), SessionMode::Primary);
+        let second = CacheSession::open(&path).unwrap();
+        assert_eq!(
+            second.mode(),
+            SessionMode::Segment,
+            "losing the lock must claim a segment, not fail or go read-only"
+        );
+        assert!(
+            !second.read_only(),
+            "a segment session persists — it is not read-only"
+        );
         let gauge = subvt_engine::trace::global()
             .snapshot()
             .gauges
             .get(subvt_engine::cache::readonly_gauge_name(&path).as_str())
             .copied();
-        assert_eq!(gauge, Some(1.0), "degradation must publish the gauge");
+        assert_eq!(gauge, Some(0.0), "segment fallback clears the gauge");
+        second.close().unwrap();
         holder.close().unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(seg::segment_dir(&path)).ok();
+    }
+
+    #[test]
+    fn stale_primary_lock_is_reclaimed_by_open() {
+        let path = temp_path("stale-lock");
+        std::fs::remove_file(&path).ok();
+        // A crashed holder: lock file recording a pid that cannot be a
+        // live process.
+        let lock_path = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".lock");
+            PathBuf::from(os)
+        };
+        std::fs::write(&lock_path, "999999999\n").unwrap();
+        let session = CacheSession::open(&path).unwrap();
+        assert_eq!(
+            session.mode(),
+            SessionMode::Primary,
+            "a dead holder's lock must be reclaimed read-write"
+        );
+        session.close().unwrap();
+        assert!(path.exists());
         std::fs::remove_file(&path).ok();
     }
 }

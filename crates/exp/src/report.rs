@@ -320,6 +320,53 @@ pub fn write_manifest(w: &mut impl Write, failures: &[FigureFailure]) -> io::Res
     writeln!(w, "{manifest}")
 }
 
+/// [`write_manifest`] for a fleet parent: the parent's own v2 manifest
+/// extended with a `"fleet"` block (`fleet_fragment`, an
+/// already-rendered JSON value describing shards/restarts/reclaims)
+/// and a `"workers"` array holding each worker's manifest verbatim —
+/// the merge keeps every per-worker counter and recovery record
+/// inspectable instead of flattening them away.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_fleet_manifest(
+    w: &mut impl Write,
+    failures: &[FigureFailure],
+    fleet_fragment: &str,
+    worker_manifests: &[String],
+) -> io::Result<()> {
+    let snap = trace::global().drain();
+    let stats = subvt_engine::global_cache().stats();
+    let recoveries = subvt_engine::recovery::drain();
+    let manifest = render_manifest(
+        &snap,
+        &stats,
+        &crate::backend::model().cache_id(),
+        &crate::backend::circuit().cache_id(),
+        subvt_engine::global().workers(),
+        failures,
+        &recoveries,
+    );
+    // render_manifest returns one closed JSON object; splice the fleet
+    // blocks in before the final brace.
+    let base = manifest
+        .strip_suffix('}')
+        .expect("render_manifest yields a closed object");
+    let mut out = String::from(base);
+    out.push_str(",\"fleet\":");
+    out.push_str(fleet_fragment);
+    out.push_str(",\"workers\":[");
+    for (i, m) in worker_manifests.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(m.trim());
+    }
+    out.push_str("]}");
+    writeln!(w, "{out}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,7 +161,24 @@ impl Server {
     /// I/O errors from the bind or from opening the cache file.
     pub fn start(config: Config) -> std::io::Result<Server> {
         let cache = match &config.cache_path {
-            Some(path) => Some(CacheSession::open(path)?),
+            Some(path) => {
+                let session = CacheSession::open(path)?;
+                match session.mode() {
+                    subvt_exp::SessionMode::Primary => {}
+                    subvt_exp::SessionMode::Segment => eprintln!(
+                        "cache session: segment mode (primary lock held elsewhere); \
+                         results persist to {}",
+                        session.segment_path().map_or_else(
+                            || "a leased segment".to_owned(),
+                            |p| p.display().to_string()
+                        )
+                    ),
+                    subvt_exp::SessionMode::ReadOnly => {
+                        eprintln!("cache session: read-only (nothing will be persisted)")
+                    }
+                }
+                Some(session)
+            }
             None => None,
         };
         let access_log = match &config.access_log {
@@ -259,9 +276,20 @@ impl Server {
             }
         }
         trace::gauge("serve.inflight", 0.0);
-        if let Some(session) = self.cache.lock().expect("cache lock").take() {
+        let session = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(session) = session {
+            let mode = session.mode();
             let written = session.close()?;
-            eprintln!("cache compacted ({written} entries written)");
+            match mode {
+                subvt_exp::SessionMode::Segment => {
+                    eprintln!("cache segment sealed ({written} entries appended)")
+                }
+                _ => eprintln!("cache compacted ({written} entries written)"),
+            }
         }
         Ok(())
     }

@@ -207,9 +207,12 @@ fn chaos_manifest_round_trips_through_trace_report() {
 }
 
 #[test]
-fn cache_lock_degrades_to_read_only_use() {
+fn cache_lock_contention_persists_through_segment() {
     let dir = tmpdir("lock");
     let cache = dir.join("cache.jsonl");
+    // This test process is a *live* primary-lock holder, so the child
+    // run cannot reclaim the lock — it must fall back to a leased
+    // segment under <cache>.d/ and still persist its results there.
     let _lock = subvt_engine::cache::CacheLock::acquire(&cache)
         .unwrap()
         .expect("lock is free");
@@ -221,7 +224,7 @@ fn cache_lock_degrades_to_read_only_use() {
             .arg(&cache)
             .arg("--trace")
             .arg(&trace)
-            .arg("table1"),
+            .arg("table2"),
     );
     assert_eq!(
         out.status.code(),
@@ -229,17 +232,42 @@ fn cache_lock_degrades_to_read_only_use() {
         "a held lock must not fail the run"
     );
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("locked by another process"), "{stderr}");
-    assert!(stderr.contains("running read-only"), "{stderr}");
+    assert!(stderr.contains("held by another process"), "{stderr}");
+    assert!(stderr.contains("persisting to segment"), "{stderr}");
     assert!(
         !cache.exists(),
-        "a run without the lock must not write the cache file"
+        "a run without the primary lock must not write the canonical file"
+    );
+    let seg_dir = subvt_engine::cache::seg::segment_dir(&cache);
+    let segments: Vec<_> = std::fs::read_dir(&seg_dir)
+        .expect("segment dir created")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    assert_eq!(segments.len(), 1, "the run must leave one sealed segment");
+    let loaded = subvt_engine::Cache::new();
+    assert!(
+        loaded.load_jsonl(&segments[0]).unwrap() > 0,
+        "the segment must hold the run's computed entries"
     );
     let trace_text = std::fs::read_to_string(&trace).expect("trace written");
     assert!(
-        trace_text.contains("\"name\":\"cache.cache.readonly\""),
-        "read-only degradation must publish the cache.<stem>.readonly gauge"
+        trace_text.contains("\"name\":\"cache.cache.readonly\",\"value\":0"),
+        "segment fallback must clear the readonly gauge (not read-only!)"
     );
+
+    // Once the primary holder is gone, the next primary run adopts the
+    // sealed segment and compacts it into the canonical file.
+    drop(_lock);
+    let report = subvt_engine::cache::seg::compact(&cache).unwrap();
+    assert_eq!(report.segments_merged, 1);
+    assert!(report.written > 0);
+    assert!(cache.exists(), "compaction writes the canonical file");
+    assert!(!seg_dir.exists(), "compaction retires the segment dir");
 
     std::fs::remove_dir_all(&dir).ok();
 }
